@@ -1,0 +1,65 @@
+//! Table IV + Figures 2/3 (bench-scale): false positives in the Interval
+//! experiment, per Table I configuration.
+//!
+//! The full-scale artifacts come from `lifeguard-repro fp`; this bench
+//! runs a 32-node version of the Interval experiment per configuration
+//! and prints the observed FP/FP- counts (the table's columns) so the
+//! ordering SWIM > LHA-Probe > LHA-Suspicion > Lifeguard is checked on
+//! every bench run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lifeguard_bench::bench_interval;
+use lifeguard_core::config::{Config, LifeguardConfig};
+use lifeguard_experiments::tables::table1_configs;
+
+fn table4_fig2_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_interval_fp");
+    group.sample_size(10);
+    for (label, components) in table1_configs() {
+        let config = Config::lan().with_components(components);
+        let out = bench_interval(6, config.clone(), 42);
+        println!(
+            "table4[{label}]: FP={} FP-={}",
+            out.fp_events, out.fp_healthy_events
+        );
+        group.bench_with_input(BenchmarkId::new("run", label), &config, |b, config| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                bench_interval(6, config.clone(), seed).fp_events
+            })
+        });
+    }
+    group.finish();
+
+    // Figure 2/3 shape: FP grows with concurrency for SWIM.
+    let mut group = c.benchmark_group("fig2_fig3_concurrency");
+    group.sample_size(10);
+    for c_anom in [2usize, 6, 10] {
+        let swim = bench_interval(c_anom, Config::lan(), 7);
+        let lg = bench_interval(
+            c_anom,
+            Config::lan().with_components(LifeguardConfig::full()),
+            7,
+        );
+        println!(
+            "fig2/3[C={c_anom}]: SWIM FP={} FP-={} | Lifeguard FP={} FP-={}",
+            swim.fp_events, swim.fp_healthy_events, lg.fp_events, lg.fp_healthy_events
+        );
+        group.bench_with_input(
+            BenchmarkId::new("swim", c_anom),
+            &c_anom,
+            |b, &c_anom| {
+                let mut seed = 100u64;
+                b.iter(|| {
+                    seed += 1;
+                    bench_interval(c_anom, Config::lan(), seed).fp_events
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table4_fig2_fig3);
+criterion_main!(benches);

@@ -1,0 +1,223 @@
+//! Micro-benchmarks of the protocol core's hot paths: wire codec,
+//! compound packing, gossip queue, suspicion math, membership sampling,
+//! and raw simulator throughput.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use lifeguard_core::broadcast::BroadcastQueue;
+use lifeguard_core::config::Config;
+use lifeguard_core::member::Member;
+use lifeguard_core::membership::Membership;
+use lifeguard_core::suspicion::suspicion_timeout;
+use lifeguard_core::time::Time;
+use lifeguard_proto::compound::{decode_packet, CompoundBuilder};
+use lifeguard_proto::{codec, Alive, Incarnation, Message, NodeAddr, Ping, SeqNo, Suspect};
+use lifeguard_sim::cluster::ClusterBuilder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_ping() -> Message {
+    Message::Ping(Ping {
+        seq: SeqNo(42),
+        target: "node-17".into(),
+        source: "node-3".into(),
+        source_addr: NodeAddr::new([10, 0, 0, 3], 7946),
+    })
+}
+
+fn sample_alive(i: u64) -> Message {
+    Message::Alive(Alive {
+        incarnation: Incarnation(i),
+        node: format!("node-{i}").into(),
+        addr: NodeAddr::new([10, 0, (i >> 8) as u8, (i & 0xff) as u8], 7946),
+        meta: Bytes::new(),
+    })
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msg = sample_ping();
+    let encoded = codec::encode_message(&msg);
+    c.bench_function("codec/encode_ping", |b| {
+        b.iter(|| codec::encode_message(black_box(&msg)))
+    });
+    c.bench_function("codec/decode_ping", |b| {
+        b.iter(|| codec::decode_message(black_box(&encoded)).unwrap())
+    });
+    c.bench_function("codec/encoded_len_ping", |b| {
+        b.iter(|| codec::encoded_len(black_box(&msg)))
+    });
+}
+
+fn bench_compound(c: &mut Criterion) {
+    let parts: Vec<Bytes> = (0..30)
+        .map(|i| codec::encode_message(&sample_alive(i)))
+        .collect();
+    c.bench_function("compound/pack_30_messages", |b| {
+        b.iter(|| {
+            let mut builder = CompoundBuilder::new(1400);
+            for p in &parts {
+                builder.try_add(p.clone());
+            }
+            builder.finish().unwrap()
+        })
+    });
+    let mut builder = CompoundBuilder::new(1400);
+    for p in &parts {
+        builder.try_add(p.clone());
+    }
+    let packet = builder.finish().unwrap();
+    c.bench_function("compound/decode_30_messages", |b| {
+        b.iter(|| decode_packet(black_box(&packet)).unwrap())
+    });
+}
+
+fn bench_broadcast_queue(c: &mut Criterion) {
+    c.bench_function("broadcast/enqueue_fill_64", |b| {
+        b.iter_batched(
+            || {
+                let mut q = BroadcastQueue::new();
+                for i in 0..64 {
+                    q.enqueue(sample_alive(i));
+                }
+                q
+            },
+            |mut q| {
+                let mut builder = CompoundBuilder::new(1400);
+                q.fill(&mut builder, 12, None);
+                builder.finish()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("broadcast/invalidate_same_subject", |b| {
+        b.iter_batched(
+            BroadcastQueue::new,
+            |mut q| {
+                for rep in 0..8 {
+                    for i in 0..16 {
+                        q.enqueue(sample_alive(i * 1000 + rep));
+                    }
+                }
+                q.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_suspicion_math(c: &mut Criterion) {
+    let min = Duration::from_secs(10);
+    let max = Duration::from_secs(60);
+    c.bench_function("suspicion/timeout_formula", |b| {
+        b.iter(|| {
+            let mut total = Duration::ZERO;
+            for conf in 0..4 {
+                total += suspicion_timeout(black_box(conf), 3, min, max);
+            }
+            total
+        })
+    });
+}
+
+fn bench_membership(c: &mut Criterion) {
+    let mut table = Membership::new();
+    for i in 0..128 {
+        table.upsert(Member::new(
+            format!("node-{i}").into(),
+            NodeAddr::new([10, 0, 0, i as u8], 7946),
+            Incarnation(0),
+            Time::ZERO,
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(7);
+    c.bench_function("membership/sample_3_of_128", |b| {
+        b.iter(|| table.sample(3, &mut rng, |_| true).len())
+    });
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(10);
+    group.bench_function("32_nodes_30s_sim", |b| {
+        b.iter(|| {
+            let mut cluster = ClusterBuilder::new(32)
+                .config(Config::lan().lifeguard())
+                .seed(9)
+                .build();
+            cluster.run_for(Duration::from_secs(30));
+            cluster.telemetry().total().messages()
+        })
+    });
+    // Suspicion churn: pause one node and measure the whole cascade.
+    group.bench_function("suspect_storm_one_node", |b| {
+        b.iter_batched(
+            || {
+                let mut cluster = ClusterBuilder::new(8).config(Config::lan()).seed(3).build();
+                cluster.run_for(Duration::from_secs(12));
+                cluster
+            },
+            |mut cluster| {
+                cluster.apply(lifeguard_sim::cluster::SimAction::Pause {
+                    node: 3,
+                    duration: Duration::from_secs(4),
+                });
+                cluster.run_for(Duration::from_secs(8));
+                cluster.trace().len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_node_message_handling(c: &mut Criterion) {
+    use lifeguard_core::node::SwimNode;
+    c.bench_function("node/handle_1000_gossip_messages", |b| {
+        b.iter_batched(
+            || {
+                let mut node = SwimNode::new(
+                    "local".into(),
+                    NodeAddr::new([10, 0, 0, 1], 7946),
+                    Config::lan().lifeguard(),
+                    1,
+                );
+                node.start(Time::ZERO);
+                node
+            },
+            |mut node| {
+                let from = NodeAddr::new([10, 0, 0, 2], 7946);
+                for i in 0..500u64 {
+                    node.handle_message_in(from, sample_alive(i), Time::from_millis(i));
+                }
+                for i in 0..500u64 {
+                    node.handle_message_in(
+                        from,
+                        Message::Suspect(Suspect {
+                            incarnation: Incarnation(i),
+                            node: format!("node-{i}").into(),
+                            from: "accuser".into(),
+                        }),
+                        Time::from_millis(500 + i),
+                    );
+                }
+                node.num_alive()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_compound,
+    bench_broadcast_queue,
+    bench_suspicion_math,
+    bench_membership,
+    bench_sim_throughput,
+    bench_node_message_handling
+);
+criterion_main!(benches);

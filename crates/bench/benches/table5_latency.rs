@@ -1,0 +1,44 @@
+//! Table V (bench-scale): first-detection and full-dissemination latency
+//! of true failures in the Threshold experiment, per configuration.
+//!
+//! Prints the median latencies it observed; Lifeguard should sit within
+//! a small factor of SWIM (the paper's median penalty is < 0.1%, with
+//! 6–9% at the 99th/99.9th percentiles).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lifeguard_bench::bench_threshold;
+use lifeguard_core::config::Config;
+use lifeguard_experiments::tables::table1_configs;
+
+fn table5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_threshold_latency");
+    group.sample_size(10);
+    for (label, components) in table1_configs() {
+        let config = Config::lan().with_components(components);
+        let out = bench_threshold(3, config.clone(), 42);
+        let detect: Vec<String> = out
+            .first_detect
+            .iter()
+            .map(|d| match d {
+                Some(d) => format!("{:.2}s", d.as_secs_f64()),
+                None => "-".into(),
+            })
+            .collect();
+        println!("table5[{label}]: first detections {detect:?}");
+        group.bench_with_input(BenchmarkId::new("run", label), &config, |b, config| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                bench_threshold(3, config.clone(), seed)
+                    .first_detect
+                    .iter()
+                    .filter(|d| d.is_some())
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table5);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table VI (bench-scale): message and byte load of the Interval
+//! experiment per configuration.
+//!
+//! Prints the observed totals; the paper's shape is a modest message
+//! increase for LHA-Suspicion/Lifeguard (re-gossiped suspicions) partly
+//! offset by LHA-Probe.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lifeguard_bench::bench_interval;
+use lifeguard_core::config::Config;
+use lifeguard_experiments::tables::table1_configs;
+
+fn table6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_message_load");
+    group.sample_size(10);
+    for (label, components) in table1_configs() {
+        let config = Config::lan().with_components(components);
+        let out = bench_interval(6, config.clone(), 42);
+        println!(
+            "table6[{label}]: msgs={} bytes={}",
+            out.msgs_sent, out.bytes_sent
+        );
+        group.bench_with_input(BenchmarkId::new("run", label), &config, |b, config| {
+            let mut seed = 200u64;
+            b.iter(|| {
+                seed += 1;
+                bench_interval(6, config.clone(), seed).msgs_sent
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table6);
+criterion_main!(benches);

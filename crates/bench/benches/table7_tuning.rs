@@ -1,0 +1,48 @@
+//! Table VII (bench-scale): the α/β tuning trade-off. Lower α reduces
+//! detection latency but admits more false positives.
+//!
+//! Prints the observed median detection latency and FP count for the
+//! extreme tunings; `lifeguard-repro table7` regenerates the full
+//! 9-column table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lifeguard_bench::{bench_interval, bench_threshold};
+use lifeguard_core::config::Config;
+
+const COMBOS: [(f64, f64); 3] = [(2.0, 2.0), (4.0, 4.0), (5.0, 6.0)];
+
+fn table7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table7_tuning");
+    group.sample_size(10);
+    for (alpha, beta) in COMBOS {
+        let config = Config::lan().lifeguard().with_alpha(alpha).with_beta(beta);
+        let thresh = bench_threshold(3, config.clone(), 42);
+        let interval = bench_interval(6, config.clone(), 42);
+        let med = {
+            let mut secs: Vec<f64> = thresh
+                .first_detect
+                .iter()
+                .flatten()
+                .map(|d| d.as_secs_f64())
+                .collect();
+            secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            secs.get(secs.len() / 2).copied()
+        };
+        println!(
+            "table7[a={alpha} b={beta}]: median detect={med:?} FP={}",
+            interval.fp_events
+        );
+        let id = format!("a{alpha}_b{beta}");
+        group.bench_with_input(BenchmarkId::new("run", id), &config, |b, config| {
+            let mut seed = 300u64;
+            b.iter(|| {
+                seed += 1;
+                bench_interval(6, config.clone(), seed).fp_events
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table7);
+criterion_main!(benches);

@@ -1,0 +1,486 @@
+//! Local health applied to accrual failure detectors (paper §VII).
+//!
+//! The Lifeguard paper's related-work section observes that
+//! heartbeat-based accrual detectors (Hayashibara et al., "The φ accrual
+//! failure detector") share SWIM's blind spot: a *locally* slow monitor
+//! reads late heartbeats as remote failures. §VII proposes applying the
+//! local-health approach to other detector classes, noting that with
+//! "multiple co-located heartbeat-based detectors (each receiving
+//! messages from a different peer), it would be possible to evaluate
+//! applying the Lifeguard heuristics".
+//!
+//! This module implements that exploration:
+//!
+//! * [`PhiAccrualDetector`] — a classic φ-accrual detector: it models
+//!   heartbeat inter-arrival times with a normal distribution and
+//!   reports the suspicion level `φ(t) = −log10(P(no heartbeat by t))`.
+//! * [`LocalHealthAccrual`] — a set of co-located φ detectors sharing a
+//!   Lifeguard-style saturating health counter: when *many* peers look
+//!   late at once, the local monitor blames itself first — suppressing
+//!   accusations for that evaluation and judging silences on a time
+//!   axis compressed by `LHM + 1` — exactly as LHA-Probe stretches
+//!   SWIM's timeouts.
+//!
+//! The `accrual_comparison` example and the integration tests show the
+//! effect: under a local stall, the plain detector accuses most peers;
+//! the local-health detector accuses none, while true failures are
+//! still detected once the monitor is healthy again.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use lifeguard_proto::NodeName;
+
+use crate::awareness::Awareness;
+use crate::time::Time;
+
+/// Default number of inter-arrival samples kept per peer.
+pub const DEFAULT_WINDOW: usize = 100;
+
+/// Minimum standard deviation, as a fraction of the mean, to keep φ
+/// finite for metronome-regular heartbeats (Akka uses an absolute
+/// 100 ms minimum; we take the max of both).
+const MIN_STD_FRACTION: f64 = 0.25;
+const MIN_STD_SECONDS: f64 = 0.1;
+
+/// A φ-accrual failure detector for one monitored peer.
+///
+/// ```
+/// use lifeguard_core::accrual::PhiAccrualDetector;
+/// use lifeguard_core::time::Time;
+/// use std::time::Duration;
+///
+/// let mut d = PhiAccrualDetector::new(100);
+/// let mut t = Time::ZERO;
+/// for _ in 0..20 {
+///     t += Duration::from_millis(500);
+///     d.heartbeat(t);
+/// }
+/// // Right after a heartbeat the suspicion is negligible...
+/// assert!(d.phi(t + Duration::from_millis(100)) < 0.5);
+/// // ...and it grows without bound as heartbeats stop.
+/// assert!(d.phi(t + Duration::from_secs(5)) > 8.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PhiAccrualDetector {
+    intervals: VecDeque<f64>,
+    window: usize,
+    last_heartbeat: Option<Time>,
+}
+
+impl PhiAccrualDetector {
+    /// Creates a detector keeping up to `window` inter-arrival samples.
+    pub fn new(window: usize) -> Self {
+        PhiAccrualDetector {
+            intervals: VecDeque::with_capacity(window.max(1)),
+            window: window.max(1),
+            last_heartbeat: None,
+        }
+    }
+
+    /// Records a heartbeat arrival at `now`.
+    pub fn heartbeat(&mut self, now: Time) {
+        if let Some(last) = self.last_heartbeat {
+            if now > last {
+                if self.intervals.len() == self.window {
+                    self.intervals.pop_front();
+                }
+                self.intervals.push_back((now - last).as_secs_f64());
+            }
+        }
+        self.last_heartbeat = Some(now);
+    }
+
+    /// Number of samples collected so far.
+    pub fn samples(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// When the last heartbeat arrived.
+    pub fn last_heartbeat(&self) -> Option<Time> {
+        self.last_heartbeat
+    }
+
+    /// The suspicion level φ at time `now`: `−log10(1 − F(t_since))`
+    /// where `F` is a normal CDF fitted to the observed inter-arrival
+    /// times. Returns 0 until at least two samples exist.
+    pub fn phi(&self, now: Time) -> f64 {
+        let Some(last) = self.last_heartbeat else {
+            return 0.0;
+        };
+        self.phi_for_elapsed(now.saturating_since(last))
+    }
+
+    /// φ for an explicit silence duration (used by the local-health
+    /// wrapper to scale the time axis, exactly as LHA-Probe stretches
+    /// SWIM's timeouts).
+    pub fn phi_for_elapsed(&self, elapsed: Duration) -> f64 {
+        if self.intervals.len() < 2 {
+            return 0.0;
+        }
+        let elapsed = elapsed.as_secs_f64();
+        let n = self.intervals.len() as f64;
+        let mean = self.intervals.iter().sum::<f64>() / n;
+        let var = self
+            .intervals
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n;
+        let std = var
+            .sqrt()
+            .max(mean * MIN_STD_FRACTION)
+            .max(MIN_STD_SECONDS);
+        let p_later = normal_sf((elapsed - mean) / std);
+        -p_later.max(1e-300).log10()
+    }
+}
+
+/// Survival function of the standard normal distribution,
+/// `P(X > z)`, via the Abramowitz–Stegun erfc approximation.
+fn normal_sf(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+fn erfc(x: f64) -> f64 {
+    // Abramowitz & Stegun 7.1.26, max abs error 1.5e-7; extended to
+    // negative x by symmetry.
+    let sign_negative = x < 0.0;
+    let x_abs = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x_abs);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf = 1.0 - poly * (-x_abs * x_abs).exp();
+    let erf = if sign_negative { -erf } else { erf };
+    1.0 - erf
+}
+
+/// Verdict for one peer from [`LocalHealthAccrual::check`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum AccrualVerdict {
+    /// φ below the (scaled) threshold.
+    Trusted {
+        /// Current suspicion level.
+        phi: f64,
+    },
+    /// φ reached the (scaled) threshold: the peer is accused.
+    Suspect {
+        /// Current suspicion level.
+        phi: f64,
+    },
+}
+
+impl AccrualVerdict {
+    /// Whether the verdict accuses the peer.
+    pub fn is_suspect(&self) -> bool {
+        matches!(self, AccrualVerdict::Suspect { .. })
+    }
+}
+
+/// A set of co-located φ detectors with Lifeguard-style local health.
+///
+/// The insight transplanted from LHA-Probe: when the φ of *many*
+/// monitored peers crosses the threshold in the same evaluation, the
+/// likeliest explanation is that the local monitor stalled. The shared
+/// health counter rises on such evaluations (suppressing that round's
+/// accusations) and decays when every peer is on time; while degraded,
+/// peer silences are judged at `elapsed / (LHM + 1)`, mirroring the
+/// paper's timeout scaling.
+#[derive(Debug)]
+pub struct LocalHealthAccrual {
+    detectors: HashMap<NodeName, PhiAccrualDetector>,
+    awareness: Awareness,
+    phi_threshold: f64,
+    window: usize,
+}
+
+impl LocalHealthAccrual {
+    /// Creates the monitor with a base φ accusation threshold (a common
+    /// choice is 8) and a health saturation limit `s` (paper: 8). With
+    /// `s = 0` this degrades to a plain φ-accrual detector bank.
+    pub fn new(phi_threshold: f64, s: u32) -> Self {
+        LocalHealthAccrual {
+            detectors: HashMap::new(),
+            awareness: Awareness::new(s),
+            phi_threshold,
+            window: DEFAULT_WINDOW,
+        }
+    }
+
+    /// Registers a peer to monitor.
+    pub fn watch(&mut self, peer: NodeName) {
+        self.detectors
+            .entry(peer)
+            .or_insert_with(|| PhiAccrualDetector::new(self.window));
+    }
+
+    /// Stops monitoring a peer.
+    pub fn unwatch(&mut self, peer: &NodeName) {
+        self.detectors.remove(peer);
+    }
+
+    /// Number of monitored peers.
+    pub fn len(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// Whether no peers are monitored.
+    pub fn is_empty(&self) -> bool {
+        self.detectors.is_empty()
+    }
+
+    /// Records a heartbeat from `peer` at `now`.
+    pub fn heartbeat(&mut self, peer: &NodeName, now: Time) {
+        if let Some(d) = self.detectors.get_mut(peer) {
+            d.heartbeat(now);
+        }
+    }
+
+    /// The current local-health score (0 = healthy).
+    pub fn local_health(&self) -> u32 {
+        self.awareness.score()
+    }
+
+    /// The time-compression factor applied to peer silences while the
+    /// local monitor is degraded (`LHM + 1`).
+    pub fn health_factor(&self) -> u32 {
+        self.awareness.score() + 1
+    }
+
+    /// Evaluates every monitored peer at `now`, updating local health
+    /// first, and returns each peer's verdict.
+    ///
+    /// Local-health rules (the Lifeguard heuristics transplanted):
+    ///
+    /// * If more than half the informed peers are past the threshold
+    ///   *simultaneously*, the likeliest cause is a local stall: health
+    ///   +1, and accusations are **suppressed** for this evaluation
+    ///   (process the backlog first). If no peer is late, health −1.
+    /// * While degraded, each peer's silence is judged on a compressed
+    ///   time axis: `elapsed / (LHM + 1)` — the accrual analogue of
+    ///   LHA-Probe's timeout stretching.
+    ///
+    /// With saturation `s = 0` both rules are inert and this is a plain
+    /// φ-accrual detector bank.
+    pub fn check(&mut self, now: Time) -> Vec<(NodeName, AccrualVerdict)> {
+        let mut informed = 0usize;
+        let mut late = 0usize;
+        for d in self.detectors.values() {
+            if d.samples() >= 2 {
+                informed += 1;
+                if d.phi(now) >= self.phi_threshold {
+                    late += 1;
+                }
+            }
+        }
+        let mut suppress = false;
+        if informed > 0 {
+            if late * 2 > informed {
+                self.awareness.apply_delta(1);
+                suppress = self.awareness.max() > 0;
+            } else if late == 0 {
+                self.awareness.apply_delta(-1);
+            }
+        }
+        let factor = self.awareness.score() + 1;
+        let mut verdicts: Vec<(NodeName, AccrualVerdict)> = self
+            .detectors
+            .iter()
+            .map(|(name, d)| {
+                let phi = match d.last_heartbeat() {
+                    Some(last) => {
+                        d.phi_for_elapsed(now.saturating_since(last) / factor)
+                    }
+                    None => 0.0,
+                };
+                let verdict = if !suppress && d.samples() >= 2 && phi >= self.phi_threshold {
+                    AccrualVerdict::Suspect { phi }
+                } else {
+                    AccrualVerdict::Trusted { phi }
+                };
+                (name.clone(), verdict)
+            })
+            .collect();
+        verdicts.sort_by(|a, b| a.0.cmp(&b.0));
+        verdicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_regular(d: &mut PhiAccrualDetector, start: Time, period: Duration, n: usize) -> Time {
+        let mut t = start;
+        for _ in 0..n {
+            t += period;
+            d.heartbeat(t);
+        }
+        t
+    }
+
+    #[test]
+    fn phi_is_low_right_after_heartbeat_and_grows() {
+        let mut d = PhiAccrualDetector::new(50);
+        let t = feed_regular(&mut d, Time::ZERO, Duration::from_millis(500), 30);
+        assert!(d.phi(t + Duration::from_millis(50)) < 0.5);
+        let one = d.phi(t + Duration::from_millis(900));
+        let two = d.phi(t + Duration::from_secs(2));
+        let five = d.phi(t + Duration::from_secs(5));
+        assert!(one < two && two <= five, "{one} {two} {five}");
+        assert!(five > 8.0);
+    }
+
+    #[test]
+    fn phi_is_zero_without_enough_samples() {
+        let mut d = PhiAccrualDetector::new(50);
+        assert_eq!(d.phi(Time::from_secs(100)), 0.0);
+        d.heartbeat(Time::from_secs(1));
+        assert_eq!(d.phi(Time::from_secs(100)), 0.0);
+        d.heartbeat(Time::from_secs(2));
+        assert_eq!(d.samples(), 1);
+        assert_eq!(d.phi(Time::from_secs(100)), 0.0);
+        d.heartbeat(Time::from_secs(3));
+        assert!(d.phi(Time::from_secs(100)) > 0.0);
+    }
+
+    #[test]
+    fn jittery_heartbeats_raise_tolerance() {
+        // A peer with 2x-variable intervals needs longer silence to
+        // reach the same phi as a metronome peer.
+        let mut regular = PhiAccrualDetector::new(50);
+        let t1 = feed_regular(&mut regular, Time::ZERO, Duration::from_millis(500), 40);
+        let mut jittery = PhiAccrualDetector::new(50);
+        let mut t2 = Time::ZERO;
+        for i in 0..40 {
+            t2 += Duration::from_millis(if i % 2 == 0 { 250 } else { 750 });
+            jittery.heartbeat(t2);
+        }
+        let probe = Duration::from_millis(1200);
+        assert!(jittery.phi(t2 + probe) < regular.phi(t1 + probe));
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut d = PhiAccrualDetector::new(10);
+        feed_regular(&mut d, Time::ZERO, Duration::from_millis(100), 100);
+        assert_eq!(d.samples(), 10);
+    }
+
+    #[test]
+    fn local_stall_is_blamed_on_self_not_peers() {
+        let mut monitor = LocalHealthAccrual::new(3.0, 8);
+        let peers: Vec<NodeName> = (0..10).map(|i| NodeName::from(format!("p{i}"))).collect();
+        for p in &peers {
+            monitor.watch(p.clone());
+        }
+        // 60 s of regular heartbeats from everyone.
+        let mut t = Time::ZERO;
+        for _ in 0..120 {
+            t += Duration::from_millis(500);
+            for p in &peers {
+                monitor.heartbeat(p, t);
+            }
+            monitor.check(t);
+        }
+        assert_eq!(monitor.local_health(), 0);
+
+        // The local monitor stalls 10 s: every peer looks late at once.
+        let resume = t + Duration::from_secs(10);
+        let verdicts = monitor.check(resume);
+        let accused = verdicts.iter().filter(|(_, v)| v.is_suspect()).count();
+        // Health rose, threshold scaled: far fewer accusations than the
+        // plain detector would make (which would accuse all 10).
+        assert!(monitor.local_health() >= 1);
+        assert!(
+            accused < 10,
+            "local-health accrual accused {accused}/10 after a local stall"
+        );
+
+        // A second check during continued silence escalates health
+        // further instead of accusing everyone.
+        let verdicts = monitor.check(resume + Duration::from_secs(2));
+        let accused2 = verdicts.iter().filter(|(_, v)| v.is_suspect()).count();
+        assert!(monitor.local_health() >= 2);
+        assert!(accused2 < 10);
+    }
+
+    #[test]
+    fn true_single_failure_is_still_accused() {
+        let mut monitor = LocalHealthAccrual::new(3.0, 8);
+        let peers: Vec<NodeName> = (0..10).map(|i| NodeName::from(format!("p{i}"))).collect();
+        for p in &peers {
+            monitor.watch(p.clone());
+        }
+        let mut t = Time::ZERO;
+        for _ in 0..120 {
+            t += Duration::from_millis(500);
+            for p in &peers {
+                monitor.heartbeat(p, t);
+            }
+            monitor.check(t);
+        }
+        // Only p3 dies; the rest keep beating for 20 s.
+        let dead = NodeName::from("p3");
+        for _ in 0..40 {
+            t += Duration::from_millis(500);
+            for p in &peers {
+                if *p != dead {
+                    monitor.heartbeat(p, t);
+                }
+            }
+        }
+        let verdicts = monitor.check(t);
+        assert_eq!(monitor.local_health(), 0, "one late peer is not local");
+        let accused: Vec<_> = verdicts
+            .iter()
+            .filter(|(_, v)| v.is_suspect())
+            .map(|(n, _)| n.clone())
+            .collect();
+        assert_eq!(accused, vec![dead]);
+    }
+
+    #[test]
+    fn plain_bank_with_s_zero_accuses_everyone_on_stall() {
+        let mut monitor = LocalHealthAccrual::new(3.0, 0); // no local health
+        let peers: Vec<NodeName> = (0..10).map(|i| NodeName::from(format!("p{i}"))).collect();
+        for p in &peers {
+            monitor.watch(p.clone());
+        }
+        let mut t = Time::ZERO;
+        for _ in 0..120 {
+            t += Duration::from_millis(500);
+            for p in &peers {
+                monitor.heartbeat(p, t);
+            }
+        }
+        let verdicts = monitor.check(t + Duration::from_secs(10));
+        let accused = verdicts.iter().filter(|(_, v)| v.is_suspect()).count();
+        assert_eq!(accused, 10, "plain accrual blames every peer");
+    }
+
+    #[test]
+    fn watch_unwatch_bookkeeping() {
+        let mut monitor = LocalHealthAccrual::new(8.0, 8);
+        assert!(monitor.is_empty());
+        monitor.watch("a".into());
+        monitor.watch("a".into());
+        monitor.watch("b".into());
+        assert_eq!(monitor.len(), 2);
+        monitor.unwatch(&"a".into());
+        assert_eq!(monitor.len(), 1);
+    }
+
+    #[test]
+    fn erfc_matches_known_values() {
+        // erfc(0) = 1, erfc(1) ≈ 0.1573, erfc(-1) ≈ 1.8427.
+        assert!((erfc(0.0) - 1.0).abs() < 1e-6);
+        assert!((erfc(1.0) - 0.157299).abs() < 1e-4);
+        assert!((erfc(-1.0) - 1.842701).abs() < 1e-4);
+        // Survival function symmetry.
+        assert!((normal_sf(0.0) - 0.5).abs() < 1e-6);
+        assert!(normal_sf(3.0) < 0.002);
+        assert!(normal_sf(-3.0) > 0.998);
+    }
+}

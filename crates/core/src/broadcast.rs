@@ -1,0 +1,281 @@
+//! Transmit-limited gossip queue.
+//!
+//! Gossip messages (`alive`, `suspect`, `dead`) are disseminated by
+//! piggybacking on failure-detector packets and on dedicated gossip
+//! ticks. Each broadcast is (re)transmitted up to `λ·⌈log10(n + 1)⌉`
+//! times. Selection prefers messages that have been transmitted *fewer*
+//! times (SWIM §III: "updates that have been shared less times are
+//! preferred"); ties prefer newer broadcasts.
+//!
+//! A new broadcast about a node **invalidates** any queued broadcast
+//! about the same node — gossip about a member is totally ordered by
+//! incarnation precedence, so the superseded message must not keep
+//! circulating. This is also how LHA-Suspicion's re-gossip bound arises:
+//! each of the first `K` independent suspicions re-enqueues the suspect
+//! message (resetting its transmit count), so at most `(K + 1)·λ·log n`
+//! copies are ever sent (paper §IV-B).
+
+use bytes::Bytes;
+use lifeguard_proto::compound::CompoundBuilder;
+use lifeguard_proto::{codec, Message, NodeName};
+
+/// One queued gossip broadcast.
+#[derive(Clone, Debug)]
+struct QueuedBroadcast {
+    /// The member the message is about (invalidation key).
+    subject: NodeName,
+    /// The decoded message (kept for the Buddy System and debugging).
+    msg: Message,
+    /// Pre-encoded wire bytes.
+    encoded: Bytes,
+    /// How many times this broadcast has been transmitted.
+    transmits: u32,
+    /// Monotonic enqueue stamp; larger = newer.
+    id: u64,
+}
+
+/// The gossip broadcast queue of one node.
+#[derive(Clone, Debug, Default)]
+pub struct BroadcastQueue {
+    items: Vec<QueuedBroadcast>,
+    next_id: u64,
+}
+
+impl BroadcastQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        BroadcastQueue::default()
+    }
+
+    /// Number of queued broadcasts.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue has nothing to gossip.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Enqueues a gossip message, invalidating any queued broadcast about
+    /// the same member.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `msg` is not a gossip message.
+    pub fn enqueue(&mut self, msg: Message) {
+        debug_assert!(msg.is_gossip(), "only gossip messages are broadcast");
+        let Some(subject) = msg.gossip_subject().cloned() else {
+            return;
+        };
+        self.items.retain(|q| q.subject != subject);
+        let encoded = codec::encode_message(&msg);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.items.push(QueuedBroadcast {
+            subject,
+            msg,
+            encoded,
+            transmits: 0,
+            id,
+        });
+    }
+
+    /// The queued message about `subject`, if any (used by tests and
+    /// introspection).
+    pub fn queued_for(&self, subject: &NodeName) -> Option<&Message> {
+        self.items
+            .iter()
+            .find(|q| &q.subject == subject)
+            .map(|q| &q.msg)
+    }
+
+    /// Fills `builder` with as many queued broadcasts as fit, preferring
+    /// least-transmitted (ties: newest). Each selected broadcast's
+    /// transmit count is incremented; broadcasts that reach
+    /// `transmit_limit` are retired from the queue.
+    ///
+    /// `exclude` skips broadcasts about one member (used by the Buddy
+    /// System, which has already force-included that member's suspect
+    /// message).
+    pub fn fill(
+        &mut self,
+        builder: &mut CompoundBuilder,
+        transmit_limit: u32,
+        exclude: Option<&NodeName>,
+    ) {
+        // Selection order: fewest transmits first, then newest.
+        let mut order: Vec<usize> = (0..self.items.len()).collect();
+        order.sort_by_key(|&i| (self.items[i].transmits, u64::MAX - self.items[i].id));
+
+        let mut used: Vec<usize> = Vec::new();
+        for i in order {
+            if let Some(ex) = exclude {
+                if &self.items[i].subject == ex {
+                    continue;
+                }
+            }
+            if builder.remaining() < self.items[i].encoded.len() {
+                continue;
+            }
+            if builder.try_add(self.items[i].encoded.clone()) {
+                used.push(i);
+            }
+        }
+        for &i in &used {
+            self.items[i].transmits += 1;
+        }
+        self.items.retain(|q| q.transmits < transmit_limit);
+    }
+
+    /// Removes every queued broadcast (used on shutdown).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifeguard_proto::compound::decode_packet;
+    use lifeguard_proto::{Alive, Incarnation, NodeAddr, Suspect};
+
+    fn suspect(node: &str, from: &str, inc: u64) -> Message {
+        Message::Suspect(Suspect {
+            incarnation: Incarnation(inc),
+            node: node.into(),
+            from: from.into(),
+        })
+    }
+
+    fn alive(node: &str, inc: u64) -> Message {
+        Message::Alive(Alive {
+            incarnation: Incarnation(inc),
+            node: node.into(),
+            addr: NodeAddr::new([10, 0, 0, 1], 1),
+            meta: Bytes::new(),
+        })
+    }
+
+    fn drain(q: &mut BroadcastQueue, limit: u32) -> Vec<Message> {
+        let mut out = Vec::new();
+        loop {
+            let mut b = CompoundBuilder::new(1400);
+            q.fill(&mut b, limit, None);
+            match b.finish() {
+                None => break,
+                Some(packet) => out.extend(decode_packet(&packet).unwrap()),
+            }
+            if out.len() > 10_000 {
+                panic!("queue never drains");
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn enqueue_and_fill_roundtrip() {
+        let mut q = BroadcastQueue::new();
+        q.enqueue(alive("a", 1));
+        assert_eq!(q.len(), 1);
+        let msgs = drain(&mut q, 1);
+        assert_eq!(msgs, vec![alive("a", 1)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn transmit_limit_retires_broadcasts() {
+        let mut q = BroadcastQueue::new();
+        q.enqueue(alive("a", 1));
+        let msgs = drain(&mut q, 5);
+        assert_eq!(msgs.len(), 5, "broadcast sent exactly λ·log n times");
+    }
+
+    #[test]
+    fn newer_message_about_same_node_invalidates_queued() {
+        let mut q = BroadcastQueue::new();
+        q.enqueue(suspect("a", "x", 1));
+        q.enqueue(alive("a", 2));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.queued_for(&"a".into()), Some(&alive("a", 2)));
+        let msgs = drain(&mut q, 1);
+        assert_eq!(msgs, vec![alive("a", 2)]);
+    }
+
+    #[test]
+    fn least_transmitted_is_preferred() {
+        let mut q = BroadcastQueue::new();
+        q.enqueue(alive("a", 1));
+        // Transmit "a" once.
+        let mut b = CompoundBuilder::new(1400);
+        q.fill(&mut b, 10, None);
+        assert_eq!(b.len(), 1);
+
+        q.enqueue(alive("b", 1));
+        // Tiny budget fits only one message: must pick the fresh "b".
+        let one = codec::encode_message(&alive("b", 1)).len();
+        let mut b = CompoundBuilder::new(one);
+        q.fill(&mut b, 10, None);
+        let packet = b.finish().unwrap();
+        let msgs = decode_packet(&packet).unwrap();
+        assert_eq!(msgs, vec![alive("b", 1)]);
+    }
+
+    #[test]
+    fn ties_prefer_newer_broadcasts() {
+        let mut q = BroadcastQueue::new();
+        q.enqueue(alive("old", 1));
+        q.enqueue(alive("new", 1));
+        let one = codec::encode_message(&alive("new", 1)).len();
+        let mut b = CompoundBuilder::new(one);
+        q.fill(&mut b, 10, None);
+        let msgs = decode_packet(&b.finish().unwrap()).unwrap();
+        assert_eq!(msgs, vec![alive("new", 1)]);
+    }
+
+    #[test]
+    fn exclude_skips_subject() {
+        let mut q = BroadcastQueue::new();
+        q.enqueue(suspect("a", "x", 1));
+        q.enqueue(alive("b", 1));
+        let mut b = CompoundBuilder::new(1400);
+        q.fill(&mut b, 10, Some(&"a".into()));
+        let msgs = decode_packet(&b.finish().unwrap()).unwrap();
+        assert_eq!(msgs, vec![alive("b", 1)]);
+    }
+
+    #[test]
+    fn re_enqueue_resets_transmit_count() {
+        // LHA-Suspicion re-gossip: enqueueing a fresh suspect about the
+        // same node restarts its λ·log n budget, giving (K+1)·λ·log n max.
+        let mut q = BroadcastQueue::new();
+        q.enqueue(suspect("a", "x", 1));
+        let first = drain(&mut q, 3);
+        assert_eq!(first.len(), 3);
+        q.enqueue(suspect("a", "y", 1));
+        let second = drain(&mut q, 3);
+        assert_eq!(second.len(), 3);
+        assert_eq!(second[0], suspect("a", "y", 1));
+    }
+
+    #[test]
+    fn fill_respects_packet_budget() {
+        let mut q = BroadcastQueue::new();
+        for i in 0..50 {
+            q.enqueue(alive(&format!("node-{i}"), 1));
+        }
+        let mut b = CompoundBuilder::new(200);
+        q.fill(&mut b, 10, None);
+        let packet = b.finish().unwrap();
+        assert!(packet.len() <= 200);
+        assert!(decode_packet(&packet).unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = BroadcastQueue::new();
+        q.enqueue(alive("a", 1));
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

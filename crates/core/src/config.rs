@@ -1,0 +1,470 @@
+//! Protocol configuration.
+//!
+//! Defaults follow HashiCorp memberlist's LAN profile, which is what the
+//! paper's evaluation ran (Consul with default memberlist settings), with
+//! the Lifeguard parameters from §IV of the paper: `BaseProbeInterval` 1 s,
+//! `BaseProbeTimeout` 500 ms, LHM saturation `S = 8`, suspicion `α = 5`,
+//! `β = 6`, `K = 3`.
+//!
+//! Each Lifeguard component can be toggled independently, mirroring the
+//! five configurations of Table I.
+
+use std::time::Duration;
+
+/// The LHM deltas applied to each local-health event (paper §IV-A).
+///
+/// The paper's §VII names these scores as candidates for automatic
+/// tuning; they are exposed here so the ablation harness (and users)
+/// can experiment. Defaults are the paper's values.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AwarenessDeltas {
+    /// Successful probe (`ping`/`ping-req` acked in time). Paper: −1.
+    pub probe_success: i32,
+    /// Failed probe with no nack-capable helpers. Paper: +1.
+    pub probe_failed: i32,
+    /// Each missed `nack` from an enlisted intermediary. Paper: +1.
+    pub missed_nack: i32,
+    /// Refuting a suspicion or death claim about ourselves. Paper: +1.
+    pub refute: i32,
+}
+
+impl Default for AwarenessDeltas {
+    fn default() -> Self {
+        AwarenessDeltas {
+            probe_success: -1,
+            probe_failed: 1,
+            missed_nack: 1,
+            refute: 1,
+        }
+    }
+}
+
+/// Which Lifeguard components are enabled (Table I of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LifeguardConfig {
+    /// Local Health Aware Probe: scale probe interval/timeout by the LHM
+    /// counter and use `nack` feedback.
+    pub lha_probe: bool,
+    /// Local Health Aware Suspicion: dynamic suspicion timeouts with
+    /// logarithmic decay and re-gossip of the first `K` independent
+    /// suspicions.
+    pub lha_suspicion: bool,
+    /// Buddy System: guarantee a `ping` to a suspected member carries the
+    /// `suspect` message about it.
+    pub buddy_system: bool,
+}
+
+impl LifeguardConfig {
+    /// Plain SWIM: everything disabled (the paper's `SWIM` baseline).
+    pub fn swim() -> Self {
+        LifeguardConfig::default()
+    }
+
+    /// Only LHA-Probe enabled (the paper's `LHA-Probe` configuration).
+    pub fn lha_probe_only() -> Self {
+        LifeguardConfig {
+            lha_probe: true,
+            ..Default::default()
+        }
+    }
+
+    /// Only LHA-Suspicion enabled (the paper's `LHA-Suspicion`
+    /// configuration).
+    pub fn lha_suspicion_only() -> Self {
+        LifeguardConfig {
+            lha_suspicion: true,
+            ..Default::default()
+        }
+    }
+
+    /// Only the Buddy System enabled (the paper's `Buddy System`
+    /// configuration).
+    pub fn buddy_system_only() -> Self {
+        LifeguardConfig {
+            buddy_system: true,
+            ..Default::default()
+        }
+    }
+
+    /// All three components enabled (the paper's `Lifeguard`
+    /// configuration).
+    pub fn full() -> Self {
+        LifeguardConfig {
+            lha_probe: true,
+            lha_suspicion: true,
+            buddy_system: true,
+        }
+    }
+
+    /// Short label used in reports, matching the paper's Table I names.
+    pub fn label(&self) -> &'static str {
+        match (self.lha_probe, self.lha_suspicion, self.buddy_system) {
+            (false, false, false) => "SWIM",
+            (true, false, false) => "LHA-Probe",
+            (false, true, false) => "LHA-Suspicion",
+            (false, false, true) => "Buddy System",
+            (true, true, true) => "Lifeguard",
+            _ => "Custom",
+        }
+    }
+}
+
+/// Full protocol configuration.
+///
+/// Construct with [`Config::lan`] and adjust via the builder-style
+/// methods:
+///
+/// ```
+/// use lifeguard_core::config::Config;
+///
+/// let cfg = Config::lan().lifeguard().with_alpha(4.0).with_beta(2.0);
+/// assert_eq!(cfg.lifeguard.label(), "Lifeguard");
+/// assert_eq!(cfg.suspicion_alpha, 4.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Base period between failure-detector probe rounds
+    /// (`BaseProbeInterval`, 1 s). Scaled by `LHM + 1` when LHA-Probe is
+    /// enabled.
+    pub probe_interval: Duration,
+    /// Base timeout for a direct probe before falling back to indirect
+    /// probes (`BaseProbeTimeout`, 500 ms). Scaled by `LHM + 1` when
+    /// LHA-Probe is enabled.
+    pub probe_timeout: Duration,
+    /// Number of members enlisted for indirect probes (SWIM's `k`).
+    pub indirect_checks: usize,
+    /// Gossip retransmission multiplier λ: each broadcast is transmitted
+    /// up to `λ·⌈log10(n + 1)⌉` times.
+    pub retransmit_mult: u32,
+    /// Suspicion timeout multiplier α:
+    /// `Min = α·max(1, log10(n))·probe_interval`.
+    pub suspicion_alpha: f64,
+    /// Suspicion maximum timeout multiplier β: `Max = β·Min`. Only
+    /// effective when LHA-Suspicion is enabled; plain SWIM behaves as
+    /// `β = 1` (fixed timeout).
+    pub suspicion_beta: f64,
+    /// Number of independent suspicion confirmations required to drive
+    /// the timeout down to `Min` (the paper's `K`).
+    pub suspicion_k: u32,
+    /// Period of the dedicated gossip tick (memberlist: 200 ms).
+    pub gossip_interval: Duration,
+    /// Fan-out of the dedicated gossip tick (memberlist: 3).
+    pub gossip_nodes: usize,
+    /// How long to keep gossiping to dead members so they learn of their
+    /// own death quickly (memberlist: 30 s).
+    pub gossip_to_the_dead: Duration,
+    /// Period of anti-entropy push-pull sync (memberlist LAN: 30 s);
+    /// `None` disables it.
+    pub push_pull_interval: Option<Duration>,
+    /// Period of reconnect attempts to members believed dead (Serf-style
+    /// `reconnect_interval`, 30 s): a push-pull is sent to one random
+    /// dead member so fully partitioned sub-groups re-merge automatically
+    /// once connectivity returns. `None` disables reconnects.
+    pub reconnect_interval: Option<Duration>,
+    /// Saturation limit `S` of the Local Health Multiplier. Only
+    /// effective when LHA-Probe is enabled.
+    pub awareness_max: u32,
+    /// Per-event LHM deltas (paper defaults; exposed for tuning studies).
+    pub awareness_deltas: AwarenessDeltas,
+    /// Fraction of the probe timeout after which an enlisted intermediary
+    /// sends a `nack` (the paper uses 80%).
+    pub nack_fraction: f64,
+    /// Datagram byte budget for compound packets (UDP MTU headroom).
+    pub packet_budget: usize,
+    /// How long dead/left members are retained in the table (so that
+    /// push-pull can share them) before being reaped.
+    pub dead_reclaim: Duration,
+    /// Whether to attempt a stream-transport ("TCP") direct probe in
+    /// parallel with indirect probes, like memberlist.
+    pub stream_fallback_probe: bool,
+    /// Which Lifeguard components are enabled.
+    pub lifeguard: LifeguardConfig,
+}
+
+impl Config {
+    /// memberlist LAN profile with Lifeguard disabled (paper baseline).
+    pub fn lan() -> Self {
+        Config {
+            probe_interval: Duration::from_secs(1),
+            probe_timeout: Duration::from_millis(500),
+            indirect_checks: 3,
+            retransmit_mult: 4,
+            suspicion_alpha: 5.0,
+            suspicion_beta: 6.0,
+            suspicion_k: 3,
+            gossip_interval: Duration::from_millis(200),
+            gossip_nodes: 3,
+            gossip_to_the_dead: Duration::from_secs(30),
+            push_pull_interval: Some(Duration::from_secs(30)),
+            reconnect_interval: Some(Duration::from_secs(30)),
+            awareness_max: 8,
+            awareness_deltas: AwarenessDeltas::default(),
+            nack_fraction: 0.8,
+            packet_budget: lifeguard_proto::DEFAULT_PACKET_BUDGET,
+            dead_reclaim: Duration::from_secs(300),
+            stream_fallback_probe: true,
+            lifeguard: LifeguardConfig::swim(),
+        }
+    }
+
+    /// memberlist WAN profile: slower probing and gossip, longer
+    /// suspicion, sized for clusters spanning the public internet.
+    pub fn wan() -> Self {
+        let mut cfg = Config::lan();
+        cfg.probe_interval = Duration::from_secs(5);
+        cfg.probe_timeout = Duration::from_secs(3);
+        cfg.suspicion_alpha = 6.0;
+        cfg.gossip_interval = Duration::from_millis(500);
+        cfg.gossip_nodes = 4;
+        cfg.push_pull_interval = Some(Duration::from_secs(60));
+        cfg
+    }
+
+    /// memberlist local profile: aggressive timing for co-located
+    /// processes (loopback or same rack).
+    pub fn local() -> Self {
+        let mut cfg = Config::lan();
+        cfg.probe_interval = Duration::from_secs(1);
+        cfg.probe_timeout = Duration::from_millis(200);
+        cfg.suspicion_alpha = 4.0;
+        cfg.gossip_interval = Duration::from_millis(100);
+        cfg.push_pull_interval = Some(Duration::from_secs(15));
+        cfg
+    }
+
+    /// Enables all Lifeguard components.
+    pub fn lifeguard(mut self) -> Self {
+        self.lifeguard = LifeguardConfig::full();
+        self
+    }
+
+    /// Disables all Lifeguard components (plain SWIM).
+    pub fn swim(mut self) -> Self {
+        self.lifeguard = LifeguardConfig::swim();
+        self
+    }
+
+    /// Sets the enabled Lifeguard components.
+    pub fn with_components(mut self, components: LifeguardConfig) -> Self {
+        self.lifeguard = components;
+        self
+    }
+
+    /// Sets the suspicion timeout multiplier α.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.suspicion_alpha = alpha;
+        self
+    }
+
+    /// Sets the suspicion maximum timeout multiplier β.
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        self.suspicion_beta = beta;
+        self
+    }
+
+    /// Sets the probe interval and timeout together, preserving their
+    /// ratio semantics.
+    pub fn with_probe_timing(mut self, interval: Duration, timeout: Duration) -> Self {
+        self.probe_interval = interval;
+        self.probe_timeout = timeout;
+        self
+    }
+
+    /// Effective β: plain SWIM has a fixed suspicion timeout, equivalent
+    /// to `β = 1` (paper §V-C).
+    pub fn effective_beta(&self) -> f64 {
+        if self.lifeguard.lha_suspicion {
+            self.suspicion_beta.max(1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// Effective `K`: without LHA-Suspicion no confirmations are needed
+    /// (the timeout is already at `Min`).
+    pub fn effective_k(&self) -> u32 {
+        if self.lifeguard.lha_suspicion {
+            self.suspicion_k
+        } else {
+            0
+        }
+    }
+
+    /// Effective LHM saturation: without LHA-Probe the multiplier is
+    /// pinned to zero (no scaling).
+    pub fn effective_awareness_max(&self) -> u32 {
+        if self.lifeguard.lha_probe {
+            self.awareness_max
+        } else {
+            0
+        }
+    }
+
+    /// Whether `nack` responses are requested for indirect probes.
+    pub fn nack_enabled(&self) -> bool {
+        self.lifeguard.lha_probe
+    }
+
+    /// Suspicion timeout lower bound for a group of `n` live members:
+    /// `Min = α·max(1, log10(n))·probe_interval` (paper §V-C, memberlist).
+    pub fn suspicion_min(&self, n: usize) -> Duration {
+        let log = (n.max(1) as f64).log10().max(1.0);
+        crate::time::scale_duration(self.probe_interval, self.suspicion_alpha * log)
+    }
+
+    /// Suspicion timeout upper bound: `Max = β·Min`.
+    pub fn suspicion_max(&self, n: usize) -> Duration {
+        crate::time::scale_duration(self.suspicion_min(n), self.effective_beta())
+    }
+
+    /// Gossip retransmit limit for a group of `n` members:
+    /// `λ·⌈log10(n + 1)⌉`.
+    pub fn retransmit_limit(&self, n: usize) -> u32 {
+        let log = ((n + 1) as f64).log10().ceil() as u32;
+        self.retransmit_mult * log.max(1)
+    }
+
+    /// Validates invariants, returning a description of the first
+    /// violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when a field is out of its documented range (zero
+    /// intervals, α < 0, β < 1, nack fraction outside `(0, 1]`, …).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.probe_interval.is_zero() {
+            return Err("probe_interval must be positive".into());
+        }
+        if self.probe_timeout.is_zero() {
+            return Err("probe_timeout must be positive".into());
+        }
+        if self.probe_timeout > self.probe_interval {
+            return Err("probe_timeout must not exceed probe_interval".into());
+        }
+        if self.suspicion_alpha.is_nan() || self.suspicion_alpha <= 0.0 {
+            return Err("suspicion_alpha must be positive".into());
+        }
+        if self.suspicion_beta.is_nan() || self.suspicion_beta < 1.0 {
+            return Err("suspicion_beta must be >= 1".into());
+        }
+        if !(self.nack_fraction > 0.0 && self.nack_fraction <= 1.0) {
+            return Err("nack_fraction must be in (0, 1]".into());
+        }
+        if self.gossip_interval.is_zero() {
+            return Err("gossip_interval must be positive".into());
+        }
+        if self.packet_budget < 64 {
+            return Err("packet_budget must be at least 64 bytes".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_labels() {
+        assert_eq!(LifeguardConfig::swim().label(), "SWIM");
+        assert_eq!(LifeguardConfig::lha_probe_only().label(), "LHA-Probe");
+        assert_eq!(
+            LifeguardConfig::lha_suspicion_only().label(),
+            "LHA-Suspicion"
+        );
+        assert_eq!(LifeguardConfig::buddy_system_only().label(), "Buddy System");
+        assert_eq!(LifeguardConfig::full().label(), "Lifeguard");
+        assert_eq!(
+            LifeguardConfig {
+                lha_probe: true,
+                lha_suspicion: true,
+                buddy_system: false
+            }
+            .label(),
+            "Custom"
+        );
+    }
+
+    #[test]
+    fn swim_baseline_is_equivalent_to_alpha5_beta1() {
+        let cfg = Config::lan();
+        assert_eq!(cfg.effective_beta(), 1.0);
+        assert_eq!(cfg.effective_k(), 0);
+        assert_eq!(cfg.effective_awareness_max(), 0);
+        assert!(!cfg.nack_enabled());
+        // Fixed timeout: min == max.
+        assert_eq!(cfg.suspicion_min(128), cfg.suspicion_max(128));
+    }
+
+    #[test]
+    fn lifeguard_enables_dynamic_timeouts() {
+        let cfg = Config::lan().lifeguard();
+        assert_eq!(cfg.effective_beta(), 6.0);
+        assert_eq!(cfg.effective_k(), 3);
+        assert_eq!(cfg.effective_awareness_max(), 8);
+        assert!(cfg.nack_enabled());
+        assert_eq!(cfg.suspicion_max(128).as_micros(), cfg.suspicion_min(128).as_micros() * 6);
+    }
+
+    #[test]
+    fn suspicion_min_formula_matches_paper() {
+        // α=5, n=128 → 5·log10(128)·1s ≈ 10.535s
+        let cfg = Config::lan();
+        let min = cfg.suspicion_min(128);
+        let expected = 5.0 * (128f64).log10();
+        assert!((min.as_secs_f64() - expected).abs() < 1e-3);
+        // Small groups clamp log10 to 1.
+        assert_eq!(cfg.suspicion_min(5), Duration::from_secs(5));
+    }
+
+    #[test]
+    fn retransmit_limit_grows_logarithmically() {
+        let cfg = Config::lan();
+        assert_eq!(cfg.retransmit_limit(9), 4); // ceil(log10(10)) = 1
+        assert_eq!(cfg.retransmit_limit(128), 4 * 3); // ceil(log10(129)) = 3
+        assert!(cfg.retransmit_limit(0) >= 4);
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        assert!(Config::lan().validate().is_ok());
+        let mut c = Config::lan();
+        c.probe_interval = Duration::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = Config::lan();
+        c.probe_timeout = Duration::from_secs(5);
+        assert!(c.validate().is_err());
+
+        let mut c = Config::lan();
+        c.suspicion_beta = 0.5;
+        assert!(c.validate().is_err());
+
+        let mut c = Config::lan();
+        c.nack_fraction = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = Config::lan();
+        c.packet_budget = 10;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let cfg = Config::lan()
+            .lifeguard()
+            .with_alpha(2.0)
+            .with_beta(4.0)
+            .with_probe_timing(Duration::from_millis(500), Duration::from_millis(250));
+        assert_eq!(cfg.suspicion_alpha, 2.0);
+        assert_eq!(cfg.suspicion_beta, 4.0);
+        assert_eq!(cfg.probe_interval, Duration::from_millis(500));
+        assert!(cfg.validate().is_ok());
+    }
+}

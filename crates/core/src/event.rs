@@ -1,0 +1,94 @@
+//! Membership change events.
+//!
+//! Events report what the *local* node concluded about the group. The
+//! experiment harness classifies `MemberFailed` events into true and false
+//! positives; applications use them to drive failover.
+
+use lifeguard_proto::{Incarnation, NodeName};
+
+/// A membership conclusion reached by the local node.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Event {
+    /// A new member became known (via gossip, push-pull or join).
+    MemberJoined {
+        /// The new member.
+        name: NodeName,
+    },
+    /// The local node now suspects `name` of having failed.
+    MemberSuspected {
+        /// The suspected member.
+        name: NodeName,
+        /// The member whose suspicion we adopted (ourselves if we raised
+        /// it from a failed probe).
+        from: NodeName,
+    },
+    /// The local node declared `name` failed. This is the "failure event"
+    /// counted by the paper's false-positive metrics.
+    MemberFailed {
+        /// The failed member.
+        name: NodeName,
+        /// Incarnation at which it was declared failed.
+        incarnation: Incarnation,
+        /// The member that declared the failure (ourselves if our own
+        /// suspicion timer expired; otherwise the gossip origin).
+        from: NodeName,
+    },
+    /// A member left the group gracefully.
+    MemberLeft {
+        /// The departed member.
+        name: NodeName,
+    },
+    /// A previously suspected or failed member proved to be alive.
+    MemberRecovered {
+        /// The recovered member.
+        name: NodeName,
+    },
+    /// The local node learned it was suspected (or declared dead) and
+    /// refuted with a higher incarnation. Feeds the Local Health
+    /// Multiplier (+1).
+    SelfRefuted {
+        /// The new local incarnation after refutation.
+        incarnation: Incarnation,
+    },
+}
+
+impl Event {
+    /// The member the event is about, if it concerns a peer.
+    pub fn subject(&self) -> Option<&NodeName> {
+        match self {
+            Event::MemberJoined { name }
+            | Event::MemberSuspected { name, .. }
+            | Event::MemberFailed { name, .. }
+            | Event::MemberLeft { name }
+            | Event::MemberRecovered { name } => Some(name),
+            Event::SelfRefuted { .. } => None,
+        }
+    }
+
+    /// Whether this is a failure declaration (the paper's "failure event").
+    pub fn is_failure(&self) -> bool {
+        matches!(self, Event::MemberFailed { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subject_and_failure_classification() {
+        let e = Event::MemberFailed {
+            name: "x".into(),
+            incarnation: Incarnation(1),
+            from: "y".into(),
+        };
+        assert_eq!(e.subject(), Some(&NodeName::from("x")));
+        assert!(e.is_failure());
+
+        let r = Event::SelfRefuted {
+            incarnation: Incarnation(2),
+        };
+        assert_eq!(r.subject(), None);
+        assert!(!r.is_failure());
+    }
+}

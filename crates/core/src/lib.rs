@@ -1,0 +1,44 @@
+//! Sans-io implementation of the SWIM group-membership protocol with the
+//! Lifeguard extensions (DSN 2018), in the style of HashiCorp
+//! `memberlist`.
+//!
+//! The central type is [`node::SwimNode`], a pure state machine driven by
+//! a runtime (simulator or real sockets) through `tick`/`handle_*` calls
+//! that return [`node::Output`] effects.
+//!
+//! # Protocol features
+//!
+//! * Randomized round-robin probe rounds with direct (`ping`) and
+//!   indirect (`ping-req`) probes and a stream-transport fallback probe.
+//! * The Suspicion subprotocol with incarnation numbers and refutation.
+//! * Gossip dissemination piggybacked on failure-detector messages plus a
+//!   dedicated gossip tick, via a transmit-limited broadcast queue.
+//! * Anti-entropy push-pull full state sync.
+//! * Dead-member retention and reaping.
+//!
+//! # Lifeguard extensions (individually toggleable)
+//!
+//! * **LHA-Probe** ([`awareness`]): the Local Health Multiplier scales
+//!   probe interval/timeout; `nack` messages provide negative feedback.
+//! * **LHA-Suspicion** ([`suspicion`]): suspicion timeouts start at `Max`
+//!   and decay logarithmically to `Min` with independent confirmations,
+//!   which are re-gossiped up to `K` times.
+//! * **Buddy System** ([`broadcast`] + [`node`]): pings to a suspected
+//!   member always carry the suspicion so refutation starts immediately.
+
+pub mod accrual;
+pub mod awareness;
+pub mod broadcast;
+pub mod config;
+pub mod event;
+pub mod member;
+pub mod membership;
+pub mod node;
+pub mod probe_list;
+pub mod suspicion;
+pub mod time;
+
+pub use config::{AwarenessDeltas, Config, LifeguardConfig};
+pub use event::Event;
+pub use node::{NodeStats, Output, SwimNode};
+pub use time::Time;

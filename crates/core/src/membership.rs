@@ -1,0 +1,246 @@
+//! The local membership table.
+//!
+//! Stores one [`Member`] record per known node and provides the random
+//! sampling primitives the protocol needs (indirect-probe helpers, gossip
+//! fan-out targets). Incarnation-precedence *decisions* live in the node
+//! state machine; this module only stores facts.
+
+use std::collections::BTreeMap;
+
+use lifeguard_proto::{MemberState, NodeName};
+use rand::{Rng, RngExt};
+
+use crate::member::Member;
+use crate::time::Time;
+
+/// The membership table of a single node.
+///
+/// The local node itself is stored in the table (as memberlist does), so
+/// `n` counts include self.
+#[derive(Clone, Debug, Default)]
+pub struct Membership {
+    members: BTreeMap<NodeName, Member>,
+}
+
+impl Membership {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Membership::default()
+    }
+
+    /// Number of known members in any state (including dead ones still
+    /// retained).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Number of live (alive or suspect) members, the `n` used for
+    /// suspicion timeouts and retransmit limits.
+    pub fn live_count(&self) -> usize {
+        self.members.values().filter(|m| m.is_live()).count()
+    }
+
+    /// Number of members currently believed alive (not suspect).
+    pub fn alive_count(&self) -> usize {
+        self.members
+            .values()
+            .filter(|m| m.state == MemberState::Alive)
+            .count()
+    }
+
+    /// Looks up a member by name.
+    pub fn get(&self, name: &NodeName) -> Option<&Member> {
+        self.members.get(name)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, name: &NodeName) -> Option<&mut Member> {
+        self.members.get_mut(name)
+    }
+
+    /// Inserts or replaces a member record. Returns the previous record.
+    pub fn upsert(&mut self, member: Member) -> Option<Member> {
+        self.members.insert(member.name.clone(), member)
+    }
+
+    /// Removes a member record entirely (dead-node reaping).
+    pub fn remove(&mut self, name: &NodeName) -> Option<Member> {
+        self.members.remove(name)
+    }
+
+    /// Iterates over all member records in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Member> {
+        self.members.values()
+    }
+
+    /// Names of members that have been dead/left since before
+    /// `reap_before` and can be forgotten.
+    pub fn reapable(&self, reap_before: Time) -> Vec<NodeName> {
+        self.members
+            .values()
+            .filter(|m| {
+                matches!(m.state, MemberState::Dead | MemberState::Left)
+                    && m.state_change < reap_before
+            })
+            .map(|m| m.name.clone())
+            .collect()
+    }
+
+    /// Selects up to `k` distinct random members satisfying `filter`,
+    /// using a partial Fisher–Yates shuffle for uniformity.
+    ///
+    /// The backing map iterates in name order, so selection is fully
+    /// deterministic for a given RNG stream.
+    pub fn sample<R: Rng>(
+        &self,
+        k: usize,
+        rng: &mut R,
+        mut filter: impl FnMut(&Member) -> bool,
+    ) -> Vec<&Member> {
+        let mut candidates: Vec<&Member> = self.members.values().filter(|m| filter(m)).collect();
+        let n = candidates.len();
+        let take = k.min(n);
+        for i in 0..take {
+            let j = rng.random_range(i..n);
+            candidates.swap(i, j);
+        }
+        candidates.truncate(take);
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifeguard_proto::{Incarnation, NodeAddr};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn addr(i: u8) -> NodeAddr {
+        NodeAddr::new([10, 0, 0, i], 7946)
+    }
+
+    fn table(n: u8) -> Membership {
+        let mut t = Membership::new();
+        for i in 0..n {
+            t.upsert(Member::new(
+                format!("node-{i}").into(),
+                addr(i),
+                Incarnation(0),
+                Time::ZERO,
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn counts_track_states() {
+        let mut t = table(5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.live_count(), 5);
+        assert_eq!(t.alive_count(), 5);
+
+        t.get_mut(&"node-0".into())
+            .unwrap()
+            .set_state(MemberState::Suspect, Time::from_secs(1));
+        assert_eq!(t.live_count(), 5);
+        assert_eq!(t.alive_count(), 4);
+
+        t.get_mut(&"node-1".into())
+            .unwrap()
+            .set_state(MemberState::Dead, Time::from_secs(1));
+        assert_eq!(t.live_count(), 4);
+        assert_eq!(t.len(), 5, "dead members are retained");
+    }
+
+    #[test]
+    fn upsert_replaces_and_returns_previous() {
+        let mut t = table(1);
+        let prev = t.upsert(Member::new(
+            "node-0".into(),
+            addr(9),
+            Incarnation(7),
+            Time::ZERO,
+        ));
+        assert_eq!(prev.unwrap().incarnation, Incarnation(0));
+        assert_eq!(t.get(&"node-0".into()).unwrap().incarnation, Incarnation(7));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn sample_respects_filter_and_k() {
+        let t = table(10);
+        let mut rng = StdRng::seed_from_u64(42);
+        let picked = t.sample(3, &mut rng, |m| m.name.as_str() != "node-0");
+        assert_eq!(picked.len(), 3);
+        assert!(picked.iter().all(|m| m.name.as_str() != "node-0"));
+        // Distinct members.
+        let mut names: Vec<_> = picked.iter().map(|m| m.name.clone()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn sample_with_k_larger_than_population() {
+        let t = table(2);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(t.sample(10, &mut rng, |_| true).len(), 2);
+        assert_eq!(t.sample(10, &mut rng, |_| false).len(), 0);
+    }
+
+    #[test]
+    fn sample_is_deterministic_for_seed() {
+        let t = table(20);
+        let a: Vec<_> = t
+            .sample(5, &mut StdRng::seed_from_u64(7), |_| true)
+            .iter()
+            .map(|m| m.name.clone())
+            .collect();
+        let b: Vec<_> = t
+            .sample(5, &mut StdRng::seed_from_u64(7), |_| true)
+            .iter()
+            .map(|m| m.name.clone())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        let t = table(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits = HashMap::new();
+        for _ in 0..5000 {
+            for m in t.sample(1, &mut rng, |_| true) {
+                *hits.entry(m.name.clone()).or_insert(0u32) += 1;
+            }
+        }
+        // Each of the 10 members should get ~500 of 5000 draws.
+        for (name, count) in &hits {
+            assert!(
+                (350..650).contains(count),
+                "{name} drawn {count} times, expected ~500"
+            );
+        }
+    }
+
+    #[test]
+    fn reapable_finds_old_dead_members() {
+        let mut t = table(3);
+        t.get_mut(&"node-0".into())
+            .unwrap()
+            .set_state(MemberState::Dead, Time::from_secs(10));
+        t.get_mut(&"node-1".into())
+            .unwrap()
+            .set_state(MemberState::Left, Time::from_secs(50));
+        let reap = t.reapable(Time::from_secs(30));
+        assert_eq!(reap, vec![NodeName::from("node-0")]);
+        t.remove(&"node-0".into());
+        assert_eq!(t.len(), 2);
+    }
+}

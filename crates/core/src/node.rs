@@ -1,0 +1,1892 @@
+//! The SWIM + Lifeguard protocol state machine.
+//!
+//! [`SwimNode`] is **sans-io**: it never reads a clock, opens a socket or
+//! sleeps. A runtime (the deterministic simulator in `lifeguard-sim`, or
+//! the real UDP/TCP agent in `lifeguard-net`) drives it through three
+//! entry points and executes the [`Output`]s it returns:
+//!
+//! * [`SwimNode::tick`] — called whenever the wall clock reaches
+//!   [`SwimNode::next_wake`]; fires due internal timers (probe rounds,
+//!   gossip ticks, suspicion expiries…).
+//! * [`SwimNode::handle_datagram`] — a UDP packet arrived.
+//! * [`SwimNode::handle_stream`] — a message arrived on the reliable
+//!   (TCP-like) transport: push-pull sync or fallback probes.
+//!
+//! All randomness comes from an internal seeded RNG, so a cluster of
+//! `SwimNode`s driven by a deterministic runtime is fully reproducible.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use bytes::Bytes;
+use lifeguard_proto::compound::CompoundBuilder;
+use lifeguard_proto::{
+    codec, compound, Ack, Alive, Dead, DecodeError, IndirectPing, Incarnation, MemberState,
+    Message, Nack, NodeAddr, NodeName, Ping, PushPull, SeqNo, Suspect,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::awareness::Awareness;
+use crate::broadcast::BroadcastQueue;
+use crate::config::Config;
+use crate::event::Event;
+use crate::member::Member;
+use crate::membership::Membership;
+use crate::probe_list::ProbeList;
+use crate::suspicion::Suspicion;
+use crate::time::Time;
+
+/// An effect the runtime must carry out on behalf of the node.
+#[derive(Clone, Debug)]
+pub enum Output {
+    /// Send a datagram (already compound-encoded, within the MTU budget
+    /// except for oversized single messages).
+    Packet {
+        /// Destination address.
+        to: NodeAddr,
+        /// Encoded packet bytes.
+        payload: Bytes,
+    },
+    /// Send a message over the reliable stream transport (push-pull sync,
+    /// fallback probe).
+    Stream {
+        /// Destination address.
+        to: NodeAddr,
+        /// The message to deliver reliably.
+        msg: Message,
+    },
+    /// A membership conclusion for the application / metrics.
+    Event(Event),
+}
+
+/// Internal timer kinds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Timer {
+    ProbeRound,
+    ProbeTimeout { seq: SeqNo },
+    ProbeRoundEnd { seq: SeqNo },
+    GossipTick,
+    PushPullTick,
+    Reconnect,
+    SuspicionCheck { node: NodeName },
+    RelayNack { seq: SeqNo },
+    RelayExpire { seq: SeqNo },
+    Reap,
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct TimerEntry {
+    at: Time,
+    id: u64,
+    timer: Timer,
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.id).cmp(&(other.at, other.id))
+    }
+}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// State of the probe the local node currently has in flight.
+#[derive(Clone, Debug)]
+struct ProbeState {
+    seq: SeqNo,
+    target: NodeName,
+    target_addr: NodeAddr,
+    expected_nacks: u32,
+    nacks_received: u32,
+    round_end: Time,
+}
+
+/// Counters of protocol activity at one node (observability; used by
+/// tests, examples and operators).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Direct probes initiated.
+    pub probes_sent: u64,
+    /// Probe rounds that ended without an ack.
+    pub probes_failed: u64,
+    /// `ping-req` messages sent to intermediaries.
+    pub indirect_probes_sent: u64,
+    /// Suspicions this node started from its own failed probes or
+    /// adopted from gossip.
+    pub suspicions_raised: u64,
+    /// Times this node refuted a suspicion/death claim about itself.
+    pub refutations: u64,
+    /// Failures this node declared from its own suspicion timeouts.
+    pub failures_declared: u64,
+}
+
+/// State kept while relaying an indirect probe for another node.
+#[derive(Clone, Debug)]
+struct RelayState {
+    origin_seq: SeqNo,
+    origin_addr: NodeAddr,
+    nack_wanted: bool,
+    acked: bool,
+}
+
+/// A single group member's protocol instance.
+///
+/// # Example
+///
+/// ```
+/// use lifeguard_core::config::Config;
+/// use lifeguard_core::node::SwimNode;
+/// use lifeguard_core::time::Time;
+/// use lifeguard_proto::NodeAddr;
+///
+/// let mut node = SwimNode::new(
+///     "node-0".into(),
+///     NodeAddr::new([10, 0, 0, 1], 7946),
+///     Config::lan().lifeguard(),
+///     42,
+/// );
+/// let outputs = node.start(Time::ZERO);
+/// assert!(outputs.is_empty()); // nothing to send until peers exist
+/// assert!(node.next_wake().is_some()); // probe/gossip timers armed
+/// ```
+#[derive(Debug)]
+pub struct SwimNode {
+    config: Config,
+    name: NodeName,
+    addr: NodeAddr,
+    incarnation: Incarnation,
+    meta: Bytes,
+    membership: Membership,
+    probe_list: ProbeList,
+    broadcasts: BroadcastQueue,
+    awareness: Awareness,
+    suspicions: HashMap<NodeName, Suspicion>,
+    probe: Option<ProbeState>,
+    relays: HashMap<SeqNo, RelayState>,
+    seq: SeqNo,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    timer_id: u64,
+    rng: StdRng,
+    started: bool,
+    left: bool,
+    /// Whether sends/receives are currently blocked (anomaly injection).
+    io_blocked: bool,
+    /// Loop timers that already executed their one blocked iteration.
+    stuck_gossip: bool,
+    stuck_push_pull: bool,
+    stuck_reconnect: bool,
+    /// Timers that came due while blocked and must re-fire on unblock,
+    /// in original due order.
+    deferred_timers: Vec<TimerEntry>,
+    stats: NodeStats,
+}
+
+impl SwimNode {
+    /// Creates a node. Call [`SwimNode::start`] before driving it.
+    ///
+    /// `seed` fixes the node's private RNG stream (probe order, gossip
+    /// fan-out choices); two nodes with the same seed and inputs behave
+    /// identically.
+    pub fn new(name: NodeName, addr: NodeAddr, config: Config, seed: u64) -> Self {
+        let awareness = Awareness::new(config.effective_awareness_max());
+        SwimNode {
+            config,
+            name,
+            addr,
+            incarnation: Incarnation::ZERO,
+            meta: Bytes::new(),
+            membership: Membership::new(),
+            probe_list: ProbeList::new(),
+            broadcasts: BroadcastQueue::new(),
+            awareness,
+            suspicions: HashMap::new(),
+            probe: None,
+            relays: HashMap::new(),
+            seq: SeqNo(0),
+            timers: BinaryHeap::new(),
+            timer_id: 0,
+            rng: StdRng::seed_from_u64(seed),
+            started: false,
+            left: false,
+            io_blocked: false,
+            stuck_gossip: false,
+            stuck_push_pull: false,
+            stuck_reconnect: false,
+            deferred_timers: Vec::new(),
+            stats: NodeStats::default(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The local node's name.
+    pub fn name(&self) -> &NodeName {
+        &self.name
+    }
+
+    /// The local node's advertised address.
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// The local incarnation number.
+    pub fn incarnation(&self) -> Incarnation {
+        self.incarnation
+    }
+
+    /// The current Local Health Multiplier score (0 = healthy).
+    pub fn local_health(&self) -> u32 {
+        self.awareness.score()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// All known members (including self and retained dead members).
+    pub fn members(&self) -> impl Iterator<Item = &Member> {
+        self.membership.iter()
+    }
+
+    /// Looks up a member record by name.
+    pub fn member(&self, name: &NodeName) -> Option<&Member> {
+        self.membership.get(name)
+    }
+
+    /// Number of members currently believed alive (including self).
+    pub fn num_alive(&self) -> usize {
+        self.membership.alive_count()
+    }
+
+    /// Number of live members (alive + suspect, including self).
+    pub fn num_live(&self) -> usize {
+        self.membership.live_count()
+    }
+
+    /// Whether the node has left the group.
+    pub fn has_left(&self) -> bool {
+        self.left
+    }
+
+    /// Number of gossip broadcasts waiting in the queue (introspection).
+    pub fn pending_broadcasts(&self) -> usize {
+        self.broadcasts.len()
+    }
+
+    /// Protocol activity counters.
+    pub fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    /// Replaces the local node's application metadata and gossips the
+    /// change (memberlist's `UpdateNode`): the incarnation is bumped so
+    /// the new `alive` message supersedes older state.
+    pub fn update_meta(&mut self, meta: Bytes, now: Time) {
+        self.meta = meta.clone();
+        self.incarnation = self.incarnation.next();
+        if let Some(me) = self.membership.get_mut(&self.name) {
+            me.meta = meta.clone();
+            me.incarnation = self.incarnation;
+            me.set_state(MemberState::Alive, now);
+        }
+        self.broadcasts.enqueue(Message::Alive(Alive {
+            incarnation: self.incarnation,
+            node: self.name.clone(),
+            addr: self.addr,
+            meta,
+        }));
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Boots the node: registers itself as alive and arms the periodic
+    /// timers. Must be called exactly once before any other driving call.
+    pub fn start(&mut self, now: Time) -> Vec<Output> {
+        assert!(!self.started, "start() called twice");
+        self.started = true;
+        let mut me = Member::new(self.name.clone(), self.addr, self.incarnation, now);
+        me.meta = self.meta.clone();
+        self.membership.upsert(me);
+
+        // Randomize initial phases so a cluster booted in lock-step does
+        // not probe in lock-step.
+        let probe_phase = self.random_phase(self.config.probe_interval);
+        self.schedule(now + probe_phase, Timer::ProbeRound);
+        let gossip_phase = self.random_phase(self.config.gossip_interval);
+        self.schedule(now + gossip_phase, Timer::GossipTick);
+        if let Some(pp) = self.config.push_pull_interval {
+            let pp_phase = self.random_phase(pp);
+            self.schedule(now + pp + pp_phase, Timer::PushPullTick);
+        }
+        if let Some(rc) = self.config.reconnect_interval {
+            let rc_phase = self.random_phase(rc);
+            self.schedule(now + rc + rc_phase, Timer::Reconnect);
+        }
+        self.schedule(now + self.config.dead_reclaim, Timer::Reap);
+        Vec::new()
+    }
+
+    /// Initiates a join: sends a push-pull sync (carrying our own record)
+    /// to each seed address over the stream transport.
+    pub fn join(&mut self, seeds: &[NodeAddr], _now: Time) -> Vec<Output> {
+        debug_assert!(self.started, "join() before start()");
+        let states = vec![self
+            .membership
+            .get(&self.name)
+            .expect("self is registered")
+            .to_push_state()];
+        seeds
+            .iter()
+            .filter(|a| **a != self.addr)
+            .map(|&to| Output::Stream {
+                to,
+                msg: Message::PushPull(PushPull {
+                    join: true,
+                    reply: false,
+                    states: states.clone(),
+                }),
+            })
+            .collect()
+    }
+
+    /// Gracefully leaves the group: broadcasts a self-signed `dead`
+    /// message (memberlist's leave semantics) and flushes it to a few
+    /// peers immediately.
+    pub fn leave(&mut self, now: Time) -> Vec<Output> {
+        if self.left {
+            return Vec::new();
+        }
+        self.left = true;
+        let dead = Message::Dead(Dead {
+            incarnation: self.incarnation,
+            node: self.name.clone(),
+            from: self.name.clone(),
+        });
+        self.broadcasts.enqueue(dead);
+        if let Some(me) = self.membership.get_mut(&self.name) {
+            me.set_state(MemberState::Left, now);
+        }
+        let mut out = Vec::new();
+        self.gossip_once(now, &mut out);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Driving
+    // ------------------------------------------------------------------
+
+    /// The earliest instant at which [`SwimNode::tick`] has work to do.
+    pub fn next_wake(&self) -> Option<Time> {
+        self.timers.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Marks the node's message I/O as blocked or unblocked (anomaly
+    /// injection, paper §V-D: members "block immediately before sending
+    /// or after receiving any protocol message").
+    ///
+    /// While blocked, the node's logic and wall-clock deadlines keep
+    /// running, but each protocol loop (probe, gossip, push-pull,
+    /// reconnect) executes at most one more iteration — the one stuck at
+    /// its blocked send — and the in-flight probe's deadline evaluation
+    /// is postponed. The runtime must also withhold the node's sends and
+    /// inbound messages for the duration of the block.
+    ///
+    /// Unblocking re-fires the postponed deadline timers with the
+    /// current (late) time, so the stuck probe fails and raises a
+    /// suspicion, exactly like a real agent resuming after an anomaly.
+    /// Returns the outputs of that catch-up processing.
+    pub fn set_io_blocked(&mut self, blocked: bool, now: Time) -> Vec<Output> {
+        let mut out = Vec::new();
+        if blocked == self.io_blocked {
+            return out;
+        }
+        self.io_blocked = blocked;
+        if !blocked {
+            self.stuck_gossip = false;
+            self.stuck_push_pull = false;
+            self.stuck_reconnect = false;
+            let mut deferred = std::mem::take(&mut self.deferred_timers);
+            deferred.sort();
+            for entry in deferred {
+                self.fire(entry.timer, now, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Whether message I/O is currently blocked (anomaly injection).
+    pub fn is_io_blocked(&self) -> bool {
+        self.io_blocked
+    }
+
+    /// Fires all timers due at or before `now`.
+    pub fn tick(&mut self, now: Time) -> Vec<Output> {
+        let mut out = Vec::new();
+        while let Some(Reverse(entry)) = self.timers.peek() {
+            if entry.at > now {
+                break;
+            }
+            let entry = self.timers.pop().expect("peeked").0;
+            self.fire(entry.timer, now, &mut out);
+        }
+        out
+    }
+
+    /// Decodes and processes a received datagram.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`DecodeError`] if the packet is malformed; the node's
+    /// state is unchanged in that case (a real deployment just drops such
+    /// packets).
+    pub fn handle_datagram(
+        &mut self,
+        from: NodeAddr,
+        payload: &[u8],
+        now: Time,
+    ) -> Result<Vec<Output>, DecodeError> {
+        let msgs = compound::decode_packet(payload)?;
+        let mut out = Vec::new();
+        for msg in msgs {
+            self.handle_message(from, msg, now, &mut out);
+        }
+        Ok(out)
+    }
+
+    /// Processes one already-decoded datagram message.
+    pub fn handle_message_in(&mut self, from: NodeAddr, msg: Message, now: Time) -> Vec<Output> {
+        let mut out = Vec::new();
+        self.handle_message(from, msg, now, &mut out);
+        out
+    }
+
+    /// Processes a message from the reliable stream transport.
+    pub fn handle_stream(&mut self, from: NodeAddr, msg: Message, now: Time) -> Vec<Output> {
+        let mut out = Vec::new();
+        match msg {
+            // Fallback direct probe over TCP: reply in kind.
+            Message::Ping(p) if p.target == self.name => {
+                out.push(Output::Stream {
+                    to: from,
+                    msg: Message::Ack(Ack { seq: p.seq }),
+                });
+            }
+            Message::Ack(a) => self.handle_ack(a, now, &mut out),
+            Message::PushPull(pp) => {
+                let reply = !pp.reply;
+                self.merge_remote_state(&pp.states, now, &mut out);
+                if reply {
+                    let states = self.membership.iter().map(Member::to_push_state).collect();
+                    out.push(Output::Stream {
+                        to: from,
+                        msg: Message::PushPull(PushPull {
+                            join: false,
+                            reply: true,
+                            states,
+                        }),
+                    });
+                }
+            }
+            // Gossip over the stream transport is not part of the
+            // protocol; ignore anything else.
+            _ => {}
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling (datagram)
+    // ------------------------------------------------------------------
+
+    fn handle_message(&mut self, from: NodeAddr, msg: Message, now: Time, out: &mut Vec<Output>) {
+        if !self.started {
+            return;
+        }
+        match msg {
+            Message::Ping(p) => self.handle_ping(from, p, now, out),
+            Message::IndirectPing(p) => self.handle_indirect_ping(p, now, out),
+            Message::Ack(a) => self.handle_ack(a, now, out),
+            Message::Nack(n) => self.handle_nack(n),
+            Message::Suspect(s) => self.handle_suspect(s, now, out),
+            Message::Alive(a) => self.handle_alive(a, now, out),
+            Message::Dead(d) => self.handle_dead(d, now, out),
+            // Push-pull is stream-only; drop it if it arrives by datagram.
+            Message::PushPull(_) => {}
+        }
+    }
+
+    fn handle_ping(&mut self, _from: NodeAddr, ping: Ping, now: Time, out: &mut Vec<Output>) {
+        // memberlist drops pings addressed to a different node name: they
+        // indicate a stale address mapping.
+        if ping.target != self.name {
+            return;
+        }
+        let ack = Message::Ack(Ack { seq: ping.seq });
+        self.send_packet(ping.source_addr, vec![ack], None, now, out);
+    }
+
+    fn handle_indirect_ping(&mut self, req: IndirectPing, now: Time, out: &mut Vec<Output>) {
+        let local_seq = self.next_seq();
+        self.relays.insert(
+            local_seq,
+            RelayState {
+                origin_seq: req.seq,
+                origin_addr: req.source_addr,
+                nack_wanted: req.nack,
+                acked: false,
+            },
+        );
+        let ping = Message::Ping(Ping {
+            seq: local_seq,
+            target: req.target.clone(),
+            source: self.name.clone(),
+            source_addr: self.addr,
+        });
+        self.send_packet(req.target_addr, vec![ping], Some(&req.target), now, out);
+        if req.nack {
+            let nack_at = now + crate::time::scale_duration(
+                self.config.probe_timeout,
+                self.config.nack_fraction,
+            );
+            self.schedule(nack_at, Timer::RelayNack { seq: local_seq });
+        }
+        self.schedule(
+            now + self.config.probe_interval,
+            Timer::RelayExpire { seq: local_seq },
+        );
+    }
+
+    fn handle_ack(&mut self, ack: Ack, now: Time, out: &mut Vec<Output>) {
+        // Our own outstanding probe? A timely ack completes the round
+        // immediately (memberlist's probeNode returns on the first ack);
+        // a stale ack is ignored and the round fails at its end.
+        if let Some(p) = &self.probe {
+            if p.seq == ack.seq {
+                if now <= p.round_end {
+                    self.probe = None;
+                    // Successful probe: LHM −1 (paper §IV-A).
+                    self.awareness
+                        .apply_delta(self.config.awareness_deltas.probe_success);
+                }
+                return;
+            }
+        }
+        // An indirect probe we are relaying: forward to the origin. The
+        // ack is forwarded even after a nack was sent (paper footnote 5).
+        if let Some(relay) = self.relays.get_mut(&ack.seq) {
+            if !relay.acked {
+                relay.acked = true;
+                let fwd = Message::Ack(Ack {
+                    seq: relay.origin_seq,
+                });
+                let to = relay.origin_addr;
+                self.send_packet(to, vec![fwd], None, now, out);
+            }
+        }
+    }
+
+    fn handle_nack(&mut self, nack: Nack) {
+        if let Some(p) = &mut self.probe {
+            if p.seq == nack.seq {
+                p.nacks_received += 1;
+            }
+        }
+    }
+
+    fn handle_suspect(&mut self, s: Suspect, now: Time, out: &mut Vec<Output>) {
+        if s.node == self.name {
+            self.refute(s.incarnation, now, out);
+            return;
+        }
+        self.suspect_node(s, now, out);
+    }
+
+    /// Processes a suspicion about a peer, whether it arrived by gossip
+    /// or was raised by our own failed probe (memberlist's
+    /// `suspectNode`). A suspicion about an already-suspected member
+    /// counts as an independent confirmation.
+    fn suspect_node(&mut self, s: Suspect, now: Time, out: &mut Vec<Output>) {
+        let Some(member) = self.membership.get(&s.node) else {
+            return;
+        };
+        if s.incarnation < member.incarnation {
+            return; // stale
+        }
+        match member.state {
+            MemberState::Dead | MemberState::Left => {}
+            MemberState::Suspect => {
+                let Some(sus) = self.suspicions.get_mut(&s.node) else {
+                    return;
+                };
+                sus.observe_incarnation(s.incarnation);
+                if sus.confirm(s.from.clone()) {
+                    // LHA-Suspicion: re-gossip the first K independent
+                    // suspicions (paper §IV-B). The enqueue resets the
+                    // transmit budget, giving (K+1)·λ·log n max copies.
+                    self.broadcasts.enqueue(Message::Suspect(s.clone()));
+                }
+                let deadline = sus.deadline();
+                if let Some(m) = self.membership.get_mut(&s.node) {
+                    if s.incarnation > m.incarnation {
+                        m.incarnation = s.incarnation;
+                    }
+                }
+                self.schedule(deadline, Timer::SuspicionCheck { node: s.node });
+            }
+            MemberState::Alive => {
+                self.start_suspicion(s.node.clone(), s.incarnation, s.from.clone(), now, out);
+            }
+        }
+    }
+
+    fn handle_alive(&mut self, a: Alive, now: Time, out: &mut Vec<Output>) {
+        if a.node == self.name {
+            // Someone is echoing our own alive message, or a name
+            // conflict. Nothing to do: our own incarnation is
+            // authoritative.
+            return;
+        }
+        match self.membership.get(&a.node) {
+            None => {
+                let mut m = Member::new(a.node.clone(), a.addr, a.incarnation, now);
+                m.meta = a.meta.clone();
+                self.membership.upsert(m);
+                self.probe_list.insert(a.node.clone(), &mut self.rng);
+                self.broadcasts.enqueue(Message::Alive(a.clone()));
+                out.push(Output::Event(Event::MemberJoined { name: a.node }));
+            }
+            Some(member) => {
+                // An alive message only overrides suspect/dead at a
+                // strictly higher incarnation (SWIM §4.2).
+                if a.incarnation <= member.incarnation {
+                    return;
+                }
+                let old_state = member.state;
+                let m = self.membership.get_mut(&a.node).expect("present");
+                m.incarnation = a.incarnation;
+                m.addr = a.addr;
+                m.meta = a.meta.clone();
+                m.set_state(MemberState::Alive, now);
+                self.suspicions.remove(&a.node);
+                self.broadcasts.enqueue(Message::Alive(a.clone()));
+                match old_state {
+                    MemberState::Suspect | MemberState::Dead => {
+                        out.push(Output::Event(Event::MemberRecovered { name: a.node }));
+                    }
+                    MemberState::Left => {
+                        out.push(Output::Event(Event::MemberJoined { name: a.node }));
+                    }
+                    MemberState::Alive => {}
+                }
+            }
+        }
+    }
+
+    fn handle_dead(&mut self, d: Dead, now: Time, out: &mut Vec<Output>) {
+        if d.node == self.name {
+            if !self.left {
+                self.refute(d.incarnation, now, out);
+            }
+            return;
+        }
+        let Some(member) = self.membership.get(&d.node) else {
+            return;
+        };
+        if d.incarnation < member.incarnation {
+            return;
+        }
+        if matches!(member.state, MemberState::Dead | MemberState::Left) {
+            return;
+        }
+        let is_leave = d.from == d.node;
+        let m = self.membership.get_mut(&d.node).expect("present");
+        m.incarnation = d.incarnation;
+        m.set_state(
+            if is_leave {
+                MemberState::Left
+            } else {
+                MemberState::Dead
+            },
+            now,
+        );
+        self.suspicions.remove(&d.node);
+        self.broadcasts.enqueue(Message::Dead(d.clone()));
+        if is_leave {
+            out.push(Output::Event(Event::MemberLeft { name: d.node }));
+        } else {
+            out.push(Output::Event(Event::MemberFailed {
+                name: d.node,
+                incarnation: d.incarnation,
+                from: d.from,
+            }));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    fn fire(&mut self, timer: Timer, now: Time, out: &mut Vec<Output>) {
+        if self.io_blocked {
+            match &timer {
+                // The dedicated gossip / push-pull / reconnect loops are
+                // single threads in memberlist: the iteration that blocks
+                // mid-send executes (the runtime captures its sends), the
+                // ticks that follow are dropped like missed ticker fires.
+                Timer::GossipTick => {
+                    self.schedule(now + self.config.gossip_interval, Timer::GossipTick);
+                    if !self.stuck_gossip && !self.left {
+                        self.stuck_gossip = true;
+                        self.gossip_once(now, out);
+                    }
+                    return;
+                }
+                Timer::PushPullTick => {
+                    if let Some(pp) = self.config.push_pull_interval {
+                        self.schedule(now + pp, Timer::PushPullTick);
+                    }
+                    if !self.stuck_push_pull && !self.left {
+                        self.stuck_push_pull = true;
+                        self.push_pull_once(out);
+                    }
+                    return;
+                }
+                Timer::Reconnect => {
+                    if let Some(rc) = self.config.reconnect_interval {
+                        self.schedule(now + rc, Timer::Reconnect);
+                    }
+                    if !self.stuck_reconnect && !self.left {
+                        self.stuck_reconnect = true;
+                        self.reconnect_once(out);
+                    }
+                    return;
+                }
+                // The probe in flight when the block hit is evaluated
+                // when the loop unblocks: its deadlines were computed
+                // before the block, so the late evaluation fails the
+                // probe exactly as a real blocked agent does.
+                Timer::ProbeTimeout { .. }
+                | Timer::ProbeRoundEnd { .. }
+                | Timer::RelayNack { .. }
+                | Timer::RelayExpire { .. } => {
+                    let id = self.timer_id;
+                    self.timer_id += 1;
+                    self.deferred_timers.push(TimerEntry {
+                        at: now,
+                        id,
+                        timer,
+                    });
+                    return;
+                }
+                // ProbeRound falls through: with a probe already in
+                // flight it is a no-op (the loop is busy), which models
+                // the dropped ticker fires. Suspicion expiry and reaping
+                // are pure local state + logging and run on time.
+                Timer::ProbeRound | Timer::SuspicionCheck { .. } | Timer::Reap => {}
+            }
+        }
+        match timer {
+            Timer::ProbeRound => self.probe_round(now, out),
+            Timer::ProbeTimeout { seq } => self.probe_timeout(seq, now, out),
+            Timer::ProbeRoundEnd { seq } => self.probe_round_end(seq, now, out),
+            Timer::GossipTick => {
+                self.schedule(now + self.config.gossip_interval, Timer::GossipTick);
+                if !self.left {
+                    self.gossip_once(now, out);
+                }
+            }
+            Timer::PushPullTick => {
+                if let Some(pp) = self.config.push_pull_interval {
+                    self.schedule(now + pp, Timer::PushPullTick);
+                }
+                if !self.left {
+                    self.push_pull_once(out);
+                }
+            }
+            Timer::Reconnect => {
+                if let Some(rc) = self.config.reconnect_interval {
+                    self.schedule(now + rc, Timer::Reconnect);
+                }
+                if !self.left {
+                    self.reconnect_once(out);
+                }
+            }
+            Timer::SuspicionCheck { node } => self.suspicion_check(node, now, out),
+            Timer::RelayNack { seq } => {
+                if let Some(relay) = self.relays.get(&seq) {
+                    if !relay.acked && relay.nack_wanted {
+                        let msg = Message::Nack(Nack {
+                            seq: relay.origin_seq,
+                        });
+                        let to = relay.origin_addr;
+                        self.send_packet(to, vec![msg], None, now, out);
+                    }
+                }
+            }
+            Timer::RelayExpire { seq } => {
+                self.relays.remove(&seq);
+            }
+            Timer::Reap => {
+                self.schedule(now + self.config.dead_reclaim, Timer::Reap);
+                let cutoff = Time::ZERO + now.saturating_since(Time::ZERO + self.config.dead_reclaim);
+                for name in self.membership.reapable(cutoff) {
+                    if name != self.name {
+                        self.membership.remove(&name);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Starts one failure-detector round (SWIM's protocol period).
+    fn probe_round(&mut self, now: Time, out: &mut Vec<Output>) {
+        // LHA-Probe: the period itself is scaled by LHM+1 (paper §IV-A).
+        let interval = self.awareness.scale(self.config.probe_interval);
+        self.schedule(now + interval, Timer::ProbeRound);
+        if self.left {
+            return;
+        }
+        if self.probe.is_some() {
+            // Previous round still in flight (possible after the
+            // interval shrank when the LHM recovered); let it finish.
+            return;
+        }
+        let me = self.name.clone();
+        let membership = &self.membership;
+        let Some(target) = self.probe_list.next_target(membership, &mut self.rng, |n| {
+            n != &me
+                && membership
+                    .get(n)
+                    .map(|m| m.is_live())
+                    .unwrap_or(false)
+        }) else {
+            return;
+        };
+        let target_addr = self
+            .membership
+            .get(&target)
+            .expect("eligible member exists")
+            .addr;
+        let seq = self.next_seq();
+        self.probe = Some(ProbeState {
+            seq,
+            target: target.clone(),
+            target_addr,
+            expected_nacks: 0,
+            nacks_received: 0,
+            round_end: now + interval,
+        });
+        let ping = Message::Ping(Ping {
+            seq,
+            target: target.clone(),
+            source: self.name.clone(),
+            source_addr: self.addr,
+        });
+        self.stats.probes_sent += 1;
+        self.send_packet(target_addr, vec![ping], Some(&target), now, out);
+        let timeout = self.awareness.scale(self.config.probe_timeout);
+        self.schedule(now + timeout, Timer::ProbeTimeout { seq });
+        self.schedule(now + interval, Timer::ProbeRoundEnd { seq });
+    }
+
+    /// Direct probe timed out: launch indirect probes and the stream
+    /// fallback.
+    fn probe_timeout(&mut self, seq: SeqNo, now: Time, out: &mut Vec<Output>) {
+        let Some(p) = &self.probe else { return };
+        if p.seq != seq {
+            return;
+        }
+        let target = p.target.clone();
+        let target_addr = p.target_addr;
+        let me = self.name.clone();
+        let k = self.config.indirect_checks;
+        let nack = self.config.nack_enabled();
+        let peers: Vec<(NodeName, NodeAddr)> = self
+            .membership
+            .sample(k, &mut self.rng, |m| {
+                m.is_live() && m.name != me && m.name != target
+            })
+            .into_iter()
+            .map(|m| (m.name.clone(), m.addr))
+            .collect();
+        let sent = peers.len() as u32;
+        self.stats.indirect_probes_sent += sent as u64;
+        for (_, peer_addr) in &peers {
+            let req = Message::IndirectPing(IndirectPing {
+                seq,
+                target: target.clone(),
+                target_addr,
+                nack,
+                source: self.name.clone(),
+                source_addr: self.addr,
+            });
+            self.send_packet(*peer_addr, vec![req], None, now, out);
+        }
+        if let Some(p) = &mut self.probe {
+            p.expected_nacks = if nack { sent } else { 0 };
+        }
+        if self.config.stream_fallback_probe {
+            out.push(Output::Stream {
+                to: target_addr,
+                msg: Message::Ping(Ping {
+                    seq,
+                    target,
+                    source: self.name.clone(),
+                    source_addr: self.addr,
+                }),
+            });
+        }
+    }
+
+    /// End of the protocol period: settle the probe result.
+    fn probe_round_end(&mut self, seq: SeqNo, now: Time, out: &mut Vec<Output>) {
+        let Some(p) = &self.probe else { return };
+        if p.seq != seq {
+            return;
+        }
+        let p = self.probe.take().expect("probe present");
+        self.stats.probes_failed += 1;
+        // The probe was not acked in time (a timely ack clears the probe
+        // state), so the round failed: feed the LHM. Following memberlist: when we had
+        // nack-capable peers, health feedback comes from missed nacks;
+        // otherwise the failed probe itself counts (+1).
+        if p.expected_nacks > 0 {
+            let missed = p.expected_nacks.saturating_sub(p.nacks_received);
+            self.awareness
+                .apply_delta(missed as i32 * self.config.awareness_deltas.missed_nack);
+        } else {
+            self.awareness
+                .apply_delta(self.config.awareness_deltas.probe_failed);
+        }
+        let incarnation = self
+            .membership
+            .get(&p.target)
+            .map(|m| m.incarnation)
+            .unwrap_or(Incarnation::ZERO);
+        // Routed through the same path as gossiped suspicions: if the
+        // target is already suspect, our failed probe is an independent
+        // confirmation (and is re-gossiped under LHA-Suspicion).
+        self.suspect_node(
+            Suspect {
+                incarnation,
+                node: p.target,
+                from: self.name.clone(),
+            },
+            now,
+            out,
+        );
+    }
+
+    /// A suspicion deadline may have been reached.
+    fn suspicion_check(&mut self, node: NodeName, now: Time, out: &mut Vec<Output>) {
+        let Some(sus) = self.suspicions.get(&node) else {
+            return;
+        };
+        let deadline = sus.deadline();
+        if now < deadline {
+            // The timeout was extended (or this is a stale timer from
+            // before a confirmation shortened it); re-arm at the real
+            // deadline.
+            self.schedule(deadline, Timer::SuspicionCheck { node });
+            return;
+        }
+        let incarnation = sus.incarnation();
+        self.suspicions.remove(&node);
+        let Some(member) = self.membership.get_mut(&node) else {
+            return;
+        };
+        if member.state != MemberState::Suspect {
+            return;
+        }
+        member.incarnation = incarnation;
+        member.set_state(MemberState::Dead, now);
+        self.stats.failures_declared += 1;
+        let dead = Dead {
+            incarnation,
+            node: node.clone(),
+            from: self.name.clone(),
+        };
+        self.broadcasts.enqueue(Message::Dead(dead));
+        out.push(Output::Event(Event::MemberFailed {
+            name: node,
+            incarnation,
+            from: self.name.clone(),
+        }));
+    }
+
+    // ------------------------------------------------------------------
+    // Suspicion / refutation
+    // ------------------------------------------------------------------
+
+    /// Marks `node` suspect and arms the (possibly dynamic) suspicion
+    /// timer. `from` is the accuser (ourselves on probe failure).
+    fn start_suspicion(
+        &mut self,
+        node: NodeName,
+        incarnation: Incarnation,
+        from: NodeName,
+        now: Time,
+        out: &mut Vec<Output>,
+    ) {
+        let Some(member) = self.membership.get(&node) else {
+            return;
+        };
+        if !matches!(member.state, MemberState::Alive) {
+            return;
+        }
+        let n = self.membership.live_count();
+        let min = self.config.suspicion_min(n);
+        let max = self.config.suspicion_max(n);
+        let k = self.config.effective_k();
+        let sus = Suspicion::new(incarnation, from.clone(), k, min, max, now);
+        self.stats.suspicions_raised += 1;
+        let deadline = sus.deadline();
+        self.suspicions.insert(node.clone(), sus);
+        let m = self.membership.get_mut(&node).expect("present");
+        m.incarnation = incarnation;
+        m.set_state(MemberState::Suspect, now);
+        self.broadcasts.enqueue(Message::Suspect(Suspect {
+            incarnation,
+            node: node.clone(),
+            from: from.clone(),
+        }));
+        self.schedule(deadline, Timer::SuspicionCheck { node: node.clone() });
+        out.push(Output::Event(Event::MemberSuspected { name: node, from }));
+    }
+
+    /// Refutes a suspicion (or death declaration) about ourselves by
+    /// taking a higher incarnation and gossiping it. Feeds the LHM (+1):
+    /// being suspected means we were too slow to answer probes.
+    fn refute(&mut self, accused_incarnation: Incarnation, now: Time, out: &mut Vec<Output>) {
+        if accused_incarnation < self.incarnation {
+            // Old news: our current incarnation already supersedes it,
+            // but re-gossip our aliveness to speed convergence.
+        } else {
+            self.incarnation = accused_incarnation.next();
+        }
+        if let Some(me) = self.membership.get_mut(&self.name) {
+            me.incarnation = self.incarnation;
+            me.set_state(MemberState::Alive, now);
+        }
+        self.stats.refutations += 1;
+        self.awareness
+            .apply_delta(self.config.awareness_deltas.refute);
+        self.broadcasts.enqueue(Message::Alive(Alive {
+            incarnation: self.incarnation,
+            node: self.name.clone(),
+            addr: self.addr,
+            meta: self.meta.clone(),
+        }));
+        out.push(Output::Event(Event::SelfRefuted {
+            incarnation: self.incarnation,
+        }));
+    }
+
+    // ------------------------------------------------------------------
+    // Gossip & push-pull
+    // ------------------------------------------------------------------
+
+    /// One dedicated gossip tick: send queued broadcasts to up to
+    /// `gossip_nodes` random live (or recently dead) members.
+    fn gossip_once(&mut self, now: Time, out: &mut Vec<Output>) {
+        if self.broadcasts.is_empty() {
+            return;
+        }
+        let me = self.name.clone();
+        let dead_window = self.config.gossip_to_the_dead;
+        let targets: Vec<NodeAddr> = self
+            .membership
+            .sample(self.config.gossip_nodes, &mut self.rng, |m| {
+                m.name != me
+                    && (m.is_live()
+                        || (matches!(m.state, MemberState::Dead | MemberState::Left)
+                            && now.saturating_since(m.state_change) <= dead_window))
+            })
+            .into_iter()
+            .map(|m| m.addr)
+            .collect();
+        let limit = self.config.retransmit_limit(self.membership.live_count());
+        for to in targets {
+            let mut builder = CompoundBuilder::new(self.config.packet_budget);
+            self.broadcasts.fill(&mut builder, limit, None);
+            if let Some(payload) = builder.finish() {
+                out.push(Output::Packet { to, payload });
+            }
+        }
+    }
+
+    /// One anti-entropy exchange with a random alive peer.
+    fn push_pull_once(&mut self, out: &mut Vec<Output>) {
+        let me = self.name.clone();
+        let peer = self
+            .membership
+            .sample(1, &mut self.rng, |m| {
+                m.name != me && m.state == MemberState::Alive
+            })
+            .first()
+            .map(|m| m.addr);
+        let Some(to) = peer else { return };
+        let states = self.membership.iter().map(Member::to_push_state).collect();
+        out.push(Output::Stream {
+            to,
+            msg: Message::PushPull(PushPull {
+                join: false,
+                reply: false,
+                states,
+            }),
+        });
+    }
+
+    /// One Serf-style reconnect attempt: push-pull with a random member
+    /// believed dead, so partitioned sub-groups re-merge automatically
+    /// once connectivity is restored.
+    fn reconnect_once(&mut self, out: &mut Vec<Output>) {
+        let me = self.name.clone();
+        let peer = self
+            .membership
+            .sample(1, &mut self.rng, |m| {
+                m.name != me && m.state == MemberState::Dead
+            })
+            .first()
+            .map(|m| m.addr);
+        let Some(to) = peer else { return };
+        let states = self.membership.iter().map(Member::to_push_state).collect();
+        out.push(Output::Stream {
+            to,
+            msg: Message::PushPull(PushPull {
+                join: false,
+                reply: false,
+                states,
+            }),
+        });
+    }
+
+    /// Merges a remote membership table (push-pull). Remote `dead` claims
+    /// are downgraded to suspicions so the victim can refute (memberlist
+    /// behaviour); `left` is authoritative.
+    fn merge_remote_state(
+        &mut self,
+        states: &[lifeguard_proto::PushNodeState],
+        now: Time,
+        out: &mut Vec<Output>,
+    ) {
+        for st in states {
+            match st.state {
+                MemberState::Alive => {
+                    let alive = Alive {
+                        incarnation: st.incarnation,
+                        node: st.name.clone(),
+                        addr: st.addr,
+                        meta: st.meta.clone(),
+                    };
+                    self.handle_alive(alive, now, out);
+                }
+                MemberState::Suspect | MemberState::Dead => {
+                    if st.name == self.name {
+                        self.refute(st.incarnation, now, out);
+                        continue;
+                    }
+                    // Learn the member first if unknown (a suspect entry
+                    // still carries a usable address).
+                    if self.membership.get(&st.name).is_none() {
+                        let alive = Alive {
+                            incarnation: st.incarnation,
+                            node: st.name.clone(),
+                            addr: st.addr,
+                            meta: st.meta.clone(),
+                        };
+                        self.handle_alive(alive, now, out);
+                    }
+                    let suspect = Suspect {
+                        incarnation: st.incarnation,
+                        node: st.name.clone(),
+                        from: self.name.clone(),
+                    };
+                    self.handle_suspect(suspect, now, out);
+                }
+                MemberState::Left => {
+                    let dead = Dead {
+                        incarnation: st.incarnation,
+                        node: st.name.clone(),
+                        from: st.name.clone(),
+                    };
+                    self.handle_dead(dead, now, out);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Send helpers
+    // ------------------------------------------------------------------
+
+    /// Builds and emits one datagram: the primary messages plus gossip
+    /// piggyback. `ping_target` enables the Buddy System hook: when set
+    /// and the target is suspected, the suspect message about it is
+    /// force-included first (paper §IV-C).
+    fn send_packet(
+        &mut self,
+        to: NodeAddr,
+        primary: Vec<Message>,
+        ping_target: Option<&NodeName>,
+        _now: Time,
+        out: &mut Vec<Output>,
+    ) {
+        let mut builder = CompoundBuilder::new(self.config.packet_budget);
+        for msg in &primary {
+            let added = builder.try_add(codec::encode_message(msg));
+            debug_assert!(added, "primary message must fit");
+        }
+        let mut exclude = None;
+        if let Some(target) = ping_target {
+            if self.config.lifeguard.buddy_system {
+                if let Some(sus) = self.suspicions.get(target) {
+                    let suspect = Message::Suspect(Suspect {
+                        incarnation: sus.incarnation(),
+                        node: target.clone(),
+                        from: self.name.clone(),
+                    });
+                    builder.try_add(codec::encode_message(&suspect));
+                    exclude = Some(target.clone());
+                }
+            }
+        }
+        let limit = self.config.retransmit_limit(self.membership.live_count());
+        self.broadcasts.fill(&mut builder, limit, exclude.as_ref());
+        if let Some(payload) = builder.finish() {
+            out.push(Output::Packet { to, payload });
+        }
+    }
+
+    fn next_seq(&mut self) -> SeqNo {
+        self.seq = self.seq.next();
+        self.seq
+    }
+
+    fn schedule(&mut self, at: Time, timer: Timer) {
+        let id = self.timer_id;
+        self.timer_id += 1;
+        self.timers.push(Reverse(TimerEntry { at, id, timer }));
+    }
+
+    fn random_phase(&mut self, interval: std::time::Duration) -> std::time::Duration {
+        let us = interval.as_micros().max(1) as u64;
+        std::time::Duration::from_micros(self.rng.random_range(0..us))
+    }
+
+    /// The queued gossip broadcast about `subject`, if any (test/debug
+    /// introspection).
+    pub fn queued_broadcast_for(&self, subject: &NodeName) -> Option<&Message> {
+        self.broadcasts.queued_for(subject)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LifeguardConfig;
+    use std::time::Duration;
+
+    fn addr(i: u8) -> NodeAddr {
+        NodeAddr::new([10, 0, 0, i], 7946)
+    }
+
+    fn node(cfg: Config) -> SwimNode {
+        let mut n = SwimNode::new("local".into(), addr(1), cfg, 1);
+        n.start(Time::ZERO);
+        n
+    }
+
+    /// Registers `name` as an alive peer via an alive message.
+    fn add_peer(n: &mut SwimNode, name: &str, i: u8, now: Time) {
+        let outputs = n.handle_message_in(
+            addr(i),
+            Message::Alive(Alive {
+                incarnation: Incarnation(1),
+                node: name.into(),
+                addr: addr(i),
+                meta: Bytes::new(),
+            }),
+            now,
+        );
+        assert!(outputs
+            .iter()
+            .any(|o| matches!(o, Output::Event(Event::MemberJoined { .. }))));
+    }
+
+    fn events(outputs: &[Output]) -> Vec<&Event> {
+        outputs
+            .iter()
+            .filter_map(|o| match o {
+                Output::Event(e) => Some(e),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn packets(outputs: &[Output]) -> Vec<(NodeAddr, Vec<Message>)> {
+        outputs
+            .iter()
+            .filter_map(|o| match o {
+                Output::Packet { to, payload } => {
+                    Some((*to, compound::decode_packet(payload).unwrap()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Runs the node's timers up to `until`, collecting outputs.
+    fn run_until(n: &mut SwimNode, until: Time) -> Vec<Output> {
+        let mut out = Vec::new();
+        while let Some(wake) = n.next_wake() {
+            if wake > until {
+                break;
+            }
+            out.extend(n.tick(wake));
+        }
+        out
+    }
+
+    #[test]
+    fn start_arms_timers() {
+        let n = node(Config::lan());
+        assert!(n.next_wake().is_some());
+        assert_eq!(n.num_alive(), 1);
+        assert_eq!(n.incarnation(), Incarnation::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "start() called twice")]
+    fn double_start_panics() {
+        let mut n = node(Config::lan());
+        n.start(Time::ZERO);
+    }
+
+    #[test]
+    fn ping_is_acked_to_source() {
+        let mut n = node(Config::lan());
+        let out = n.handle_message_in(
+            addr(2),
+            Message::Ping(Ping {
+                seq: SeqNo(7),
+                target: "local".into(),
+                source: "peer".into(),
+                source_addr: addr(2),
+            }),
+            Time::from_secs(1),
+        );
+        let pkts = packets(&out);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].0, addr(2));
+        assert_eq!(pkts[0].1[0], Message::Ack(Ack { seq: SeqNo(7) }));
+    }
+
+    #[test]
+    fn misaddressed_ping_is_dropped() {
+        let mut n = node(Config::lan());
+        let out = n.handle_message_in(
+            addr(2),
+            Message::Ping(Ping {
+                seq: SeqNo(7),
+                target: "someone-else".into(),
+                source: "peer".into(),
+                source_addr: addr(2),
+            }),
+            Time::from_secs(1),
+        );
+        assert!(packets(&out).is_empty());
+    }
+
+    #[test]
+    fn alive_message_adds_member() {
+        let mut n = node(Config::lan());
+        add_peer(&mut n, "peer-1", 2, Time::from_secs(1));
+        assert_eq!(n.num_alive(), 2);
+        let m = n.member(&"peer-1".into()).unwrap();
+        assert_eq!(m.state, MemberState::Alive);
+        assert_eq!(m.incarnation, Incarnation(1));
+        // The alive message is re-gossiped.
+        assert!(n.pending_broadcasts() > 0);
+    }
+
+    #[test]
+    fn stale_alive_does_not_override_suspect() {
+        let mut n = node(Config::lan());
+        add_peer(&mut n, "p", 2, Time::from_secs(1));
+        let out = n.handle_message_in(
+            addr(3),
+            Message::Suspect(Suspect {
+                incarnation: Incarnation(1),
+                node: "p".into(),
+                from: "accuser".into(),
+            }),
+            Time::from_secs(2),
+        );
+        assert!(events(&out)
+            .iter()
+            .any(|e| matches!(e, Event::MemberSuspected { .. })));
+        assert_eq!(n.member(&"p".into()).unwrap().state, MemberState::Suspect);
+
+        // Alive at the same incarnation must NOT clear the suspicion.
+        let out = n.handle_message_in(
+            addr(2),
+            Message::Alive(Alive {
+                incarnation: Incarnation(1),
+                node: "p".into(),
+                addr: addr(2),
+                meta: Bytes::new(),
+            }),
+            Time::from_secs(3),
+        );
+        assert!(events(&out).is_empty());
+        assert_eq!(n.member(&"p".into()).unwrap().state, MemberState::Suspect);
+
+        // Alive at a higher incarnation refutes it.
+        let out = n.handle_message_in(
+            addr(2),
+            Message::Alive(Alive {
+                incarnation: Incarnation(2),
+                node: "p".into(),
+                addr: addr(2),
+                meta: Bytes::new(),
+            }),
+            Time::from_secs(4),
+        );
+        assert!(events(&out)
+            .iter()
+            .any(|e| matches!(e, Event::MemberRecovered { .. })));
+        assert_eq!(n.member(&"p".into()).unwrap().state, MemberState::Alive);
+    }
+
+    #[test]
+    fn suspect_about_self_is_refuted() {
+        let mut n = node(Config::lan().lifeguard());
+        let health_before = n.local_health();
+        let out = n.handle_message_in(
+            addr(2),
+            Message::Suspect(Suspect {
+                incarnation: Incarnation::ZERO,
+                node: "local".into(),
+                from: "accuser".into(),
+            }),
+            Time::from_secs(1),
+        );
+        assert!(n.incarnation() > Incarnation::ZERO);
+        assert!(events(&out)
+            .iter()
+            .any(|e| matches!(e, Event::SelfRefuted { .. })));
+        // Refutation costs local health (+1).
+        assert_eq!(n.local_health(), health_before + 1);
+        // An alive broadcast is queued.
+        assert!(n.pending_broadcasts() > 0);
+    }
+
+    #[test]
+    fn dead_about_self_is_refuted() {
+        let mut n = node(Config::lan());
+        let out = n.handle_message_in(
+            addr(2),
+            Message::Dead(Dead {
+                incarnation: Incarnation(3),
+                node: "local".into(),
+                from: "accuser".into(),
+            }),
+            Time::from_secs(1),
+        );
+        assert_eq!(n.incarnation(), Incarnation(4));
+        assert!(events(&out)
+            .iter()
+            .any(|e| matches!(e, Event::SelfRefuted { .. })));
+    }
+
+    #[test]
+    fn suspicion_expires_to_dead_with_fixed_swim_timeout() {
+        let mut n = node(Config::lan()); // SWIM: α=5, β(eff)=1
+        add_peer(&mut n, "p", 2, Time::from_secs(1));
+        n.handle_message_in(
+            addr(3),
+            Message::Suspect(Suspect {
+                incarnation: Incarnation(1),
+                node: "p".into(),
+                from: "accuser".into(),
+            }),
+            Time::from_secs(2),
+        );
+        // n = 2 live ⇒ min = 5·max(1, log10(2))·1 s = 5 s.
+        let out = run_until(&mut n, Time::from_secs(2) + Duration::from_millis(5001));
+        let fails: Vec<_> = events(&out)
+            .into_iter()
+            .filter(|e| e.is_failure())
+            .collect();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(n.member(&"p".into()).unwrap().state, MemberState::Dead);
+    }
+
+    #[test]
+    fn lha_suspicion_starts_at_max_and_confirmations_shorten_it() {
+        let mut n = node(Config::lan().lifeguard());
+        for (i, name) in ["p", "a", "b", "c"].iter().enumerate() {
+            add_peer(&mut n, name, i as u8 + 2, Time::from_secs(1));
+        }
+        let t0 = Time::from_secs(2);
+        n.handle_message_in(
+            addr(9),
+            Message::Suspect(Suspect {
+                incarnation: Incarnation(1),
+                node: "p".into(),
+                from: "a".into(),
+            }),
+            t0,
+        );
+        // n = 5 live ⇒ min = 5 s, max = 30 s. No confirmations: not dead
+        // at min + ε.
+        let out = run_until(&mut n, t0 + Duration::from_millis(5500));
+        assert!(events(&out).iter().all(|e| !e.is_failure()));
+        assert_eq!(n.member(&"p".into()).unwrap().state, MemberState::Suspect);
+
+        // Three independent confirmations drive the deadline to min,
+        // which has already passed → immediate failure on next tick.
+        for from in ["b", "c", "local-other"] {
+            n.handle_message_in(
+                addr(9),
+                Message::Suspect(Suspect {
+                    incarnation: Incarnation(1),
+                    node: "p".into(),
+                    from: from.into(),
+                }),
+                t0 + Duration::from_millis(5600),
+            );
+        }
+        let out = run_until(&mut n, t0 + Duration::from_millis(5700));
+        assert!(events(&out).iter().any(|e| e.is_failure()));
+    }
+
+    #[test]
+    fn independent_suspicions_are_regossiped_at_most_k_times() {
+        let mut n = node(Config::lan().lifeguard());
+        add_peer(&mut n, "p", 2, Time::from_secs(1));
+        n.handle_message_in(
+            addr(3),
+            Message::Suspect(Suspect {
+                incarnation: Incarnation(1),
+                node: "p".into(),
+                from: "a".into(),
+            }),
+            Time::from_secs(2),
+        );
+        // Queue currently holds the initial suspect broadcast.
+        let mut regossiped = 0;
+        for from in ["b", "c", "d", "e", "f"] {
+            let before = n.pending_broadcasts();
+            n.handle_message_in(
+                addr(3),
+                Message::Suspect(Suspect {
+                    incarnation: Incarnation(1),
+                    node: "p".into(),
+                    from: from.into(),
+                }),
+                Time::from_secs(3),
+            );
+            // Re-gossip replaces the queued suspect (same subject), so
+            // the queue length is unchanged; detect via queued message.
+            if n.pending_broadcasts() == before {
+                if let Some(Message::Suspect(s)) = n.queued_broadcast_for(&"p".into()) {
+                    if s.from == NodeName::from(from) {
+                        regossiped += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(regossiped, 3, "exactly K=3 confirmations re-gossiped");
+    }
+
+    #[test]
+    fn probe_failure_raises_suspicion_and_lhm() {
+        let mut n = node(Config::lan().lifeguard());
+        add_peer(&mut n, "p", 2, Time::from_secs(1));
+        // Run past a whole probe round with no responses: the probe
+        // fails (no ack, no nacks possible with one peer).
+        let out = run_until(&mut n, Time::from_secs(4));
+        let suspected = events(&out)
+            .iter()
+            .any(|e| matches!(e, Event::MemberSuspected { name, .. } if name.as_str() == "p"));
+        assert!(suspected, "unanswered probe must raise a suspicion");
+        assert!(n.local_health() >= 1, "failed probe must cost local health");
+    }
+
+    #[test]
+    fn acked_probe_improves_lhm() {
+        let mut n = node(Config::lan().lifeguard());
+        add_peer(&mut n, "p", 2, Time::from_secs(1));
+        // Push LHM up first.
+        n.handle_message_in(
+            addr(2),
+            Message::Suspect(Suspect {
+                incarnation: Incarnation::ZERO,
+                node: "local".into(),
+                from: "p".into(),
+            }),
+            Time::from_secs(1),
+        );
+        let health = n.local_health();
+        assert!(health > 0);
+
+        // Find the ping the probe round sends and ack it in time.
+        let mut acked = false;
+        for _ in 0..50 {
+            let wake = n.next_wake().unwrap();
+            let out = n.tick(wake);
+            for (to, msgs) in packets(&out) {
+                for m in msgs {
+                    if let Message::Ping(p) = m {
+                        assert_eq!(to, addr(2));
+                        n.handle_message_in(
+                            addr(2),
+                            Message::Ack(Ack { seq: p.seq }),
+                            wake + Duration::from_millis(1),
+                        );
+                        acked = true;
+                    }
+                }
+            }
+            if acked {
+                break;
+            }
+        }
+        assert!(acked, "probe round never sent a ping");
+        assert_eq!(n.local_health(), health - 1);
+    }
+
+    #[test]
+    fn indirect_ping_is_relayed_and_ack_forwarded() {
+        let mut n = node(Config::lan());
+        add_peer(&mut n, "target", 3, Time::from_secs(1));
+        let out = n.handle_message_in(
+            addr(2),
+            Message::IndirectPing(IndirectPing {
+                seq: SeqNo(99),
+                target: "target".into(),
+                target_addr: addr(3),
+                nack: true,
+                source: "origin".into(),
+                source_addr: addr(2),
+            }),
+            Time::from_secs(1),
+        );
+        let pkts = packets(&out);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].0, addr(3));
+        let relayed_seq = match &pkts[0].1[0] {
+            Message::Ping(p) => {
+                assert_eq!(p.target.as_str(), "target");
+                p.seq
+            }
+            other => panic!("expected relayed ping, got {other:?}"),
+        };
+
+        // Target acks → the ack is forwarded to the origin with the
+        // origin's sequence number.
+        let out = n.handle_message_in(
+            addr(3),
+            Message::Ack(Ack { seq: relayed_seq }),
+            Time::from_secs(1) + Duration::from_millis(10),
+        );
+        let pkts = packets(&out);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].0, addr(2));
+        assert_eq!(pkts[0].1[0], Message::Ack(Ack { seq: SeqNo(99) }));
+    }
+
+    #[test]
+    fn relay_sends_nack_at_deadline_when_target_silent() {
+        let mut n = node(Config::lan());
+        add_peer(&mut n, "target", 3, Time::from_secs(1));
+        n.handle_message_in(
+            addr(2),
+            Message::IndirectPing(IndirectPing {
+                seq: SeqNo(99),
+                target: "target".into(),
+                target_addr: addr(3),
+                nack: true,
+                source: "origin".into(),
+                source_addr: addr(2),
+            }),
+            Time::from_secs(1),
+        );
+        // 80% of the 500 ms probe timeout = 400 ms.
+        let out = run_until(&mut n, Time::from_secs(1) + Duration::from_millis(401));
+        let nacks: Vec<_> = packets(&out)
+            .into_iter()
+            .filter(|(to, msgs)| {
+                *to == addr(2) && msgs.iter().any(|m| matches!(m, Message::Nack(k) if k.seq == SeqNo(99)))
+            })
+            .collect();
+        assert_eq!(nacks.len(), 1);
+    }
+
+    #[test]
+    fn leave_broadcasts_self_signed_dead() {
+        let mut n = node(Config::lan());
+        add_peer(&mut n, "p", 2, Time::from_secs(1));
+        let out = n.leave(Time::from_secs(2));
+        assert!(n.has_left());
+        let mut saw_leave = false;
+        for (_, msgs) in packets(&out) {
+            for m in msgs {
+                if let Message::Dead(d) = m {
+                    assert_eq!(d.node, d.from);
+                    saw_leave = true;
+                }
+            }
+        }
+        assert!(saw_leave, "leave must gossip a self-signed dead message");
+    }
+
+    #[test]
+    fn peer_leave_emits_member_left() {
+        let mut n = node(Config::lan());
+        add_peer(&mut n, "p", 2, Time::from_secs(1));
+        let out = n.handle_message_in(
+            addr(2),
+            Message::Dead(Dead {
+                incarnation: Incarnation(1),
+                node: "p".into(),
+                from: "p".into(),
+            }),
+            Time::from_secs(2),
+        );
+        assert!(events(&out)
+            .iter()
+            .any(|e| matches!(e, Event::MemberLeft { .. })));
+        assert_eq!(n.member(&"p".into()).unwrap().state, MemberState::Left);
+    }
+
+    #[test]
+    fn push_pull_merge_downgrades_dead_to_suspect() {
+        let mut n = node(Config::lan());
+        let states = vec![
+            lifeguard_proto::PushNodeState {
+                name: "p".into(),
+                addr: addr(2),
+                incarnation: Incarnation(1),
+                state: MemberState::Dead,
+                meta: Bytes::new(),
+            },
+        ];
+        let out = n.handle_stream(
+            addr(2),
+            Message::PushPull(PushPull {
+                join: true,
+                reply: false,
+                states,
+            }),
+            Time::from_secs(1),
+        );
+        // Dead entries are merged as suspicions so the victim can refute.
+        assert_eq!(n.member(&"p".into()).unwrap().state, MemberState::Suspect);
+        // And the exchange is answered.
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, Output::Stream { msg: Message::PushPull(pp), .. } if pp.reply)));
+    }
+
+    #[test]
+    fn stream_ping_gets_stream_ack() {
+        let mut n = node(Config::lan());
+        let out = n.handle_stream(
+            addr(2),
+            Message::Ping(Ping {
+                seq: SeqNo(5),
+                target: "local".into(),
+                source: "peer".into(),
+                source_addr: addr(2),
+            }),
+            Time::from_secs(1),
+        );
+        assert!(matches!(
+            &out[0],
+            Output::Stream { msg: Message::Ack(a), .. } if a.seq == SeqNo(5)
+        ));
+    }
+
+    #[test]
+    fn buddy_system_includes_suspect_in_ping_to_suspected() {
+        let mut cfg = Config::lan();
+        cfg.lifeguard = LifeguardConfig::buddy_system_only();
+        let mut n = node(cfg);
+        add_peer(&mut n, "p", 2, Time::from_secs(1));
+        n.handle_message_in(
+            addr(3),
+            Message::Suspect(Suspect {
+                incarnation: Incarnation(1),
+                node: "p".into(),
+                from: "accuser".into(),
+            }),
+            Time::from_secs(2),
+        );
+        // Drain the broadcast queue completely so only the buddy hook
+        // could possibly attach the suspicion.
+        while n.pending_broadcasts() > 0 {
+            let wake = n.next_wake().unwrap();
+            n.tick(wake);
+        }
+        // Probe rounds target "p" (the only peer): the ping must carry
+        // the suspect message about "p".
+        let mut saw_buddy = false;
+        for _ in 0..100 {
+            let Some(wake) = n.next_wake() else { break };
+            if wake > Time::from_secs(60) {
+                break;
+            }
+            let out = n.tick(wake);
+            for (to, msgs) in packets(&out) {
+                let has_ping = msgs.iter().any(
+                    |m| matches!(m, Message::Ping(p) if p.target.as_str() == "p"),
+                );
+                if has_ping && to == addr(2) {
+                    let has_suspect = msgs.iter().any(
+                        |m| matches!(m, Message::Suspect(s) if s.node.as_str() == "p"),
+                    );
+                    if has_suspect {
+                        saw_buddy = true;
+                    }
+                }
+            }
+            if saw_buddy {
+                break;
+            }
+        }
+        assert!(
+            saw_buddy,
+            "buddy system must attach the suspicion to pings of the suspected member"
+        );
+    }
+
+    #[test]
+    fn join_sends_push_pull_to_seeds() {
+        let mut n = node(Config::lan());
+        let out = n.join(&[addr(5), addr(1)], Time::ZERO);
+        // addr(1) is ourselves and is skipped.
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            &out[0],
+            Output::Stream { to, msg: Message::PushPull(pp) } if *to == addr(5) && pp.join && !pp.reply
+        ));
+    }
+
+    #[test]
+    fn datagram_decode_error_is_propagated() {
+        let mut n = node(Config::lan());
+        assert!(n.handle_datagram(addr(2), &[250, 250], Time::ZERO).is_err());
+    }
+}

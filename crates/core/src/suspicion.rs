@@ -1,0 +1,231 @@
+//! Suspicion timers (LHA-Suspicion).
+//!
+//! A suspicion starts with a timeout of `Max` and decays toward `Min` as
+//! *independent* suspicions about the same member arrive (paper §IV-B):
+//!
+//! ```text
+//! SuspicionTimeout = max(Min, Max − (Max − Min)·log(C + 1)/log(K + 1))
+//! ```
+//!
+//! where `C` is the number of independent confirmations processed and `K`
+//! is the number required to reach `Min`. With `K = 0` (plain SWIM) the
+//! timeout is fixed at `Min` (`Min == Max` in that configuration).
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use lifeguard_proto::{Incarnation, NodeName};
+
+use crate::time::Time;
+
+/// State of one active suspicion held by the local node.
+#[derive(Clone, Debug)]
+pub struct Suspicion {
+    /// Incarnation of the member the suspicion applies to.
+    incarnation: Incarnation,
+    /// Distinct members whose suspicions we have processed (the original
+    /// accuser counts as the first).
+    confirmers: HashSet<NodeName>,
+    k: u32,
+    min: Duration,
+    max: Duration,
+    start: Time,
+}
+
+impl Suspicion {
+    /// Starts a suspicion raised by `from` at time `now`.
+    ///
+    /// `k` is the number of *further* independent suspicions needed to
+    /// drive the timeout to `min`; `from` itself is recorded but does not
+    /// count toward `k` (it is confirmation number zero).
+    pub fn new(
+        incarnation: Incarnation,
+        from: NodeName,
+        k: u32,
+        min: Duration,
+        max: Duration,
+        now: Time,
+    ) -> Self {
+        let mut confirmers = HashSet::new();
+        confirmers.insert(from);
+        Suspicion {
+            incarnation,
+            confirmers,
+            k,
+            min,
+            max,
+            start: now,
+        }
+    }
+
+    /// The incarnation under suspicion.
+    pub fn incarnation(&self) -> Incarnation {
+        self.incarnation
+    }
+
+    /// Number of independent confirmations processed so far, *excluding*
+    /// the original accuser (the paper's `C`).
+    pub fn confirmation_count(&self) -> u32 {
+        (self.confirmers.len() as u32).saturating_sub(1)
+    }
+
+    /// When the suspicion started.
+    pub fn started_at(&self) -> Time {
+        self.start
+    }
+
+    /// Records an independent suspicion from `from`.
+    ///
+    /// Returns `true` when this is a *new* confirmer and the re-gossip
+    /// budget (`K`) has not been exhausted — the caller should then
+    /// re-gossip the suspect message (paper §IV-B: "the first K
+    /// independent suspicions received about the same member are
+    /// re-gossiped").
+    pub fn confirm(&mut self, from: NodeName) -> bool {
+        if self.confirmation_count() >= self.k {
+            return false;
+        }
+        self.confirmers.insert(from)
+    }
+
+    /// Raises the tracked incarnation (a fresh suspect message about a
+    /// higher incarnation restarts precedence but keeps the timer).
+    pub fn observe_incarnation(&mut self, incarnation: Incarnation) {
+        if incarnation > self.incarnation {
+            self.incarnation = incarnation;
+        }
+    }
+
+    /// The current timeout duration given the confirmations so far.
+    pub fn timeout(&self) -> Duration {
+        suspicion_timeout(self.confirmation_count(), self.k, self.min, self.max)
+    }
+
+    /// The absolute deadline at which the suspicion becomes a failure
+    /// declaration.
+    pub fn deadline(&self) -> Time {
+        self.start + self.timeout()
+    }
+}
+
+/// The paper's timeout formula for `c` confirmations out of `k`, clamped
+/// to `[min, max]`.
+///
+/// ```
+/// use lifeguard_core::suspicion::suspicion_timeout;
+/// use std::time::Duration;
+///
+/// let min = Duration::from_secs(10);
+/// let max = Duration::from_secs(60);
+/// assert_eq!(suspicion_timeout(0, 3, min, max), max);
+/// assert_eq!(suspicion_timeout(3, 3, min, max), min);
+/// assert!(suspicion_timeout(1, 3, min, max) < max);
+/// ```
+pub fn suspicion_timeout(c: u32, k: u32, min: Duration, max: Duration) -> Duration {
+    if k == 0 || min >= max {
+        return min;
+    }
+    let frac = ((c as f64) + 1.0).ln() / ((k as f64) + 1.0).ln();
+    let span = max.as_secs_f64() - min.as_secs_f64();
+    let t = max.as_secs_f64() - span * frac;
+    let clamped = t.max(min.as_secs_f64());
+    Duration::from_secs_f64(clamped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIN: Duration = Duration::from_secs(10);
+    const MAX: Duration = Duration::from_secs(60);
+
+    #[test]
+    fn timeout_starts_at_max_and_ends_at_min() {
+        assert_eq!(suspicion_timeout(0, 3, MIN, MAX), MAX);
+        assert_eq!(suspicion_timeout(3, 3, MIN, MAX), MIN);
+        // Beyond k clamps to min.
+        assert_eq!(suspicion_timeout(10, 3, MIN, MAX), MIN);
+    }
+
+    #[test]
+    fn timeout_decays_logarithmically() {
+        // Each successive confirmation shrinks the timeout by less.
+        let t0 = suspicion_timeout(0, 3, MIN, MAX);
+        let t1 = suspicion_timeout(1, 3, MIN, MAX);
+        let t2 = suspicion_timeout(2, 3, MIN, MAX);
+        let t3 = suspicion_timeout(3, 3, MIN, MAX);
+        let d1 = t0 - t1;
+        let d2 = t1 - t2;
+        let d3 = t2 - t3;
+        assert!(d1 > d2, "{d1:?} vs {d2:?}");
+        assert!(d2 > d3, "{d2:?} vs {d3:?}");
+    }
+
+    #[test]
+    fn timeout_hand_computed_value() {
+        // C=1, K=3: max - (max-min)·ln(2)/ln(4) = 60 - 50·0.5 = 35 s.
+        let t = suspicion_timeout(1, 3, MIN, MAX);
+        assert!((t.as_secs_f64() - 35.0).abs() < 1e-9, "{t:?}");
+    }
+
+    #[test]
+    fn k_zero_means_fixed_min() {
+        assert_eq!(suspicion_timeout(0, 0, MIN, MAX), MIN);
+        assert_eq!(suspicion_timeout(5, 0, MIN, MAX), MIN);
+    }
+
+    #[test]
+    fn degenerate_min_equals_max() {
+        assert_eq!(suspicion_timeout(0, 3, MIN, MIN), MIN);
+    }
+
+    #[test]
+    fn confirm_counts_distinct_members_only() {
+        let mut s = Suspicion::new(Incarnation(1), "a".into(), 3, MIN, MAX, Time::ZERO);
+        assert_eq!(s.confirmation_count(), 0);
+        // Original accuser never counts as a confirmation.
+        assert!(!s.confirm("a".into()));
+        assert_eq!(s.confirmation_count(), 0);
+
+        assert!(s.confirm("b".into()));
+        assert!(!s.confirm("b".into()), "duplicate must not re-gossip");
+        assert_eq!(s.confirmation_count(), 1);
+
+        assert!(s.confirm("c".into()));
+        assert!(s.confirm("d".into()));
+        assert_eq!(s.confirmation_count(), 3);
+        // Budget exhausted.
+        assert!(!s.confirm("e".into()));
+        assert_eq!(s.confirmation_count(), 3);
+    }
+
+    #[test]
+    fn deadline_moves_earlier_with_confirmations() {
+        let mut s = Suspicion::new(Incarnation(1), "a".into(), 3, MIN, MAX, Time::from_secs(100));
+        let d0 = s.deadline();
+        s.confirm("b".into());
+        let d1 = s.deadline();
+        assert!(d1 < d0);
+        s.confirm("c".into());
+        s.confirm("d".into());
+        assert_eq!(s.deadline(), Time::from_secs(110)); // start + min
+    }
+
+    #[test]
+    fn observe_incarnation_only_raises() {
+        let mut s = Suspicion::new(Incarnation(5), "a".into(), 3, MIN, MAX, Time::ZERO);
+        s.observe_incarnation(Incarnation(3));
+        assert_eq!(s.incarnation(), Incarnation(5));
+        s.observe_incarnation(Incarnation(9));
+        assert_eq!(s.incarnation(), Incarnation(9));
+    }
+
+    #[test]
+    fn swim_config_has_fixed_deadline() {
+        let mut s = Suspicion::new(Incarnation(1), "a".into(), 0, MIN, MIN, Time::ZERO);
+        let d0 = s.deadline();
+        assert!(!s.confirm("b".into()));
+        assert_eq!(s.deadline(), d0);
+        assert_eq!(d0, Time::ZERO + MIN);
+    }
+}

@@ -1,0 +1,165 @@
+//! Protocol time.
+//!
+//! The protocol core is sans-io: it never reads a clock. All entry points
+//! take a [`Time`], a microsecond-resolution instant measured from an
+//! arbitrary runtime-defined origin (simulation start, process start…).
+//! Spans are expressed with [`std::time::Duration`].
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A monotonic instant in microseconds since the runtime's origin.
+///
+/// ```
+/// use lifeguard_core::time::Time;
+/// use std::time::Duration;
+///
+/// let t = Time::ZERO + Duration::from_millis(1500);
+/// assert_eq!(t.as_micros(), 1_500_000);
+/// assert_eq!(t - Time::ZERO, Duration::from_millis(1500));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Time(u64);
+
+impl Time {
+    /// The runtime origin.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a time from raw microseconds since the origin.
+    pub fn from_micros(us: u64) -> Time {
+        Time(us)
+    }
+
+    /// Creates a time from milliseconds since the origin.
+    pub fn from_millis(ms: u64) -> Time {
+        Time(ms * 1_000)
+    }
+
+    /// Creates a time from seconds since the origin.
+    pub fn from_secs(s: u64) -> Time {
+        Time(s * 1_000_000)
+    }
+
+    /// Microseconds since the origin.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the origin as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The span from `earlier` to `self`, saturating to zero if `earlier`
+    /// is in the future.
+    pub fn saturating_since(self, earlier: Time) -> Duration {
+        Duration::from_micros(self.0.saturating_sub(earlier.0))
+    }
+
+    /// `self + d`, saturating at the maximum representable time.
+    pub fn saturating_add(self, d: Duration) -> Time {
+        Time(self.0.saturating_add(duration_to_micros(d)))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+
+    fn add(self, d: Duration) -> Time {
+        self.saturating_add(d)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, d: Duration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: Time) -> Duration {
+        debug_assert!(self >= rhs, "time went backwards: {self:?} - {rhs:?}");
+        Duration::from_micros(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T+{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+fn duration_to_micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Multiplies a duration by a float factor, used for timeout scaling.
+///
+/// Negative or non-finite factors are treated as zero.
+pub fn scale_duration(d: Duration, factor: f64) -> Duration {
+    if !factor.is_finite() || factor <= 0.0 {
+        return Duration::ZERO;
+    }
+    Duration::from_micros((d.as_micros() as f64 * factor) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Time::from_secs(2), Time::from_millis(2000));
+        assert_eq!(Time::from_millis(3), Time::from_micros(3000));
+    }
+
+    #[test]
+    fn add_and_sub_are_inverse() {
+        let t = Time::from_secs(10);
+        let d = Duration::from_millis(250);
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let early = Time::from_secs(1);
+        let late = Time::from_secs(5);
+        assert_eq!(early.saturating_since(late), Duration::ZERO);
+        assert_eq!(late.saturating_since(early), Duration::from_secs(4));
+    }
+
+    #[test]
+    fn add_assign_advances() {
+        let mut t = Time::ZERO;
+        t += Duration::from_secs(1);
+        assert_eq!(t, Time::from_secs(1));
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let t = Time::from_millis(1234);
+        assert_eq!(t.to_string(), "1.234s");
+        assert!(format!("{t:?}").contains("1.234"));
+    }
+
+    #[test]
+    fn scale_duration_basics() {
+        let d = Duration::from_millis(500);
+        assert_eq!(scale_duration(d, 2.0), Duration::from_secs(1));
+        assert_eq!(scale_duration(d, 0.0), Duration::ZERO);
+        assert_eq!(scale_duration(d, -1.0), Duration::ZERO);
+        assert_eq!(scale_duration(d, f64::NAN), Duration::ZERO);
+    }
+}

@@ -1,0 +1,208 @@
+//! Tests of the anomaly (blocked message I/O) semantics of `SwimNode`
+//! (paper §V-D): logic and deadlines keep running, loops execute at most
+//! one blocked iteration, and the stuck probe fails at unblock time.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use lifeguard_core::config::Config;
+use lifeguard_core::event::Event;
+use lifeguard_core::node::{Output, SwimNode};
+use lifeguard_core::time::Time;
+use lifeguard_proto::{compound, Ack, Alive, Incarnation, Message, NodeAddr, Suspect};
+
+fn addr(i: u8) -> NodeAddr {
+    NodeAddr::new([10, 0, 0, i], 7946)
+}
+
+fn new_node(cfg: Config) -> SwimNode {
+    let mut n = SwimNode::new("local".into(), addr(1), cfg, 1);
+    n.start(Time::ZERO);
+    n
+}
+
+fn add_peer(n: &mut SwimNode, name: &str, i: u8, now: Time) {
+    n.handle_message_in(
+        addr(i),
+        Message::Alive(Alive {
+            incarnation: Incarnation(1),
+            node: name.into(),
+            addr: addr(i),
+            meta: Bytes::new(),
+        }),
+        now,
+    );
+}
+
+fn run_until(n: &mut SwimNode, until: Time) -> Vec<Output> {
+    let mut out = Vec::new();
+    while let Some(wake) = n.next_wake() {
+        if wake > until {
+            break;
+        }
+        out.extend(n.tick(wake));
+    }
+    out
+}
+
+fn count_pings(outputs: &[Output]) -> usize {
+    outputs
+        .iter()
+        .filter_map(|o| match o {
+            Output::Packet { payload, .. } => compound::decode_packet(payload).ok(),
+            _ => None,
+        })
+        .flatten()
+        .filter(|m| matches!(m, Message::Ping(_)))
+        .count()
+}
+
+#[test]
+fn blocked_probe_loop_sends_at_most_one_ping() {
+    let mut n = new_node(Config::lan());
+    add_peer(&mut n, "p", 2, Time::from_secs(1));
+    // Let a couple of normal rounds pass (they fail, no acks — that's
+    // fine, we only count pings here).
+    run_until(&mut n, Time::from_secs(3));
+
+    let t_block = Time::from_secs(3);
+    n.set_io_blocked(true, t_block);
+    // Over 10 blocked seconds, exactly one probe-round ping may be
+    // produced (the stuck one); a healthy loop would have sent ~10.
+    let out = run_until(&mut n, t_block + Duration::from_secs(10));
+    assert!(
+        count_pings(&out) <= 1,
+        "blocked probe loop sent {} pings",
+        count_pings(&out)
+    );
+}
+
+#[test]
+fn stuck_probe_fails_and_suspects_at_unblock() {
+    let mut n = new_node(Config::lan());
+    add_peer(&mut n, "p", 2, Time::from_secs(1));
+    let t_block = Time::from_millis(1500);
+    run_until(&mut n, t_block);
+    n.set_io_blocked(true, t_block);
+    let t_unblock = t_block + Duration::from_secs(8);
+    run_until(&mut n, t_unblock);
+
+    // No suspicion can have been raised while blocked (deadline
+    // evaluation deferred)...
+    assert_ne!(
+        n.member(&"p".into()).unwrap().state,
+        lifeguard_proto::MemberState::Suspect,
+        "suspicion must not fire while the probe loop is stuck"
+    );
+    // ...but unblocking evaluates the stale deadlines: the stuck probe
+    // fails and the target is suspected immediately.
+    let out = n.set_io_blocked(false, t_unblock);
+    let suspected = out.iter().any(|o| {
+        matches!(o, Output::Event(Event::MemberSuspected { name, .. }) if name.as_str() == "p")
+    });
+    assert!(suspected, "stuck probe must fail and suspect at unblock");
+}
+
+#[test]
+fn stale_ack_is_rejected_after_unblock() {
+    let mut n = new_node(Config::lan().lifeguard());
+    add_peer(&mut n, "p", 2, Time::from_secs(1));
+    // Capture the ping seq of the next probe round.
+    let mut ping_seq = None;
+    let mut t = Time::from_secs(1);
+    while ping_seq.is_none() {
+        let wake = n.next_wake().unwrap();
+        t = wake;
+        for o in n.tick(wake) {
+            if let Output::Packet { payload, .. } = o {
+                for m in compound::decode_packet(&payload).unwrap() {
+                    if let Message::Ping(p) = m {
+                        ping_seq = Some(p.seq);
+                    }
+                }
+            }
+        }
+    }
+    // Block right after the ping went out; the ack "arrives" (is
+    // queued by the runtime) but is only processed after unblock,
+    // long past the round end.
+    n.set_io_blocked(true, t + Duration::from_millis(1));
+    let t_unblock = t + Duration::from_secs(6);
+    run_until(&mut n, t_unblock);
+    let health_before = n.local_health();
+    n.set_io_blocked(false, t_unblock);
+    n.handle_message_in(
+        addr(2),
+        Message::Ack(Ack {
+            seq: ping_seq.unwrap(),
+        }),
+        t_unblock + Duration::from_millis(1),
+    );
+    // The stale ack must not count as a successful probe (LHM must not
+    // improve from it).
+    assert!(
+        n.local_health() >= health_before,
+        "stale ack improved local health"
+    );
+}
+
+#[test]
+fn suspicion_expiry_fires_during_block() {
+    // A suspicion raised *before* the block keeps its timer running and
+    // declares the member dead mid-anomaly (the agent's logs record
+    // failures it declared while slow — paper's FP accounting).
+    let mut n = new_node(Config::lan());
+    add_peer(&mut n, "p", 2, Time::from_secs(1));
+    n.handle_message_in(
+        addr(3),
+        Message::Suspect(Suspect {
+            incarnation: Incarnation(1),
+            node: "p".into(),
+            from: "accuser".into(),
+        }),
+        Time::from_secs(2),
+    );
+    n.set_io_blocked(true, Time::from_millis(2500));
+    // SWIM timeout for n=2 live is 5 s; run well past it while blocked.
+    let out = run_until(&mut n, Time::from_secs(12));
+    let failed = out
+        .iter()
+        .any(|o| matches!(o, Output::Event(e) if e.is_failure()));
+    assert!(failed, "suspicion expiry must fire during the block");
+}
+
+#[test]
+fn blocked_gossip_tick_runs_once() {
+    let mut n = new_node(Config::lan());
+    add_peer(&mut n, "p", 2, Time::from_secs(1));
+    // Ensure there is something to gossip.
+    assert!(n.pending_broadcasts() > 0);
+    n.set_io_blocked(true, Time::from_millis(1100));
+    let out = run_until(&mut n, Time::from_secs(6));
+    // Gossip ticks every 200 ms; blocked: only the first sends.
+    let gossip_packets = out
+        .iter()
+        .filter(|o| matches!(o, Output::Packet { .. }))
+        .count();
+    assert!(
+        gossip_packets <= n.config().gossip_nodes + 1,
+        "blocked gossip loop kept sending: {gossip_packets} packets"
+    );
+}
+
+#[test]
+fn unblock_is_idempotent_and_resets_loops() {
+    let mut n = new_node(Config::lan());
+    add_peer(&mut n, "p", 2, Time::from_secs(1));
+    assert!(!n.is_io_blocked());
+    n.set_io_blocked(true, Time::from_secs(2));
+    assert!(n.is_io_blocked());
+    // Double-block is a no-op.
+    assert!(n.set_io_blocked(true, Time::from_secs(2)).is_empty());
+    n.set_io_blocked(false, Time::from_secs(4));
+    assert!(!n.is_io_blocked());
+    assert!(n.set_io_blocked(false, Time::from_secs(4)).is_empty());
+    // After unblocking, the loops resume: pings flow again.
+    let out = run_until(&mut n, Time::from_secs(10));
+    assert!(count_pings(&out) >= 2, "probe loop did not resume");
+}

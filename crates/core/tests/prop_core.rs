@@ -1,0 +1,243 @@
+//! Property tests for the protocol core's data structures and
+//! invariants.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use lifeguard_core::awareness::Awareness;
+use lifeguard_core::broadcast::BroadcastQueue;
+use lifeguard_core::config::Config;
+use lifeguard_core::member::Member;
+use lifeguard_core::membership::Membership;
+use lifeguard_core::suspicion::{suspicion_timeout, Suspicion};
+use lifeguard_core::time::Time;
+use lifeguard_proto::compound::{decode_packet, CompoundBuilder};
+use lifeguard_proto::{Alive, Incarnation, Message, NodeAddr, Suspect};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn alive_msg(node: &str, inc: u64) -> Message {
+    Message::Alive(Alive {
+        incarnation: Incarnation(inc),
+        node: node.into(),
+        addr: NodeAddr::new([10, 0, 0, 1], 7946),
+        meta: Bytes::new(),
+    })
+}
+
+proptest! {
+    /// The LHM never leaves [0, S] under any delta sequence, and scaled
+    /// durations are always base·(score+1).
+    #[test]
+    fn awareness_stays_in_bounds(
+        max in 0u32..32,
+        deltas in proptest::collection::vec(-4i32..=4, 0..200),
+    ) {
+        let mut a = Awareness::new(max);
+        for d in deltas {
+            let score = a.apply_delta(d);
+            prop_assert!(score <= max);
+            prop_assert_eq!(score, a.score());
+            let scaled = a.scale(Duration::from_millis(100));
+            prop_assert_eq!(scaled, Duration::from_millis(100) * (score + 1));
+        }
+    }
+
+    /// The suspicion timeout is monotonically non-increasing in the
+    /// number of confirmations and always clamped to [min, max].
+    #[test]
+    fn suspicion_timeout_monotone_and_clamped(
+        k in 0u32..10,
+        min_ms in 100u64..20_000,
+        span_ms in 0u64..120_000,
+    ) {
+        let min = Duration::from_millis(min_ms);
+        let max = Duration::from_millis(min_ms + span_ms);
+        let mut prev = None;
+        for c in 0..=(k + 3) {
+            let t = suspicion_timeout(c, k, min, max);
+            prop_assert!(t >= min.mul_f64(0.999), "below min: {t:?} < {min:?}");
+            prop_assert!(t <= max.mul_f64(1.001), "above max: {t:?} > {max:?}");
+            if let Some(p) = prev {
+                prop_assert!(t <= p, "not monotone at c={c}");
+            }
+            prev = Some(t);
+        }
+        // Exactly min at c >= k.
+        if k > 0 && max > min {
+            let at_k = suspicion_timeout(k, k, min, max);
+            prop_assert!((at_k.as_secs_f64() - min.as_secs_f64()).abs() < 1e-6);
+        }
+    }
+
+    /// Confirmations from arbitrary name sequences never exceed K and
+    /// the deadline never moves later.
+    #[test]
+    fn suspicion_confirmations_bounded(
+        k in 0u32..6,
+        names in proptest::collection::vec("[a-f]{1,2}", 0..40),
+    ) {
+        let min = Duration::from_secs(5);
+        let max = Duration::from_secs(30);
+        let mut s = Suspicion::new(Incarnation(1), "origin".into(), k, min, max, Time::ZERO);
+        let mut regossiped = 0;
+        let mut prev_deadline = s.deadline();
+        for n in names {
+            if s.confirm(n.as_str().into()) {
+                regossiped += 1;
+            }
+            prop_assert!(s.confirmation_count() <= k);
+            prop_assert!(s.deadline() <= prev_deadline);
+            prev_deadline = s.deadline();
+        }
+        prop_assert!(regossiped <= k as usize);
+    }
+
+    /// The broadcast queue never holds two entries about the same member
+    /// and drains completely under any fill pattern.
+    #[test]
+    fn broadcast_queue_invalidates_and_drains(
+        ops in proptest::collection::vec((0u8..8, 0u64..5), 1..100),
+        limit in 1u32..6,
+    ) {
+        let mut q = BroadcastQueue::new();
+        let mut subjects = std::collections::HashSet::new();
+        for (node, inc) in &ops {
+            let name = format!("node-{node}");
+            q.enqueue(alive_msg(&name, *inc));
+            subjects.insert(name);
+            prop_assert!(q.len() <= subjects.len());
+        }
+        // Drain: every fill makes progress until empty.
+        let mut rounds = 0;
+        while !q.is_empty() {
+            let mut b = CompoundBuilder::new(1400);
+            q.fill(&mut b, limit, None);
+            if let Some(p) = b.finish() {
+                prop_assert!(!decode_packet(&p).unwrap().is_empty());
+            }
+            rounds += 1;
+            prop_assert!(rounds < 10_000, "queue failed to drain");
+        }
+    }
+
+    /// The suspicion min/max formulas respect their config relations for
+    /// any cluster size.
+    #[test]
+    fn config_suspicion_bounds_relate(n in 1usize..10_000) {
+        let swim = Config::lan();
+        prop_assert_eq!(swim.suspicion_min(n), swim.suspicion_max(n));
+        let lg = Config::lan().lifeguard();
+        let min = lg.suspicion_min(n);
+        let max = lg.suspicion_max(n);
+        prop_assert!(max >= min);
+        let ratio = max.as_secs_f64() / min.as_secs_f64();
+        prop_assert!((ratio - 6.0).abs() < 1e-6);
+        // Monotone in n.
+        prop_assert!(lg.suspicion_min(n + 1) >= min);
+    }
+
+    /// Membership sampling returns distinct members matching the filter,
+    /// never more than requested or available.
+    #[test]
+    fn membership_sample_is_sound(
+        n in 0usize..64,
+        k in 0usize..80,
+        seed in any::<u64>(),
+        banned in 0usize..64,
+    ) {
+        let mut table = Membership::new();
+        for i in 0..n {
+            table.upsert(Member::new(
+                format!("node-{i}").into(),
+                NodeAddr::new([10, 0, 0, i as u8], 7946),
+                Incarnation(0),
+                Time::ZERO,
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let banned_name = format!("node-{banned}");
+        let picked = table.sample(k, &mut rng, |m| m.name.as_str() != banned_name);
+        let eligible = n - usize::from(banned < n);
+        prop_assert!(picked.len() <= k);
+        prop_assert!(picked.len() <= eligible);
+        if k >= eligible {
+            prop_assert_eq!(picked.len(), eligible);
+        }
+        let mut names: Vec<_> = picked.iter().map(|m| m.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        prop_assert_eq!(names.len(), picked.len(), "duplicates in sample");
+    }
+}
+
+/// Incarnation-precedence model check: applying alive/suspect messages
+/// about one member in any order converges to the same final state on
+/// every node that saw all of them (eventual agreement modulo dead
+/// declarations, which are sticky).
+mod precedence {
+    use super::*;
+    use lifeguard_core::node::SwimNode;
+
+    fn fresh_node(seed: u64) -> SwimNode {
+        let mut node = SwimNode::new(
+            "local".into(),
+            NodeAddr::new([10, 0, 0, 99], 7946),
+            Config::lan(),
+            seed,
+        );
+        node.start(Time::ZERO);
+        node
+    }
+
+    proptest! {
+        /// For any interleaving of alive(inc) and suspect(inc) messages
+        /// about one peer, the node ends with the record of the highest
+        /// incarnation it saw, and an alive at incarnation i never
+        /// overrides a suspect at incarnation >= i.
+        #[test]
+        fn alive_suspect_precedence(
+            msgs in proptest::collection::vec((any::<bool>(), 0u64..6), 1..30),
+        ) {
+            let mut node = fresh_node(1);
+            let from = NodeAddr::new([10, 0, 0, 2], 7946);
+            // Register the subject first.
+            node.handle_message_in(from, alive_msg("p", 0), Time::ZERO);
+
+            let mut model_inc = 0u64;
+            let mut model_suspect = false;
+            for (i, (is_alive, inc)) in msgs.iter().enumerate() {
+                let t = Time::from_millis(i as u64 + 1);
+                if *is_alive {
+                    node.handle_message_in(from, alive_msg("p", *inc), t);
+                    if *inc > model_inc {
+                        model_inc = *inc;
+                        model_suspect = false;
+                    }
+                } else {
+                    node.handle_message_in(
+                        from,
+                        Message::Suspect(Suspect {
+                            incarnation: Incarnation(*inc),
+                            node: "p".into(),
+                            from: "accuser".into(),
+                        }),
+                        t,
+                    );
+                    if *inc >= model_inc && !model_suspect {
+                        model_inc = *inc;
+                        model_suspect = true;
+                    } else if model_suspect && *inc > model_inc {
+                        model_inc = *inc;
+                    }
+                }
+            }
+            let member = node.member(&"p".into()).expect("present");
+            prop_assert_eq!(member.incarnation, Incarnation(model_inc));
+            let is_suspect = member.state == lifeguard_proto::MemberState::Suspect;
+            prop_assert_eq!(is_suspect, model_suspect);
+        }
+    }
+}

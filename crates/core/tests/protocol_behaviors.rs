@@ -1,0 +1,303 @@
+//! Behavioural tests of memberlist-layer features: push-pull replies,
+//! dead-member retention/reaping, gossip-to-the-dead, reconnect, and
+//! indirect-probe plumbing end to end across two nodes.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use lifeguard_core::config::Config;
+use lifeguard_core::node::{Output, SwimNode};
+use lifeguard_core::time::Time;
+use lifeguard_proto::{
+    compound, Alive, Dead, Incarnation, MemberState, Message, NodeAddr, PushPull, Suspect,
+};
+
+fn addr(i: u8) -> NodeAddr {
+    NodeAddr::new([10, 0, 0, i], 7946)
+}
+
+fn new_node(cfg: Config) -> SwimNode {
+    let mut n = SwimNode::new("local".into(), addr(1), cfg, 1);
+    n.start(Time::ZERO);
+    n
+}
+
+fn add_peer(n: &mut SwimNode, name: &str, i: u8, now: Time) {
+    n.handle_message_in(
+        addr(i),
+        Message::Alive(Alive {
+            incarnation: Incarnation(1),
+            node: name.into(),
+            addr: addr(i),
+            meta: Bytes::new(),
+        }),
+        now,
+    );
+}
+
+fn run_until(n: &mut SwimNode, until: Time) -> Vec<Output> {
+    let mut out = Vec::new();
+    while let Some(wake) = n.next_wake() {
+        if wake > until {
+            break;
+        }
+        out.extend(n.tick(wake));
+    }
+    out
+}
+
+#[test]
+fn push_pull_reply_contains_full_table_including_dead() {
+    let mut n = new_node(Config::lan());
+    add_peer(&mut n, "alive-peer", 2, Time::from_secs(1));
+    add_peer(&mut n, "dead-peer", 3, Time::from_secs(1));
+    n.handle_message_in(
+        addr(4),
+        Message::Dead(Dead {
+            incarnation: Incarnation(1),
+            node: "dead-peer".into(),
+            from: "accuser".into(),
+        }),
+        Time::from_secs(2),
+    );
+    let out = n.handle_stream(
+        addr(9),
+        Message::PushPull(PushPull {
+            join: true,
+            reply: false,
+            states: vec![],
+        }),
+        Time::from_secs(3),
+    );
+    let reply = out
+        .iter()
+        .find_map(|o| match o {
+            Output::Stream {
+                msg: Message::PushPull(pp),
+                ..
+            } if pp.reply => Some(pp),
+            _ => None,
+        })
+        .expect("push-pull must be answered");
+    let names: Vec<&str> = reply.states.iter().map(|s| s.name.as_str()).collect();
+    assert!(names.contains(&"local"));
+    assert!(names.contains(&"alive-peer"));
+    assert!(
+        names.contains(&"dead-peer"),
+        "dead members are retained and shared via push-pull"
+    );
+    let dead = reply
+        .states
+        .iter()
+        .find(|s| s.name.as_str() == "dead-peer")
+        .unwrap();
+    assert_eq!(dead.state, MemberState::Dead);
+}
+
+#[test]
+fn dead_members_are_reaped_after_retention() {
+    let mut cfg = Config::lan();
+    cfg.dead_reclaim = Duration::from_secs(10);
+    let mut n = new_node(cfg);
+    add_peer(&mut n, "p", 2, Time::from_secs(1));
+    n.handle_message_in(
+        addr(3),
+        Message::Dead(Dead {
+            incarnation: Incarnation(1),
+            node: "p".into(),
+            from: "accuser".into(),
+        }),
+        Time::from_secs(2),
+    );
+    assert!(n.member(&"p".into()).is_some());
+    // Reap timer runs every `dead_reclaim`; after the retention window
+    // the record disappears.
+    run_until(&mut n, Time::from_secs(31));
+    assert!(
+        n.member(&"p".into()).is_none(),
+        "dead member must be reaped after retention"
+    );
+}
+
+#[test]
+fn gossip_reaches_recently_dead_members() {
+    let mut n = new_node(Config::lan());
+    add_peer(&mut n, "dead-peer", 2, Time::from_secs(1));
+    add_peer(&mut n, "other", 3, Time::from_secs(1));
+    let t = Time::from_secs(2);
+    n.handle_message_in(
+        addr(3),
+        Message::Dead(Dead {
+            incarnation: Incarnation(1),
+            node: "dead-peer".into(),
+            from: "accuser".into(),
+        }),
+        t,
+    );
+    // The dead broadcast is in the queue; gossip ticks may target the
+    // dead member itself for gossip_to_the_dead (30 s).
+    let out = run_until(&mut n, t + Duration::from_secs(10));
+    let gossiped_to_dead = out.iter().any(|o| match o {
+        Output::Packet { to, .. } => *to == addr(2),
+        _ => false,
+    });
+    assert!(
+        gossiped_to_dead,
+        "gossip must keep flowing to recently dead members"
+    );
+}
+
+#[test]
+fn reconnect_push_pulls_a_dead_member() {
+    let mut cfg = Config::lan();
+    cfg.reconnect_interval = Some(Duration::from_secs(5));
+    cfg.push_pull_interval = None; // isolate the reconnect path
+    let mut n = new_node(cfg);
+    add_peer(&mut n, "p", 2, Time::from_secs(1));
+    n.handle_message_in(
+        addr(3),
+        Message::Dead(Dead {
+            incarnation: Incarnation(1),
+            node: "p".into(),
+            from: "accuser".into(),
+        }),
+        Time::from_secs(2),
+    );
+    let out = run_until(&mut n, Time::from_secs(20));
+    let reconnects = out
+        .iter()
+        .filter(|o| {
+            matches!(o, Output::Stream { to, msg: Message::PushPull(pp) } if *to == addr(2) && !pp.reply)
+        })
+        .count();
+    assert!(
+        reconnects >= 1,
+        "reconnect must push-pull the dead member (saw {reconnects})"
+    );
+}
+
+/// Drives two real `SwimNode`s against each other (no simulator): an
+/// indirect probe round-trip through a relay node, end to end.
+#[test]
+fn indirect_probe_roundtrip_between_nodes() {
+    let now = Time::from_secs(1);
+    let mut origin = SwimNode::new("origin".into(), addr(1), Config::lan().lifeguard(), 1);
+    origin.start(Time::ZERO);
+    let mut relay = SwimNode::new("relay".into(), addr(2), Config::lan().lifeguard(), 2);
+    relay.start(Time::ZERO);
+    let mut target = SwimNode::new("target".into(), addr(3), Config::lan().lifeguard(), 3);
+    target.start(Time::ZERO);
+
+    // Everyone knows everyone.
+    for (n, others) in [
+        (&mut origin, [("relay", 2u8), ("target", 3u8)]),
+        (&mut relay, [("origin", 1), ("target", 3)]),
+        (&mut target, [("origin", 1), ("relay", 2)]),
+    ] {
+        for (name, i) in others {
+            add_peer(n, name, i, now);
+        }
+    }
+
+    // Origin sends an indirect ping request to relay about target.
+    let req = Message::IndirectPing(lifeguard_proto::IndirectPing {
+        seq: lifeguard_proto::SeqNo(77),
+        target: "target".into(),
+        target_addr: addr(3),
+        nack: true,
+        source: "origin".into(),
+        source_addr: addr(1),
+    });
+    let relay_out = relay.handle_message_in(addr(1), req, now);
+
+    // Relay pings target.
+    let (to, packet) = relay_out
+        .iter()
+        .find_map(|o| match o {
+            Output::Packet { to, payload } => Some((*to, payload.clone())),
+            _ => None,
+        })
+        .expect("relay must ping the target");
+    assert_eq!(to, addr(3));
+
+    // Target handles the ping and acks back to relay.
+    let mut target_out = Vec::new();
+    for msg in compound::decode_packet(&packet).unwrap() {
+        target_out.extend(target.handle_message_in(addr(2), msg, now + Duration::from_millis(1)));
+    }
+    let (to, packet) = target_out
+        .iter()
+        .find_map(|o| match o {
+            Output::Packet { to, payload } => Some((*to, payload.clone())),
+            _ => None,
+        })
+        .expect("target must ack");
+    assert_eq!(to, addr(2));
+
+    // Relay forwards the ack to origin with the origin's sequence number.
+    let mut relay_fwd = Vec::new();
+    for msg in compound::decode_packet(&packet).unwrap() {
+        relay_fwd.extend(relay.handle_message_in(addr(3), msg, now + Duration::from_millis(2)));
+    }
+    let forwarded = relay_fwd
+        .iter()
+        .find_map(|o| match o {
+            Output::Packet { to, payload } => Some((*to, payload.clone())),
+            _ => None,
+        })
+        .expect("relay must forward the ack");
+    assert_eq!(forwarded.0, addr(1));
+    let msgs = compound::decode_packet(&forwarded.1).unwrap();
+    assert!(msgs
+        .iter()
+        .any(|m| matches!(m, Message::Ack(a) if a.seq == lifeguard_proto::SeqNo(77))));
+}
+
+/// A suspect about an unknown member is ignored; a dead about an
+/// unknown member is ignored (no panic, no phantom records).
+#[test]
+fn gossip_about_unknown_members_is_ignored() {
+    let mut n = new_node(Config::lan());
+    let before = n.members().count();
+    n.handle_message_in(
+        addr(2),
+        Message::Suspect(Suspect {
+            incarnation: Incarnation(5),
+            node: "ghost".into(),
+            from: "accuser".into(),
+        }),
+        Time::from_secs(1),
+    );
+    n.handle_message_in(
+        addr(2),
+        Message::Dead(Dead {
+            incarnation: Incarnation(5),
+            node: "ghost".into(),
+            from: "accuser".into(),
+        }),
+        Time::from_secs(1),
+    );
+    assert_eq!(n.members().count(), before);
+    assert!(n.member(&"ghost".into()).is_none());
+}
+
+/// Left nodes do not probe, gossip or push-pull.
+#[test]
+fn left_node_goes_quiet() {
+    let mut n = new_node(Config::lan());
+    add_peer(&mut n, "p", 2, Time::from_secs(1));
+    let leave_out = n.leave(Time::from_secs(2));
+    assert!(!leave_out.is_empty(), "leave gossips the departure");
+    // After the leave flush, the node stays quiet: no pings.
+    let out = run_until(&mut n, Time::from_secs(30));
+    let pings = out
+        .iter()
+        .filter_map(|o| match o {
+            Output::Packet { payload, .. } => compound::decode_packet(payload).ok(),
+            _ => None,
+        })
+        .flatten()
+        .filter(|m| matches!(m, Message::Ping(_)))
+        .count();
+    assert_eq!(pings, 0, "a departed node must not probe");
+}

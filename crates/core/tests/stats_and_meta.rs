@@ -1,0 +1,157 @@
+//! Tests for node statistics, metadata updates and the config profiles.
+
+use bytes::Bytes;
+use lifeguard_core::config::{AwarenessDeltas, Config};
+use lifeguard_core::node::SwimNode;
+use lifeguard_core::time::Time;
+use lifeguard_proto::{Alive, Incarnation, Message, NodeAddr, Suspect};
+
+fn addr(i: u8) -> NodeAddr {
+    NodeAddr::new([10, 0, 0, i], 7946)
+}
+
+fn new_node(cfg: Config) -> SwimNode {
+    let mut n = SwimNode::new("local".into(), addr(1), cfg, 1);
+    n.start(Time::ZERO);
+    n
+}
+
+fn add_peer(n: &mut SwimNode, name: &str, i: u8, now: Time) {
+    n.handle_message_in(
+        addr(i),
+        Message::Alive(Alive {
+            incarnation: Incarnation(1),
+            node: name.into(),
+            addr: addr(i),
+            meta: Bytes::new(),
+        }),
+        now,
+    );
+}
+
+fn run_until(n: &mut SwimNode, until: Time) {
+    while let Some(wake) = n.next_wake() {
+        if wake > until {
+            break;
+        }
+        n.tick(wake);
+    }
+}
+
+#[test]
+fn stats_track_probe_lifecycle() {
+    let mut n = new_node(Config::lan());
+    add_peer(&mut n, "p", 2, Time::from_secs(1));
+    assert_eq!(n.stats(), lifeguard_core::NodeStats::default());
+    // Unanswered probes: each round fails, fans out indirect probes
+    // (none available with a single suspect peer, so indirect stays 0
+    // until more peers exist), raises one suspicion, then declares.
+    run_until(&mut n, Time::from_secs(20));
+    let stats = n.stats();
+    assert!(stats.probes_sent >= 1, "{stats:?}");
+    assert!(stats.probes_failed >= 1, "{stats:?}");
+    assert!(stats.suspicions_raised >= 1, "{stats:?}");
+    assert!(stats.failures_declared >= 1, "{stats:?}");
+    assert_eq!(stats.refutations, 0);
+}
+
+#[test]
+fn stats_count_indirect_probes_and_refutations() {
+    let mut n = new_node(Config::lan().lifeguard());
+    for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+        add_peer(&mut n, name, i as u8 + 2, Time::from_secs(1));
+    }
+    run_until(&mut n, Time::from_secs(4));
+    assert!(
+        n.stats().indirect_probes_sent >= 1,
+        "failed probes with peers available must fan out: {:?}",
+        n.stats()
+    );
+    n.handle_message_in(
+        addr(2),
+        Message::Suspect(Suspect {
+            incarnation: n.incarnation(),
+            node: "local".into(),
+            from: "a".into(),
+        }),
+        Time::from_secs(5),
+    );
+    assert_eq!(n.stats().refutations, 1);
+}
+
+#[test]
+fn update_meta_bumps_incarnation_and_gossips() {
+    let mut n = new_node(Config::lan());
+    add_peer(&mut n, "p", 2, Time::from_secs(1));
+    let inc_before = n.incarnation();
+    n.update_meta(Bytes::from_static(b"v2"), Time::from_secs(2));
+    assert!(n.incarnation() > inc_before);
+    let queued = n.queued_broadcast_for(&"local".into());
+    match queued {
+        Some(Message::Alive(a)) => {
+            assert_eq!(a.meta.as_ref(), b"v2");
+            assert_eq!(a.incarnation, n.incarnation());
+        }
+        other => panic!("expected queued alive about self, got {other:?}"),
+    }
+    let me = n.member(&"local".into()).unwrap();
+    assert_eq!(me.meta.as_ref(), b"v2");
+}
+
+#[test]
+fn meta_update_propagates_to_peer_view() {
+    // Peer applies the alive message carrying new meta.
+    let mut observer = new_node(Config::lan());
+    add_peer(&mut observer, "p", 2, Time::from_secs(1));
+    observer.handle_message_in(
+        addr(2),
+        Message::Alive(Alive {
+            incarnation: Incarnation(2),
+            node: "p".into(),
+            addr: addr(2),
+            meta: Bytes::from_static(b"role=db"),
+        }),
+        Time::from_secs(2),
+    );
+    assert_eq!(
+        observer.member(&"p".into()).unwrap().meta.as_ref(),
+        b"role=db"
+    );
+}
+
+#[test]
+fn config_profiles_are_valid_and_ordered() {
+    let lan = Config::lan();
+    let wan = Config::wan();
+    let local = Config::local();
+    for cfg in [&lan, &wan, &local] {
+        cfg.validate().expect("profile must validate");
+    }
+    assert!(wan.probe_interval > lan.probe_interval);
+    assert!(wan.gossip_interval > lan.gossip_interval);
+    assert!(local.probe_timeout < lan.probe_timeout);
+    assert!(local.gossip_interval < lan.gossip_interval);
+}
+
+#[test]
+fn custom_awareness_deltas_are_applied() {
+    let mut cfg = Config::lan().lifeguard();
+    cfg.awareness_deltas = AwarenessDeltas {
+        probe_success: -1,
+        probe_failed: 3,
+        missed_nack: 1,
+        refute: 5,
+    };
+    let mut n = new_node(cfg);
+    add_peer(&mut n, "p", 2, Time::from_secs(1));
+    n.handle_message_in(
+        addr(2),
+        Message::Suspect(Suspect {
+            incarnation: n.incarnation(),
+            node: "local".into(),
+            from: "p".into(),
+        }),
+        Time::from_secs(2),
+    );
+    assert_eq!(n.local_health(), 5, "custom refute delta must apply");
+}

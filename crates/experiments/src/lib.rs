@@ -1,0 +1,24 @@
+//! Experiment harness reproducing the evaluation of the Lifeguard paper
+//! (DSN 2018): every table and figure of §V.
+//!
+//! * [`scenario`] — the Threshold, Interval and CPU-stress workloads with
+//!   the parameter grids of Tables II & III.
+//! * [`tables`] — drivers that run the grids and render Tables IV–VII and
+//!   Figures 1–3.
+//! * [`metrics`] — percentile/summary statistics.
+//! * [`report`] — plain-text and CSV table rendering.
+//!
+//! The `lifeguard-repro` binary wraps all of this:
+//!
+//! ```text
+//! lifeguard-repro table4 --scale quick --seed 1
+//! lifeguard-repro all --scale default --csv-dir results/
+//! ```
+
+pub mod metrics;
+pub mod report;
+pub mod scenario;
+pub mod tables;
+
+pub use report::Table;
+pub use scenario::Scale;

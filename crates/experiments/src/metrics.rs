@@ -1,0 +1,127 @@
+//! Statistics helpers for the experiment tables.
+
+use std::time::Duration;
+
+/// Percentile by linear interpolation between closest ranks.
+///
+/// `p` is in `[0, 100]`. Returns `None` for an empty sample.
+///
+/// ```
+/// use lifeguard_experiments::metrics::percentile;
+/// let xs = vec![1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&xs, 50.0), Some(2.5));
+/// assert_eq!(percentile(&xs, 100.0), Some(4.0));
+/// assert_eq!(percentile(&[], 50.0), None);
+/// ```
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return Some(sorted[0]);
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// The latency summary the paper reports in Table V: median, 99th and
+/// 99.9th percentiles, in seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Median (50th percentile), seconds.
+    pub median: f64,
+    /// 99th percentile, seconds.
+    pub p99: f64,
+    /// 99.9th percentile, seconds.
+    pub p999: f64,
+    /// Number of samples the summary is built from.
+    pub samples: usize,
+}
+
+impl LatencySummary {
+    /// Summarises a set of latency samples. Returns `None` if empty.
+    pub fn from_durations(latencies: impl IntoIterator<Item = Duration>) -> Option<Self> {
+        let secs: Vec<f64> = latencies.into_iter().map(|d| d.as_secs_f64()).collect();
+        if secs.is_empty() {
+            return None;
+        }
+        Some(LatencySummary {
+            median: percentile(&secs, 50.0).expect("non-empty"),
+            p99: percentile(&secs, 99.0).expect("non-empty"),
+            p999: percentile(&secs, 99.9).expect("non-empty"),
+            samples: secs.len(),
+        })
+    }
+}
+
+/// Formats a ratio as a percentage of a baseline, the way Tables IV, VI
+/// and VII present results ("% SWIM").
+pub fn pct_of_baseline(value: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        if value == 0.0 {
+            100.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        value / baseline * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = vec![10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 25.0), Some(20.0));
+        assert_eq!(percentile(&xs, 50.0), Some(30.0));
+        assert_eq!(percentile(&xs, 100.0), Some(50.0));
+        assert_eq!(percentile(&xs, 62.5), Some(35.0));
+    }
+
+    #[test]
+    fn percentile_handles_unsorted_input_and_single_sample() {
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), Some(2.0));
+        assert_eq!(percentile(&[7.0], 99.9), Some(7.0));
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_p() {
+        let xs = vec![1.0, 2.0];
+        assert_eq!(percentile(&xs, -5.0), Some(1.0));
+        assert_eq!(percentile(&xs, 150.0), Some(2.0));
+    }
+
+    #[test]
+    fn latency_summary_basics() {
+        let s = LatencySummary::from_durations(vec![
+            Duration::from_secs(10),
+            Duration::from_secs(12),
+            Duration::from_secs(14),
+        ])
+        .unwrap();
+        assert_eq!(s.median, 12.0);
+        assert_eq!(s.samples, 3);
+        assert!(s.p99 <= 14.0 && s.p99 > 13.0);
+        assert!(LatencySummary::from_durations(vec![]).is_none());
+    }
+
+    #[test]
+    fn pct_of_baseline_edge_cases() {
+        assert_eq!(pct_of_baseline(50.0, 100.0), 50.0);
+        assert_eq!(pct_of_baseline(0.0, 0.0), 100.0);
+        assert_eq!(pct_of_baseline(5.0, 0.0), f64::INFINITY);
+    }
+}

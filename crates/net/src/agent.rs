@@ -1,0 +1,412 @@
+//! A memberlist-style agent: the protocol core driven by real sockets.
+//!
+//! [`Agent::start`] binds one UDP socket and one TCP listener on the
+//! same port and spawns three background threads:
+//!
+//! * the **datagram loop** receives UDP packets and feeds them to the
+//!   protocol core;
+//! * the **stream loop** accepts TCP connections carrying framed
+//!   push-pull / fallback-probe messages;
+//! * the **ticker** fires the core's timers at their deadlines.
+//!
+//! Membership conclusions are delivered on a channel as [`AgentEvent`]s.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lifeguard_core::config::Config;
+use lifeguard_core::event::Event;
+use lifeguard_core::member::Member;
+use lifeguard_core::node::{Output, SwimNode};
+use lifeguard_core::time::Time;
+use lifeguard_proto::{NodeAddr, NodeName};
+use parking_lot::Mutex;
+
+use crate::transport;
+
+/// A timestamped membership event from a running agent.
+#[derive(Clone, Debug)]
+pub struct AgentEvent {
+    /// Agent-relative time the conclusion was reached.
+    pub at: Time,
+    /// The conclusion.
+    pub event: Event,
+}
+
+/// Configuration for [`Agent::start`].
+#[derive(Clone, Debug)]
+pub struct AgentConfig {
+    /// Unique node name.
+    pub name: String,
+    /// Address to bind (UDP and TCP, same port). Use port 0 to let the
+    /// OS pick.
+    pub bind: SocketAddr,
+    /// Protocol configuration.
+    pub protocol: Config,
+    /// RNG seed for the protocol core.
+    pub seed: u64,
+}
+
+impl AgentConfig {
+    /// Localhost agent with an OS-assigned port.
+    pub fn local(name: impl Into<String>) -> Self {
+        AgentConfig {
+            name: name.into(),
+            bind: "127.0.0.1:0".parse().expect("valid literal"),
+            protocol: Config::lan().lifeguard(),
+            seed: 0,
+        }
+    }
+
+    /// Replaces the protocol configuration.
+    pub fn protocol(mut self, protocol: Config) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+struct Inner {
+    node: Mutex<SwimNode>,
+    udp: UdpSocket,
+    advertised: NodeAddr,
+    start: Instant,
+    shutdown: AtomicBool,
+    events_tx: Sender<AgentEvent>,
+}
+
+impl Inner {
+    fn now(&self) -> Time {
+        Time::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    /// Executes protocol outputs against the real network.
+    fn execute(self: &Arc<Self>, outputs: Vec<Output>, now: Time) {
+        for output in outputs {
+            match output {
+                Output::Packet { to, payload } => {
+                    let _ = self.udp.send_to(&payload, to.socket_addr());
+                }
+                Output::Stream { to, msg } => {
+                    // Stream sends may block up to the connect timeout;
+                    // do them off the protocol threads.
+                    let advertised = self.advertised;
+                    std::thread::spawn(move || {
+                        let _ = transport::send_stream(to.socket_addr(), advertised, &msg);
+                    });
+                }
+                Output::Event(event) => {
+                    let _ = self.events_tx.send(AgentEvent { at: now, event });
+                }
+            }
+        }
+    }
+}
+
+/// A running group member over real UDP/TCP sockets.
+///
+/// Dropping the agent (or calling [`Agent::shutdown`]) stops it
+/// *abruptly*, which peers will detect as a failure; call
+/// [`Agent::leave`] first for a graceful departure.
+pub struct Agent {
+    inner: Arc<Inner>,
+    threads: Vec<JoinHandle<()>>,
+    events_rx: Receiver<AgentEvent>,
+}
+
+impl Agent {
+    /// Binds sockets, starts the protocol core and spawns the driver
+    /// threads.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the UDP socket and TCP listener cannot be bound to the
+    /// same address.
+    pub fn start(config: AgentConfig) -> io::Result<Agent> {
+        // Bind TCP first (possibly port 0), then UDP on the same port.
+        let tcp = TcpListener::bind(config.bind)?;
+        let addr = tcp.local_addr()?;
+        let udp = UdpSocket::bind(addr)?;
+        udp.set_read_timeout(Some(Duration::from_millis(20)))?;
+        tcp.set_nonblocking(true)?;
+
+        let advertised = NodeAddr::from(addr);
+        let (events_tx, events_rx) = unbounded();
+        let mut node = SwimNode::new(
+            NodeName::from(config.name),
+            advertised,
+            config.protocol,
+            config.seed,
+        );
+        let start = Instant::now();
+        let boot = node.start(Time::ZERO);
+        let inner = Arc::new(Inner {
+            node: Mutex::new(node),
+            udp,
+            advertised,
+            start,
+            shutdown: AtomicBool::new(false),
+            events_tx,
+        });
+        inner.execute(boot, Time::ZERO);
+
+        let mut threads = Vec::new();
+        // Datagram loop.
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(std::thread::spawn(move || {
+                let mut buf = vec![0u8; 65536];
+                while !inner.shutdown.load(Ordering::Relaxed) {
+                    match inner.udp.recv_from(&mut buf) {
+                        Ok((len, from)) => {
+                            let now = inner.now();
+                            let outputs = {
+                                let mut node = inner.node.lock();
+                                node.handle_datagram(NodeAddr::from(from), &buf[..len], now)
+                            };
+                            if let Ok(outputs) = outputs {
+                                inner.execute(outputs, now);
+                            }
+                        }
+                        Err(ref e)
+                            if e.kind() == io::ErrorKind::WouldBlock
+                                || e.kind() == io::ErrorKind::TimedOut => {}
+                        Err(_) => break,
+                    }
+                }
+            }));
+        }
+        // Stream loop.
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(std::thread::spawn(move || {
+                while !inner.shutdown.load(Ordering::Relaxed) {
+                    match tcp.accept() {
+                        Ok((mut stream, _)) => {
+                            let _ = stream.set_read_timeout(Some(transport::STREAM_TIMEOUT));
+                            if let Ok((from, msg)) = transport::read_frame(&mut stream) {
+                                let now = inner.now();
+                                let outputs = {
+                                    let mut node = inner.node.lock();
+                                    node.handle_stream(from, msg, now)
+                                };
+                                inner.execute(outputs, now);
+                            }
+                        }
+                        Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }));
+        }
+        // Ticker.
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(std::thread::spawn(move || {
+                while !inner.shutdown.load(Ordering::Relaxed) {
+                    let now = inner.now();
+                    let (outputs, next) = {
+                        let mut node = inner.node.lock();
+                        let outputs = match node.next_wake() {
+                            Some(wake) if wake <= now => node.tick(now),
+                            _ => Vec::new(),
+                        };
+                        (outputs, node.next_wake())
+                    };
+                    inner.execute(outputs, now);
+                    let sleep = next
+                        .map(|w| w.saturating_since(inner.now()))
+                        .unwrap_or(Duration::from_millis(20))
+                        .min(Duration::from_millis(20))
+                        .max(Duration::from_millis(1));
+                    std::thread::sleep(sleep);
+                }
+            }));
+        }
+
+        Ok(Agent {
+            inner,
+            threads,
+            events_rx,
+        })
+    }
+
+    /// The agent's advertised address (bound UDP/TCP port).
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.advertised.socket_addr()
+    }
+
+    /// The agent's node name.
+    pub fn name(&self) -> NodeName {
+        self.inner.node.lock().name().clone()
+    }
+
+    /// Joins a cluster through the given seed addresses.
+    pub fn join(&self, seeds: &[SocketAddr]) {
+        let now = self.inner.now();
+        let outputs = {
+            let mut node = self.inner.node.lock();
+            let seeds: Vec<NodeAddr> = seeds.iter().map(|&s| NodeAddr::from(s)).collect();
+            node.join(&seeds, now)
+        };
+        self.inner.execute(outputs, now);
+    }
+
+    /// Gracefully leaves the group (peers observe a leave, not a
+    /// failure).
+    pub fn leave(&self) {
+        let now = self.inner.now();
+        let outputs = self.inner.node.lock().leave(now);
+        self.inner.execute(outputs, now);
+    }
+
+    /// Snapshot of the membership table.
+    pub fn members(&self) -> Vec<Member> {
+        self.inner.node.lock().members().cloned().collect()
+    }
+
+    /// Number of members believed alive (including self).
+    pub fn num_alive(&self) -> usize {
+        self.inner.node.lock().num_alive()
+    }
+
+    /// Current Local Health Multiplier score.
+    pub fn local_health(&self) -> u32 {
+        self.inner.node.lock().local_health()
+    }
+
+    /// The membership event channel.
+    pub fn events(&self) -> &Receiver<AgentEvent> {
+        &self.events_rx
+    }
+
+    /// Stops the agent abruptly (no leave message) and joins its
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Agent {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        // Threads exit on their next poll; detach rather than join so
+        // drop never blocks (C-DTOR-BLOCK).
+    }
+}
+
+impl std::fmt::Debug for Agent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Agent")
+            .field("addr", &self.addr())
+            .field("num_alive", &self.num_alive())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// A sped-up protocol config so socket tests finish in seconds.
+    fn fast() -> Config {
+        let mut cfg = Config::lan()
+            .lifeguard()
+            .with_probe_timing(Duration::from_millis(200), Duration::from_millis(100));
+        cfg.gossip_interval = Duration::from_millis(50);
+        cfg.suspicion_alpha = 3.0;
+        cfg.suspicion_beta = 2.0;
+        cfg.push_pull_interval = Some(Duration::from_secs(2));
+        cfg
+    }
+
+    fn wait_for(deadline: Duration, mut check: impl FnMut() -> bool) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < deadline {
+            if check() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        false
+    }
+
+    #[test]
+    fn three_agents_converge_over_localhost() {
+        let a = Agent::start(AgentConfig::local("a").protocol(fast()).seed(1)).unwrap();
+        let b = Agent::start(AgentConfig::local("b").protocol(fast()).seed(2)).unwrap();
+        let c = Agent::start(AgentConfig::local("c").protocol(fast()).seed(3)).unwrap();
+        b.join(&[a.addr()]);
+        c.join(&[a.addr()]);
+        assert!(
+            wait_for(Duration::from_secs(10), || {
+                a.num_alive() == 3 && b.num_alive() == 3 && c.num_alive() == 3
+            }),
+            "agents failed to converge: a={} b={} c={}",
+            a.num_alive(),
+            b.num_alive(),
+            c.num_alive()
+        );
+        a.shutdown();
+        b.shutdown();
+        c.shutdown();
+    }
+
+    #[test]
+    fn abrupt_shutdown_is_detected_as_failure() {
+        let a = Agent::start(AgentConfig::local("a").protocol(fast()).seed(4)).unwrap();
+        let b = Agent::start(AgentConfig::local("b").protocol(fast()).seed(5)).unwrap();
+        b.join(&[a.addr()]);
+        assert!(wait_for(Duration::from_secs(10), || a.num_alive() == 2
+            && b.num_alive() == 2));
+        b.shutdown();
+        // Suspicion min = 3 * max(1, log10(2)) * 200ms = 600ms, max 1.2s.
+        assert!(
+            wait_for(Duration::from_secs(20), || {
+                a.events().try_iter().any(|e| {
+                    matches!(&e.event, Event::MemberFailed { name, .. } if name.as_str() == "b")
+                }) || a
+                    .members()
+                    .iter()
+                    .any(|m| m.name.as_str() == "b" && !m.is_live())
+            }),
+            "b's failure was never detected"
+        );
+        a.shutdown();
+    }
+
+    #[test]
+    fn graceful_leave_is_not_a_failure() {
+        let a = Agent::start(AgentConfig::local("a").protocol(fast()).seed(6)).unwrap();
+        let b = Agent::start(AgentConfig::local("b").protocol(fast()).seed(7)).unwrap();
+        b.join(&[a.addr()]);
+        assert!(wait_for(Duration::from_secs(10), || a.num_alive() == 2));
+        b.leave();
+        assert!(
+            wait_for(Duration::from_secs(10), || {
+                a.events()
+                    .try_iter()
+                    .any(|e| matches!(&e.event, Event::MemberLeft { name } if name.as_str() == "b"))
+            }),
+            "leave event never observed"
+        );
+        b.shutdown();
+        a.shutdown();
+    }
+}

@@ -1,0 +1,24 @@
+//! Real-network runtime for the Lifeguard/SWIM protocol core.
+//!
+//! [`agent::Agent`] is a memberlist-style daemon: it drives a
+//! [`lifeguard_core::node::SwimNode`] with real UDP datagrams, TCP
+//! streams and OS timers. Use it to run an actual failure-detection
+//! cluster:
+//!
+//! ```no_run
+//! use lifeguard_net::agent::{Agent, AgentConfig};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let seed = Agent::start(AgentConfig::local("seed"))?;
+//! let member = Agent::start(AgentConfig::local("member"))?;
+//! member.join(&[seed.addr()]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod agent;
+pub mod local_cluster;
+pub mod transport;
+
+pub use agent::{Agent, AgentConfig, AgentEvent};
+pub use local_cluster::LocalCluster;

@@ -1,0 +1,182 @@
+//! Wire transport over real sockets.
+//!
+//! * Datagrams: one UDP socket, packets already compound-encoded by the
+//!   protocol core.
+//! * Streams: one short-lived TCP connection per message (push-pull
+//!   sync, fallback probes), framed as
+//!   `[sender advertised addr][u32 length][encoded message]` so the
+//!   receiver can route replies to the sender's listener rather than the
+//!   ephemeral connection source.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use bytes::{BufMut, BytesMut};
+use lifeguard_proto::{codec, DecodeError, Message, NodeAddr};
+
+/// Maximum accepted stream frame (a push-pull of a few thousand members
+/// fits comfortably).
+pub const MAX_STREAM_FRAME: usize = 16 * 1024 * 1024;
+
+/// I/O timeout for stream sends and reads.
+pub const STREAM_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Errors from stream framing.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// Malformed frame or message.
+    Decode(DecodeError),
+    /// Frame length exceeded [`MAX_STREAM_FRAME`].
+    Oversized(usize),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "stream i/o error: {e}"),
+            StreamError::Decode(e) => write!(f, "stream decode error: {e}"),
+            StreamError::Oversized(n) => write!(f, "stream frame of {n} bytes is oversized"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Io(e) => Some(e),
+            StreamError::Decode(e) => Some(e),
+            StreamError::Oversized(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for StreamError {
+    fn from(e: io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+impl From<DecodeError> for StreamError {
+    fn from(e: DecodeError) -> Self {
+        StreamError::Decode(e)
+    }
+}
+
+/// Encodes a stream frame: sender address, length, message.
+pub fn encode_frame(sender: NodeAddr, msg: &Message) -> Vec<u8> {
+    let body = codec::encode_message(msg);
+    let mut buf = BytesMut::with_capacity(body.len() + 32);
+    match sender.ip() {
+        std::net::IpAddr::V4(ip) => {
+            buf.put_u8(4);
+            buf.put_slice(&ip.octets());
+        }
+        std::net::IpAddr::V6(ip) => {
+            buf.put_u8(6);
+            buf.put_slice(&ip.octets());
+        }
+    }
+    buf.put_u16(sender.port());
+    buf.put_u32(body.len() as u32);
+    buf.put_slice(&body);
+    buf.to_vec()
+}
+
+/// Reads one frame from a stream.
+///
+/// # Errors
+///
+/// Fails on socket errors, oversized frames, or malformed messages.
+pub fn read_frame(stream: &mut impl Read) -> Result<(NodeAddr, Message), StreamError> {
+    let mut family = [0u8; 1];
+    stream.read_exact(&mut family)?;
+    let ip: std::net::IpAddr = match family[0] {
+        4 => {
+            let mut o = [0u8; 4];
+            stream.read_exact(&mut o)?;
+            std::net::IpAddr::from(o)
+        }
+        6 => {
+            let mut o = [0u8; 16];
+            stream.read_exact(&mut o)?;
+            std::net::IpAddr::from(o)
+        }
+        other => return Err(StreamError::Decode(DecodeError::UnknownAddrFamily(other))),
+    };
+    let mut buf2 = [0u8; 2];
+    stream.read_exact(&mut buf2)?;
+    let port = u16::from_be_bytes(buf2);
+    let mut buf4 = [0u8; 4];
+    stream.read_exact(&mut buf4)?;
+    let len = u32::from_be_bytes(buf4) as usize;
+    if len > MAX_STREAM_FRAME {
+        return Err(StreamError::Oversized(len));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    let msg = codec::decode_message(&body)?;
+    Ok((NodeAddr::from(SocketAddr::new(ip, port)), msg))
+}
+
+/// Sends one framed message over a fresh TCP connection.
+///
+/// # Errors
+///
+/// Fails if the connection cannot be established or written within
+/// [`STREAM_TIMEOUT`].
+pub fn send_stream(to: SocketAddr, sender: NodeAddr, msg: &Message) -> Result<(), StreamError> {
+    let mut stream = TcpStream::connect_timeout(&to, STREAM_TIMEOUT)?;
+    stream.set_write_timeout(Some(STREAM_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    stream.write_all(&encode_frame(sender, msg))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifeguard_proto::{Ack, SeqNo};
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrip() {
+        let sender = NodeAddr::new([127, 0, 0, 1], 7001);
+        let msg = Message::Ack(Ack { seq: SeqNo(77) });
+        let frame = encode_frame(sender, &msg);
+        let (from, back) = read_frame(&mut Cursor::new(frame)).unwrap();
+        assert_eq!(from, sender);
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn truncated_frame_errors() {
+        let sender = NodeAddr::new([127, 0, 0, 1], 7001);
+        let msg = Message::Ack(Ack { seq: SeqNo(77) });
+        let frame = encode_frame(sender, &msg);
+        for cut in [0usize, 3, 7, frame.len() - 1] {
+            assert!(read_frame(&mut Cursor::new(&frame[..cut])).is_err());
+        }
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut frame = Vec::new();
+        frame.push(4u8);
+        frame.extend_from_slice(&[127, 0, 0, 1]);
+        frame.extend_from_slice(&7001u16.to_be_bytes());
+        frame.extend_from_slice(&(u32::MAX).to_be_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(frame)),
+            Err(StreamError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn stream_error_display() {
+        let e = StreamError::Oversized(5);
+        assert!(e.to_string().contains("oversized"));
+    }
+}

@@ -1,0 +1,479 @@
+//! Hand-rolled binary wire codec.
+//!
+//! The format is deliberately simple and deterministic: a one-byte tag
+//! followed by fixed-order fields. Integers are big-endian; strings and
+//! byte blobs are length-prefixed with `u16`; addresses are encoded as an
+//! address-family byte (4 or 6), the raw IP octets, and a `u16` port.
+//!
+//! The encoded size of a message is stable, which the gossip queue relies
+//! on when packing compound packets against the MTU budget.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
+
+use crate::error::DecodeError;
+use crate::messages::{
+    Ack, Alive, Dead, IndirectPing, Message, Nack, Ping, PushNodeState, PushPull, Suspect,
+};
+use crate::types::{Incarnation, MemberState, NodeAddr, NodeName, SeqNo};
+
+/// Wire tag for each message type. `COMPOUND_TAG` is reserved for packets
+/// carrying multiple messages (see [`crate::compound`]).
+pub(crate) const TAG_PING: u8 = 0;
+pub(crate) const TAG_INDIRECT_PING: u8 = 1;
+pub(crate) const TAG_ACK: u8 = 2;
+pub(crate) const TAG_NACK: u8 = 3;
+pub(crate) const TAG_SUSPECT: u8 = 4;
+pub(crate) const TAG_ALIVE: u8 = 5;
+pub(crate) const TAG_DEAD: u8 = 6;
+pub(crate) const TAG_PUSH_PULL: u8 = 7;
+/// Tag marking a compound packet.
+pub const COMPOUND_TAG: u8 = 255;
+
+/// Encodes a single message into a fresh buffer.
+///
+/// ```
+/// use lifeguard_proto::{codec, Message, Nack, SeqNo};
+/// let bytes = codec::encode_message(&Message::Nack(Nack { seq: SeqNo(7) }));
+/// assert_eq!(bytes.len(), codec::encoded_len(&Message::Nack(Nack { seq: SeqNo(7) })));
+/// ```
+pub fn encode_message(msg: &Message) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_len(msg));
+    encode_into(msg, &mut buf);
+    buf.freeze()
+}
+
+/// Appends the encoding of `msg` to `buf`.
+pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
+    match msg {
+        Message::Ping(p) => {
+            buf.put_u8(TAG_PING);
+            buf.put_u32(p.seq.0);
+            put_name(buf, &p.target);
+            put_name(buf, &p.source);
+            put_addr(buf, p.source_addr);
+        }
+        Message::IndirectPing(p) => {
+            buf.put_u8(TAG_INDIRECT_PING);
+            buf.put_u32(p.seq.0);
+            put_name(buf, &p.target);
+            put_addr(buf, p.target_addr);
+            buf.put_u8(p.nack as u8);
+            put_name(buf, &p.source);
+            put_addr(buf, p.source_addr);
+        }
+        Message::Ack(a) => {
+            buf.put_u8(TAG_ACK);
+            buf.put_u32(a.seq.0);
+        }
+        Message::Nack(n) => {
+            buf.put_u8(TAG_NACK);
+            buf.put_u32(n.seq.0);
+        }
+        Message::Suspect(s) => {
+            buf.put_u8(TAG_SUSPECT);
+            buf.put_u64(s.incarnation.0);
+            put_name(buf, &s.node);
+            put_name(buf, &s.from);
+        }
+        Message::Alive(a) => {
+            buf.put_u8(TAG_ALIVE);
+            buf.put_u64(a.incarnation.0);
+            put_name(buf, &a.node);
+            put_addr(buf, a.addr);
+            put_blob(buf, &a.meta);
+        }
+        Message::Dead(d) => {
+            buf.put_u8(TAG_DEAD);
+            buf.put_u64(d.incarnation.0);
+            put_name(buf, &d.node);
+            put_name(buf, &d.from);
+        }
+        Message::PushPull(pp) => {
+            buf.put_u8(TAG_PUSH_PULL);
+            let flags = (pp.join as u8) | ((pp.reply as u8) << 1);
+            buf.put_u8(flags);
+            buf.put_u32(pp.states.len() as u32);
+            for st in &pp.states {
+                put_name(buf, &st.name);
+                put_addr(buf, st.addr);
+                buf.put_u64(st.incarnation.0);
+                buf.put_u8(st.state.as_u8());
+                put_blob(buf, &st.meta);
+            }
+        }
+    }
+}
+
+/// Exact number of bytes [`encode_into`] will append for `msg`.
+///
+/// Used by the gossip queue to budget compound packets without encoding
+/// speculatively.
+pub fn encoded_len(msg: &Message) -> usize {
+    match msg {
+        Message::Ping(p) => 1 + 4 + name_len(&p.target) + name_len(&p.source) + addr_len(p.source_addr),
+        Message::IndirectPing(p) => {
+            1 + 4
+                + name_len(&p.target)
+                + addr_len(p.target_addr)
+                + 1
+                + name_len(&p.source)
+                + addr_len(p.source_addr)
+        }
+        Message::Ack(_) | Message::Nack(_) => 1 + 4,
+        Message::Suspect(s) => 1 + 8 + name_len(&s.node) + name_len(&s.from),
+        Message::Alive(a) => 1 + 8 + name_len(&a.node) + addr_len(a.addr) + 2 + a.meta.len(),
+        Message::Dead(d) => 1 + 8 + name_len(&d.node) + name_len(&d.from),
+        Message::PushPull(pp) => {
+            1 + 1
+                + 4
+                + pp.states
+                    .iter()
+                    .map(|st| name_len(&st.name) + addr_len(st.addr) + 8 + 1 + 2 + st.meta.len())
+                    .sum::<usize>()
+        }
+    }
+}
+
+/// Decodes exactly one message, rejecting trailing bytes.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the buffer is truncated, malformed, or
+/// longer than one message.
+pub fn decode_message(bytes: &[u8]) -> Result<Message, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let msg = decode_from(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(DecodeError::TrailingBytes(r.remaining()));
+    }
+    Ok(msg)
+}
+
+/// Decodes one message from the reader, leaving any following bytes.
+pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<Message, DecodeError> {
+    let tag = r.get_u8()?;
+    match tag {
+        TAG_PING => Ok(Message::Ping(Ping {
+            seq: SeqNo(r.get_u32()?),
+            target: r.get_name()?,
+            source: r.get_name()?,
+            source_addr: r.get_addr()?,
+        })),
+        TAG_INDIRECT_PING => Ok(Message::IndirectPing(IndirectPing {
+            seq: SeqNo(r.get_u32()?),
+            target: r.get_name()?,
+            target_addr: r.get_addr()?,
+            nack: r.get_u8()? != 0,
+            source: r.get_name()?,
+            source_addr: r.get_addr()?,
+        })),
+        TAG_ACK => Ok(Message::Ack(Ack {
+            seq: SeqNo(r.get_u32()?),
+        })),
+        TAG_NACK => Ok(Message::Nack(Nack {
+            seq: SeqNo(r.get_u32()?),
+        })),
+        TAG_SUSPECT => Ok(Message::Suspect(Suspect {
+            incarnation: Incarnation(r.get_u64()?),
+            node: r.get_name()?,
+            from: r.get_name()?,
+        })),
+        TAG_ALIVE => Ok(Message::Alive(Alive {
+            incarnation: Incarnation(r.get_u64()?),
+            node: r.get_name()?,
+            addr: r.get_addr()?,
+            meta: r.get_blob()?,
+        })),
+        TAG_DEAD => Ok(Message::Dead(Dead {
+            incarnation: Incarnation(r.get_u64()?),
+            node: r.get_name()?,
+            from: r.get_name()?,
+        })),
+        TAG_PUSH_PULL => {
+            let flags = r.get_u8()?;
+            let count = r.get_u32()? as usize;
+            let mut states = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                states.push(PushNodeState {
+                    name: r.get_name()?,
+                    addr: r.get_addr()?,
+                    incarnation: Incarnation(r.get_u64()?),
+                    state: {
+                        let b = r.get_u8()?;
+                        MemberState::from_u8(b).ok_or(DecodeError::UnknownState(b))?
+                    },
+                    meta: r.get_blob()?,
+                });
+            }
+            Ok(Message::PushPull(PushPull {
+                join: flags & 1 != 0,
+                reply: flags & 2 != 0,
+                states,
+            }))
+        }
+        other => Err(DecodeError::UnknownTag(other)),
+    }
+}
+
+fn name_len(n: &NodeName) -> usize {
+    2 + n.len()
+}
+
+fn addr_len(a: NodeAddr) -> usize {
+    match a.ip() {
+        IpAddr::V4(_) => 1 + 4 + 2,
+        IpAddr::V6(_) => 1 + 16 + 2,
+    }
+}
+
+fn put_name(buf: &mut BytesMut, n: &NodeName) {
+    debug_assert!(n.len() <= u16::MAX as usize, "node name too long");
+    buf.put_u16(n.len() as u16);
+    buf.put_slice(n.as_str().as_bytes());
+}
+
+fn put_blob(buf: &mut BytesMut, b: &[u8]) {
+    debug_assert!(b.len() <= u16::MAX as usize, "metadata blob too long");
+    buf.put_u16(b.len() as u16);
+    buf.put_slice(b);
+}
+
+fn put_addr(buf: &mut BytesMut, a: NodeAddr) {
+    match a.ip() {
+        IpAddr::V4(ip) => {
+            buf.put_u8(4);
+            buf.put_slice(&ip.octets());
+        }
+        IpAddr::V6(ip) => {
+            buf.put_u8(6);
+            buf.put_slice(&ip.octets());
+        }
+    }
+    buf.put_u16(a.port());
+}
+
+/// Cursor over a byte slice used by the decoder.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        let s = self.take(1)?;
+        Ok(s[0])
+    }
+
+    pub(crate) fn get_u16(&mut self) -> Result<u16, DecodeError> {
+        let s = self.take(2)?;
+        Ok(u16::from_be_bytes([s[0], s[1]]))
+    }
+
+    fn get_u32(&mut self) -> Result<u32, DecodeError> {
+        let s = self.take(4)?;
+        Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn get_u64(&mut self) -> Result<u64, DecodeError> {
+        let s = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_be_bytes(b))
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn get_name(&mut self) -> Result<NodeName, DecodeError> {
+        let len = self.get_u16()? as usize;
+        let raw = self.take(len)?;
+        let s = std::str::from_utf8(raw).map_err(|_| DecodeError::InvalidUtf8)?;
+        Ok(NodeName::from(s))
+    }
+
+    fn get_blob(&mut self) -> Result<Bytes, DecodeError> {
+        let len = self.get_u16()? as usize;
+        let raw = self.take(len)?;
+        Ok(Bytes::copy_from_slice(raw))
+    }
+
+    fn get_addr(&mut self) -> Result<NodeAddr, DecodeError> {
+        let family = self.get_u8()?;
+        let ip = match family {
+            4 => {
+                let o = self.take(4)?;
+                IpAddr::V4(Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+            }
+            6 => {
+                let o = self.take(16)?;
+                let mut b = [0u8; 16];
+                b.copy_from_slice(o);
+                IpAddr::V6(Ipv6Addr::from(b))
+            }
+            other => return Err(DecodeError::UnknownAddrFamily(other)),
+        };
+        let port = self.get_u16()?;
+        Ok(NodeAddr::from(SocketAddr::new(ip, port)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_messages() -> Vec<Message> {
+        let a = NodeAddr::new([10, 0, 0, 1], 7946);
+        let b = NodeAddr::new([10, 0, 0, 2], 7946);
+        vec![
+            Message::Ping(Ping {
+                seq: SeqNo(1),
+                target: "b".into(),
+                source: "a".into(),
+                source_addr: a,
+            }),
+            Message::IndirectPing(IndirectPing {
+                seq: SeqNo(2),
+                target: "c".into(),
+                target_addr: b,
+                nack: true,
+                source: "a".into(),
+                source_addr: a,
+            }),
+            Message::Ack(Ack { seq: SeqNo(3) }),
+            Message::Nack(Nack { seq: SeqNo(4) }),
+            Message::Suspect(Suspect {
+                incarnation: Incarnation(5),
+                node: "b".into(),
+                from: "a".into(),
+            }),
+            Message::Alive(Alive {
+                incarnation: Incarnation(6),
+                node: "b".into(),
+                addr: b,
+                meta: Bytes::from_static(b"meta"),
+            }),
+            Message::Dead(Dead {
+                incarnation: Incarnation(7),
+                node: "b".into(),
+                from: "a".into(),
+            }),
+            Message::PushPull(PushPull {
+                join: true,
+                reply: false,
+                states: vec![PushNodeState {
+                    name: "a".into(),
+                    addr: a,
+                    incarnation: Incarnation(1),
+                    state: MemberState::Alive,
+                    meta: Bytes::new(),
+                }],
+            }),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_message_types() {
+        for msg in sample_messages() {
+            let bytes = encode_message(&msg);
+            let back = decode_message(&bytes).expect("decode");
+            assert_eq!(msg, back);
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_encoding() {
+        for msg in sample_messages() {
+            assert_eq!(encode_message(&msg).len(), encoded_len(&msg), "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn ipv6_addresses_roundtrip() {
+        let addr = NodeAddr::from("[2001:db8::1]:7946".parse::<SocketAddr>().unwrap());
+        let msg = Message::Alive(Alive {
+            incarnation: Incarnation(1),
+            node: "v6".into(),
+            addr,
+            meta: Bytes::new(),
+        });
+        assert_eq!(decode_message(&encode_message(&msg)).unwrap(), msg);
+        assert_eq!(encode_message(&msg).len(), encoded_len(&msg));
+    }
+
+    #[test]
+    fn truncated_buffer_is_rejected() {
+        let bytes = encode_message(&Message::Ack(Ack { seq: SeqNo(9) }));
+        for cut in 0..bytes.len() {
+            assert!(decode_message(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_message(&Message::Ack(Ack { seq: SeqNo(9) })).to_vec();
+        bytes.push(0);
+        assert_eq!(
+            decode_message(&bytes),
+            Err(DecodeError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert_eq!(decode_message(&[42]), Err(DecodeError::UnknownTag(42)));
+    }
+
+    #[test]
+    fn invalid_utf8_name_is_rejected() {
+        // Hand-craft a suspect message with a bad name.
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_SUSPECT);
+        buf.put_u64(0);
+        buf.put_u16(2);
+        buf.put_slice(&[0xff, 0xfe]);
+        buf.put_u16(0);
+        assert_eq!(decode_message(&buf), Err(DecodeError::InvalidUtf8));
+    }
+
+    #[test]
+    fn unknown_state_in_push_pull_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_PUSH_PULL);
+        buf.put_u8(0);
+        buf.put_u32(1);
+        buf.put_u16(1);
+        buf.put_slice(b"a");
+        buf.put_u8(4);
+        buf.put_slice(&[10, 0, 0, 1]);
+        buf.put_u16(1);
+        buf.put_u64(0);
+        buf.put_u8(99); // invalid state
+        buf.put_u16(0);
+        assert_eq!(decode_message(&buf), Err(DecodeError::UnknownState(99)));
+    }
+
+    #[test]
+    fn empty_push_pull_roundtrips() {
+        let msg = Message::PushPull(PushPull {
+            join: false,
+            reply: true,
+            states: vec![],
+        });
+        assert_eq!(decode_message(&encode_message(&msg)).unwrap(), msg);
+    }
+}

@@ -1,0 +1,305 @@
+//! Compound packets: several messages in one datagram.
+//!
+//! SWIM piggybacks gossip on failure-detector traffic; memberlist realises
+//! this by packing a `ping`/`ack` together with queued gossip messages into
+//! a single UDP datagram. A compound packet is:
+//!
+//! ```text
+//! [COMPOUND_TAG u8][count u8]([len u16] * count)([payload bytes] * count)
+//! ```
+//!
+//! A packet containing exactly one message is sent bare (no compound
+//! framing), which is what memberlist does and what keeps the byte counts
+//! of Table VI honest.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::codec::{self, COMPOUND_TAG};
+use crate::error::DecodeError;
+use crate::messages::Message;
+
+/// Maximum number of parts in one compound packet (count is a `u8`).
+pub const MAX_COMPOUND_PARTS: usize = 255;
+
+/// Incrementally builds a datagram under a byte budget.
+///
+/// Messages are added pre-encoded (the gossip queue stores encoded
+/// broadcasts); [`CompoundBuilder::try_add`] refuses additions that would
+/// exceed the budget so callers can stop filling.
+///
+/// ```
+/// use lifeguard_proto::{compound::CompoundBuilder, codec, Message, Ack, SeqNo};
+///
+/// let mut b = CompoundBuilder::new(1400);
+/// let ack = codec::encode_message(&Message::Ack(Ack { seq: SeqNo(1) }));
+/// assert!(b.try_add(ack));
+/// let packet = b.finish().expect("one message");
+/// let msgs = lifeguard_proto::compound::decode_packet(&packet).unwrap();
+/// assert_eq!(msgs.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct CompoundBuilder {
+    budget: usize,
+    parts: Vec<Bytes>,
+    payload_len: usize,
+}
+
+impl CompoundBuilder {
+    /// Creates a builder that will keep the final packet within `budget`
+    /// bytes (unless a single first message alone exceeds it, which is
+    /// always permitted so oversized messages can still be sent).
+    pub fn new(budget: usize) -> Self {
+        CompoundBuilder {
+            budget,
+            parts: Vec::new(),
+            payload_len: 0,
+        }
+    }
+
+    /// Bytes the packet would occupy if finished now.
+    pub fn current_len(&self) -> usize {
+        match self.parts.len() {
+            0 => 0,
+            1 => self.parts[0].len(),
+            n => 2 + 2 * n + self.payload_len,
+        }
+    }
+
+    /// Number of messages added so far.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether no messages have been added.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Remaining budget for one more part, accounting for framing overhead.
+    ///
+    /// Returns `usize::MAX` for the first message (a lone oversized message
+    /// is always allowed through).
+    pub fn remaining(&self) -> usize {
+        if self.parts.is_empty() {
+            return usize::MAX;
+        }
+        // Adding part n+1 switches (or keeps) compound framing:
+        // header 2 bytes + 2 bytes length prefix per part.
+        let framed_now = 2 + 2 * (self.parts.len() + 1) + self.payload_len;
+        self.budget.saturating_sub(framed_now)
+    }
+
+    /// Adds a pre-encoded message if it fits in the remaining budget and
+    /// the part-count limit. Returns whether it was added.
+    pub fn try_add(&mut self, encoded: Bytes) -> bool {
+        if self.parts.len() >= MAX_COMPOUND_PARTS {
+            return false;
+        }
+        if !self.parts.is_empty() && encoded.len() > self.remaining() {
+            return false;
+        }
+        self.payload_len += encoded.len();
+        self.parts.push(encoded);
+        true
+    }
+
+    /// Finishes the packet: `None` if empty, a bare message if one part,
+    /// a compound frame otherwise.
+    pub fn finish(self) -> Option<Bytes> {
+        match self.parts.len() {
+            0 => None,
+            1 => Some(self.parts.into_iter().next().expect("one part")),
+            n => {
+                let mut buf = BytesMut::with_capacity(2 + 2 * n + self.payload_len);
+                buf.put_u8(COMPOUND_TAG);
+                buf.put_u8(n as u8);
+                for p in &self.parts {
+                    debug_assert!(p.len() <= u16::MAX as usize);
+                    buf.put_u16(p.len() as u16);
+                }
+                for p in &self.parts {
+                    buf.put_slice(p);
+                }
+                Some(buf.freeze())
+            }
+        }
+    }
+}
+
+/// Packs pre-encoded messages into as few packets as possible, each within
+/// `budget` bytes. Never drops a message; order is preserved.
+pub fn pack_all(encoded: impl IntoIterator<Item = Bytes>, budget: usize) -> Vec<Bytes> {
+    let mut packets = Vec::new();
+    let mut builder = CompoundBuilder::new(budget);
+    for msg in encoded {
+        if !builder.try_add(msg.clone()) {
+            if let Some(p) = std::mem::replace(&mut builder, CompoundBuilder::new(budget)).finish()
+            {
+                packets.push(p);
+            }
+            let added = builder.try_add(msg);
+            debug_assert!(added, "first message always fits");
+        }
+    }
+    if let Some(p) = builder.finish() {
+        packets.push(p);
+    }
+    packets
+}
+
+/// Decodes a datagram into its constituent messages, transparently
+/// unwrapping compound framing.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the packet is malformed; a compound packet
+/// whose declared part lengths overrun the payload yields
+/// [`DecodeError::TruncatedCompound`].
+pub fn decode_packet(bytes: &[u8]) -> Result<Vec<Message>, DecodeError> {
+    if bytes.first() == Some(&COMPOUND_TAG) {
+        let mut r = codec::Reader::new(&bytes[1..]);
+        let count = r.get_u8()? as usize;
+        let mut lens = Vec::with_capacity(count);
+        for _ in 0..count {
+            lens.push(r.get_u16()? as usize);
+        }
+        let mut msgs = Vec::with_capacity(count);
+        for len in lens {
+            let part = r.take(len).map_err(|_| DecodeError::TruncatedCompound)?;
+            msgs.push(codec::decode_message(part)?);
+        }
+        if r.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes(r.remaining()));
+        }
+        Ok(msgs)
+    } else {
+        Ok(vec![codec::decode_message(bytes)?])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{Ack, Alive, Suspect};
+    use crate::types::{Incarnation, NodeAddr, SeqNo};
+
+    fn enc(m: &Message) -> Bytes {
+        codec::encode_message(m)
+    }
+
+    fn ack(seq: u32) -> Message {
+        Message::Ack(Ack { seq: SeqNo(seq) })
+    }
+
+    #[test]
+    fn single_message_is_sent_bare() {
+        let mut b = CompoundBuilder::new(1400);
+        assert!(b.try_add(enc(&ack(1))));
+        let packet = b.finish().unwrap();
+        assert_ne!(packet[0], COMPOUND_TAG);
+        assert_eq!(decode_packet(&packet).unwrap(), vec![ack(1)]);
+    }
+
+    #[test]
+    fn empty_builder_finishes_to_none() {
+        assert!(CompoundBuilder::new(100).finish().is_none());
+        assert!(CompoundBuilder::new(100).is_empty());
+    }
+
+    #[test]
+    fn multiple_messages_roundtrip_in_order() {
+        let msgs: Vec<Message> = (0..10).map(ack).collect();
+        let mut b = CompoundBuilder::new(1400);
+        for m in &msgs {
+            assert!(b.try_add(enc(m)));
+        }
+        assert_eq!(b.len(), 10);
+        let packet = b.finish().unwrap();
+        assert_eq!(packet[0], COMPOUND_TAG);
+        assert_eq!(decode_packet(&packet).unwrap(), msgs);
+    }
+
+    #[test]
+    fn budget_is_respected_after_first_message() {
+        let big = Message::Alive(Alive {
+            incarnation: Incarnation(1),
+            node: "x".into(),
+            addr: NodeAddr::new([10, 0, 0, 1], 1),
+            meta: Bytes::from(vec![0u8; 300]),
+        });
+        let mut b = CompoundBuilder::new(400);
+        assert!(b.try_add(enc(&big)));
+        // Second large message exceeds the 400-byte budget.
+        assert!(!b.try_add(enc(&big)));
+        let packet = b.finish().unwrap();
+        assert!(packet.len() <= 400);
+    }
+
+    #[test]
+    fn oversized_first_message_is_allowed() {
+        let big = Message::Alive(Alive {
+            incarnation: Incarnation(1),
+            node: "x".into(),
+            addr: NodeAddr::new([10, 0, 0, 1], 1),
+            meta: Bytes::from(vec![0u8; 2000]),
+        });
+        let mut b = CompoundBuilder::new(1400);
+        assert!(b.try_add(enc(&big)));
+        assert!(b.finish().unwrap().len() > 1400);
+    }
+
+    #[test]
+    fn current_len_tracks_framing() {
+        let mut b = CompoundBuilder::new(1400);
+        assert_eq!(b.current_len(), 0);
+        let a = enc(&ack(1));
+        b.try_add(a.clone());
+        assert_eq!(b.current_len(), a.len());
+        b.try_add(a.clone());
+        assert_eq!(b.current_len(), 2 + 4 + 2 * a.len());
+        let packet = b.finish().unwrap();
+        assert_eq!(packet.len(), 2 + 4 + 2 * a.len());
+    }
+
+    #[test]
+    fn part_count_limit_enforced() {
+        let mut b = CompoundBuilder::new(usize::MAX);
+        for i in 0..MAX_COMPOUND_PARTS {
+            assert!(b.try_add(enc(&ack(i as u32))));
+        }
+        assert!(!b.try_add(enc(&ack(9999))));
+    }
+
+    #[test]
+    fn pack_all_preserves_every_message() {
+        let msgs: Vec<Message> = (0..100)
+            .map(|i| {
+                Message::Suspect(Suspect {
+                    incarnation: Incarnation(i),
+                    node: format!("node-{i}").into(),
+                    from: "me".into(),
+                })
+            })
+            .collect();
+        let packets = pack_all(msgs.iter().map(enc), 128);
+        assert!(packets.len() > 1);
+        let mut decoded = Vec::new();
+        for p in &packets {
+            assert!(p.len() <= 128, "packet over budget: {}", p.len());
+            decoded.extend(decode_packet(p).unwrap());
+        }
+        assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn truncated_compound_is_rejected() {
+        let mut b = CompoundBuilder::new(1400);
+        b.try_add(enc(&ack(1)));
+        b.try_add(enc(&ack(2)));
+        let packet = b.finish().unwrap();
+        assert!(matches!(
+            decode_packet(&packet[..packet.len() - 1]),
+            Err(DecodeError::TruncatedCompound) | Err(DecodeError::UnexpectedEof)
+        ));
+    }
+}

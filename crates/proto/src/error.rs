@@ -1,0 +1,60 @@
+//! Decoding errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while decoding a wire message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The buffer ended before the message was complete.
+    UnexpectedEof,
+    /// The leading tag byte does not name a known message type.
+    UnknownTag(u8),
+    /// A name or metadata field was not valid UTF-8.
+    InvalidUtf8,
+    /// An address field used an unknown address-family marker.
+    UnknownAddrFamily(u8),
+    /// A member-state byte was out of range.
+    UnknownState(u8),
+    /// A compound packet declared more parts than its payload contains.
+    TruncatedCompound,
+    /// Trailing bytes followed a complete message.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of packet"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            DecodeError::InvalidUtf8 => write!(f, "invalid utf-8 in string field"),
+            DecodeError::UnknownAddrFamily(v) => write!(f, "unknown address family marker {v}"),
+            DecodeError::UnknownState(v) => write!(f, "unknown member state {v}"),
+            DecodeError::TruncatedCompound => write!(f, "compound packet is truncated"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = [
+            DecodeError::UnexpectedEof,
+            DecodeError::UnknownTag(9),
+            DecodeError::InvalidUtf8,
+            DecodeError::UnknownAddrFamily(7),
+            DecodeError::UnknownState(5),
+            DecodeError::TruncatedCompound,
+            DecodeError::TrailingBytes(3),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Fundamental protocol value types.
+
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+use std::sync::Arc;
+
+/// The unique name of a group member.
+///
+/// Names are immutable UTF-8 strings; cloning is cheap (reference counted),
+/// which matters because names are copied into every gossip message and
+/// every membership event.
+///
+/// ```
+/// use lifeguard_proto::NodeName;
+/// let a = NodeName::from("node-1");
+/// let b = a.clone();
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "node-1");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeName(Arc<str>);
+
+impl NodeName {
+    /// Creates a name from anything string-like.
+    pub fn new(name: impl Into<Arc<str>>) -> Self {
+        NodeName(name.into())
+    }
+
+    /// Returns the name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Length of the name in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the name is empty. Empty names are never valid members but
+    /// can appear in partially-initialised messages.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for NodeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for NodeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeName({:?})", &*self.0)
+    }
+}
+
+impl From<&str> for NodeName {
+    fn from(s: &str) -> Self {
+        NodeName(Arc::from(s))
+    }
+}
+
+impl From<String> for NodeName {
+    fn from(s: String) -> Self {
+        NodeName(Arc::from(s))
+    }
+}
+
+impl AsRef<str> for NodeName {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A member's network address (IP + port).
+///
+/// This is a thin wrapper over [`SocketAddr`] so that protocol code cannot
+/// accidentally mix node addresses with other socket addresses, while
+/// remaining trivially convertible for real-network transports.
+///
+/// ```
+/// use lifeguard_proto::NodeAddr;
+/// let addr = NodeAddr::new([10, 0, 0, 1], 7946);
+/// assert_eq!(addr.port(), 7946);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeAddr(SocketAddr);
+
+impl NodeAddr {
+    /// Creates an IPv4 node address.
+    pub fn new(ip: [u8; 4], port: u16) -> Self {
+        NodeAddr(SocketAddr::new(
+            IpAddr::V4(Ipv4Addr::new(ip[0], ip[1], ip[2], ip[3])),
+            port,
+        ))
+    }
+
+    /// The wrapped socket address.
+    pub fn socket_addr(&self) -> SocketAddr {
+        self.0
+    }
+
+    /// The IP component.
+    pub fn ip(&self) -> IpAddr {
+        self.0.ip()
+    }
+
+    /// The port component.
+    pub fn port(&self) -> u16 {
+        self.0.port()
+    }
+}
+
+impl fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Debug for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeAddr({})", self.0)
+    }
+}
+
+impl From<SocketAddr> for NodeAddr {
+    fn from(addr: SocketAddr) -> Self {
+        NodeAddr(addr)
+    }
+}
+
+impl From<NodeAddr> for SocketAddr {
+    fn from(addr: NodeAddr) -> Self {
+        addr.0
+    }
+}
+
+/// A member's incarnation number.
+///
+/// Incarnation numbers establish precedence between competing `alive`,
+/// `suspect` and `dead` messages about the same member (SWIM §4.2). Only the
+/// member itself may increment its incarnation, which it does to refute a
+/// suspicion.
+///
+/// ```
+/// use lifeguard_proto::Incarnation;
+/// let i = Incarnation(3);
+/// assert!(i.next() > i);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Incarnation(pub u64);
+
+impl Incarnation {
+    /// The incarnation every member starts with.
+    pub const ZERO: Incarnation = Incarnation(0);
+
+    /// The next incarnation number.
+    pub fn next(self) -> Incarnation {
+        Incarnation(self.0 + 1)
+    }
+
+    /// Raw value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Incarnation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Sequence number correlating a `ping`/`indirect ping` with its
+/// `ack`/`nack` response.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SeqNo(pub u32);
+
+impl SeqNo {
+    /// The next sequence number, wrapping on overflow.
+    pub fn next(self) -> SeqNo {
+        SeqNo(self.0.wrapping_add(1))
+    }
+
+    /// Raw value.
+    pub fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The protocol-visible state of a member.
+///
+/// State transitions follow SWIM with the Suspicion subprotocol:
+/// `Alive → Suspect → Dead`, with `Suspect → Alive` on refutation. `Left` is
+/// memberlist's graceful-departure state, which is treated like `Dead` for
+/// dissemination purposes but is not a failure.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemberState {
+    /// The member is believed healthy.
+    Alive,
+    /// The member failed a probe and is under suspicion.
+    Suspect,
+    /// The member was declared failed.
+    Dead,
+    /// The member left the group voluntarily.
+    Left,
+}
+
+impl MemberState {
+    /// Stable wire encoding of the state.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            MemberState::Alive => 0,
+            MemberState::Suspect => 1,
+            MemberState::Dead => 2,
+            MemberState::Left => 3,
+        }
+    }
+
+    /// Decodes a wire state byte.
+    pub fn from_u8(v: u8) -> Option<MemberState> {
+        match v {
+            0 => Some(MemberState::Alive),
+            1 => Some(MemberState::Suspect),
+            2 => Some(MemberState::Dead),
+            3 => Some(MemberState::Left),
+            _ => None,
+        }
+    }
+
+    /// Whether the state counts as a live group participant (alive or
+    /// merely suspected).
+    pub fn is_live(self) -> bool {
+        matches!(self, MemberState::Alive | MemberState::Suspect)
+    }
+}
+
+impl fmt::Display for MemberState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemberState::Alive => "alive",
+            MemberState::Suspect => "suspect",
+            MemberState::Dead => "dead",
+            MemberState::Left => "left",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_name_roundtrip_and_display() {
+        let n = NodeName::from("node-7");
+        assert_eq!(n.to_string(), "node-7");
+        assert_eq!(n.as_ref(), "node-7");
+        assert_eq!(n.len(), 6);
+        assert!(!n.is_empty());
+        assert!(NodeName::from("").is_empty());
+    }
+
+    #[test]
+    fn node_name_ordering_is_lexicographic() {
+        let a = NodeName::from("a");
+        let b = NodeName::from("b");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn node_addr_conversions() {
+        let addr = NodeAddr::new([10, 1, 2, 3], 7946);
+        let sock: SocketAddr = addr.into();
+        assert_eq!(NodeAddr::from(sock), addr);
+        assert_eq!(addr.port(), 7946);
+        assert_eq!(addr.to_string(), "10.1.2.3:7946");
+    }
+
+    #[test]
+    fn incarnation_next_is_monotonic() {
+        let i = Incarnation::ZERO;
+        assert_eq!(i.next(), Incarnation(1));
+        assert!(i.next() > i);
+        assert_eq!(Incarnation(9).get(), 9);
+    }
+
+    #[test]
+    fn seqno_wraps() {
+        assert_eq!(SeqNo(u32::MAX).next(), SeqNo(0));
+        assert_eq!(SeqNo(1).next(), SeqNo(2));
+    }
+
+    #[test]
+    fn member_state_wire_roundtrip() {
+        for s in [
+            MemberState::Alive,
+            MemberState::Suspect,
+            MemberState::Dead,
+            MemberState::Left,
+        ] {
+            assert_eq!(MemberState::from_u8(s.as_u8()), Some(s));
+        }
+        assert_eq!(MemberState::from_u8(200), None);
+    }
+
+    #[test]
+    fn member_state_liveness() {
+        assert!(MemberState::Alive.is_live());
+        assert!(MemberState::Suspect.is_live());
+        assert!(!MemberState::Dead.is_live());
+        assert!(!MemberState::Left.is_live());
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests for the wire codec and compound packing.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use lifeguard_proto::compound::{decode_packet, pack_all, CompoundBuilder};
+use lifeguard_proto::{
+    codec, Ack, Alive, Dead, IndirectPing, Incarnation, MemberState, Message, Nack, NodeAddr,
+    NodeName, Ping, PushNodeState, PushPull, SeqNo, Suspect,
+};
+
+fn name_strategy() -> impl Strategy<Value = NodeName> {
+    "[a-z0-9_.-]{1,24}".prop_map(|s| NodeName::from(s.as_str()))
+}
+
+fn addr_strategy() -> impl Strategy<Value = NodeAddr> {
+    prop_oneof![
+        (any::<[u8; 4]>(), any::<u16>()).prop_map(|(ip, port)| NodeAddr::new(ip, port)),
+        (any::<[u8; 16]>(), any::<u16>()).prop_map(|(ip, port)| {
+            NodeAddr::from(std::net::SocketAddr::new(
+                std::net::IpAddr::from(ip),
+                port,
+            ))
+        }),
+    ]
+}
+
+fn meta_strategy() -> impl Strategy<Value = Bytes> {
+    proptest::collection::vec(any::<u8>(), 0..64).prop_map(Bytes::from)
+}
+
+fn state_strategy() -> impl Strategy<Value = MemberState> {
+    prop_oneof![
+        Just(MemberState::Alive),
+        Just(MemberState::Suspect),
+        Just(MemberState::Dead),
+        Just(MemberState::Left),
+    ]
+}
+
+fn push_state_strategy() -> impl Strategy<Value = PushNodeState> {
+    (
+        name_strategy(),
+        addr_strategy(),
+        any::<u64>(),
+        state_strategy(),
+        meta_strategy(),
+    )
+        .prop_map(|(name, addr, inc, state, meta)| PushNodeState {
+            name,
+            addr,
+            incarnation: Incarnation(inc),
+            state,
+            meta,
+        })
+}
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u32>(), name_strategy(), name_strategy(), addr_strategy()).prop_map(
+            |(seq, target, source, source_addr)| Message::Ping(Ping {
+                seq: SeqNo(seq),
+                target,
+                source,
+                source_addr,
+            })
+        ),
+        (
+            any::<u32>(),
+            name_strategy(),
+            addr_strategy(),
+            any::<bool>(),
+            name_strategy(),
+            addr_strategy()
+        )
+            .prop_map(|(seq, target, target_addr, nack, source, source_addr)| {
+                Message::IndirectPing(IndirectPing {
+                    seq: SeqNo(seq),
+                    target,
+                    target_addr,
+                    nack,
+                    source,
+                    source_addr,
+                })
+            }),
+        any::<u32>().prop_map(|seq| Message::Ack(Ack { seq: SeqNo(seq) })),
+        any::<u32>().prop_map(|seq| Message::Nack(Nack { seq: SeqNo(seq) })),
+        (any::<u64>(), name_strategy(), name_strategy()).prop_map(|(inc, node, from)| {
+            Message::Suspect(Suspect {
+                incarnation: Incarnation(inc),
+                node,
+                from,
+            })
+        }),
+        (any::<u64>(), name_strategy(), addr_strategy(), meta_strategy()).prop_map(
+            |(inc, node, addr, meta)| Message::Alive(Alive {
+                incarnation: Incarnation(inc),
+                node,
+                addr,
+                meta,
+            })
+        ),
+        (any::<u64>(), name_strategy(), name_strategy()).prop_map(|(inc, node, from)| {
+            Message::Dead(Dead {
+                incarnation: Incarnation(inc),
+                node,
+                from,
+            })
+        }),
+        (
+            any::<bool>(),
+            any::<bool>(),
+            proptest::collection::vec(push_state_strategy(), 0..8)
+        )
+            .prop_map(|(join, reply, states)| Message::PushPull(PushPull {
+                join,
+                reply,
+                states
+            })),
+    ]
+}
+
+proptest! {
+    /// Every message survives an encode/decode roundtrip.
+    #[test]
+    fn roundtrip_any_message(msg in message_strategy()) {
+        let bytes = codec::encode_message(&msg);
+        let back = codec::decode_message(&bytes).expect("decode");
+        prop_assert_eq!(back, msg);
+    }
+
+    /// The analytic length always matches the actual encoding.
+    #[test]
+    fn encoded_len_is_exact(msg in message_strategy()) {
+        prop_assert_eq!(codec::encode_message(&msg).len(), codec::encoded_len(&msg));
+    }
+
+    /// Decoding never panics on arbitrary bytes — it returns a clean
+    /// error for garbage.
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = codec::decode_message(&bytes);
+        let _ = decode_packet(&bytes);
+    }
+
+    /// Truncating a valid encoding always produces an error, never a
+    /// wrong message.
+    #[test]
+    fn truncation_is_always_detected(msg in message_strategy(), cut_frac in 0.0f64..1.0) {
+        let bytes = codec::encode_message(&msg);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(codec::decode_message(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// pack_all never loses, duplicates or reorders messages, and every
+    /// packet respects the budget (when messages fit individually).
+    #[test]
+    fn pack_all_is_lossless(
+        msgs in proptest::collection::vec(message_strategy(), 0..40),
+        budget in 256usize..2048,
+    ) {
+        let encoded: Vec<Bytes> = msgs.iter().map(codec::encode_message).collect();
+        let packets = pack_all(encoded.clone(), budget);
+        let mut decoded = Vec::new();
+        for p in &packets {
+            decoded.extend(decode_packet(p).expect("packet decodes"));
+        }
+        prop_assert_eq!(decoded, msgs);
+        for (i, p) in packets.iter().enumerate() {
+            // A packet may exceed the budget only if it is a single
+            // oversized message.
+            if p.len() > budget {
+                prop_assert_eq!(decode_packet(p).unwrap().len(), 1, "packet {} over budget", i);
+            }
+        }
+    }
+
+    /// A builder's current_len always equals the finished packet size.
+    #[test]
+    fn builder_len_is_truthful(msgs in proptest::collection::vec(message_strategy(), 1..20)) {
+        let mut builder = CompoundBuilder::new(4096);
+        for m in &msgs {
+            builder.try_add(codec::encode_message(m));
+        }
+        let predicted = builder.current_len();
+        let packet = builder.finish().expect("non-empty");
+        prop_assert_eq!(predicted, packet.len());
+    }
+}

@@ -1,0 +1,24 @@
+//! Simulated time.
+//!
+//! The simulator reuses the protocol core's microsecond [`Time`] type; an
+//! alias pair keeps simulator code and experiment harnesses readable.
+
+pub use lifeguard_core::time::Time;
+
+/// An instant in simulated time (microseconds since simulation start).
+pub type SimTime = Time;
+
+/// A span of simulated time.
+pub type SimDuration = std::time::Duration;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_interoperate_with_core_time() {
+        let t: SimTime = SimTime::from_millis(250);
+        let d: SimDuration = SimDuration::from_millis(750);
+        assert_eq!(t + d, SimTime::from_secs(1));
+    }
+}

@@ -1,0 +1,97 @@
+//! Message and byte accounting.
+//!
+//! Reproduces Consul's telemetry as used for Table VI: the number of
+//! (compound) messages sent — a compound packet counts as one message —
+//! and the total bytes sent, per node and aggregated.
+
+/// Counters for one node.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct NodeTelemetry {
+    /// Datagrams sent (compound packet = 1).
+    pub datagrams_sent: u64,
+    /// Total datagram payload bytes sent.
+    pub datagram_bytes: u64,
+    /// Stream messages sent (push-pull halves, fallback probes).
+    pub streams_sent: u64,
+    /// Total stream payload bytes sent.
+    pub stream_bytes: u64,
+}
+
+impl NodeTelemetry {
+    /// Total messages sent on either transport.
+    pub fn messages(&self) -> u64 {
+        self.datagrams_sent + self.streams_sent
+    }
+
+    /// Total bytes sent on either transport.
+    pub fn bytes(&self) -> u64 {
+        self.datagram_bytes + self.stream_bytes
+    }
+}
+
+/// Counters for a whole cluster.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    nodes: Vec<NodeTelemetry>,
+}
+
+impl Telemetry {
+    /// Creates counters for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Telemetry {
+            nodes: vec![NodeTelemetry::default(); n],
+        }
+    }
+
+    /// Records one datagram of `bytes` sent by `node`.
+    pub fn record_datagram(&mut self, node: usize, bytes: usize) {
+        let t = &mut self.nodes[node];
+        t.datagrams_sent += 1;
+        t.datagram_bytes += bytes as u64;
+    }
+
+    /// Records one stream message of `bytes` sent by `node`.
+    pub fn record_stream(&mut self, node: usize, bytes: usize) {
+        let t = &mut self.nodes[node];
+        t.streams_sent += 1;
+        t.stream_bytes += bytes as u64;
+    }
+
+    /// Per-node counters.
+    pub fn node(&self, i: usize) -> NodeTelemetry {
+        self.nodes[i]
+    }
+
+    /// Sum over all nodes.
+    pub fn total(&self) -> NodeTelemetry {
+        let mut sum = NodeTelemetry::default();
+        for t in &self.nodes {
+            sum.datagrams_sent += t.datagrams_sent;
+            sum.datagram_bytes += t.datagram_bytes;
+            sum.streams_sent += t.streams_sent;
+            sum.stream_bytes += t.stream_bytes;
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_totals() {
+        let mut t = Telemetry::new(3);
+        t.record_datagram(0, 100);
+        t.record_datagram(0, 50);
+        t.record_stream(2, 1000);
+        assert_eq!(t.node(0).datagrams_sent, 2);
+        assert_eq!(t.node(0).datagram_bytes, 150);
+        assert_eq!(t.node(1), NodeTelemetry::default());
+        assert_eq!(t.node(2).streams_sent, 1);
+
+        let total = t.total();
+        assert_eq!(total.messages(), 3);
+        assert_eq!(total.bytes(), 1150);
+    }
+}

@@ -1,0 +1,176 @@
+//! Event traces: everything every node concluded, with timestamps.
+//!
+//! The experiment harness mines traces for the paper's metrics: false
+//! positives (failure events about healthy members), first-detection
+//! latency and full-dissemination latency.
+
+use lifeguard_core::event::Event;
+use lifeguard_proto::NodeName;
+
+use crate::clock::SimTime;
+
+/// One recorded membership event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// When the conclusion was reached.
+    pub at: SimTime,
+    /// Index of the node that reached it.
+    pub reporter: usize,
+    /// The conclusion.
+    pub event: Event,
+}
+
+/// The full event trace of one simulation run.
+///
+/// Events are recorded in simulation order (non-decreasing time).
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&mut self, at: SimTime, reporter: usize, event: Event) {
+        debug_assert!(
+            self.events.last().map(|e| e.at <= at).unwrap_or(true),
+            "trace must be recorded in time order"
+        );
+        self.events.push(TraceEvent {
+            at,
+            reporter,
+            event,
+        });
+    }
+
+    /// All recorded events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All failure declarations (`MemberFailed`), as
+    /// `(time, reporter, subject)`.
+    pub fn failures(&self) -> impl Iterator<Item = (SimTime, usize, &NodeName)> {
+        self.events.iter().filter_map(|e| match &e.event {
+            Event::MemberFailed { name, .. } => Some((e.at, e.reporter, name)),
+            _ => None,
+        })
+    }
+
+    /// The first time any node declared `name` failed.
+    pub fn first_failure_detection(&self, name: &str) -> Option<SimTime> {
+        self.failures()
+            .find(|(_, _, n)| n.as_str() == name)
+            .map(|(at, _, _)| at)
+    }
+
+    /// The first time `reporter` declared `name` failed.
+    pub fn failure_at_reporter(&self, name: &str, reporter: usize) -> Option<SimTime> {
+        self.failures()
+            .find(|(_, r, n)| *r == reporter && n.as_str() == name)
+            .map(|(at, _, _)| at)
+    }
+
+    /// The time by which every reporter in `required` had declared `name`
+    /// failed (full dissemination), or `None` if some never did.
+    pub fn full_dissemination(&self, name: &str, required: &[usize]) -> Option<SimTime> {
+        let mut missing: std::collections::HashSet<usize> = required.iter().copied().collect();
+        if missing.is_empty() {
+            return None;
+        }
+        for (at, reporter, n) in self.failures() {
+            if n.as_str() == name {
+                missing.remove(&reporter);
+                if missing.is_empty() {
+                    return Some(at);
+                }
+            }
+        }
+        None
+    }
+
+    /// Count of events matching a predicate (convenience for metrics).
+    pub fn count(&self, mut pred: impl FnMut(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifeguard_proto::Incarnation;
+
+    fn failed(name: &str, from: &str) -> Event {
+        Event::MemberFailed {
+            name: name.into(),
+            incarnation: Incarnation(1),
+            from: from.into(),
+        }
+    }
+
+    #[test]
+    fn first_detection_is_earliest_failure() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_secs(1), 0, failed("x", "node-0"));
+        t.record(SimTime::from_secs(2), 1, failed("x", "node-1"));
+        assert_eq!(t.first_failure_detection("x"), Some(SimTime::from_secs(1)));
+        assert_eq!(t.first_failure_detection("y"), None);
+        assert_eq!(
+            t.failure_at_reporter("x", 1),
+            Some(SimTime::from_secs(2))
+        );
+        assert_eq!(t.failure_at_reporter("x", 9), None);
+    }
+
+    #[test]
+    fn full_dissemination_requires_all_reporters() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_secs(1), 0, failed("x", "a"));
+        t.record(SimTime::from_secs(3), 2, failed("x", "a"));
+        t.record(SimTime::from_secs(5), 1, failed("x", "a"));
+        assert_eq!(
+            t.full_dissemination("x", &[0, 1, 2]),
+            Some(SimTime::from_secs(5))
+        );
+        assert_eq!(
+            t.full_dissemination("x", &[0, 2]),
+            Some(SimTime::from_secs(3))
+        );
+        assert_eq!(t.full_dissemination("x", &[0, 3]), None);
+        assert_eq!(t.full_dissemination("x", &[]), None);
+    }
+
+    #[test]
+    fn non_failure_events_are_ignored_by_failures() {
+        let mut t = Trace::new();
+        t.record(
+            SimTime::from_secs(1),
+            0,
+            Event::MemberSuspected {
+                name: "x".into(),
+                from: "a".into(),
+            },
+        );
+        assert_eq!(t.failures().count(), 0);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert_eq!(
+            t.count(|e| matches!(e.event, Event::MemberSuspected { .. })),
+            1
+        );
+    }
+}

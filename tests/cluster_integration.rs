@@ -1,0 +1,273 @@
+//! Cross-crate integration tests: protocol core + simulator +
+//! experiment harness working together on end-to-end behaviours the
+//! paper depends on.
+
+use std::time::Duration;
+
+use lifeguard::core::config::{Config, LifeguardConfig};
+use lifeguard::core::event::Event;
+use lifeguard::experiments::scenario::{IntervalScenario, ThresholdScenario};
+use lifeguard::sim::anomaly::AnomalySpec;
+use lifeguard::sim::clock::SimTime;
+use lifeguard::sim::cluster::{ClusterBuilder, SimAction};
+use lifeguard::sim::network::NetworkConfig;
+
+/// A slow-but-alive member must never be lost from the group when its
+/// stalls are shorter than the suspicion timeout allows: Lifeguard's
+/// whole purpose.
+#[test]
+fn lifeguard_keeps_intermittently_slow_member_alive() {
+    let mut cluster = ClusterBuilder::new(16)
+        .config(Config::lan().lifeguard())
+        .seed(10)
+        .anomaly(
+            5,
+            AnomalySpec::Interval {
+                start: SimTime::from_secs(15),
+                duration: Duration::from_secs(6),
+                interval: Duration::from_millis(200),
+                until: SimTime::from_secs(70),
+            },
+        )
+        .build();
+    cluster.run_for(Duration::from_secs(90));
+    assert_eq!(
+        cluster.trace().first_failure_detection("node-5"),
+        None,
+        "Lifeguard must not declare the slow member failed"
+    );
+}
+
+/// A member that stalls for longer than the suspicion timeout *is*
+/// declared failed under both configurations (detection parity, Table
+/// V: independent confirmations drive Lifeguard's timeout down to Min
+/// for genuinely unresponsive members) — but only SWIM also accuses
+/// *healthy* members in the process.
+#[test]
+fn swim_accuses_healthy_members_where_lifeguard_does_not() {
+    let run = |config: Config| {
+        let mut cluster = ClusterBuilder::new(24)
+            .config(config)
+            .seed(11)
+            .anomaly(
+                7,
+                AnomalySpec::Interval {
+                    start: SimTime::from_secs(15),
+                    duration: Duration::from_secs(14),
+                    interval: Duration::from_millis(30),
+                    until: SimTime::from_secs(100),
+                },
+            )
+            .build();
+        cluster.run_for(Duration::from_secs(120));
+        let about_slow = cluster
+            .trace()
+            .failures()
+            .filter(|(_, _, name)| name.as_str() == "node-7")
+            .count();
+        let about_healthy = cluster
+            .trace()
+            .failures()
+            .filter(|(_, _, name)| name.as_str() != "node-7")
+            .count();
+        (about_slow, about_healthy)
+    };
+    let (swim_slow, swim_healthy) = run(Config::lan());
+    let (lg_slow, lg_healthy) = run(Config::lan().lifeguard());
+    // Both must detect the genuinely unresponsive member.
+    assert!(swim_slow > 0, "SWIM must detect the 14 s stalls");
+    assert!(lg_slow > 0, "Lifeguard must also detect the 14 s stalls");
+    // Only the slow member itself accuses healthy members under SWIM.
+    assert!(
+        swim_healthy > 0,
+        "SWIM should produce false accusations of healthy members"
+    );
+    assert!(
+        lg_healthy * 5 <= swim_healthy,
+        "Lifeguard false accusations ({lg_healthy}) must be well below SWIM's ({swim_healthy})"
+    );
+}
+
+/// End-to-end false-positive reduction on the Interval experiment, the
+/// paper's headline result (Table IV), at reduced scale.
+#[test]
+fn interval_experiment_fp_reduction() {
+    let run = |config: Config| {
+        let mut s = IntervalScenario::new(
+            6,
+            Duration::from_secs(16),
+            Duration::from_millis(64),
+            config,
+            21,
+        );
+        s.n = 48;
+        s.min_run = Duration::from_secs(90);
+        s.run()
+    };
+    let swim = run(Config::lan());
+    let lifeguard = run(Config::lan().lifeguard());
+    assert!(
+        swim.fp_events > 0,
+        "the SWIM baseline must produce false positives under 16 s stalls"
+    );
+    assert!(
+        lifeguard.fp_events * 5 <= swim.fp_events,
+        "Lifeguard FP ({}) should be well below SWIM FP ({})",
+        lifeguard.fp_events,
+        swim.fp_events
+    );
+}
+
+/// True failures must still be detected with Lifeguard enabled, within
+/// a sane factor of the SWIM baseline (Table V: small latency penalty).
+#[test]
+fn true_failure_detection_latency_is_comparable() {
+    let run = |config: Config| {
+        let mut s = ThresholdScenario::new(2, Duration::from_secs(30), config, 31);
+        s.n = 32;
+        s.run_len = Duration::from_secs(60);
+        s.run()
+    };
+    let swim = run(Config::lan());
+    let lifeguard = run(Config::lan().lifeguard());
+    let avg = |outcome: &lifeguard::experiments::scenario::RunOutcome| {
+        let lat: Vec<f64> = outcome
+            .first_detect
+            .iter()
+            .flatten()
+            .map(|d| d.as_secs_f64())
+            .collect();
+        assert!(!lat.is_empty(), "30 s anomalies must be detected");
+        lat.iter().sum::<f64>() / lat.len() as f64
+    };
+    let swim_avg = avg(&swim);
+    let lifeguard_avg = avg(&lifeguard);
+    assert!(
+        lifeguard_avg < swim_avg * 2.5,
+        "Lifeguard detection ({lifeguard_avg:.1}s) too slow vs SWIM ({swim_avg:.1}s)"
+    );
+}
+
+/// Individual components must each reduce false positives relative to
+/// SWIM (Table IV rows), at least not increase them significantly.
+#[test]
+fn each_component_does_not_hurt() {
+    let run = |components: LifeguardConfig| {
+        let mut s = IntervalScenario::new(
+            6,
+            Duration::from_secs(16),
+            Duration::from_millis(64),
+            Config::lan().with_components(components),
+            41,
+        );
+        s.n = 48;
+        s.min_run = Duration::from_secs(90);
+        s.run().fp_events
+    };
+    let swim = run(LifeguardConfig::swim());
+    let probe = run(LifeguardConfig::lha_probe_only());
+    let susp = run(LifeguardConfig::lha_suspicion_only());
+    let buddy = run(LifeguardConfig::buddy_system_only());
+    assert!(swim > 0);
+    // LHA-Suspicion is the big hammer (paper: 3% of SWIM).
+    assert!(
+        susp * 2 <= swim,
+        "LHA-Suspicion ({susp}) should at least halve SWIM's FPs ({swim})"
+    );
+    // The others must not make things much worse.
+    assert!(probe <= swim * 12 / 10, "LHA-Probe {probe} vs SWIM {swim}");
+    assert!(buddy <= swim * 12 / 10, "Buddy {buddy} vs SWIM {swim}");
+}
+
+/// Refutation works end to end: a suspected member that is merely slow
+/// recovers in every view, with its incarnation bumped.
+#[test]
+fn refutation_recovers_suspected_member() {
+    let mut cluster = ClusterBuilder::new(8)
+        .config(Config::lan())
+        .seed(51)
+        .build();
+    cluster.run_for(Duration::from_secs(15));
+    cluster.apply(SimAction::Pause {
+        node: 3,
+        duration: Duration::from_secs(3),
+    });
+    cluster.run_for(Duration::from_secs(30));
+    // The pause likely triggered suspicions; whatever happened, node-3
+    // must be alive everywhere afterwards.
+    assert_eq!(cluster.nodes_seeing_alive("node-3").len(), 8);
+    let suspected = cluster
+        .trace()
+        .count(|e| matches!(&e.event, Event::MemberSuspected { name, .. } if name.as_str() == "node-3"));
+    if suspected > 0 {
+        // If it was suspected, it must have refuted: incarnation > 0.
+        assert!(cluster.node(3).incarnation().get() > 0);
+    }
+}
+
+/// Failure detection keeps working under sustained datagram loss
+/// (robustness; SWIM's design goal).
+#[test]
+fn detection_survives_heavy_packet_loss() {
+    let mut cluster = ClusterBuilder::new(12)
+        .config(Config::lan().lifeguard())
+        .network(NetworkConfig::lossy_lan(0.10))
+        .seed(61)
+        .build();
+    cluster.run_for(Duration::from_secs(20));
+    assert!(
+        cluster.converged(),
+        "cluster should converge under 10% loss"
+    );
+    cluster.apply(SimAction::Crash { node: 11 });
+    cluster.run_for(Duration::from_secs(60));
+    assert!(
+        cluster.trace().first_failure_detection("node-11").is_some(),
+        "crash must be detected despite 10% loss"
+    );
+}
+
+/// The simulation is bit-for-bit deterministic across the whole stack,
+/// including anomalies and loss.
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let mut s = IntervalScenario::new(
+            4,
+            Duration::from_secs(8),
+            Duration::from_millis(256),
+            Config::lan().lifeguard(),
+            71,
+        );
+        s.n = 24;
+        s.min_run = Duration::from_secs(60);
+        let o = s.run();
+        (o.fp_events, o.fp_healthy_events, o.msgs_sent, o.bytes_sent)
+    };
+    assert_eq!(run(), run());
+}
+
+/// Graceful leave during an anomaly storm is still reported as a leave,
+/// not a failure, by every healthy node.
+#[test]
+fn leave_amid_anomalies_is_not_a_failure() {
+    let mut cluster = ClusterBuilder::new(12)
+        .config(Config::lan().lifeguard())
+        .seed(81)
+        .anomaly(
+            2,
+            AnomalySpec::Threshold {
+                start: SimTime::from_secs(16),
+                duration: Duration::from_secs(10),
+            },
+        )
+        .build();
+    cluster.run_for(Duration::from_secs(15));
+    cluster.apply(SimAction::Leave { node: 5 });
+    cluster.run_for(Duration::from_secs(40));
+    assert_eq!(cluster.trace().first_failure_detection("node-5"), None);
+    let leaves = cluster
+        .trace()
+        .count(|e| matches!(&e.event, Event::MemberLeft { name } if name.as_str() == "node-5"));
+    assert!(leaves >= 9, "leave must disseminate (saw {leaves})");
+}
