@@ -1,23 +1,32 @@
 //! Micro-benchmarks of the protocol core's hot paths: wire codec,
 //! compound packing, gossip queue, suspicion math, membership sampling,
 //! and raw simulator throughput.
+//!
+//! The `membership/*` and `broadcast/*` groups benchmark the indexed
+//! structures against the checked-in naive (seed-design) baselines in
+//! [`lifeguard_bench::naive`] at n ∈ {100, 1k, 10k}; see
+//! `docs/PERFORMANCE.md` for recorded results.
 
 use bytes::Bytes;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
+use lifeguard_bench::naive::{NaiveBroadcastQueue, NaiveMembership};
 use lifeguard_core::broadcast::BroadcastQueue;
 use lifeguard_core::config::Config;
 use lifeguard_core::member::Member;
-use lifeguard_core::membership::Membership;
+use lifeguard_core::membership::{Membership, SamplePool};
 use lifeguard_core::suspicion::suspicion_timeout;
 use lifeguard_core::time::Time;
 use lifeguard_proto::compound::{decode_packet, CompoundBuilder};
-use lifeguard_proto::{codec, Alive, Incarnation, Message, NodeAddr, Ping, SeqNo, Suspect};
+use lifeguard_proto::{codec, Alive, Incarnation, MemberState, Message, NodeAddr, Ping, SeqNo, Suspect};
 use lifeguard_sim::cluster::ClusterBuilder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Cluster sizes for the indexed-vs-naive comparisons.
+const SCALES: [usize; 3] = [100, 1_000, 10_000];
 
 fn sample_ping() -> Message {
     Message::Ping(Ping {
@@ -122,20 +131,215 @@ fn bench_suspicion_math(c: &mut Criterion) {
     });
 }
 
-fn bench_membership(c: &mut Criterion) {
-    let mut table = Membership::new();
-    for i in 0..128 {
-        table.upsert(Member::new(
-            format!("node-{i}").into(),
-            NodeAddr::new([10, 0, 0, i as u8], 7946),
-            Incarnation(0),
-            Time::ZERO,
-        ));
+fn member(i: usize) -> Member {
+    Member::new(
+        format!("node-{i}").into(),
+        NodeAddr::new([10, (i >> 16) as u8, (i >> 8) as u8, i as u8], 7946),
+        Incarnation(0),
+        Time::ZERO,
+    )
+}
+
+/// Shared population mix for the indexed-vs-naive comparison: 2% dead,
+/// every remaining tenth suspect, rest alive — a realistic mixed-state
+/// steady state. Keeping this in one place keeps the comparison fair.
+fn state_for(i: usize) -> MemberState {
+    if i.is_multiple_of(50) {
+        MemberState::Dead
+    } else if i.is_multiple_of(10) {
+        MemberState::Suspect
+    } else {
+        MemberState::Alive
     }
+}
+
+fn indexed_table(n: usize) -> Membership {
+    let mut t = Membership::new();
+    for i in 0..n {
+        let name = member(i).name.clone();
+        t.upsert(member(i));
+        t.set_state(&name, state_for(i), Time::from_secs(1));
+    }
+    t
+}
+
+/// The same population in the seed's `BTreeMap` design.
+fn naive_table(n: usize) -> NaiveMembership {
+    let mut t = NaiveMembership::new();
+    for i in 0..n {
+        let name = member(i).name.clone();
+        t.upsert(member(i));
+        t.set_state(&name, state_for(i), Time::from_secs(1));
+    }
+    t
+}
+
+fn bench_membership(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership");
+    for n in SCALES {
+        let indexed = indexed_table(n);
+        let naive = naive_table(n);
+
+        // live_count: charged on every suspicion start and every
+        // transmit-limit evaluation — O(1) vs O(n).
+        group.bench_with_input(BenchmarkId::new("live_count/indexed", n), &n, |b, _| {
+            b.iter(|| black_box(&indexed).live_count())
+        });
+        group.bench_with_input(BenchmarkId::new("live_count/naive", n), &n, |b, _| {
+            b.iter(|| black_box(&naive).live_count())
+        });
+
+        // Indirect-probe sampling: 3 live peers excluding self/target —
+        // O(k) lazy Fisher–Yates vs O(n) filter-collect.
+        let me = format!("node-{}", 1).into();
+        let target = format!("node-{}", 2).into();
+        let mut rng = StdRng::seed_from_u64(7);
+        group.bench_with_input(BenchmarkId::new("sample3_live/indexed", n), &n, |b, _| {
+            b.iter(|| {
+                indexed
+                    .sample_pool(SamplePool::Live, 3, &mut rng, |m| {
+                        m.name != me && m.name != target
+                    })
+                    .len()
+            })
+        });
+        let mut rng = StdRng::seed_from_u64(7);
+        group.bench_with_input(BenchmarkId::new("sample3_live/naive", n), &n, |b, _| {
+            b.iter(|| {
+                naive
+                    .sample(3, &mut rng, |m| {
+                        m.is_live() && m.name != me && m.name != target
+                    })
+                    .len()
+            })
+        });
+    }
+    group.finish();
+
+    // Seed-era smoke bench kept for BENCH-trajectory continuity.
+    let table = indexed_table(128);
     let mut rng = StdRng::seed_from_u64(7);
     c.bench_function("membership/sample_3_of_128", |b| {
         b.iter(|| table.sample(3, &mut rng, |_| true).len())
     });
+}
+
+fn bench_broadcast_scaled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_scaled");
+    for n in SCALES {
+        // Enqueue churn: 64 re-enqueues (each invalidating the subject's
+        // queued broadcast) into a queue already holding n subjects —
+        // O(1) amortized vs O(n) retain per enqueue.
+        group.bench_with_input(
+            BenchmarkId::new("enqueue_invalidate/indexed", n),
+            &n,
+            |b, _| {
+                b.iter_batched(
+                    || {
+                        let mut q = BroadcastQueue::new();
+                        for i in 0..n as u64 {
+                            q.enqueue(sample_alive(i));
+                        }
+                        q
+                    },
+                    |mut q| {
+                        for i in 0..64u64 {
+                            q.enqueue(sample_alive(i * (n as u64 / 64).max(1)));
+                        }
+                        q
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("enqueue_invalidate/naive", n),
+            &n,
+            |b, _| {
+                b.iter_batched(
+                    || {
+                        let mut q = NaiveBroadcastQueue::new();
+                        for i in 0..n as u64 {
+                            q.enqueue(sample_alive(i));
+                        }
+                        q
+                    },
+                    |mut q| {
+                        for i in 0..64u64 {
+                            q.enqueue(sample_alive(i * (n as u64 / 64).max(1)));
+                        }
+                        q
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+
+        // Per-packet selection from a deep queue: O(selected) pops vs a
+        // full O(n log n) sort + O(n) retain per packet.
+        group.bench_with_input(BenchmarkId::new("fill_packet/indexed", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut q = BroadcastQueue::new();
+                    for i in 0..n as u64 {
+                        q.enqueue(sample_alive(i));
+                    }
+                    q
+                },
+                |mut q| {
+                    let mut builder = CompoundBuilder::new(1400);
+                    q.fill(&mut builder, 12, None);
+                    (q, builder.finish())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("fill_packet/naive", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut q = NaiveBroadcastQueue::new();
+                    for i in 0..n as u64 {
+                        q.enqueue(sample_alive(i));
+                    }
+                    q
+                },
+                |mut q| {
+                    let mut builder = CompoundBuilder::new(1400);
+                    q.fill(&mut builder, 12, None);
+                    (q, builder.finish())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(10);
+    // Steady-state protocol throughput at scale: full-mesh bootstrap
+    // (no join flood), then advance simulated time in 100 ms slices.
+    // Per-slice work is ~n/10 probe round-trips plus gossip/timer
+    // machinery — the per-tick hot paths this PR restructured.
+    for n in [1_000usize, 5_000] {
+        let mut cluster = ClusterBuilder::new(n)
+            .config(Config::lan().lifeguard())
+            .seed(11)
+            .full_mesh(true)
+            .build();
+        group.bench_with_input(
+            BenchmarkId::new("steady_state_100ms", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    cluster.run_for(Duration::from_millis(100));
+                    cluster.telemetry().total().messages()
+                })
+            },
+        );
+    }
+    group.finish();
 }
 
 fn bench_sim_throughput(c: &mut Criterion) {
@@ -215,9 +419,11 @@ criterion_group!(
     bench_codec,
     bench_compound,
     bench_broadcast_queue,
+    bench_broadcast_scaled,
     bench_suspicion_math,
     bench_membership,
     bench_sim_throughput,
+    bench_cluster_throughput,
     bench_node_message_handling
 );
 criterion_main!(benches);

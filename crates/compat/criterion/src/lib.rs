@@ -1,0 +1,282 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Provides `criterion_group!`/`criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `Bencher::{iter, iter_batched}`, `BenchmarkId` and
+//! `BatchSize`, with a simple but honest measurement loop: warm-up,
+//! then timed batches until a target measurement window is filled, and
+//! a median-of-samples report in ns/iteration printed to stdout.
+//!
+//! Supported CLI arguments (after `--`): `--test` runs every benchmark
+//! exactly once (CI smoke mode), `--measurement-time-ms N` adjusts the
+//! per-benchmark window, a bare string filters benchmarks by substring,
+//! and the flags cargo itself passes (`--bench`) are ignored.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How batched setup output is sized (API compatibility; the shim
+/// treats all variants alike).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A bare parameter id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    measurement: Duration,
+    /// (total elapsed, iterations) of the best (median) sample.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.result = Some((Duration::ZERO, 1));
+            return;
+        }
+        // Warm-up and per-iteration estimate.
+        let warm_start = Instant::now();
+        std::hint::black_box(routine());
+        let first = warm_start.elapsed().max(Duration::from_nanos(1));
+        let batch = (self.measurement.as_nanos() / 20 / first.as_nanos()).clamp(1, 1 << 20) as u64;
+
+        let mut samples: Vec<Duration> = Vec::new();
+        let deadline = Instant::now() + self.measurement;
+        while Instant::now() < deadline || samples.is_empty() {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed());
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        self.result = Some((median, batch));
+    }
+
+    /// Measures `routine` over fresh state from `setup` each iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            self.result = Some((Duration::ZERO, 1));
+            return;
+        }
+        let mut samples: Vec<Duration> = Vec::new();
+        let deadline = Instant::now() + self.measurement;
+        while Instant::now() < deadline || samples.is_empty() {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            let elapsed = start.elapsed();
+            // Dropping the routine's output (e.g. a large returned
+            // structure) is excluded from the measurement, matching
+            // criterion's iter_batched contract.
+            drop(std::hint::black_box(out));
+            samples.push(elapsed);
+            if samples.len() >= 5000 {
+                break;
+            }
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        self.result = Some((median, 1));
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: false,
+            measurement: Duration::from_millis(600),
+        };
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => c.test_mode = true,
+                "--measurement-time-ms" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        c.measurement = Duration::from_millis(v);
+                    }
+                }
+                s if s.starts_with('-') => {} // --bench and friends
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            measurement: self.measurement,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some(_) if self.test_mode => println!("{name:<52} ok (test mode)"),
+            Some((elapsed, iters)) => {
+                let ns = elapsed.as_nanos() as f64 / iters as f64;
+                println!("{name:<52} time: {:>12}/iter", human_time(ns));
+            }
+            None => println!("{name:<52} (no measurement)"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample count hint (accepted for API compatibility; the shim's
+    /// window-based loop ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement window hint.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&name, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&name, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group function running several benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}

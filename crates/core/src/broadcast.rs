@@ -14,9 +14,31 @@
 //! each of the first `K` independent suspicions re-enqueues the suspect
 //! message (resetting its transmit count), so at most `(K + 1)·λ·log n`
 //! copies are ever sent (paper §IV-B).
+//!
+//! # Incremental selection
+//!
+//! The seed implementation kept a flat `Vec`, ran an O(n) `retain` on
+//! every enqueue to invalidate the subject's older broadcast, and
+//! re-sorted the whole queue (O(n log n)) for every packet filled. This
+//! version keeps the entries in a `HashMap` keyed by a monotonically
+//! increasing id, an O(1) `HashMap<NodeName, id>` invalidation index,
+//! and a lazy max-heap ordered by the selection key
+//! `(fewest transmits, newest id)`:
+//!
+//! * [`BroadcastQueue::enqueue`] (and the invalidation it implies) is
+//!   O(1) map work plus one amortized-O(1) heap push — invalidated
+//!   entries are *not* touched in the heap; their stale heap items are
+//!   discarded when they eventually surface.
+//! * [`BroadcastQueue::fill`] pops in selection order and does
+//!   O(selected + skipped) work per packet instead of sorting all n
+//!   queued broadcasts; a running lower bound of the smallest encoded
+//!   message lets it stop as soon as nothing else can fit.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use bytes::Bytes;
-use lifeguard_proto::compound::CompoundBuilder;
+use lifeguard_proto::compound::{CompoundBuilder, MAX_COMPOUND_PARTS};
 use lifeguard_proto::{codec, Message, NodeName};
 
 /// One queued gossip broadcast.
@@ -30,15 +52,34 @@ struct QueuedBroadcast {
     encoded: Bytes,
     /// How many times this broadcast has been transmitted.
     transmits: u32,
-    /// Monotonic enqueue stamp; larger = newer.
-    id: u64,
 }
+
+/// Heap item: `(Reverse(transmits), id)` under max-heap order pops the
+/// least-transmitted entry first, newest (largest id) on ties — the
+/// exact selection key the seed obtained by sorting.
+type HeapItem = (Reverse<u32>, u64);
 
 /// The gossip broadcast queue of one node.
 #[derive(Clone, Debug, Default)]
 pub struct BroadcastQueue {
-    items: Vec<QueuedBroadcast>,
+    /// Live entries by id. An id missing here but still in the heap is a
+    /// stale heap item (invalidated or re-prioritised) and is dropped
+    /// when popped.
+    entries: HashMap<u64, QueuedBroadcast>,
+    /// The current broadcast id per subject (invalidation index).
+    by_subject: HashMap<NodeName, u64>,
+    /// Selection order with lazy deletion.
+    heap: BinaryHeap<HeapItem>,
+    /// Monotonic enqueue stamp; larger = newer.
     next_id: u64,
+    /// Lower bound on the smallest encoded entry currently queued
+    /// (reset when the queue empties); lets `fill` stop early.
+    min_len: usize,
+    /// The transmit limit seen by the previous `fill`; a shrink (the
+    /// cluster got smaller) triggers an eager purge of over-limit
+    /// entries, matching the seed's retire-every-fill semantics even
+    /// when a fill exits before popping them.
+    last_limit: u32,
 }
 
 impl BroadcastQueue {
@@ -49,16 +90,16 @@ impl BroadcastQueue {
 
     /// Number of queued broadcasts.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.entries.len()
     }
 
     /// Whether the queue has nothing to gossip.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.entries.is_empty()
     }
 
     /// Enqueues a gossip message, invalidating any queued broadcast about
-    /// the same member.
+    /// the same member. Amortized O(1).
     ///
     /// # Panics
     ///
@@ -68,26 +109,46 @@ impl BroadcastQueue {
         let Some(subject) = msg.gossip_subject().cloned() else {
             return;
         };
-        self.items.retain(|q| q.subject != subject);
         let encoded = codec::encode_message(&msg);
+        if self.entries.is_empty() {
+            self.min_len = usize::MAX;
+        }
+        self.min_len = self.min_len.min(encoded.len());
         let id = self.next_id;
         self.next_id += 1;
-        self.items.push(QueuedBroadcast {
-            subject,
-            msg,
-            encoded,
-            transmits: 0,
+        if let Some(old) = self.by_subject.insert(subject.clone(), id) {
+            // The superseded broadcast stops existing now; its heap item
+            // is discarded lazily when popped.
+            self.entries.remove(&old);
+        }
+        self.entries.insert(
             id,
-        });
+            QueuedBroadcast {
+                subject,
+                msg,
+                encoded,
+                transmits: 0,
+            },
+        );
+        self.heap.push((Reverse(0), id));
+        // Stale items (from invalidations of rarely-selected subjects)
+        // are normally discarded as they surface, but sustained churn
+        // can strand them below fresher entries forever; compact once
+        // they outnumber live entries 2:1.
+        if self.heap.len() > 2 * self.entries.len() + 16 {
+            self.heap = self
+                .entries
+                .iter()
+                .map(|(&id, e)| (Reverse(e.transmits), id))
+                .collect();
+        }
     }
 
     /// The queued message about `subject`, if any (used by tests and
-    /// introspection).
+    /// introspection). O(1).
     pub fn queued_for(&self, subject: &NodeName) -> Option<&Message> {
-        self.items
-            .iter()
-            .find(|q| &q.subject == subject)
-            .map(|q| &q.msg)
+        let id = self.by_subject.get(subject)?;
+        self.entries.get(id).map(|q| &q.msg)
     }
 
     /// Fills `builder` with as many queued broadcasts as fit, preferring
@@ -104,33 +165,87 @@ impl BroadcastQueue {
         transmit_limit: u32,
         exclude: Option<&NodeName>,
     ) {
-        // Selection order: fewest transmits first, then newest.
-        let mut order: Vec<usize> = (0..self.items.len()).collect();
-        order.sort_by_key(|&i| (self.items[i].transmits, u64::MAX - self.items[i].id));
-
-        let mut used: Vec<usize> = Vec::new();
-        for i in order {
-            if let Some(ex) = exclude {
-                if &self.items[i].subject == ex {
-                    continue;
-                }
+        if transmit_limit < self.last_limit {
+            // O(n), but only on the rare downward log10(n) boundary
+            // crossing; over-limit entries popped during normal fills
+            // are retired lazily below.
+            let over: Vec<u64> = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.transmits >= transmit_limit)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in over {
+                self.retire(id);
             }
-            if builder.remaining() < self.items[i].encoded.len() {
+        }
+        self.last_limit = transmit_limit;
+        // Entries selected this fill are re-queued only after the loop,
+        // so no broadcast is packed twice into one packet.
+        let mut requeue: Vec<HeapItem> = Vec::new();
+        while let Some((Reverse(transmits), id)) = self.heap.pop() {
+            let Some(entry) = self.entries.get(&id) else {
+                continue; // invalidated: drop the stale heap item
+            };
+            if entry.transmits != transmits {
+                continue; // re-prioritised: a fresher heap item exists
+            }
+            if transmits >= transmit_limit {
+                // The limit shrank (cluster got smaller) below this
+                // entry's count: retire it.
+                self.retire(id);
                 continue;
             }
-            if builder.try_add(self.items[i].encoded.clone()) {
-                used.push(i);
+            if builder.len() >= MAX_COMPOUND_PARTS {
+                requeue.push((Reverse(transmits), id));
+                break;
+            }
+            if exclude.is_some_and(|ex| &entry.subject == ex) {
+                requeue.push((Reverse(transmits), id));
+                continue;
+            }
+            if entry.encoded.len() > builder.remaining() {
+                requeue.push((Reverse(transmits), id));
+                if builder.remaining() < self.min_len {
+                    break; // nothing queued can be smaller
+                }
+                continue;
+            }
+            if builder.try_add_bytes(&entry.encoded) {
+                let after = transmits + 1;
+                if after >= transmit_limit {
+                    self.retire(id);
+                } else {
+                    self.entries
+                        .get_mut(&id)
+                        .expect("entry checked above")
+                        .transmits = after;
+                    requeue.push((Reverse(after), id));
+                }
+            } else {
+                requeue.push((Reverse(transmits), id));
             }
         }
-        for &i in &used {
-            self.items[i].transmits += 1;
-        }
-        self.items.retain(|q| q.transmits < transmit_limit);
+        self.heap.extend(requeue);
     }
 
     /// Removes every queued broadcast (used on shutdown).
     pub fn clear(&mut self) {
-        self.items.clear();
+        self.entries.clear();
+        self.by_subject.clear();
+        self.heap.clear();
+        self.min_len = usize::MAX;
+        self.last_limit = 0;
+    }
+
+    fn retire(&mut self, id: u64) {
+        if let Some(entry) = self.entries.remove(&id) {
+            // Only unlink the subject if it still points at this entry
+            // (a newer broadcast may have replaced it already).
+            if self.by_subject.get(&entry.subject) == Some(&id) {
+                self.by_subject.remove(&entry.subject);
+            }
+        }
     }
 }
 
@@ -231,6 +346,80 @@ mod tests {
         q.fill(&mut b, 10, None);
         let msgs = decode_packet(&b.finish().unwrap()).unwrap();
         assert_eq!(msgs, vec![alive("new", 1)]);
+    }
+
+    /// Regression for the bucketed selection order: one message per
+    /// packet, the full drain sequence must be least-transmitted first
+    /// and newest first within a transmit-count class, with invalidation
+    /// and retirement folded in.
+    #[test]
+    fn selection_order_is_least_transmitted_then_newest() {
+        let mut q = BroadcastQueue::new();
+        // "a" transmitted twice, "b" once, then fresh "c", "d".
+        q.enqueue(alive("a", 1));
+        for _ in 0..2 {
+            let mut b = CompoundBuilder::new(1400);
+            q.fill(&mut b, 10, None);
+        }
+        q.enqueue(alive("b", 1));
+        let mut b = CompoundBuilder::new(1400);
+        q.fill(&mut b, 10, None); // sends b (0 transmits) and a (2)
+        assert_eq!(b.len(), 2);
+        q.enqueue(alive("c", 1));
+        q.enqueue(alive("d", 1));
+
+        // Now: a=3, b=1, c=0, d=0. A single roomy fill must pack the
+        // parts in selection order: transmit classes ascending, newest
+        // id first within a class.
+        let mut b = CompoundBuilder::new(1400);
+        q.fill(&mut b, 10, None);
+        let msgs = decode_packet(&b.finish().unwrap()).unwrap();
+        let order: Vec<&str> = msgs
+            .iter()
+            .map(|m| match m {
+                Message::Alive(a) => a.node.as_str(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(order, vec!["d", "c", "b", "a"]);
+    }
+
+    #[test]
+    fn shrinking_transmit_limit_retires_over_limit_entries() {
+        let mut q = BroadcastQueue::new();
+        q.enqueue(alive("a", 1));
+        for _ in 0..3 {
+            let mut b = CompoundBuilder::new(1400);
+            q.fill(&mut b, 10, None);
+        }
+        // "a" now has 3 transmits; with the limit shrunk to 2 it must be
+        // retired without being sent again.
+        q.enqueue(alive("b", 1));
+        let mut b = CompoundBuilder::new(1400);
+        q.fill(&mut b, 2, None);
+        let msgs = decode_packet(&b.finish().unwrap()).unwrap();
+        assert_eq!(msgs, vec![alive("b", 1)]);
+        assert_eq!(q.len(), 1, "over-limit entry retired");
+        assert!(q.queued_for(&"a".into()).is_none());
+    }
+
+    #[test]
+    fn shrinking_limit_purges_even_when_fill_exits_early() {
+        let mut q = BroadcastQueue::new();
+        q.enqueue(alive("a", 1));
+        for _ in 0..3 {
+            let mut b = CompoundBuilder::new(1400);
+            q.fill(&mut b, 10, None);
+        }
+        // A fill too small to pack anything (fresh "b" doesn't fit, and
+        // over-limit "a" is below it in the heap) must still retire "a"
+        // when the limit has shrunk below its transmit count.
+        q.enqueue(alive("b", 1));
+        let mut b = CompoundBuilder::new(4);
+        q.fill(&mut b, 2, None);
+        assert!(b.finish().is_none() || q.queued_for(&"b".into()).is_some());
+        assert!(q.queued_for(&"a".into()).is_none(), "over-limit entry lingered");
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

@@ -4,8 +4,26 @@
 //! sampling primitives the protocol needs (indirect-probe helpers, gossip
 //! fan-out targets). Incarnation-precedence *decisions* live in the node
 //! state machine; this module only stores facts.
+//!
+//! # Indexed layout
+//!
+//! Records live in a slab (`Vec<Option<Slot>>` + free list) addressed
+//! through a `HashMap<NodeName, slot>` name index, so lookups are O(1)
+//! instead of the seed's O(log n) `BTreeMap` walk. Two dense id vectors
+//! partition the table by liveness class — `live` (alive | suspect) and
+//! `gone` (dead | left) — and an `alive` counter tracks the strictly
+//! alive subset. That makes [`Membership::live_count`] /
+//! [`Membership::alive_count`] O(1) (they were full O(n) scans, invoked
+//! on every suspicion start and every transmit-limit computation), and
+//! lets [`Membership::sample`] run a *lazy* partial Fisher–Yates over a
+//! pool's dense ids: O(inspected) ≈ O(k) work and no O(n) candidate
+//! `Vec` per call.
+//!
+//! Because the pools are derived from member state, state changes must
+//! go through the table ([`Membership::update`] or
+//! [`Membership::set_state`]); there is deliberately no `get_mut`.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 use lifeguard_proto::{MemberState, NodeName};
 use rand::{Rng, RngExt};
@@ -13,13 +31,39 @@ use rand::{Rng, RngExt};
 use crate::member::Member;
 use crate::time::Time;
 
+/// Which liveness pool a sampling call draws from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SamplePool {
+    /// Alive and suspect members (failure-detector participants).
+    Live,
+    /// Dead and left members still retained in the table.
+    Gone,
+    /// Every known member.
+    All,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    member: Member,
+    /// Position of this slot's id inside its pool vector.
+    pos: usize,
+}
+
 /// The membership table of a single node.
 ///
 /// The local node itself is stored in the table (as memberlist does), so
 /// `n` counts include self.
 #[derive(Clone, Debug, Default)]
 pub struct Membership {
-    members: BTreeMap<NodeName, Member>,
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    index: HashMap<NodeName, usize>,
+    /// Dense slot ids of alive | suspect members.
+    live: Vec<usize>,
+    /// Dense slot ids of dead | left members.
+    gone: Vec<usize>,
+    /// Number of members in state `Alive` exactly.
+    alive: usize,
 }
 
 impl Membership {
@@ -29,88 +73,272 @@ impl Membership {
     }
 
     /// Number of known members in any state (including dead ones still
-    /// retained).
+    /// retained). O(1).
     pub fn len(&self) -> usize {
-        self.members.len()
+        self.index.len()
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.members.is_empty()
+        self.index.is_empty()
     }
 
     /// Number of live (alive or suspect) members, the `n` used for
-    /// suspicion timeouts and retransmit limits.
+    /// suspicion timeouts and retransmit limits. O(1).
     pub fn live_count(&self) -> usize {
-        self.members.values().filter(|m| m.is_live()).count()
+        self.live.len()
     }
 
-    /// Number of members currently believed alive (not suspect).
+    /// Number of members currently believed alive (not suspect). O(1).
     pub fn alive_count(&self) -> usize {
-        self.members
-            .values()
-            .filter(|m| m.state == MemberState::Alive)
-            .count()
+        self.alive
     }
 
-    /// Looks up a member by name.
+    /// Looks up a member by name. O(1).
     pub fn get(&self, name: &NodeName) -> Option<&Member> {
-        self.members.get(name)
+        let &id = self.index.get(name)?;
+        Some(&self.slot(id).member)
     }
 
-    /// Mutable lookup.
-    pub fn get_mut(&mut self, name: &NodeName) -> Option<&mut Member> {
-        self.members.get_mut(name)
+    /// Mutates the member named `name` through `f`, keeping the state
+    /// counters and liveness pools consistent with whatever `f` changed.
+    /// Returns `None` (without running `f`) if the member is unknown.
+    ///
+    /// This replaces the seed's `get_mut`: handing out `&mut Member`
+    /// would let callers flip `state` behind the indexes' back.
+    ///
+    /// `f` must not change `member.name` — it is the index key. Use
+    /// [`Membership::remove`] + [`Membership::upsert`] to rename.
+    pub fn update<T>(&mut self, name: &NodeName, f: impl FnOnce(&mut Member) -> T) -> Option<T> {
+        let &id = self.index.get(name)?;
+        let slot = self.slots[id].as_mut().expect("indexed slot occupied");
+        let before = slot.member.state;
+        let out = f(&mut slot.member);
+        let after = slot.member.state;
+        debug_assert_eq!(
+            &self.slots[id].as_ref().expect("indexed slot occupied").member.name,
+            name,
+            "update() must not change the member's name (index key)"
+        );
+        self.reconcile(id, before, after);
+        Some(out)
+    }
+
+    /// Transitions `name` to `state` at `now` (no-op timestamps for
+    /// same-state transitions, per [`Member::set_state`]). Returns
+    /// whether the member exists.
+    pub fn set_state(&mut self, name: &NodeName, state: MemberState, now: Time) -> bool {
+        self.update(name, |m| m.set_state(state, now)).is_some()
     }
 
     /// Inserts or replaces a member record. Returns the previous record.
     pub fn upsert(&mut self, member: Member) -> Option<Member> {
-        self.members.insert(member.name.clone(), member)
+        if let Some(&id) = self.index.get(&member.name) {
+            let slot = self.slots[id].as_mut().expect("indexed slot occupied");
+            let before = slot.member.state;
+            let after = member.state;
+            let prev = std::mem::replace(&mut slot.member, member);
+            self.reconcile(id, before, after);
+            return Some(prev);
+        }
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slots[id] = Some(Slot { member, pos: 0 });
+                id
+            }
+            None => {
+                self.slots.push(Some(Slot { member, pos: 0 }));
+                self.slots.len() - 1
+            }
+        };
+        let name = self.slot(id).member.name.clone();
+        self.index.insert(name, id);
+        let state = self.slot(id).member.state;
+        self.pool_push(id, state);
+        if state == MemberState::Alive {
+            self.alive += 1;
+        }
+        None
     }
 
-    /// Removes a member record entirely (dead-node reaping).
+    /// Removes a member record entirely (dead-node reaping). O(1).
     pub fn remove(&mut self, name: &NodeName) -> Option<Member> {
-        self.members.remove(name)
+        let id = self.index.remove(name)?;
+        let state = self.slot(id).member.state;
+        self.pool_remove(id, state);
+        if state == MemberState::Alive {
+            self.alive -= 1;
+        }
+        let slot = self.slots[id].take().expect("indexed slot occupied");
+        self.free.push(id);
+        Some(slot.member)
     }
 
     /// Iterates over all member records in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = &Member> {
-        self.members.values()
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|s| &s.member))
     }
 
-    /// Names of members that have been dead/left since before
-    /// `reap_before` and can be forgotten.
-    pub fn reapable(&self, reap_before: Time) -> Vec<NodeName> {
-        self.members
-            .values()
-            .filter(|m| {
-                matches!(m.state, MemberState::Dead | MemberState::Left)
-                    && m.state_change < reap_before
-            })
-            .map(|m| m.name.clone())
-            .collect()
+    /// Members that have been dead/left since before `reap_before` and
+    /// can be forgotten.
+    ///
+    /// Iterates the `gone` pool only, so the cost is O(retained dead),
+    /// not O(n); collect the names before calling
+    /// [`Membership::remove`].
+    pub fn reapable(&self, reap_before: Time) -> impl Iterator<Item = &Member> {
+        self.gone
+            .iter()
+            .map(|&id| &self.slot(id).member)
+            .filter(move |m| m.state_change < reap_before)
     }
 
     /// Selects up to `k` distinct random members satisfying `filter`,
-    /// using a partial Fisher–Yates shuffle for uniformity.
+    /// uniformly among the members that satisfy it.
     ///
-    /// The backing map iterates in name order, so selection is fully
-    /// deterministic for a given RNG stream.
+    /// Equivalent to a partial Fisher–Yates shuffle over the whole
+    /// table, evaluated lazily: positions are materialised only as they
+    /// are inspected, so the call does O(inspected) work — O(k) when the
+    /// filter rejects few members — instead of filter-collecting all n
+    /// members first.
     pub fn sample<R: Rng>(
         &self,
         k: usize,
         rng: &mut R,
+        filter: impl FnMut(&Member) -> bool,
+    ) -> Vec<&Member> {
+        self.sample_pool(SamplePool::All, k, rng, filter)
+    }
+
+    /// [`Membership::sample`] restricted to one liveness pool, so
+    /// callers that only want live (or only retained-dead) members never
+    /// pay for the other class.
+    pub fn sample_pool<R: Rng>(
+        &self,
+        pool: SamplePool,
+        k: usize,
+        rng: &mut R,
         mut filter: impl FnMut(&Member) -> bool,
     ) -> Vec<&Member> {
-        let mut candidates: Vec<&Member> = self.members.values().filter(|m| filter(m)).collect();
-        let n = candidates.len();
-        let take = k.min(n);
-        for i in 0..take {
-            let j = rng.random_range(i..n);
-            candidates.swap(i, j);
+        let n = match pool {
+            SamplePool::Live => self.live.len(),
+            SamplePool::Gone => self.gone.len(),
+            SamplePool::All => self.live.len() + self.gone.len(),
+        };
+        let mut picked = Vec::with_capacity(k.min(n));
+        if k == 0 || n == 0 {
+            return picked;
         }
-        candidates.truncate(take);
-        candidates
+        // Lazy Fisher–Yates: `moved` records the positions whose value
+        // differs from the identity permutation. Scanning a uniform
+        // random permutation and keeping the first k filter-passing
+        // members draws a uniform k-subset of the eligible members, in
+        // uniform order — the same distribution as filtering first and
+        // shuffling after, without building the O(n) candidate vector.
+        let mut moved: HashMap<usize, usize> = HashMap::new();
+        let mut i = 0;
+        while i < n && picked.len() < k {
+            let j = rng.random_range(i..n);
+            let vj = moved.get(&j).copied().unwrap_or(j);
+            let vi = moved.get(&i).copied().unwrap_or(i);
+            moved.insert(j, vi);
+            let member = self.pool_member(pool, vj);
+            if filter(member) {
+                picked.push(member);
+            }
+            i += 1;
+        }
+        picked
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn slot(&self, id: usize) -> &Slot {
+        self.slots[id].as_ref().expect("indexed slot occupied")
+    }
+
+    /// The member at virtual position `v` of a pool (All concatenates
+    /// live then gone).
+    fn pool_member(&self, pool: SamplePool, v: usize) -> &Member {
+        let id = match pool {
+            SamplePool::Live => self.live[v],
+            SamplePool::Gone => self.gone[v],
+            SamplePool::All => {
+                if v < self.live.len() {
+                    self.live[v]
+                } else {
+                    self.gone[v - self.live.len()]
+                }
+            }
+        };
+        &self.slot(id).member
+    }
+
+    /// Moves `id` between pools / adjusts counters after its state
+    /// changed from `before` to `after`. O(1).
+    fn reconcile(&mut self, id: usize, before: MemberState, after: MemberState) {
+        if before.is_live() != after.is_live() {
+            self.pool_remove(id, before);
+            self.pool_push(id, after);
+        }
+        match (before == MemberState::Alive, after == MemberState::Alive) {
+            (false, true) => self.alive += 1,
+            (true, false) => self.alive -= 1,
+            _ => {}
+        }
+    }
+
+    fn pool_push(&mut self, id: usize, state: MemberState) {
+        let pool = if state.is_live() {
+            &mut self.live
+        } else {
+            &mut self.gone
+        };
+        pool.push(id);
+        let pos = pool.len() - 1;
+        self.slots[id].as_mut().expect("indexed slot occupied").pos = pos;
+    }
+
+    fn pool_remove(&mut self, id: usize, state: MemberState) {
+        let pos = self.slot(id).pos;
+        let pool = if state.is_live() {
+            &mut self.live
+        } else {
+            &mut self.gone
+        };
+        pool.swap_remove(pos);
+        if let Some(&swapped) = pool.get(pos) {
+            self.slots[swapped].as_mut().expect("indexed slot occupied").pos = pos;
+        }
+    }
+
+    /// Debug-only invariant check: counters and pools agree with a full
+    /// recomputation (used by the property tests).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let live_scan = self.iter().filter(|m| m.is_live()).count();
+        let alive_scan = self
+            .iter()
+            .filter(|m| m.state == MemberState::Alive)
+            .count();
+        let gone_scan = self.iter().count() - live_scan;
+        assert_eq!(self.live.len(), live_scan, "live pool out of sync");
+        assert_eq!(self.gone.len(), gone_scan, "gone pool out of sync");
+        assert_eq!(self.alive, alive_scan, "alive counter out of sync");
+        assert_eq!(self.index.len(), live_scan + gone_scan, "index out of sync");
+        for (name, &id) in &self.index {
+            let slot = self.slot(id);
+            assert_eq!(&slot.member.name, name, "index points at wrong slot");
+            let pool = if slot.member.state.is_live() {
+                &self.live
+            } else {
+                &self.gone
+            };
+            assert_eq!(pool[slot.pos], id, "pool position out of sync");
+        }
     }
 }
 
@@ -146,17 +374,29 @@ mod tests {
         assert_eq!(t.live_count(), 5);
         assert_eq!(t.alive_count(), 5);
 
-        t.get_mut(&"node-0".into())
-            .unwrap()
-            .set_state(MemberState::Suspect, Time::from_secs(1));
+        t.set_state(&"node-0".into(), MemberState::Suspect, Time::from_secs(1));
         assert_eq!(t.live_count(), 5);
         assert_eq!(t.alive_count(), 4);
 
-        t.get_mut(&"node-1".into())
-            .unwrap()
-            .set_state(MemberState::Dead, Time::from_secs(1));
+        t.set_state(&"node-1".into(), MemberState::Dead, Time::from_secs(1));
         assert_eq!(t.live_count(), 4);
         assert_eq!(t.len(), 5, "dead members are retained");
+        t.check_invariants();
+    }
+
+    #[test]
+    fn update_keeps_counters_in_sync() {
+        let mut t = table(3);
+        let out = t.update(&"node-2".into(), |m| {
+            m.incarnation = Incarnation(9);
+            m.set_state(MemberState::Suspect, Time::from_secs(2));
+            m.incarnation
+        });
+        assert_eq!(out, Some(Incarnation(9)));
+        assert_eq!(t.alive_count(), 2);
+        assert_eq!(t.live_count(), 3);
+        assert!(t.update(&"missing".into(), |_| ()).is_none());
+        t.check_invariants();
     }
 
     #[test]
@@ -171,6 +411,40 @@ mod tests {
         assert_eq!(prev.unwrap().incarnation, Incarnation(0));
         assert_eq!(t.get(&"node-0".into()).unwrap().incarnation, Incarnation(7));
         assert_eq!(t.len(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn upsert_over_dead_member_restores_liveness_pools() {
+        let mut t = table(2);
+        t.set_state(&"node-0".into(), MemberState::Dead, Time::from_secs(1));
+        assert_eq!(t.live_count(), 1);
+        t.upsert(Member::new(
+            "node-0".into(),
+            addr(0),
+            Incarnation(2),
+            Time::from_secs(2),
+        ));
+        assert_eq!(t.live_count(), 2);
+        assert_eq!(t.alive_count(), 2);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn remove_recycles_slots() {
+        let mut t = table(4);
+        assert!(t.remove(&"node-1".into()).is_some());
+        assert!(t.remove(&"node-1".into()).is_none());
+        assert_eq!(t.len(), 3);
+        t.upsert(Member::new(
+            "node-9".into(),
+            addr(9),
+            Incarnation(0),
+            Time::ZERO,
+        ));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.live_count(), 4);
+        t.check_invariants();
     }
 
     #[test]
@@ -182,6 +456,7 @@ mod tests {
         assert!(picked.iter().all(|m| m.name.as_str() != "node-0"));
         // Distinct members.
         let mut names: Vec<_> = picked.iter().map(|m| m.name.clone()).collect();
+        names.sort();
         names.dedup();
         assert_eq!(names.len(), 3);
     }
@@ -230,17 +505,34 @@ mod tests {
     }
 
     #[test]
+    fn sample_pool_separates_liveness_classes() {
+        let mut t = table(6);
+        t.set_state(&"node-0".into(), MemberState::Dead, Time::from_secs(1));
+        t.set_state(&"node-1".into(), MemberState::Left, Time::from_secs(1));
+        t.set_state(&"node-2".into(), MemberState::Suspect, Time::from_secs(1));
+        let mut rng = StdRng::seed_from_u64(5);
+        let live = t.sample_pool(SamplePool::Live, 10, &mut rng, |_| true);
+        assert_eq!(live.len(), 4);
+        assert!(live.iter().all(|m| m.is_live()));
+        let gone = t.sample_pool(SamplePool::Gone, 10, &mut rng, |_| true);
+        assert_eq!(gone.len(), 2);
+        assert!(gone.iter().all(|m| !m.is_live()));
+        let all = t.sample_pool(SamplePool::All, 10, &mut rng, |_| true);
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
     fn reapable_finds_old_dead_members() {
         let mut t = table(3);
-        t.get_mut(&"node-0".into())
-            .unwrap()
-            .set_state(MemberState::Dead, Time::from_secs(10));
-        t.get_mut(&"node-1".into())
-            .unwrap()
-            .set_state(MemberState::Left, Time::from_secs(50));
-        let reap = t.reapable(Time::from_secs(30));
+        t.set_state(&"node-0".into(), MemberState::Dead, Time::from_secs(10));
+        t.set_state(&"node-1".into(), MemberState::Left, Time::from_secs(50));
+        let reap: Vec<NodeName> = t
+            .reapable(Time::from_secs(30))
+            .map(|m| m.name.clone())
+            .collect();
         assert_eq!(reap, vec![NodeName::from("node-0")]);
         t.remove(&"node-0".into());
         assert_eq!(t.len(), 2);
+        t.check_invariants();
     }
 }

@@ -21,8 +21,8 @@ use std::collections::{BinaryHeap, HashMap};
 use bytes::Bytes;
 use lifeguard_proto::compound::CompoundBuilder;
 use lifeguard_proto::{
-    codec, compound, Ack, Alive, Dead, DecodeError, IndirectPing, Incarnation, MemberState,
-    Message, Nack, NodeAddr, NodeName, Ping, PushPull, SeqNo, Suspect,
+    compound, Ack, Alive, Dead, DecodeError, IndirectPing, Incarnation, MemberState, Message,
+    Nack, NodeAddr, NodeName, Ping, PushPull, SeqNo, Suspect,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -32,7 +32,7 @@ use crate::broadcast::BroadcastQueue;
 use crate::config::Config;
 use crate::event::Event;
 use crate::member::Member;
-use crate::membership::Membership;
+use crate::membership::{Membership, SamplePool};
 use crate::probe_list::ProbeList;
 use crate::suspicion::Suspicion;
 use crate::time::Time;
@@ -291,11 +291,12 @@ impl SwimNode {
     pub fn update_meta(&mut self, meta: Bytes, now: Time) {
         self.meta = meta.clone();
         self.incarnation = self.incarnation.next();
-        if let Some(me) = self.membership.get_mut(&self.name) {
+        let incarnation = self.incarnation;
+        self.membership.update(&self.name, |me| {
             me.meta = meta.clone();
-            me.incarnation = self.incarnation;
+            me.incarnation = incarnation;
             me.set_state(MemberState::Alive, now);
-        }
+        });
         self.broadcasts.enqueue(Message::Alive(Alive {
             incarnation: self.incarnation,
             node: self.name.clone(),
@@ -335,6 +336,28 @@ impl SwimNode {
         Vec::new()
     }
 
+    /// Registers peers directly as alive members, bypassing the join
+    /// protocol — the simulator's full-mesh bootstrap for large-cluster
+    /// benchmarks. No gossip is enqueued and no events are emitted; the
+    /// probe rotation absorbs all names with one bulk shuffle.
+    pub fn bootstrap_peers(
+        &mut self,
+        peers: impl IntoIterator<Item = (NodeName, NodeAddr)>,
+        now: Time,
+    ) {
+        debug_assert!(self.started, "bootstrap_peers() before start()");
+        let mut fresh = Vec::new();
+        for (name, addr) in peers {
+            if name == self.name || self.membership.get(&name).is_some() {
+                continue;
+            }
+            self.membership
+                .upsert(Member::new(name.clone(), addr, Incarnation::ZERO, now));
+            fresh.push(name);
+        }
+        self.probe_list.extend_shuffled(fresh, &mut self.rng);
+    }
+
     /// Initiates a join: sends a push-pull sync (carrying our own record)
     /// to each seed address over the stream transport.
     pub fn join(&mut self, seeds: &[NodeAddr], _now: Time) -> Vec<Output> {
@@ -372,9 +395,7 @@ impl SwimNode {
             from: self.name.clone(),
         });
         self.broadcasts.enqueue(dead);
-        if let Some(me) = self.membership.get_mut(&self.name) {
-            me.set_state(MemberState::Left, now);
-        }
+        self.membership.set_state(&self.name, MemberState::Left, now);
         let mut out = Vec::new();
         self.gossip_once(now, &mut out);
         out
@@ -455,6 +476,27 @@ impl SwimNode {
         now: Time,
     ) -> Result<Vec<Output>, DecodeError> {
         let msgs = compound::decode_packet(payload)?;
+        let mut out = Vec::new();
+        for msg in msgs {
+            self.handle_message(from, msg, now, &mut out);
+        }
+        Ok(out)
+    }
+
+    /// [`SwimNode::handle_datagram`] for runtimes that hold the payload
+    /// as [`Bytes`]: compound parts and blob fields are zero-copy slices
+    /// of the datagram instead of fresh allocations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SwimNode::handle_datagram`].
+    pub fn handle_datagram_bytes(
+        &mut self,
+        from: NodeAddr,
+        payload: &Bytes,
+        now: Time,
+    ) -> Result<Vec<Output>, DecodeError> {
+        let msgs = compound::decode_packet_shared(payload)?;
         let mut out = Vec::new();
         for msg in msgs {
             self.handle_message(from, msg, now, &mut out);
@@ -635,11 +677,11 @@ impl SwimNode {
                     self.broadcasts.enqueue(Message::Suspect(s.clone()));
                 }
                 let deadline = sus.deadline();
-                if let Some(m) = self.membership.get_mut(&s.node) {
+                self.membership.update(&s.node, |m| {
                     if s.incarnation > m.incarnation {
                         m.incarnation = s.incarnation;
                     }
-                }
+                });
                 self.schedule(deadline, Timer::SuspicionCheck { node: s.node });
             }
             MemberState::Alive => {
@@ -657,11 +699,23 @@ impl SwimNode {
         }
         match self.membership.get(&a.node) {
             None => {
+                // Membership records and queued rebroadcasts are
+                // long-lived; with zero-copy decode `a.meta` may alias a
+                // whole received datagram, so store and re-gossip a
+                // compact copy rather than pinning the packet buffer.
+                // (Copied only on accepted messages — stale duplicates
+                // return above/below without allocating.)
+                let meta = Bytes::copy_from_slice(&a.meta);
                 let mut m = Member::new(a.node.clone(), a.addr, a.incarnation, now);
-                m.meta = a.meta.clone();
+                m.meta = meta.clone();
                 self.membership.upsert(m);
                 self.probe_list.insert(a.node.clone(), &mut self.rng);
-                self.broadcasts.enqueue(Message::Alive(a.clone()));
+                self.broadcasts.enqueue(Message::Alive(Alive {
+                    incarnation: a.incarnation,
+                    node: a.node.clone(),
+                    addr: a.addr,
+                    meta,
+                }));
                 out.push(Output::Event(Event::MemberJoined { name: a.node }));
             }
             Some(member) => {
@@ -671,13 +725,21 @@ impl SwimNode {
                     return;
                 }
                 let old_state = member.state;
-                let m = self.membership.get_mut(&a.node).expect("present");
-                m.incarnation = a.incarnation;
-                m.addr = a.addr;
-                m.meta = a.meta.clone();
-                m.set_state(MemberState::Alive, now);
+                let meta = Bytes::copy_from_slice(&a.meta);
+                let updated = self.membership.update(&a.node, |m| {
+                    m.incarnation = a.incarnation;
+                    m.addr = a.addr;
+                    m.meta = meta.clone();
+                    m.set_state(MemberState::Alive, now);
+                });
+                debug_assert!(updated.is_some(), "member present");
                 self.suspicions.remove(&a.node);
-                self.broadcasts.enqueue(Message::Alive(a.clone()));
+                self.broadcasts.enqueue(Message::Alive(Alive {
+                    incarnation: a.incarnation,
+                    node: a.node.clone(),
+                    addr: a.addr,
+                    meta,
+                }));
                 match old_state {
                     MemberState::Suspect | MemberState::Dead => {
                         out.push(Output::Event(Event::MemberRecovered { name: a.node }));
@@ -708,16 +770,18 @@ impl SwimNode {
             return;
         }
         let is_leave = d.from == d.node;
-        let m = self.membership.get_mut(&d.node).expect("present");
-        m.incarnation = d.incarnation;
-        m.set_state(
-            if is_leave {
-                MemberState::Left
-            } else {
-                MemberState::Dead
-            },
-            now,
-        );
+        let updated = self.membership.update(&d.node, |m| {
+            m.incarnation = d.incarnation;
+            m.set_state(
+                if is_leave {
+                    MemberState::Left
+                } else {
+                    MemberState::Dead
+                },
+                now,
+            );
+        });
+        debug_assert!(updated.is_some(), "member present");
         self.suspicions.remove(&d.node);
         self.broadcasts.enqueue(Message::Dead(d.clone()));
         if is_leave {
@@ -838,10 +902,16 @@ impl SwimNode {
             Timer::Reap => {
                 self.schedule(now + self.config.dead_reclaim, Timer::Reap);
                 let cutoff = Time::ZERO + now.saturating_since(Time::ZERO + self.config.dead_reclaim);
-                for name in self.membership.reapable(cutoff) {
-                    if name != self.name {
-                        self.membership.remove(&name);
-                    }
+                // O(retained dead): the reapable iterator walks the gone
+                // pool only, never the whole table.
+                let names: Vec<NodeName> = self
+                    .membership
+                    .reapable(cutoff)
+                    .filter(|m| m.name != self.name)
+                    .map(|m| m.name.clone())
+                    .collect();
+                for name in &names {
+                    self.membership.remove(name);
                 }
             }
         }
@@ -860,10 +930,10 @@ impl SwimNode {
             // interval shrank when the LHM recovered); let it finish.
             return;
         }
-        let me = self.name.clone();
+        let me = &self.name;
         let membership = &self.membership;
         let Some(target) = self.probe_list.next_target(membership, &mut self.rng, |n| {
-            n != &me
+            n != me
                 && membership
                     .get(n)
                     .map(|m| m.is_live())
@@ -907,20 +977,23 @@ impl SwimNode {
         }
         let target = p.target.clone();
         let target_addr = p.target_addr;
-        let me = self.name.clone();
         let k = self.config.indirect_checks;
         let nack = self.config.nack_enabled();
-        let peers: Vec<(NodeName, NodeAddr)> = self
+        // O(k) draw from the live pool: the filter only rejects self and
+        // the probe target, so expected inspections stay ~k even at 10k
+        // members.
+        let me = &self.name;
+        let peers: Vec<NodeAddr> = self
             .membership
-            .sample(k, &mut self.rng, |m| {
-                m.is_live() && m.name != me && m.name != target
+            .sample_pool(SamplePool::Live, k, &mut self.rng, |m| {
+                m.name != *me && m.name != target
             })
             .into_iter()
-            .map(|m| (m.name.clone(), m.addr))
+            .map(|m| m.addr)
             .collect();
         let sent = peers.len() as u32;
         self.stats.indirect_probes_sent += sent as u64;
-        for (_, peer_addr) in &peers {
+        for &peer_addr in &peers {
             let req = Message::IndirectPing(IndirectPing {
                 seq,
                 target: target.clone(),
@@ -929,7 +1002,7 @@ impl SwimNode {
                 source: self.name.clone(),
                 source_addr: self.addr,
             });
-            self.send_packet(*peer_addr, vec![req], None, now, out);
+            self.send_packet(peer_addr, vec![req], None, now, out);
         }
         if let Some(p) = &mut self.probe {
             p.expected_nacks = if nack { sent } else { 0 };
@@ -1001,14 +1074,20 @@ impl SwimNode {
         }
         let incarnation = sus.incarnation();
         self.suspicions.remove(&node);
-        let Some(member) = self.membership.get_mut(&node) else {
-            return;
-        };
-        if member.state != MemberState::Suspect {
+        let declared = self
+            .membership
+            .update(&node, |member| {
+                if member.state != MemberState::Suspect {
+                    return false;
+                }
+                member.incarnation = incarnation;
+                member.set_state(MemberState::Dead, now);
+                true
+            })
+            .unwrap_or(false);
+        if !declared {
             return;
         }
-        member.incarnation = incarnation;
-        member.set_state(MemberState::Dead, now);
         self.stats.failures_declared += 1;
         let dead = Dead {
             incarnation,
@@ -1051,9 +1130,10 @@ impl SwimNode {
         self.stats.suspicions_raised += 1;
         let deadline = sus.deadline();
         self.suspicions.insert(node.clone(), sus);
-        let m = self.membership.get_mut(&node).expect("present");
-        m.incarnation = incarnation;
-        m.set_state(MemberState::Suspect, now);
+        self.membership.update(&node, |m| {
+            m.incarnation = incarnation;
+            m.set_state(MemberState::Suspect, now);
+        });
         self.broadcasts.enqueue(Message::Suspect(Suspect {
             incarnation,
             node: node.clone(),
@@ -1073,10 +1153,11 @@ impl SwimNode {
         } else {
             self.incarnation = accused_incarnation.next();
         }
-        if let Some(me) = self.membership.get_mut(&self.name) {
-            me.incarnation = self.incarnation;
+        let incarnation = self.incarnation;
+        self.membership.update(&self.name, |me| {
+            me.incarnation = incarnation;
             me.set_state(MemberState::Alive, now);
-        }
+        });
         self.stats.refutations += 1;
         self.awareness
             .apply_delta(self.config.awareness_deltas.refute);
@@ -1101,12 +1182,12 @@ impl SwimNode {
         if self.broadcasts.is_empty() {
             return;
         }
-        let me = self.name.clone();
+        let me = &self.name;
         let dead_window = self.config.gossip_to_the_dead;
         let targets: Vec<NodeAddr> = self
             .membership
             .sample(self.config.gossip_nodes, &mut self.rng, |m| {
-                m.name != me
+                m.name != *me
                     && (m.is_live()
                         || (matches!(m.state, MemberState::Dead | MemberState::Left)
                             && now.saturating_since(m.state_change) <= dead_window))
@@ -1126,11 +1207,11 @@ impl SwimNode {
 
     /// One anti-entropy exchange with a random alive peer.
     fn push_pull_once(&mut self, out: &mut Vec<Output>) {
-        let me = self.name.clone();
+        let me = &self.name;
         let peer = self
             .membership
-            .sample(1, &mut self.rng, |m| {
-                m.name != me && m.state == MemberState::Alive
+            .sample_pool(SamplePool::Live, 1, &mut self.rng, |m| {
+                m.name != *me && m.state == MemberState::Alive
             })
             .first()
             .map(|m| m.addr);
@@ -1150,11 +1231,11 @@ impl SwimNode {
     /// believed dead, so partitioned sub-groups re-merge automatically
     /// once connectivity is restored.
     fn reconnect_once(&mut self, out: &mut Vec<Output>) {
-        let me = self.name.clone();
+        let me = &self.name;
         let peer = self
             .membership
-            .sample(1, &mut self.rng, |m| {
-                m.name != me && m.state == MemberState::Dead
+            .sample_pool(SamplePool::Gone, 1, &mut self.rng, |m| {
+                m.name != *me && m.state == MemberState::Dead
             })
             .first()
             .map(|m| m.addr);
@@ -1243,7 +1324,9 @@ impl SwimNode {
     ) {
         let mut builder = CompoundBuilder::new(self.config.packet_budget);
         for msg in &primary {
-            let added = builder.try_add(codec::encode_message(msg));
+            // Encoded straight into the packet buffer: no per-message
+            // allocation on the assembly path.
+            let added = builder.try_add_msg(msg);
             debug_assert!(added, "primary message must fit");
         }
         let mut exclude = None;
@@ -1255,7 +1338,7 @@ impl SwimNode {
                         node: target.clone(),
                         from: self.name.clone(),
                     });
-                    builder.try_add(codec::encode_message(&suspect));
+                    builder.try_add_msg(&suspect);
                     exclude = Some(target.clone());
                 }
             }

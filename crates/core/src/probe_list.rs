@@ -46,6 +46,18 @@ impl ProbeList {
         }
     }
 
+    /// Bulk insertion for cluster bootstrap: appends all names and
+    /// reshuffles once (O(total)), instead of one O(n) positional insert
+    /// per member. Restarts the sweep.
+    pub fn extend_shuffled<R: Rng>(
+        &mut self,
+        names: impl IntoIterator<Item = NodeName>,
+        rng: &mut R,
+    ) {
+        self.order.extend(names);
+        self.reshuffle(rng);
+    }
+
     /// Picks the next probe target: advances round-robin, skipping
     /// entries for which `eligible` is false and dropping entries no
     /// longer in `membership`. Reshuffles at the end of each sweep.
@@ -69,17 +81,18 @@ impl ProbeList {
                 self.reshuffle(rng);
                 continue;
             }
-            let name = self.order[self.next].clone();
-            if membership.get(&name).is_none() {
+            let idx = self.next;
+            if membership.get(&self.order[idx]).is_none() {
                 // Member was reaped: drop from rotation without advancing.
-                self.order.remove(self.next);
+                self.order.remove(idx);
                 inspected += 1;
                 continue;
             }
             self.next += 1;
             inspected += 1;
-            if eligible(&name) {
-                return Some(name);
+            if eligible(&self.order[idx]) {
+                // Clone (an `Arc` bump) only for the selected target.
+                return Some(self.order[idx].clone());
             }
         }
         None

@@ -81,8 +81,17 @@ fn blocked_probe_loop_sends_at_most_one_ping() {
 fn stuck_probe_fails_and_suspects_at_unblock() {
     let mut n = new_node(Config::lan());
     add_peer(&mut n, "p", 2, Time::from_secs(1));
-    let t_block = Time::from_millis(1500);
-    run_until(&mut n, t_block);
+    // Drive until a probe ping is in flight, then block immediately —
+    // this pins the "stuck mid-probe" shape regardless of the node's
+    // randomized probe phase.
+    let mut t = Time::from_secs(1);
+    let mut probe_in_flight = false;
+    while !probe_in_flight {
+        let wake = n.next_wake().expect("probe timers armed");
+        t = wake;
+        probe_in_flight = count_pings(&n.tick(wake)) > 0;
+    }
+    let t_block = t + Duration::from_millis(1);
     n.set_io_blocked(true, t_block);
     let t_unblock = t_block + Duration::from_secs(8);
     run_until(&mut n, t_unblock);

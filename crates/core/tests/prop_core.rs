@@ -173,6 +173,253 @@ proptest! {
     }
 }
 
+/// Model-agreement checks: the indexed `Membership` and the heap-based
+/// `BroadcastQueue` must behave exactly like the naive designs they
+/// replaced (full-scan counters; flat vector with sort-per-fill) under
+/// arbitrary operation sequences.
+mod model_agreement {
+    use super::*;
+    use lifeguard_core::membership::SamplePool;
+    use lifeguard_proto::{MemberState, NodeName};
+    use std::collections::BTreeMap;
+
+    fn member(node: u8, inc: u64) -> Member {
+        let mut m = Member::new(
+            format!("node-{node}").into(),
+            NodeAddr::new([10, 0, 0, node], 7946),
+            Incarnation(inc),
+            Time::ZERO,
+        );
+        m.meta = Bytes::new();
+        m
+    }
+
+    fn state_of(code: u8) -> MemberState {
+        match code % 4 {
+            0 => MemberState::Alive,
+            1 => MemberState::Suspect,
+            2 => MemberState::Dead,
+            _ => MemberState::Left,
+        }
+    }
+
+    proptest! {
+        /// Counters, pools and iteration of the indexed table always
+        /// match a naive `BTreeMap` model driven by the same operations,
+        /// and the internal invariants hold after every step.
+        #[test]
+        fn membership_matches_naive_model(
+            ops in proptest::collection::vec((0u8..4, 0u8..24, 0u8..8, 0u64..5), 1..120),
+        ) {
+            let mut indexed = Membership::new();
+            let mut model: BTreeMap<NodeName, Member> = BTreeMap::new();
+            for (op, node, code, inc) in ops {
+                let name: NodeName = format!("node-{node}").into();
+                match op {
+                    0 => {
+                        let m = member(node, inc);
+                        indexed.upsert(m.clone());
+                        model.insert(name.clone(), m);
+                    }
+                    1 => {
+                        let state = state_of(code);
+                        let t = Time::from_secs(inc);
+                        indexed.set_state(&name, state, t);
+                        if let Some(m) = model.get_mut(&name) {
+                            m.set_state(state, t);
+                        }
+                    }
+                    2 => {
+                        let a = indexed.remove(&name).map(|m| m.name.clone());
+                        let b = model.remove(&name).map(|m| m.name.clone());
+                        prop_assert_eq!(a, b);
+                    }
+                    _ => {
+                        let got = indexed
+                            .update(&name, |m| {
+                                m.incarnation = Incarnation(inc);
+                                m.set_state(state_of(code), Time::from_secs(inc));
+                            })
+                            .is_some();
+                        if let Some(m) = model.get_mut(&name) {
+                            m.incarnation = Incarnation(inc);
+                            m.set_state(state_of(code), Time::from_secs(inc));
+                            prop_assert!(got);
+                        } else {
+                            prop_assert!(!got);
+                        }
+                    }
+                }
+                // Counters must equal full recomputed scans of the model.
+                prop_assert_eq!(indexed.len(), model.len());
+                prop_assert_eq!(
+                    indexed.live_count(),
+                    model.values().filter(|m| m.is_live()).count()
+                );
+                prop_assert_eq!(
+                    indexed.alive_count(),
+                    model.values().filter(|m| m.state == MemberState::Alive).count()
+                );
+                indexed.check_invariants();
+            }
+            // Same final contents (order-independent).
+            let mut a: Vec<(NodeName, u8, Incarnation)> = indexed
+                .iter()
+                .map(|m| (m.name.clone(), m.state.as_u8(), m.incarnation))
+                .collect();
+            a.sort();
+            let b: Vec<(NodeName, u8, Incarnation)> = model
+                .values()
+                .map(|m| (m.name.clone(), m.state.as_u8(), m.incarnation))
+                .collect();
+            prop_assert_eq!(a, b);
+        }
+
+        /// Pool-restricted sampling only returns members of that pool,
+        /// respects the filter, never duplicates, and returns exactly
+        /// min(k, eligible) members.
+        #[test]
+        fn membership_pool_sampling_is_sound(
+            states in proptest::collection::vec(0u8..4, 1..48),
+            k in 0usize..60,
+            seed in any::<u64>(),
+            banned in 0u8..48,
+        ) {
+            let mut table = Membership::new();
+            for (i, &code) in states.iter().enumerate() {
+                let mut m = member(i as u8, 0);
+                m.set_state(state_of(code), Time::from_secs(1));
+                table.upsert(m);
+            }
+            let banned_name: NodeName = format!("node-{banned}").into();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for (pool, want_live) in [
+                (SamplePool::Live, Some(true)),
+                (SamplePool::Gone, Some(false)),
+                (SamplePool::All, None),
+            ] {
+                let picked = table.sample_pool(pool, k, &mut rng, |m| m.name != banned_name);
+                let eligible = table
+                    .iter()
+                    .filter(|m| want_live.is_none_or(|w| m.is_live() == w))
+                    .filter(|m| m.name != banned_name)
+                    .count();
+                prop_assert_eq!(picked.len(), k.min(eligible));
+                if let Some(w) = want_live {
+                    prop_assert!(picked.iter().all(|m| m.is_live() == w));
+                }
+                prop_assert!(picked.iter().all(|m| m.name != banned_name));
+                let mut names: Vec<_> = picked.iter().map(|m| m.name.clone()).collect();
+                names.sort();
+                names.dedup();
+                prop_assert_eq!(names.len(), picked.len(), "duplicates in pool sample");
+            }
+        }
+    }
+
+    /// The seed's broadcast queue design, kept as an executable
+    /// reference model: flat vector, O(n) invalidation on enqueue, full
+    /// sort per fill.
+    #[derive(Default)]
+    struct NaiveQueue {
+        items: Vec<(NodeName, Message, Bytes, u32, u64)>,
+        next_id: u64,
+    }
+
+    impl NaiveQueue {
+        fn enqueue(&mut self, msg: Message) {
+            let subject = msg.gossip_subject().cloned().unwrap();
+            self.items.retain(|(s, ..)| s != &subject);
+            let encoded = lifeguard_proto::codec::encode_message(&msg);
+            let id = self.next_id;
+            self.next_id += 1;
+            self.items.push((subject, msg, encoded, 0, id));
+        }
+
+        fn queued_for(&self, subject: &NodeName) -> Option<&Message> {
+            self.items
+                .iter()
+                .find(|(s, ..)| s == subject)
+                .map(|(_, m, ..)| m)
+        }
+
+        fn fill(&mut self, builder: &mut CompoundBuilder, limit: u32, exclude: Option<&NodeName>) {
+            let mut order: Vec<usize> = (0..self.items.len()).collect();
+            order.sort_by_key(|&i| (self.items[i].3, u64::MAX - self.items[i].4));
+            let mut used = Vec::new();
+            for i in order {
+                if exclude == Some(&self.items[i].0) {
+                    continue;
+                }
+                if builder.remaining() < self.items[i].2.len() {
+                    continue;
+                }
+                if builder.try_add(self.items[i].2.clone()) {
+                    used.push(i);
+                }
+            }
+            for &i in &used {
+                self.items[i].3 += 1;
+            }
+            self.items.retain(|(.., t, _id)| {
+                let _ = _id;
+                *t < limit
+            });
+        }
+    }
+
+    proptest! {
+        /// Under any interleaving of enqueues and fills (varying packet
+        /// budgets, limits and exclusions), the heap-based queue emits
+        /// the exact same packets as the naive sort-per-fill model and
+        /// agrees on the queue contents afterwards.
+        #[test]
+        fn broadcast_queue_matches_naive_model(
+            ops in proptest::collection::vec((0u8..5, 0u8..10, 0u64..4), 1..80),
+            limit in 1u32..6,
+        ) {
+            let mut fast = BroadcastQueue::new();
+            let mut naive = NaiveQueue::default();
+            for (op, node, inc) in ops {
+                match op {
+                    0 | 1 => {
+                        let msg = alive_msg(&format!("node-{node}"), inc);
+                        fast.enqueue(msg.clone());
+                        naive.enqueue(msg);
+                    }
+                    2 => {
+                        let msg = Message::Suspect(Suspect {
+                            incarnation: Incarnation(inc),
+                            node: format!("node-{node}").into(),
+                            from: "accuser".into(),
+                        });
+                        fast.enqueue(msg.clone());
+                        naive.enqueue(msg);
+                    }
+                    op => {
+                        // Budget 60 forces skip paths; 1400 drains freely.
+                        let budget = if op == 3 { 60 } else { 1400 };
+                        let exclude: Option<NodeName> =
+                            (node % 3 == 0).then(|| format!("node-{}", node / 2).into());
+                        let mut fb = CompoundBuilder::new(budget);
+                        fast.fill(&mut fb, limit, exclude.as_ref());
+                        let mut nb = CompoundBuilder::new(budget);
+                        naive.fill(&mut nb, limit, exclude.as_ref());
+                        let fp = fb.finish().map(|p| decode_packet(&p).unwrap());
+                        let np = nb.finish().map(|p| decode_packet(&p).unwrap());
+                        prop_assert_eq!(fp, np, "fill diverged from model");
+                    }
+                }
+                prop_assert_eq!(fast.len(), naive.items.len());
+                for node in 0..10u8 {
+                    let name: NodeName = format!("node-{node}").into();
+                    prop_assert_eq!(fast.queued_for(&name), naive.queued_for(&name));
+                }
+            }
+        }
+    }
+}
+
 /// Incarnation-precedence model check: applying alive/suspect messages
 /// about one member in any order converges to the same final state on
 /// every node that saw all of them (eventual agreement modulo dead

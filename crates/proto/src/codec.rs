@@ -32,15 +32,29 @@ pub const COMPOUND_TAG: u8 = 255;
 
 /// Encodes a single message into a fresh buffer.
 ///
+/// Single-pass: the message is traversed exactly once (by
+/// [`encode_into`]); the initial reservation comes from the O(1)
+/// [`size_hint`] instead of a second full walk through
+/// [`encoded_len`]. The produced length still equals `encoded_len`:
+///
 /// ```
 /// use lifeguard_proto::{codec, Message, Nack, SeqNo};
 /// let bytes = codec::encode_message(&Message::Nack(Nack { seq: SeqNo(7) }));
 /// assert_eq!(bytes.len(), codec::encoded_len(&Message::Nack(Nack { seq: SeqNo(7) })));
 /// ```
 pub fn encode_message(msg: &Message) -> Bytes {
-    let mut buf = BytesMut::with_capacity(encoded_len(msg));
+    let mut buf = BytesMut::with_capacity(size_hint(msg));
     encode_into(msg, &mut buf);
     buf.freeze()
+}
+
+/// Appends the encoding of `msg` to a caller-owned buffer, returning the
+/// number of bytes written. Lets hot paths (packet assembly, gossip
+/// pre-encoding) reuse one allocation across messages.
+pub fn encode_message_into(msg: &Message, buf: &mut BytesMut) -> usize {
+    let start = buf.len();
+    encode_into(msg, buf);
+    buf.len() - start
 }
 
 /// Appends the encoding of `msg` to `buf`.
@@ -105,10 +119,21 @@ pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
     }
 }
 
+/// O(1) capacity estimate for one message: exact for every fixed-shape
+/// message, a generous per-state guess for `push-pull` (whose exact size
+/// would require walking all states — the very second traversal
+/// [`encode_message`] avoids).
+fn size_hint(msg: &Message) -> usize {
+    match msg {
+        Message::PushPull(pp) => 1 + 1 + 4 + pp.states.len() * 64,
+        other => encoded_len(other),
+    }
+}
+
 /// Exact number of bytes [`encode_into`] will append for `msg`.
 ///
-/// Used by the gossip queue to budget compound packets without encoding
-/// speculatively.
+/// O(1) for all message types except `push-pull` (O(states)); used by
+/// telemetry and the length-invariant tests.
 pub fn encoded_len(msg: &Message) -> usize {
     match msg {
         Message::Ping(p) => 1 + 4 + name_len(&p.target) + name_len(&p.source) + addr_len(p.source_addr),
@@ -143,6 +168,22 @@ pub fn encoded_len(msg: &Message) -> usize {
 /// longer than one message.
 pub fn decode_message(bytes: &[u8]) -> Result<Message, DecodeError> {
     let mut r = Reader::new(bytes);
+    let msg = decode_from(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(DecodeError::TrailingBytes(r.remaining()));
+    }
+    Ok(msg)
+}
+
+/// Like [`decode_message`], but blob fields (`alive`/push-pull metadata)
+/// are zero-copy [`Bytes::slice`]s of `bytes` instead of fresh
+/// allocations.
+///
+/// # Errors
+///
+/// Same as [`decode_message`].
+pub fn decode_message_shared(bytes: &Bytes) -> Result<Message, DecodeError> {
+    let mut r = Reader::shared(bytes);
     let msg = decode_from(&mut r)?;
     if r.remaining() != 0 {
         return Err(DecodeError::TrailingBytes(r.remaining()));
@@ -254,14 +295,30 @@ fn put_addr(buf: &mut BytesMut, a: NodeAddr) {
 }
 
 /// Cursor over a byte slice used by the decoder.
+///
+/// When constructed with [`Reader::shared`], blob fields are cut as
+/// zero-copy slices of the backing [`Bytes`] instead of being copied.
 pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    shared: Option<&'a Bytes>,
 }
 
 impl<'a> Reader<'a> {
     pub(crate) fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
+        Reader {
+            buf,
+            pos: 0,
+            shared: None,
+        }
+    }
+
+    pub(crate) fn shared(bytes: &'a Bytes) -> Self {
+        Reader {
+            buf: bytes,
+            pos: 0,
+            shared: Some(bytes),
+        }
     }
 
     pub(crate) fn remaining(&self) -> usize {
@@ -308,8 +365,12 @@ impl<'a> Reader<'a> {
 
     fn get_blob(&mut self) -> Result<Bytes, DecodeError> {
         let len = self.get_u16()? as usize;
+        let start = self.pos;
         let raw = self.take(len)?;
-        Ok(Bytes::copy_from_slice(raw))
+        Ok(match self.shared {
+            Some(bytes) => bytes.slice(start..start + len),
+            None => Bytes::copy_from_slice(raw),
+        })
     }
 
     fn get_addr(&mut self) -> Result<NodeAddr, DecodeError> {

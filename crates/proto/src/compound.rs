@@ -23,9 +23,12 @@ pub const MAX_COMPOUND_PARTS: usize = 255;
 
 /// Incrementally builds a datagram under a byte budget.
 ///
-/// Messages are added pre-encoded (the gossip queue stores encoded
-/// broadcasts); [`CompoundBuilder::try_add`] refuses additions that would
-/// exceed the budget so callers can stop filling.
+/// Parts are appended into one contiguous payload buffer: pre-encoded
+/// gossip bytes are copied in ([`CompoundBuilder::try_add`]), and fresh
+/// messages are encoded *directly* into the buffer
+/// ([`CompoundBuilder::try_add_msg`]) with no intermediate allocation.
+/// Additions that would exceed the budget are refused so callers can
+/// stop filling.
 ///
 /// ```
 /// use lifeguard_proto::{compound::CompoundBuilder, codec, Message, Ack, SeqNo};
@@ -33,15 +36,18 @@ pub const MAX_COMPOUND_PARTS: usize = 255;
 /// let mut b = CompoundBuilder::new(1400);
 /// let ack = codec::encode_message(&Message::Ack(Ack { seq: SeqNo(1) }));
 /// assert!(b.try_add(ack));
-/// let packet = b.finish().expect("one message");
+/// assert!(b.try_add_msg(&Message::Ack(Ack { seq: SeqNo(2) })));
+/// let packet = b.finish().expect("two messages");
 /// let msgs = lifeguard_proto::compound::decode_packet(&packet).unwrap();
-/// assert_eq!(msgs.len(), 1);
+/// assert_eq!(msgs.len(), 2);
 /// ```
 #[derive(Debug)]
 pub struct CompoundBuilder {
     budget: usize,
-    parts: Vec<Bytes>,
-    payload_len: usize,
+    /// Concatenated encoded parts.
+    payload: BytesMut,
+    /// Length of each part within `payload`.
+    lens: Vec<u16>,
 }
 
 impl CompoundBuilder {
@@ -51,28 +57,28 @@ impl CompoundBuilder {
     pub fn new(budget: usize) -> Self {
         CompoundBuilder {
             budget,
-            parts: Vec::new(),
-            payload_len: 0,
+            payload: BytesMut::new(),
+            lens: Vec::new(),
         }
     }
 
     /// Bytes the packet would occupy if finished now.
     pub fn current_len(&self) -> usize {
-        match self.parts.len() {
+        match self.lens.len() {
             0 => 0,
-            1 => self.parts[0].len(),
-            n => 2 + 2 * n + self.payload_len,
+            1 => self.payload.len(),
+            n => 2 + 2 * n + self.payload.len(),
         }
     }
 
     /// Number of messages added so far.
     pub fn len(&self) -> usize {
-        self.parts.len()
+        self.lens.len()
     }
 
     /// Whether no messages have been added.
     pub fn is_empty(&self) -> bool {
-        self.parts.is_empty()
+        self.lens.is_empty()
     }
 
     /// Remaining budget for one more part, accounting for framing overhead.
@@ -80,46 +86,68 @@ impl CompoundBuilder {
     /// Returns `usize::MAX` for the first message (a lone oversized message
     /// is always allowed through).
     pub fn remaining(&self) -> usize {
-        if self.parts.is_empty() {
+        if self.lens.is_empty() {
             return usize::MAX;
         }
         // Adding part n+1 switches (or keeps) compound framing:
         // header 2 bytes + 2 bytes length prefix per part.
-        let framed_now = 2 + 2 * (self.parts.len() + 1) + self.payload_len;
+        let framed_now = 2 + 2 * (self.lens.len() + 1) + self.payload.len();
         self.budget.saturating_sub(framed_now)
     }
 
     /// Adds a pre-encoded message if it fits in the remaining budget and
     /// the part-count limit. Returns whether it was added.
     pub fn try_add(&mut self, encoded: Bytes) -> bool {
-        if self.parts.len() >= MAX_COMPOUND_PARTS {
+        self.try_add_bytes(&encoded)
+    }
+
+    /// [`CompoundBuilder::try_add`] without taking ownership.
+    pub fn try_add_bytes(&mut self, encoded: &[u8]) -> bool {
+        if self.lens.len() >= MAX_COMPOUND_PARTS {
             return false;
         }
-        if !self.parts.is_empty() && encoded.len() > self.remaining() {
+        if !self.lens.is_empty() && encoded.len() > self.remaining() {
             return false;
         }
-        self.payload_len += encoded.len();
-        self.parts.push(encoded);
+        debug_assert!(encoded.len() <= u16::MAX as usize);
+        self.payload.extend_from_slice(encoded);
+        self.lens.push(encoded.len() as u16);
+        true
+    }
+
+    /// Encodes `msg` straight into the payload buffer if it fits —
+    /// the allocation-free path for primary (`ping`/`ack`/…) messages.
+    /// Returns whether it was added.
+    pub fn try_add_msg(&mut self, msg: &Message) -> bool {
+        if self.lens.len() >= MAX_COMPOUND_PARTS {
+            return false;
+        }
+        let budget = self.remaining();
+        let start = self.payload.len();
+        let written = codec::encode_message_into(msg, &mut self.payload);
+        if !self.lens.is_empty() && written > budget {
+            self.payload.truncate(start);
+            return false;
+        }
+        debug_assert!(written <= u16::MAX as usize);
+        self.lens.push(written as u16);
         true
     }
 
     /// Finishes the packet: `None` if empty, a bare message if one part,
     /// a compound frame otherwise.
     pub fn finish(self) -> Option<Bytes> {
-        match self.parts.len() {
+        match self.lens.len() {
             0 => None,
-            1 => Some(self.parts.into_iter().next().expect("one part")),
+            1 => Some(self.payload.freeze()),
             n => {
-                let mut buf = BytesMut::with_capacity(2 + 2 * n + self.payload_len);
+                let mut buf = BytesMut::with_capacity(2 + 2 * n + self.payload.len());
                 buf.put_u8(COMPOUND_TAG);
                 buf.put_u8(n as u8);
-                for p in &self.parts {
-                    debug_assert!(p.len() <= u16::MAX as usize);
-                    buf.put_u16(p.len() as u16);
+                for &len in &self.lens {
+                    buf.put_u16(len);
                 }
-                for p in &self.parts {
-                    buf.put_slice(p);
-                }
+                buf.put_slice(&self.payload);
                 Some(buf.freeze())
             }
         }
@@ -132,12 +160,12 @@ pub fn pack_all(encoded: impl IntoIterator<Item = Bytes>, budget: usize) -> Vec<
     let mut packets = Vec::new();
     let mut builder = CompoundBuilder::new(budget);
     for msg in encoded {
-        if !builder.try_add(msg.clone()) {
+        if !builder.try_add_bytes(&msg) {
             if let Some(p) = std::mem::replace(&mut builder, CompoundBuilder::new(budget)).finish()
             {
                 packets.push(p);
             }
-            let added = builder.try_add(msg);
+            let added = builder.try_add_bytes(&msg);
             debug_assert!(added, "first message always fits");
         }
     }
@@ -157,24 +185,61 @@ pub fn pack_all(encoded: impl IntoIterator<Item = Bytes>, budget: usize) -> Vec<
 /// [`DecodeError::TruncatedCompound`].
 pub fn decode_packet(bytes: &[u8]) -> Result<Vec<Message>, DecodeError> {
     if bytes.first() == Some(&COMPOUND_TAG) {
-        let mut r = codec::Reader::new(&bytes[1..]);
-        let count = r.get_u8()? as usize;
-        let mut lens = Vec::with_capacity(count);
-        for _ in 0..count {
-            lens.push(r.get_u16()? as usize);
-        }
-        let mut msgs = Vec::with_capacity(count);
-        for len in lens {
-            let part = r.take(len).map_err(|_| DecodeError::TruncatedCompound)?;
-            msgs.push(codec::decode_message(part)?);
-        }
-        if r.remaining() != 0 {
-            return Err(DecodeError::TrailingBytes(r.remaining()));
+        let mut msgs = Vec::new();
+        for (offset, len) in split_compound(bytes)? {
+            msgs.push(codec::decode_message(&bytes[offset..offset + len])?);
         }
         Ok(msgs)
     } else {
         Ok(vec![codec::decode_message(bytes)?])
     }
+}
+
+/// Like [`decode_packet`], but each part is cut as a zero-copy
+/// [`Bytes::slice`] of the datagram, so blob fields (gossip metadata,
+/// push-pull state) alias the received buffer instead of being copied.
+/// This is the hot-path entry used by the simulator's packet delivery.
+///
+/// # Errors
+///
+/// Same as [`decode_packet`].
+pub fn decode_packet_shared(bytes: &Bytes) -> Result<Vec<Message>, DecodeError> {
+    if bytes.first() == Some(&COMPOUND_TAG) {
+        let mut msgs = Vec::new();
+        for (offset, len) in split_compound(bytes)? {
+            let part = bytes.slice(offset..offset + len);
+            msgs.push(codec::decode_message_shared(&part)?);
+        }
+        Ok(msgs)
+    } else {
+        Ok(vec![codec::decode_message_shared(bytes)?])
+    }
+}
+
+/// Parses and validates a compound header, returning each part's
+/// `(offset, len)` within `bytes` — the single framing parser behind
+/// both the copying and zero-copy packet decoders.
+fn split_compound(bytes: &[u8]) -> Result<Vec<(usize, usize)>, DecodeError> {
+    let mut r = codec::Reader::new(&bytes[1..]);
+    let count = r.get_u8()? as usize;
+    let mut lens = Vec::with_capacity(count);
+    for _ in 0..count {
+        lens.push(r.get_u16()? as usize);
+    }
+    // First payload byte: tag + count + length table.
+    let mut offset = 1 + 1 + 2 * count;
+    let mut parts = Vec::with_capacity(count);
+    for len in lens {
+        if offset + len > bytes.len() {
+            return Err(DecodeError::TruncatedCompound);
+        }
+        parts.push((offset, len));
+        offset += len;
+    }
+    if offset != bytes.len() {
+        return Err(DecodeError::TrailingBytes(bytes.len() - offset));
+    }
+    Ok(parts)
 }
 
 #[cfg(test)]

@@ -188,4 +188,47 @@ proptest! {
         let packet = builder.finish().expect("non-empty");
         prop_assert_eq!(predicted, packet.len());
     }
+
+    /// Encoding straight into the builder (`try_add_msg`) produces
+    /// byte-identical packets to adding pre-encoded messages, with the
+    /// same accept/reject decisions.
+    #[test]
+    fn try_add_msg_is_equivalent_to_pre_encoding(
+        msgs in proptest::collection::vec(message_strategy(), 1..20),
+        budget in 64usize..2048,
+    ) {
+        let mut direct = CompoundBuilder::new(budget);
+        let mut pre = CompoundBuilder::new(budget);
+        for m in &msgs {
+            let a = direct.try_add_msg(m);
+            let b = pre.try_add(codec::encode_message(m));
+            prop_assert_eq!(a, b, "accept/reject diverged for {:?}", m);
+        }
+        prop_assert_eq!(direct.finish(), pre.finish());
+    }
+
+    /// The zero-copy decoders agree with the copying decoders on every
+    /// packet shape (bare and compound).
+    #[test]
+    fn shared_decode_matches_copying_decode(
+        msgs in proptest::collection::vec(message_strategy(), 1..20),
+    ) {
+        let mut builder = CompoundBuilder::new(usize::MAX);
+        for m in &msgs {
+            prop_assert!(builder.try_add(codec::encode_message(m)));
+        }
+        let packet = builder.finish().expect("non-empty");
+        let copied = decode_packet(&packet).expect("copying decode");
+        let shared = lifeguard_proto::compound::decode_packet_shared(&packet)
+            .expect("shared decode");
+        prop_assert_eq!(&copied, &shared);
+        prop_assert_eq!(&copied, &msgs);
+
+        // Bare single-message path.
+        let one = codec::encode_message(&msgs[0]);
+        prop_assert_eq!(
+            codec::decode_message_shared(&one).expect("shared"),
+            codec::decode_message(&one).expect("copying")
+        );
+    }
 }

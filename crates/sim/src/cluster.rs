@@ -82,6 +82,7 @@ pub struct ClusterBuilder {
     seed: u64,
     network: NetworkConfig,
     anomalies: Vec<(usize, AnomalySpec)>,
+    full_mesh: bool,
 }
 
 impl ClusterBuilder {
@@ -95,7 +96,17 @@ impl ClusterBuilder {
             seed: 0,
             network: NetworkConfig::loopback(),
             anomalies: Vec::new(),
+            full_mesh: false,
         }
+    }
+
+    /// Starts every node with full knowledge of every peer instead of
+    /// joining through `node-0`. Skips the O(n²) join/push-pull flood, so
+    /// large-cluster benchmarks measure steady-state protocol cost
+    /// rather than bootstrap traffic.
+    pub fn full_mesh(mut self, enabled: bool) -> Self {
+        self.full_mesh = enabled;
+        self
     }
 
     /// Protocol configuration used by every node.
@@ -156,12 +167,23 @@ impl ClusterBuilder {
             trace: Trace::new(),
             telemetry: Telemetry::new(n),
         };
-        // Boot + join.
+        // Boot + join (or direct full-mesh bootstrap).
         let seed_addr = Cluster::addr_for(0);
+        let roster: Vec<(NodeName, NodeAddr)> = if self.full_mesh {
+            (0..n)
+                .map(|i| (Cluster::name_of(i), Cluster::addr_for(i)))
+                .collect()
+        } else {
+            Vec::new()
+        };
         for i in 0..n {
             let out = cluster.slots[i].node.start(SimTime::ZERO);
             cluster.process_outputs(i, out);
-            if i > 0 {
+            if self.full_mesh {
+                cluster.slots[i]
+                    .node
+                    .bootstrap_peers(roster.iter().cloned(), SimTime::ZERO);
+            } else if i > 0 {
                 let out = cluster.slots[i].node.join(&[seed_addr], SimTime::ZERO);
                 cluster.process_outputs(i, out);
             }
@@ -362,7 +384,9 @@ impl Cluster {
                         .push(until, SimEvent::Datagram { to, from, payload });
                     return;
                 }
-                if let Ok(out) = slot.node.handle_datagram(from, &payload, self.now) {
+                // Zero-copy delivery: compound parts and blob fields
+                // alias the datagram buffer.
+                if let Ok(out) = slot.node.handle_datagram_bytes(from, &payload, self.now) {
                     self.process_outputs(to, out);
                     self.ensure_wake(to);
                 }
