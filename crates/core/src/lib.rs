@@ -37,6 +37,7 @@ pub mod node;
 pub mod probe_list;
 pub mod suspicion;
 pub mod time;
+pub mod timer_wheel;
 
 pub use config::{AwarenessDeltas, Config, LifeguardConfig};
 pub use event::Event;

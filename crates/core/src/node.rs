@@ -15,8 +15,7 @@
 //! All randomness comes from an internal seeded RNG, so a cluster of
 //! `SwimNode`s driven by a deterministic runtime is fully reproducible.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 use bytes::Bytes;
 use lifeguard_proto::compound::CompoundBuilder;
@@ -36,6 +35,7 @@ use crate::membership::{Membership, SamplePool};
 use crate::probe_list::ProbeList;
 use crate::suspicion::Suspicion;
 use crate::time::Time;
+use crate::timer_wheel::{TimerKey, TimerWheel};
 
 /// An effect the runtime must carry out on behalf of the node.
 #[derive(Clone, Debug)]
@@ -75,23 +75,12 @@ enum Timer {
     Reap,
 }
 
-#[derive(Clone, PartialEq, Eq, Debug)]
-struct TimerEntry {
+/// A timer that came due while message I/O was blocked and is re-fired
+/// through the wheel at unblock, keyed by its original deadline.
+#[derive(Clone, Debug)]
+struct DeferredTimer {
     at: Time,
-    id: u64,
     timer: Timer,
-}
-
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.id).cmp(&(other.at, other.id))
-    }
-}
-
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// State of the probe the local node currently has in flight.
@@ -103,6 +92,11 @@ struct ProbeState {
     expected_nacks: u32,
     nacks_received: u32,
     round_end: Time,
+    /// Handle of the armed `ProbeTimeout`; cancelled when an ack
+    /// completes the round, so the timer cannot fire stale.
+    timeout_timer: TimerKey,
+    /// Handle of the armed `ProbeRoundEnd`; cancelled on a timely ack.
+    round_end_timer: TimerKey,
 }
 
 /// Counters of protocol activity at one node (observability; used by
@@ -129,8 +123,20 @@ pub struct NodeStats {
 struct RelayState {
     origin_seq: SeqNo,
     origin_addr: NodeAddr,
-    nack_wanted: bool,
     acked: bool,
+    /// Armed `RelayNack` handle (only when the origin asked for nacks);
+    /// cancelled the moment the target's ack arrives.
+    nack_timer: Option<TimerKey>,
+}
+
+/// A suspicion the local node currently holds, paired with the wheel
+/// handle of its single `SuspicionCheck` timer. Lifeguard's timeout
+/// shrinking reschedules that timer in place, so there is never a stale
+/// deadline in flight.
+#[derive(Clone, Debug)]
+struct ActiveSuspicion {
+    sus: Suspicion,
+    timer: TimerKey,
 }
 
 /// A single group member's protocol instance.
@@ -164,12 +170,11 @@ pub struct SwimNode {
     probe_list: ProbeList,
     broadcasts: BroadcastQueue,
     awareness: Awareness,
-    suspicions: HashMap<NodeName, Suspicion>,
+    suspicions: HashMap<NodeName, ActiveSuspicion>,
     probe: Option<ProbeState>,
     relays: HashMap<SeqNo, RelayState>,
     seq: SeqNo,
-    timers: BinaryHeap<Reverse<TimerEntry>>,
-    timer_id: u64,
+    timers: TimerWheel<Timer>,
     rng: StdRng,
     started: bool,
     left: bool,
@@ -181,7 +186,7 @@ pub struct SwimNode {
     stuck_reconnect: bool,
     /// Timers that came due while blocked and must re-fire on unblock,
     /// in original due order.
-    deferred_timers: Vec<TimerEntry>,
+    deferred_timers: Vec<DeferredTimer>,
     stats: NodeStats,
 }
 
@@ -207,8 +212,7 @@ impl SwimNode {
             probe: None,
             relays: HashMap::new(),
             seq: SeqNo(0),
-            timers: BinaryHeap::new(),
-            timer_id: 0,
+            timers: TimerWheel::new(),
             rng: StdRng::seed_from_u64(seed),
             started: false,
             left: false,
@@ -407,7 +411,7 @@ impl SwimNode {
 
     /// The earliest instant at which [`SwimNode::tick`] has work to do.
     pub fn next_wake(&self) -> Option<Time> {
-        self.timers.peek().map(|Reverse(e)| e.at)
+        self.timers.next_deadline()
     }
 
     /// Marks the node's message I/O as blocked or unblocked (anomaly
@@ -421,10 +425,13 @@ impl SwimNode {
     /// is postponed. The runtime must also withhold the node's sends and
     /// inbound messages for the duration of the block.
     ///
-    /// Unblocking re-fires the postponed deadline timers with the
-    /// current (late) time, so the stuck probe fails and raises a
-    /// suspicion, exactly like a real agent resuming after an anomaly.
-    /// Returns the outputs of that catch-up processing.
+    /// Unblocking re-injects the postponed deadline timers into the
+    /// wheel at their *original* deadlines and drains everything due, so
+    /// the catch-up interleaves them with timers armed while blocked in
+    /// global (deadline, insertion) order — the stuck probe fails and
+    /// raises a suspicion exactly like a real agent resuming after an
+    /// anomaly, and nothing fires out of order relative to it. Returns
+    /// the outputs of that catch-up processing.
     pub fn set_io_blocked(&mut self, blocked: bool, now: Time) -> Vec<Output> {
         let mut out = Vec::new();
         if blocked == self.io_blocked {
@@ -436,9 +443,40 @@ impl SwimNode {
             self.stuck_push_pull = false;
             self.stuck_reconnect = false;
             let mut deferred = std::mem::take(&mut self.deferred_timers);
-            deferred.sort();
-            for entry in deferred {
-                self.fire(entry.timer, now, &mut out);
+            // Stable by original deadline: exact ties keep deferral
+            // (i.e. original firing) order — the deterministic tiebreak.
+            deferred.sort_by_key(|d| d.at);
+            for DeferredTimer { at, timer } in deferred {
+                // Re-point the owning state at the re-injected timer, so
+                // cancellation (a handler consuming the probe, a relay
+                // expiring) still truly unschedules it — the no-stale-fire
+                // invariant must hold through the refire path too.
+                let key = self.timers.schedule(at, timer.clone());
+                match timer {
+                    Timer::ProbeTimeout { seq } => {
+                        if let Some(p) = &mut self.probe {
+                            if p.seq == seq {
+                                p.timeout_timer = key;
+                            }
+                        }
+                    }
+                    Timer::ProbeRoundEnd { seq } => {
+                        if let Some(p) = &mut self.probe {
+                            if p.seq == seq {
+                                p.round_end_timer = key;
+                            }
+                        }
+                    }
+                    Timer::RelayNack { seq } => {
+                        if let Some(relay) = self.relays.get_mut(&seq) {
+                            relay.nack_timer = Some(key);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            while let Some((at, timer)) = self.timers.pop_due(now) {
+                self.fire(at, timer, now, &mut out);
             }
         }
         out
@@ -452,12 +490,8 @@ impl SwimNode {
     /// Fires all timers due at or before `now`.
     pub fn tick(&mut self, now: Time) -> Vec<Output> {
         let mut out = Vec::new();
-        while let Some(Reverse(entry)) = self.timers.peek() {
-            if entry.at > now {
-                break;
-            }
-            let entry = self.timers.pop().expect("peeked").0;
-            self.fire(entry.timer, now, &mut out);
+        while let Some((at, timer)) = self.timers.pop_due(now) {
+            self.fire(at, timer, now, &mut out);
         }
         out
     }
@@ -578,15 +612,6 @@ impl SwimNode {
 
     fn handle_indirect_ping(&mut self, req: IndirectPing, now: Time, out: &mut Vec<Output>) {
         let local_seq = self.next_seq();
-        self.relays.insert(
-            local_seq,
-            RelayState {
-                origin_seq: req.seq,
-                origin_addr: req.source_addr,
-                nack_wanted: req.nack,
-                acked: false,
-            },
-        );
         let ping = Message::Ping(Ping {
             seq: local_seq,
             target: req.target.clone(),
@@ -594,16 +619,27 @@ impl SwimNode {
             source_addr: self.addr,
         });
         self.send_packet(req.target_addr, vec![ping], Some(&req.target), now, out);
-        if req.nack {
+        let nack_timer = if req.nack {
             let nack_at = now + crate::time::scale_duration(
                 self.config.probe_timeout,
                 self.config.nack_fraction,
             );
-            self.schedule(nack_at, Timer::RelayNack { seq: local_seq });
-        }
+            Some(self.schedule(nack_at, Timer::RelayNack { seq: local_seq }))
+        } else {
+            None
+        };
         self.schedule(
             now + self.config.probe_interval,
             Timer::RelayExpire { seq: local_seq },
+        );
+        self.relays.insert(
+            local_seq,
+            RelayState {
+                origin_seq: req.seq,
+                origin_addr: req.source_addr,
+                acked: false,
+                nack_timer,
+            },
         );
     }
 
@@ -614,7 +650,11 @@ impl SwimNode {
         if let Some(p) = &self.probe {
             if p.seq == ack.seq {
                 if now <= p.round_end {
-                    self.probe = None;
+                    let p = self.probe.take().expect("probe present");
+                    // True cancellation: the round's remaining deadlines
+                    // are unscheduled, not left to fire stale.
+                    self.timers.cancel(p.timeout_timer);
+                    self.timers.cancel(p.round_end_timer);
                     // Successful probe: LHM −1 (paper §IV-A).
                     self.awareness
                         .apply_delta(self.config.awareness_deltas.probe_success);
@@ -627,10 +667,14 @@ impl SwimNode {
         if let Some(relay) = self.relays.get_mut(&ack.seq) {
             if !relay.acked {
                 relay.acked = true;
+                let nack_timer = relay.nack_timer.take();
                 let fwd = Message::Ack(Ack {
                     seq: relay.origin_seq,
                 });
                 let to = relay.origin_addr;
+                if let Some(key) = nack_timer {
+                    self.timers.cancel(key);
+                }
                 self.send_packet(to, vec![fwd], None, now, out);
             }
         }
@@ -666,23 +710,28 @@ impl SwimNode {
         match member.state {
             MemberState::Dead | MemberState::Left => {}
             MemberState::Suspect => {
-                let Some(sus) = self.suspicions.get_mut(&s.node) else {
+                let Some(active) = self.suspicions.get_mut(&s.node) else {
                     return;
                 };
-                sus.observe_incarnation(s.incarnation);
-                if sus.confirm(s.from.clone()) {
+                active.sus.observe_incarnation(s.incarnation);
+                if active.sus.confirm(s.from.clone()) {
                     // LHA-Suspicion: re-gossip the first K independent
                     // suspicions (paper §IV-B). The enqueue resets the
                     // transmit budget, giving (K+1)·λ·log n max copies.
                     self.broadcasts.enqueue(Message::Suspect(s.clone()));
                 }
-                let deadline = sus.deadline();
+                // Timeout shrinking moves the one suspicion timer in
+                // place; the superseded deadline can never fire.
+                let deadline = active.sus.deadline();
+                match self.timers.reschedule(active.timer, deadline) {
+                    Some(key) => active.timer = key,
+                    None => debug_assert!(false, "active suspicion lost its timer"),
+                }
                 self.membership.update(&s.node, |m| {
                     if s.incarnation > m.incarnation {
                         m.incarnation = s.incarnation;
                     }
                 });
-                self.schedule(deadline, Timer::SuspicionCheck { node: s.node });
             }
             MemberState::Alive => {
                 self.start_suspicion(s.node.clone(), s.incarnation, s.from.clone(), now, out);
@@ -733,7 +782,10 @@ impl SwimNode {
                     m.set_state(MemberState::Alive, now);
                 });
                 debug_assert!(updated.is_some(), "member present");
-                self.suspicions.remove(&a.node);
+                if let Some(active) = self.suspicions.remove(&a.node) {
+                    // Refuted: the pending expiry is truly cancelled.
+                    self.timers.cancel(active.timer);
+                }
                 self.broadcasts.enqueue(Message::Alive(Alive {
                     incarnation: a.incarnation,
                     node: a.node.clone(),
@@ -782,7 +834,9 @@ impl SwimNode {
             );
         });
         debug_assert!(updated.is_some(), "member present");
-        self.suspicions.remove(&d.node);
+        if let Some(active) = self.suspicions.remove(&d.node) {
+            self.timers.cancel(active.timer);
+        }
         self.broadcasts.enqueue(Message::Dead(d.clone()));
         if is_leave {
             out.push(Output::Event(Event::MemberLeft { name: d.node }));
@@ -799,7 +853,10 @@ impl SwimNode {
     // Timers
     // ------------------------------------------------------------------
 
-    fn fire(&mut self, timer: Timer, now: Time, out: &mut Vec<Output>) {
+    /// Executes one fired timer. `at` is the timer's original deadline
+    /// (used to defer it faithfully while I/O is blocked); `now` is the
+    /// current wall-clock instant the handlers observe.
+    fn fire(&mut self, at: Time, timer: Timer, now: Time, out: &mut Vec<Output>) {
         if self.io_blocked {
             match &timer {
                 // The dedicated gossip / push-pull / reconnect loops are
@@ -842,13 +899,7 @@ impl SwimNode {
                 | Timer::ProbeRoundEnd { .. }
                 | Timer::RelayNack { .. }
                 | Timer::RelayExpire { .. } => {
-                    let id = self.timer_id;
-                    self.timer_id += 1;
-                    self.deferred_timers.push(TimerEntry {
-                        at: now,
-                        id,
-                        timer,
-                    });
+                    self.deferred_timers.push(DeferredTimer { at, timer });
                     return;
                 }
                 // ProbeRound falls through: with a probe already in
@@ -886,18 +937,31 @@ impl SwimNode {
             }
             Timer::SuspicionCheck { node } => self.suspicion_check(node, now, out),
             Timer::RelayNack { seq } => {
-                if let Some(relay) = self.relays.get(&seq) {
-                    if !relay.acked && relay.nack_wanted {
-                        let msg = Message::Nack(Nack {
-                            seq: relay.origin_seq,
-                        });
-                        let to = relay.origin_addr;
-                        self.send_packet(to, vec![msg], None, now, out);
-                    }
+                // An ack (or the relay's expiry) cancels this timer, so a
+                // fire always means the target is still silent — no
+                // fire-time staleness check is needed.
+                let relay = self.relays.get_mut(&seq);
+                debug_assert!(relay.is_some(), "stale relay-nack timer reached its handler");
+                if let Some(relay) = relay {
+                    debug_assert!(!relay.acked, "nack timer outlived the target's ack");
+                    relay.nack_timer = None;
+                    let msg = Message::Nack(Nack {
+                        seq: relay.origin_seq,
+                    });
+                    let to = relay.origin_addr;
+                    self.send_packet(to, vec![msg], None, now, out);
                 }
             }
             Timer::RelayExpire { seq } => {
-                self.relays.remove(&seq);
+                let relay = self.relays.remove(&seq);
+                debug_assert!(relay.is_some(), "stale relay-expire timer reached its handler");
+                if let Some(relay) = relay {
+                    if let Some(key) = relay.nack_timer {
+                        // Pathological configs can place the nack after
+                        // the expiry; drop it with the relay state.
+                        self.timers.cancel(key);
+                    }
+                }
             }
             Timer::Reap => {
                 self.schedule(now + self.config.dead_reclaim, Timer::Reap);
@@ -947,14 +1011,6 @@ impl SwimNode {
             .expect("eligible member exists")
             .addr;
         let seq = self.next_seq();
-        self.probe = Some(ProbeState {
-            seq,
-            target: target.clone(),
-            target_addr,
-            expected_nacks: 0,
-            nacks_received: 0,
-            round_end: now + interval,
-        });
         let ping = Message::Ping(Ping {
             seq,
             target: target.clone(),
@@ -964,17 +1020,30 @@ impl SwimNode {
         self.stats.probes_sent += 1;
         self.send_packet(target_addr, vec![ping], Some(&target), now, out);
         let timeout = self.awareness.scale(self.config.probe_timeout);
-        self.schedule(now + timeout, Timer::ProbeTimeout { seq });
-        self.schedule(now + interval, Timer::ProbeRoundEnd { seq });
+        let timeout_timer = self.schedule(now + timeout, Timer::ProbeTimeout { seq });
+        let round_end_timer = self.schedule(now + interval, Timer::ProbeRoundEnd { seq });
+        self.probe = Some(ProbeState {
+            seq,
+            target,
+            target_addr,
+            expected_nacks: 0,
+            nacks_received: 0,
+            round_end: now + interval,
+            timeout_timer,
+            round_end_timer,
+        });
     }
 
     /// Direct probe timed out: launch indirect probes and the stream
     /// fallback.
     fn probe_timeout(&mut self, seq: SeqNo, now: Time, out: &mut Vec<Output>) {
-        let Some(p) = &self.probe else { return };
-        if p.seq != seq {
+        // Generation-keyed cancellation (a timely ack unschedules this
+        // timer) makes a stale fire impossible; assert instead of guard.
+        let Some(p) = &self.probe else {
+            debug_assert!(false, "probe timeout fired with no probe in flight");
             return;
-        }
+        };
+        debug_assert_eq!(p.seq, seq, "stale probe timeout reached its handler");
         let target = p.target.clone();
         let target_addr = p.target_addr;
         let k = self.config.indirect_checks;
@@ -1022,11 +1091,15 @@ impl SwimNode {
 
     /// End of the protocol period: settle the probe result.
     fn probe_round_end(&mut self, seq: SeqNo, now: Time, out: &mut Vec<Output>) {
-        let Some(p) = &self.probe else { return };
-        if p.seq != seq {
+        let Some(p) = &self.probe else {
+            debug_assert!(false, "probe round end fired with no probe in flight");
             return;
-        }
+        };
+        debug_assert_eq!(p.seq, seq, "stale probe round end reached its handler");
         let p = self.probe.take().expect("probe present");
+        // Unschedule the timeout in case it has not fired yet (possible
+        // only when the timeout is configured beyond the interval).
+        self.timers.cancel(p.timeout_timer);
         self.stats.probes_failed += 1;
         // The probe was not acked in time (a timely ack clears the probe
         // state), so the round failed: feed the LHM. Following memberlist: when we had
@@ -1059,21 +1132,22 @@ impl SwimNode {
         );
     }
 
-    /// A suspicion deadline may have been reached.
+    /// The suspicion deadline was reached: declare the failure.
+    ///
+    /// Deadline changes reschedule the single suspicion timer in place
+    /// and refutations cancel it, so — unlike the old lazy-heap design —
+    /// a fire here always means the *current* deadline truly expired;
+    /// there is no re-arm path and no fire-time staleness check.
     fn suspicion_check(&mut self, node: NodeName, now: Time, out: &mut Vec<Output>) {
-        let Some(sus) = self.suspicions.get(&node) else {
+        let Some(active) = self.suspicions.remove(&node) else {
+            debug_assert!(false, "stale suspicion timer reached its handler");
             return;
         };
-        let deadline = sus.deadline();
-        if now < deadline {
-            // The timeout was extended (or this is a stale timer from
-            // before a confirmation shortened it); re-arm at the real
-            // deadline.
-            self.schedule(deadline, Timer::SuspicionCheck { node });
-            return;
-        }
-        let incarnation = sus.incarnation();
-        self.suspicions.remove(&node);
+        debug_assert!(
+            now >= active.sus.deadline(),
+            "suspicion timer fired before its deadline"
+        );
+        let incarnation = active.sus.incarnation();
         let declared = self
             .membership
             .update(&node, |member| {
@@ -1129,7 +1203,8 @@ impl SwimNode {
         let sus = Suspicion::new(incarnation, from.clone(), k, min, max, now);
         self.stats.suspicions_raised += 1;
         let deadline = sus.deadline();
-        self.suspicions.insert(node.clone(), sus);
+        let timer = self.schedule(deadline, Timer::SuspicionCheck { node: node.clone() });
+        self.suspicions.insert(node.clone(), ActiveSuspicion { sus, timer });
         self.membership.update(&node, |m| {
             m.incarnation = incarnation;
             m.set_state(MemberState::Suspect, now);
@@ -1139,7 +1214,6 @@ impl SwimNode {
             node: node.clone(),
             from: from.clone(),
         }));
-        self.schedule(deadline, Timer::SuspicionCheck { node: node.clone() });
         out.push(Output::Event(Event::MemberSuspected { name: node, from }));
     }
 
@@ -1254,6 +1328,13 @@ impl SwimNode {
     /// Merges a remote membership table (push-pull). Remote `dead` claims
     /// are downgraded to suspicions so the victim can refute (memberlist
     /// behaviour); `left` is authoritative.
+    ///
+    /// Entries are pre-filtered through the borrowed state the
+    /// shared-decode path produced: an entry that cannot survive the
+    /// merge (stale incarnation, or a state the local record already
+    /// supersedes) is dropped *before* any name/meta clone or message
+    /// construction. In steady-state anti-entropy almost every entry is
+    /// such a no-op, so the merge allocates only for actual changes.
     fn merge_remote_state(
         &mut self,
         states: &[lifeguard_proto::PushNodeState],
@@ -1263,6 +1344,16 @@ impl SwimNode {
         for st in states {
             match st.state {
                 MemberState::Alive => {
+                    // `handle_alive` ignores alives at or below the known
+                    // incarnation; decide that from the borrowed entry.
+                    if st.name == self.name {
+                        continue;
+                    }
+                    if let Some(member) = self.membership.get(&st.name) {
+                        if st.incarnation <= member.incarnation {
+                            continue;
+                        }
+                    }
                     let alive = Alive {
                         incarnation: st.incarnation,
                         node: st.name.clone(),
@@ -1276,16 +1367,31 @@ impl SwimNode {
                         self.refute(st.incarnation, now, out);
                         continue;
                     }
-                    // Learn the member first if unknown (a suspect entry
-                    // still carries a usable address).
-                    if self.membership.get(&st.name).is_none() {
-                        let alive = Alive {
-                            incarnation: st.incarnation,
-                            node: st.name.clone(),
-                            addr: st.addr,
-                            meta: st.meta.clone(),
-                        };
-                        self.handle_alive(alive, now, out);
+                    match self.membership.get(&st.name) {
+                        // A suspicion below the known incarnation, or
+                        // about a member already dead/left, is a no-op
+                        // in `suspect_node`: drop it borrowed.
+                        Some(member)
+                            if st.incarnation < member.incarnation
+                                || matches!(
+                                    member.state,
+                                    MemberState::Dead | MemberState::Left
+                                ) =>
+                        {
+                            continue;
+                        }
+                        Some(_) => {}
+                        // Learn the member first if unknown (a suspect
+                        // entry still carries a usable address).
+                        None => {
+                            let alive = Alive {
+                                incarnation: st.incarnation,
+                                node: st.name.clone(),
+                                addr: st.addr,
+                                meta: st.meta.clone(),
+                            };
+                            self.handle_alive(alive, now, out);
+                        }
                     }
                     let suspect = Suspect {
                         incarnation: st.incarnation,
@@ -1295,6 +1401,29 @@ impl SwimNode {
                     self.handle_suspect(suspect, now, out);
                 }
                 MemberState::Left => {
+                    // A leave claim about ourselves is refuted exactly as
+                    // `handle_dead` would.
+                    if st.name == self.name {
+                        if !self.left {
+                            self.refute(st.incarnation, now, out);
+                        }
+                        continue;
+                    }
+                    // `handle_dead` drops claims about unknown members,
+                    // stale incarnations and already-gone members.
+                    match self.membership.get(&st.name) {
+                        None => continue,
+                        Some(member)
+                            if st.incarnation < member.incarnation
+                                || matches!(
+                                    member.state,
+                                    MemberState::Dead | MemberState::Left
+                                ) =>
+                        {
+                            continue;
+                        }
+                        Some(_) => {}
+                    }
                     let dead = Dead {
                         incarnation: st.incarnation,
                         node: st.name.clone(),
@@ -1332,9 +1461,9 @@ impl SwimNode {
         let mut exclude = None;
         if let Some(target) = ping_target {
             if self.config.lifeguard.buddy_system {
-                if let Some(sus) = self.suspicions.get(target) {
+                if let Some(active) = self.suspicions.get(target) {
                     let suspect = Message::Suspect(Suspect {
-                        incarnation: sus.incarnation(),
+                        incarnation: active.sus.incarnation(),
                         node: target.clone(),
                         from: self.name.clone(),
                     });
@@ -1355,10 +1484,8 @@ impl SwimNode {
         self.seq
     }
 
-    fn schedule(&mut self, at: Time, timer: Timer) {
-        let id = self.timer_id;
-        self.timer_id += 1;
-        self.timers.push(Reverse(TimerEntry { at, id, timer }));
+    fn schedule(&mut self, at: Time, timer: Timer) -> TimerKey {
+        self.timers.schedule(at, timer)
     }
 
     fn random_phase(&mut self, interval: std::time::Duration) -> std::time::Duration {

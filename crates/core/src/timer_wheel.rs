@@ -1,0 +1,915 @@
+//! Hierarchical timer wheel with generation-keyed cancellation.
+//!
+//! [`TimerWheel`] replaces the `BinaryHeap`-of-timers pattern everywhere
+//! the workspace needs time-ordered firing: the protocol core's internal
+//! timers ([`crate::node::SwimNode`]) and the simulator's event queue
+//! both run on this structure, so the node and the runtime agree on
+//! firing semantics to the microsecond.
+//!
+//! # Shape
+//!
+//! Four wheel levels of 64 slots each, with a level-0 granularity of
+//! 1024 µs (~1 ms). A timer at distance `d` ticks from the wheel cursor
+//! lives at the level whose slot width first covers `d`, so level 0
+//! spans ~65 ms, level 1 ~4.2 s, level 2 ~4.5 min, and the top level
+//! ~4.8 hours; anything farther waits in a small overflow list and
+//! re-hashes as the cursor approaches. Buckets are intrusive
+//! doubly-linked chains through one slab, so a whole wheel's index is
+//! ~1 KB — cheap enough to give every node in a simulated cluster its
+//! own. Exact microsecond deadlines are kept per timer — buckets only
+//! index them — so firing order is the same `(deadline, insertion-seq)`
+//! total order a heap of `(Time, u64)` keys produces, and
+//! [`TimerWheel::next_deadline`] reports exact instants, never bucket
+//! boundaries.
+//!
+//! # Costs
+//!
+//! * [`TimerWheel::schedule`] — O(1).
+//! * [`TimerWheel::cancel`] / [`TimerWheel::reschedule`] — O(1): the
+//!   handle's generation is bumped, so a cancelled timer can never fire
+//!   ("stale fires are impossible by construction"), and the entry is
+//!   unlinked from its bucket chain on the spot.
+//! * [`TimerWheel::pop_due`] — O(levels + bucket) per fired timer, with
+//!   empty stretches of time skipped entirely via per-level occupancy
+//!   bitmaps: advancing over an idle hour costs nothing.
+//!
+//! # Handles
+//!
+//! [`schedule`](TimerWheel::schedule) returns a [`TimerKey`] — a
+//! `(slot index, generation)` pair. Cancelling or rescheduling bumps the
+//! slot's generation, so any retained copy of an old key becomes inert:
+//! `cancel` on it returns `None` and it can never match a firing timer.
+//! This is what lets callers delete fire-time staleness checks: a timer
+//! that was logically cancelled is *gone*, not merely flagged.
+//!
+//! ```
+//! use lifeguard_core::timer_wheel::TimerWheel;
+//! use lifeguard_core::time::Time;
+//!
+//! let mut wheel = TimerWheel::new();
+//! let a = wheel.schedule(Time::from_millis(5), "a");
+//! let _b = wheel.schedule(Time::from_millis(3), "b");
+//! wheel.cancel(a);
+//! assert_eq!(wheel.next_deadline(), Some(Time::from_millis(3)));
+//! assert_eq!(wheel.pop_due(Time::from_millis(10)), Some((Time::from_millis(3), "b")));
+//! assert_eq!(wheel.pop_due(Time::from_millis(10)), None); // "a" was truly cancelled
+//! ```
+
+use crate::time::Time;
+
+/// Level-0 tick width: 2^10 µs ≈ 1 ms.
+const TICK_BITS: u32 = 10;
+/// Slots per level: 2^6 = 64 (one occupancy word per level).
+const LEVEL_BITS: u32 = 6;
+const SLOTS: usize = 1 << LEVEL_BITS;
+const SLOT_MASK: u64 = SLOTS as u64 - 1;
+/// Number of levels; the top level spans 2^(10+6·4) µs ≈ 4.8 hours.
+/// Deadlines beyond that sit in the overflow list until the cursor
+/// gets near enough to hash them into the wheel proper.
+const LEVELS: usize = 4;
+
+/// Handle to a scheduled timer: slot index plus the generation it was
+/// issued at. Copyable and inert once the timer fires, is cancelled, or
+/// is rescheduled (all of which bump the generation).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerKey {
+    idx: u32,
+    gen: u32,
+}
+
+/// `Slot::level` sentinel for timers sitting in the sorted `pending`
+/// batch rather than a wheel bucket.
+const IN_PENDING: u8 = u8::MAX;
+/// `Slot::level` sentinel for timers in the far-future overflow list.
+const IN_OVERFLOW: u8 = u8::MAX - 1;
+/// `Earliest::level` marker for a minimum found in the overflow list.
+const OVERFLOW_LEVEL: usize = LEVELS;
+
+/// A timer pulled out of its level-0 bucket into the sorted due batch.
+/// `pending` is kept descending by `(deadline, seq)` so the global
+/// minimum pops from the back in O(1).
+#[derive(Clone, Copy)]
+struct PendingEntry {
+    deadline: Time,
+    seq: u64,
+    idx: u32,
+    gen: u32,
+}
+
+/// One slab slot. `payload` is `None` while the slot is free; `gen`
+/// increments every time the slot is consumed (fire/cancel/reschedule),
+/// which is what invalidates outstanding [`TimerKey`]s and stale bucket
+/// entries pointing at it.
+struct Slot<T> {
+    gen: u32,
+    seq: u64,
+    deadline: Time,
+    payload: Option<T>,
+    level: u8,
+    bucket: u8,
+    /// Intrusive doubly-linked chain through the slab while bucketed.
+    next: u32,
+    prev: u32,
+}
+
+/// Chain terminator / "no slot" marker.
+const NIL: u32 = u32::MAX;
+
+/// Reference from the overflow list into the slab. `gen` pins the
+/// incarnation: a mismatch means the timer was cancelled/rescheduled and
+/// the entry is garbage to be skipped.
+#[derive(Clone, Copy)]
+struct OverflowEntry {
+    idx: u32,
+    gen: u32,
+}
+
+/// One wheel level: just the chain heads — entries are intrusively
+/// linked through the slab, so cancellation unlinks in O(1) and buckets
+/// never hold stale entries. 256 bytes per level keeps a whole wheel's
+/// index within a few cache lines (it matters: a simulated cluster owns
+/// one wheel per node).
+struct Level {
+    heads: [u32; SLOTS],
+}
+
+impl Level {
+    fn new() -> Self {
+        Level { heads: [NIL; SLOTS] }
+    }
+}
+
+/// Location of the earliest live bucketed timer, as found by a scan.
+#[derive(Clone, Copy)]
+struct Earliest {
+    level: usize,
+    slot: usize,
+    deadline: Time,
+    seq: u64,
+    idx: u32,
+    gen: u32,
+    /// Absolute tick at which the holding bucket's range starts.
+    start_tick: u64,
+}
+
+/// A hierarchical timer wheel over payloads `T`. See the module docs.
+pub struct TimerWheel<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    levels: Box<[Level; LEVELS]>,
+    /// Per-level occupancy bitmaps (bit `s` set iff `live[s] > 0`),
+    /// flat so the all-levels-empty scan touches one cache line.
+    occupied: [u64; LEVELS],
+    /// The earliest level-0 bucket, drained and sorted (descending, so
+    /// the minimum is last). Invariant: every live pending entry orders
+    /// `(deadline, seq)`-before every live bucketed entry, so the back
+    /// of this vector is the global minimum whenever it is non-empty.
+    pending: Vec<PendingEntry>,
+    /// Timers farther out than the top level's span, in schedule order.
+    /// Scanned exactly (it is almost always empty or tiny) and re-hashed
+    /// wholesale once its minimum becomes the wheel's next timer.
+    overflow: Vec<OverflowEntry>,
+    /// Live (non-stale) entries in `overflow`.
+    overflow_live: usize,
+    /// Memoized global minimum. Invariant: when the generation still
+    /// matches its slot, this *is* the earliest live timer — kept by
+    /// updating on cheaper-than-min inserts, clearing when its timer is
+    /// cancelled/rescheduled, and refreshing on every pop — so
+    /// [`TimerWheel::next_deadline`] is O(1) on the hot path.
+    cached_min: Option<PendingEntry>,
+    /// Current wheel tick. Invariant: no live timer's deadline tick is
+    /// below the cursor, so per-level circular slot order is time order.
+    cursor: u64,
+    /// Monotonic insertion sequence — the deterministic same-instant
+    /// tiebreak.
+    seq: u64,
+    len: usize,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// Creates an empty wheel with its cursor at [`Time::ZERO`].
+    pub fn new() -> Self {
+        TimerWheel {
+            slots: Vec::new(),
+            free: Vec::new(),
+            levels: Box::new([(); LEVELS].map(|()| Level::new())),
+            occupied: [0; LEVELS],
+            pending: Vec::new(),
+            overflow: Vec::new(),
+            overflow_live: 0,
+            cached_min: None,
+            cursor: 0,
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of live (scheduled, uncancelled, unfired) timers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no timers are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `payload` to fire at `at` (which may already be in the
+    /// past — it then fires on the next [`TimerWheel::pop_due`]). O(1).
+    pub fn schedule(&mut self, at: Time, payload: T) -> TimerKey {
+        let seq = self.seq;
+        self.seq += 1;
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                slot.seq = seq;
+                slot.deadline = at;
+                slot.payload = Some(payload);
+                idx
+            }
+            None => {
+                self.slots.push(Slot {
+                    gen: 0,
+                    seq,
+                    deadline: at,
+                    payload: Some(payload),
+                    level: 0,
+                    bucket: 0,
+                    next: NIL,
+                    prev: NIL,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.len += 1;
+        self.link(idx);
+        self.note_insert(idx);
+        TimerKey {
+            idx,
+            gen: self.slots[idx as usize].gen,
+        }
+    }
+
+    /// Folds a just-linked timer into the memoized minimum.
+    fn note_insert(&mut self, idx: u32) {
+        let slot = &self.slots[idx as usize];
+        let beats_cache = match &self.cached_min {
+            Some(m) => (slot.deadline, slot.seq) < (m.deadline, m.seq),
+            // An unknown minimum stays unknown — unless this is the only
+            // timer, which is trivially the minimum.
+            None => self.len == 1,
+        };
+        if beats_cache {
+            self.cached_min = Some(PendingEntry {
+                deadline: slot.deadline,
+                seq: slot.seq,
+                idx,
+                gen: slot.gen,
+            });
+        }
+    }
+
+    /// Cancels the timer behind `key`, returning its payload. O(1).
+    ///
+    /// Returns `None` if the key is stale — the timer already fired, was
+    /// cancelled, or was rescheduled — in which case nothing changes.
+    pub fn cancel(&mut self, key: TimerKey) -> Option<T> {
+        let slot = self.slots.get_mut(key.idx as usize)?;
+        if slot.gen != key.gen || slot.payload.is_none() {
+            return None;
+        }
+        let payload = slot.payload.take();
+        slot.gen = slot.gen.wrapping_add(1);
+        match slot.level {
+            // An IN_PENDING entry is dropped lazily when the batch
+            // reaches it — the bumped generation makes it inert.
+            IN_PENDING => {}
+            IN_OVERFLOW => self.unlink_overflow(),
+            _ => self.unlink_entry(key.idx),
+        }
+        self.free.push(key.idx);
+        self.len -= 1;
+        if self.cached_min.is_some_and(|m| m.idx == key.idx && m.gen == key.gen) {
+            self.cached_min = None;
+        }
+        payload
+    }
+
+    /// Moves the timer behind `key` to deadline `at` without touching its
+    /// payload, returning the replacement key. O(1).
+    ///
+    /// The old key (and any copy of it) is invalidated; the timer gets a
+    /// fresh insertion sequence, so among timers sharing an exact
+    /// deadline it fires as the newest. Returns `None` (and changes
+    /// nothing) if the key is stale.
+    pub fn reschedule(&mut self, key: TimerKey, at: Time) -> Option<TimerKey> {
+        let seq = self.seq;
+        let slot = self.slots.get_mut(key.idx as usize)?;
+        if slot.gen != key.gen || slot.payload.is_none() {
+            return None;
+        }
+        self.seq += 1;
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.seq = seq;
+        slot.deadline = at;
+        match slot.level {
+            IN_PENDING => {}
+            IN_OVERFLOW => self.unlink_overflow(),
+            _ => self.unlink_entry(key.idx),
+        }
+        if self.cached_min.is_some_and(|m| m.idx == key.idx && m.gen == key.gen) {
+            self.cached_min = None;
+        }
+        self.link(key.idx);
+        self.note_insert(key.idx);
+        Some(TimerKey {
+            idx: key.idx,
+            gen: self.slots[key.idx as usize].gen,
+        })
+    }
+
+    /// The exact deadline behind `key`, or `None` if the key is stale.
+    pub fn deadline_of(&self, key: TimerKey) -> Option<Time> {
+        let slot = self.slots.get(key.idx as usize)?;
+        if slot.gen != key.gen || slot.payload.is_none() {
+            return None;
+        }
+        Some(slot.deadline)
+    }
+
+    /// The exact deadline of the earliest pending timer. O(1) while the
+    /// memoized minimum is intact (the common case between pops).
+    pub fn next_deadline(&self) -> Option<Time> {
+        if let Some(m) = &self.cached_min {
+            if self.slots[m.idx as usize].gen == m.gen {
+                return Some(m.deadline);
+            }
+        }
+        // A live entry in the sorted batch is the global minimum by the
+        // pending invariant; otherwise fall back to the wheel proper.
+        self.pending
+            .iter()
+            .rev()
+            .find(|p| self.slots[p.idx as usize].gen == p.gen)
+            .map(|p| p.deadline)
+            .or_else(|| self.earliest_bucket().map(|e| e.deadline))
+    }
+
+    /// Removes and returns the earliest timer with `deadline <= now`,
+    /// advancing the wheel. Returns `None` once nothing (more) is due.
+    /// Timers come out in `(deadline, insertion-seq)` order.
+    pub fn pop_due(&mut self, now: Time) -> Option<(Time, T)> {
+        // The memoized minimum makes the no-work case — most `tick`
+        // calls of an idle node — a single comparison.
+        if let Some(m) = &self.cached_min {
+            if m.deadline > now && self.slots[m.idx as usize].gen == m.gen {
+                return None;
+            }
+        }
+        loop {
+            // Serve from the sorted batch first: its back is the global
+            // minimum, so each pop is O(1).
+            while let Some(p) = self.pending.last().copied() {
+                if self.slots[p.idx as usize].gen != p.gen {
+                    self.pending.pop(); // cancelled or rescheduled away
+                    continue;
+                }
+                if p.deadline > now {
+                    self.cached_min = Some(p);
+                    return None;
+                }
+                self.pending.pop();
+                self.cursor = self.cursor.max(tick_of(p.deadline));
+                let slot = &mut self.slots[p.idx as usize];
+                slot.gen = slot.gen.wrapping_add(1);
+                let payload = slot.payload.take().expect("live timer has a payload");
+                self.free.push(p.idx);
+                self.len -= 1;
+                // Refresh the memoized minimum from the batch: skim off
+                // dead entries so the new back is live.
+                while let Some(q) = self.pending.last() {
+                    if self.slots[q.idx as usize].gen == q.gen {
+                        break;
+                    }
+                    self.pending.pop();
+                }
+                self.cached_min = self.pending.last().copied();
+                return Some((p.deadline, payload));
+            }
+            let Some(e) = self.earliest_bucket() else {
+                self.cached_min = None;
+                return None;
+            };
+            if e.deadline > now {
+                self.cached_min = Some(PendingEntry {
+                    deadline: e.deadline,
+                    seq: e.seq,
+                    idx: e.idx,
+                    gen: e.gen,
+                });
+                return None;
+            }
+            if e.level == OVERFLOW_LEVEL {
+                // The far-future list holds the global minimum (the
+                // wheel has spun close enough): hash it back in.
+                self.cursor = self.cursor.max(tick_of(e.deadline));
+                self.rehash_overflow();
+                continue;
+            }
+            if e.level == 0 {
+                // The minimum's bucket tick is a lower bound on every
+                // live placement tick (see the cursor invariant), so the
+                // cursor may jump straight to it.
+                self.cursor = self.cursor.max(e.start_tick);
+                // A coarser bucket whose range reaches back to this tick
+                // may still hide timers that belong in (or before) it:
+                // cascade those levels down before draining, or the
+                // batch would step over them. The overflow list can hide
+                // such timers the same way once the cursor nears it.
+                if let Some((level, slot)) = self.covering_bucket(e.start_tick) {
+                    self.cascade(level, slot);
+                    continue;
+                }
+                if self.overflow.iter().any(|o| {
+                    self.slots[o.idx as usize].gen == o.gen
+                        && tick_of(self.slots[o.idx as usize].deadline) <= e.start_tick
+                }) {
+                    self.rehash_overflow();
+                    continue;
+                }
+                // Drain the due bucket into the batch in one sort, so a
+                // bucket of k timers costs O(k log k) total rather than
+                // O(k) re-scans per pop.
+                let mut idx = self.levels[0].heads[e.slot];
+                self.levels[0].heads[e.slot] = NIL;
+                self.occupied[0] &= !(1u64 << e.slot);
+                while idx != NIL {
+                    let slot = &mut self.slots[idx as usize];
+                    let next = slot.next;
+                    slot.level = IN_PENDING;
+                    self.pending.push(PendingEntry {
+                        deadline: slot.deadline,
+                        seq: slot.seq,
+                        idx,
+                        gen: slot.gen,
+                    });
+                    idx = next;
+                }
+                self.pending
+                    .sort_unstable_by_key(|p| std::cmp::Reverse((p.deadline, p.seq)));
+                continue;
+            }
+            // The bucket holding the global minimum has been reached;
+            // re-hash its live entries into finer levels (the minimum
+            // itself lands at level 0 and surfaces on a later
+            // iteration).
+            self.cursor = self.cursor.max(tick_of(e.deadline));
+            self.cascade(e.level, e.slot);
+        }
+    }
+
+    /// Re-hashes every entry of one bucket relative to the current
+    /// cursor.
+    fn cascade(&mut self, level: usize, slot: usize) {
+        let mut idx = self.levels[level].heads[slot];
+        self.levels[level].heads[slot] = NIL;
+        self.occupied[level] &= !(1u64 << slot);
+        while idx != NIL {
+            let next = self.slots[idx as usize].next;
+            self.link(idx);
+            idx = next;
+        }
+    }
+
+    /// The first level whose earliest occupied bucket starts at or
+    /// before tick `b` — i.e. a coarser bucket whose range overlaps the
+    /// level-0 bucket about to be drained. At most one bucket per level
+    /// can qualify (anything entirely before `b` would hold entries
+    /// below the cursor bound), so repeated cascading terminates.
+    fn covering_bucket(&self, b: u64) -> Option<(usize, usize)> {
+        for level in 1..LEVELS {
+            let occupied = self.occupied[level];
+            if occupied == 0 {
+                continue;
+            }
+            let shift = LEVEL_BITS * level as u32;
+            let cur = ((self.cursor >> shift) & SLOT_MASK) as u32;
+            let offset = occupied.rotate_right(cur).trailing_zeros();
+            let slot = ((cur + offset) as u64 & SLOT_MASK) as usize;
+            let start_tick = ((self.cursor >> shift) + offset as u64) << shift;
+            if start_tick <= b {
+                return Some((level, slot));
+            }
+        }
+        None
+    }
+
+    /// [`TimerWheel::pop_due`] with no time bound: removes and returns
+    /// the earliest pending timer (the discrete-event-queue operation).
+    pub fn pop_earliest(&mut self) -> Option<(Time, T)> {
+        self.pop_due(Time::from_micros(u64::MAX))
+    }
+
+    /// Truly removes a bucketed entry from its chain in O(1).
+    fn unlink_entry(&mut self, idx: u32) {
+        let slot = &self.slots[idx as usize];
+        let (level, bucket) = (slot.level as usize, slot.bucket as usize);
+        let (prev, next) = (slot.prev, slot.next);
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.levels[level].heads[bucket] = next;
+            if next == NIL {
+                self.occupied[level] &= !(1u64 << bucket);
+            }
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        }
+    }
+
+    /// Links slab slot `idx` wherever it belongs: into the sorted batch
+    /// when it orders before the batch's maximum (preserving the pending
+    /// invariant), into a wheel bucket otherwise.
+    fn link(&mut self, idx: u32) {
+        let slot = &self.slots[idx as usize];
+        if let Some(p0) = self.pending.first() {
+            if (slot.deadline, slot.seq) < (p0.deadline, p0.seq) {
+                let entry = PendingEntry {
+                    deadline: slot.deadline,
+                    seq: slot.seq,
+                    idx,
+                    gen: slot.gen,
+                };
+                let pos = self.pending.partition_point(|p| {
+                    (p.deadline, p.seq) > (entry.deadline, entry.seq)
+                });
+                self.pending.insert(pos, entry);
+                self.slots[idx as usize].level = IN_PENDING;
+                return;
+            }
+        }
+        self.place(idx);
+    }
+
+    /// Links slab slot `idx` into the bucket its deadline hashes to,
+    /// relative to the current cursor.
+    fn place(&mut self, idx: u32) {
+        let slot = &self.slots[idx as usize];
+        // A deadline already in the past hashes to the cursor's own
+        // level-0 bucket so it surfaces on the next pop.
+        let deadline_tick = tick_of(slot.deadline).max(self.cursor);
+        let mut level = LEVELS - 1;
+        for k in 0..LEVELS {
+            let shift = LEVEL_BITS * k as u32;
+            if (deadline_tick >> shift) - (self.cursor >> shift) < SLOTS as u64 {
+                level = k;
+                break;
+            }
+        }
+        let shift = LEVEL_BITS * level as u32;
+        if (deadline_tick >> shift) - (self.cursor >> shift) >= SLOTS as u64 {
+            // Beyond even the top level's span: overflow. (A fake slot
+            // would break the circular-order-is-time-order invariant.)
+            let gen = self.slots[idx as usize].gen;
+            self.slots[idx as usize].level = IN_OVERFLOW;
+            self.overflow.push(OverflowEntry { idx, gen });
+            self.overflow_live += 1;
+            return;
+        }
+        let bucket = ((deadline_tick >> shift) & SLOT_MASK) as usize;
+        let head = self.levels[level].heads[bucket];
+        let slot = &mut self.slots[idx as usize];
+        slot.level = level as u8;
+        slot.bucket = bucket as u8;
+        slot.prev = NIL;
+        slot.next = head;
+        if head != NIL {
+            self.slots[head as usize].prev = idx;
+        }
+        self.levels[level].heads[bucket] = idx;
+        self.occupied[level] |= 1u64 << bucket;
+    }
+
+    /// Drops one live overflow entry's accounting. The list is
+    /// reclaimed when only stale entries remain and compacted once they
+    /// outnumber the live ones, so cancel-heavy far-future churn cannot
+    /// grow it (or its scans) without bound.
+    fn unlink_overflow(&mut self) {
+        self.overflow_live -= 1;
+        if self.overflow_live == 0 {
+            self.overflow.clear();
+        } else if self.overflow.len() >= 8 && self.overflow.len() >= self.overflow_live * 2 {
+            let slots = &self.slots;
+            self.overflow
+                .retain(|e| slots[e.idx as usize].gen == e.gen);
+        }
+    }
+
+    /// Re-hashes every live overflow entry relative to the current
+    /// cursor (the minimum lands in the wheel proper; still-far entries
+    /// return to the overflow list).
+    fn rehash_overflow(&mut self) {
+        let entries = std::mem::take(&mut self.overflow);
+        self.overflow_live = 0;
+        for entry in entries {
+            if self.slots[entry.idx as usize].gen == entry.gen {
+                self.link(entry.idx);
+            }
+        }
+    }
+
+    /// Finds the live *bucketed* timer with the smallest
+    /// `(deadline, seq)` (the sorted batch is tracked separately).
+    ///
+    /// Per level, the first occupied slot in circular order from the
+    /// cursor holds that level's minimum (every live entry sits within
+    /// one revolution ahead of the cursor at its level); the global
+    /// minimum is the best of the per-level minima. O(levels + first
+    /// bucket's length per level).
+    fn earliest_bucket(&self) -> Option<Earliest> {
+        let mut best: Option<Earliest> = None;
+        for (level, lvl) in self.levels.iter().enumerate() {
+            let occupied = self.occupied[level];
+            if occupied == 0 {
+                continue;
+            }
+            let shift = LEVEL_BITS * level as u32;
+            let cur = ((self.cursor >> shift) & SLOT_MASK) as u32;
+            let offset = occupied.rotate_right(cur).trailing_zeros();
+            let slot = ((cur + offset) as u64 & SLOT_MASK) as usize;
+            let start_tick = ((self.cursor >> shift) + offset as u64) << shift;
+            if let Some(b) = &best {
+                // At levels ≥ 1 every entry's deadline tick is at or
+                // past its bucket's start tick, so a bucket starting
+                // after the best candidate cannot beat it — this skips
+                // scanning the (large) coarse buckets almost always.
+                if level > 0 && start_tick > tick_of(b.deadline) {
+                    continue;
+                }
+            }
+            let mut idx = lvl.heads[slot];
+            while idx != NIL {
+                let s = &self.slots[idx as usize];
+                if best
+                    .map(|b| (s.deadline, s.seq) < (b.deadline, b.seq))
+                    .unwrap_or(true)
+                {
+                    best = Some(Earliest {
+                        level,
+                        slot,
+                        deadline: s.deadline,
+                        seq: s.seq,
+                        idx,
+                        gen: s.gen,
+                        start_tick,
+                    });
+                }
+                idx = s.next;
+            }
+        }
+        // The far-future overflow list competes by exact deadline too
+        // (it is almost always empty).
+        for entry in &self.overflow {
+            let s = &self.slots[entry.idx as usize];
+            if s.gen != entry.gen {
+                continue;
+            }
+            if best
+                .map(|b| (s.deadline, s.seq) < (b.deadline, b.seq))
+                .unwrap_or(true)
+            {
+                best = Some(Earliest {
+                    level: OVERFLOW_LEVEL,
+                    slot: 0,
+                    deadline: s.deadline,
+                    seq: s.seq,
+                    idx: entry.idx,
+                    gen: entry.gen,
+                    start_tick: tick_of(s.deadline),
+                });
+            }
+        }
+        best
+    }
+}
+
+fn tick_of(t: Time) -> u64 {
+    t.as_micros() >> TICK_BITS
+}
+
+impl<T> std::fmt::Debug for TimerWheel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerWheel")
+            .field("len", &self.len)
+            .field("next", &self.next_deadline())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn drain_until<T>(w: &mut TimerWheel<T>, now: Time) -> Vec<(Time, T)> {
+        let mut out = Vec::new();
+        while let Some(fired) = w.pop_due(now) {
+            out.push(fired);
+        }
+        out
+    }
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut w = TimerWheel::new();
+        w.schedule(Time::from_millis(30), "c");
+        w.schedule(Time::from_millis(10), "a");
+        w.schedule(Time::from_millis(20), "b");
+        let fired = drain_until(&mut w, Time::from_secs(1));
+        assert_eq!(
+            fired,
+            vec![
+                (Time::from_millis(10), "a"),
+                (Time::from_millis(20), "b"),
+                (Time::from_millis(30), "c"),
+            ]
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_instant_fires_in_insertion_order() {
+        let mut w = TimerWheel::new();
+        let t = Time::from_millis(7);
+        for i in 0..100 {
+            w.schedule(t, i);
+        }
+        let fired = drain_until(&mut w, t);
+        assert_eq!(fired.len(), 100);
+        for (i, (at, v)) in fired.iter().enumerate() {
+            assert_eq!(*at, t);
+            assert_eq!(*v, i);
+        }
+    }
+
+    #[test]
+    fn sub_tick_deadlines_stay_exact() {
+        // Two timers inside the same 1024 µs bucket must fire at their
+        // exact µs deadlines, in order.
+        let mut w = TimerWheel::new();
+        let a = Time::from_micros(500);
+        let b = Time::from_micros(700);
+        w.schedule(b, "b");
+        w.schedule(a, "a");
+        assert_eq!(w.next_deadline(), Some(a));
+        assert_eq!(w.pop_due(Time::from_micros(499)), None);
+        assert_eq!(w.pop_due(a), Some((a, "a")));
+        assert_eq!(w.next_deadline(), Some(b));
+        assert_eq!(w.pop_due(Time::from_micros(699)), None);
+        assert_eq!(w.pop_due(Time::from_secs(1)), Some((b, "b")));
+    }
+
+    #[test]
+    fn cancel_prevents_fire_and_is_one_shot() {
+        let mut w = TimerWheel::new();
+        let k = w.schedule(Time::from_millis(5), 1);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.cancel(k), Some(1));
+        assert_eq!(w.cancel(k), None, "second cancel must be a no-op");
+        assert!(w.is_empty());
+        assert_eq!(w.pop_due(Time::from_secs(10)), None);
+    }
+
+    #[test]
+    fn stale_key_after_fire_is_inert() {
+        let mut w = TimerWheel::new();
+        let k = w.schedule(Time::from_millis(5), 1);
+        assert_eq!(w.pop_due(Time::from_millis(5)), Some((Time::from_millis(5), 1)));
+        assert_eq!(w.cancel(k), None);
+        assert_eq!(w.reschedule(k, Time::from_secs(1)), None);
+        assert_eq!(w.deadline_of(k), None);
+        // The slab slot is reused for a new timer; the old key must not
+        // alias it.
+        let k2 = w.schedule(Time::from_millis(9), 2);
+        assert_eq!(w.cancel(k), None);
+        assert_eq!(w.deadline_of(k2), Some(Time::from_millis(9)));
+    }
+
+    #[test]
+    fn reschedule_moves_deadline_both_ways() {
+        let mut w = TimerWheel::new();
+        let k = w.schedule(Time::from_secs(30), "x");
+        // Pull a far (level ≥ 1) timer close, then push it out again.
+        let k = w.reschedule(k, Time::from_millis(2)).unwrap();
+        assert_eq!(w.next_deadline(), Some(Time::from_millis(2)));
+        let k = w.reschedule(k, Time::from_secs(90)).unwrap();
+        assert_eq!(w.next_deadline(), Some(Time::from_secs(90)));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.cancel(k), Some("x"));
+    }
+
+    #[test]
+    fn fires_across_level_boundaries() {
+        // Deadlines straddling level-0 (~65 ms), level-1 (~4.2 s) and
+        // level-2 (~4.5 min) spans cascade correctly and keep order.
+        let mut w = TimerWheel::new();
+        let deadlines = [
+            Time::from_millis(1),
+            Time::from_millis(64),
+            Time::from_millis(70),
+            Time::from_millis(4_500),
+            Time::from_secs(270),
+            Time::from_secs(3_600),
+        ];
+        for (i, &t) in deadlines.iter().enumerate().rev() {
+            w.schedule(t, i);
+        }
+        let fired = drain_until(&mut w, Time::from_secs(4_000));
+        let got: Vec<_> = fired.iter().map(|&(t, i)| (t, i)).collect();
+        let want: Vec<_> = deadlines.iter().copied().enumerate().map(|(i, t)| (t, i)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn far_future_beyond_top_level_parks_and_fires() {
+        let mut w = TimerWheel::new();
+        // ~900 days: beyond the top level span from cursor 0.
+        let far = Time::ZERO + Duration::from_secs(900 * 24 * 3600);
+        w.schedule(far, "far");
+        w.schedule(Time::from_secs(1), "near");
+        assert_eq!(w.next_deadline(), Some(Time::from_secs(1)));
+        assert_eq!(w.pop_due(Time::from_secs(2)), Some((Time::from_secs(1), "near")));
+        assert_eq!(w.pop_due(Time::from_secs(2)), None);
+        assert_eq!(w.pop_earliest(), Some((far, "far")));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn past_deadline_fires_immediately() {
+        let mut w = TimerWheel::new();
+        // Advance the cursor well past t=1 ms...
+        w.schedule(Time::from_secs(5), "later");
+        assert!(w.pop_due(Time::from_secs(5)).is_some());
+        // ...then schedule into the past: it must still come out first.
+        w.schedule(Time::from_millis(1), "past");
+        w.schedule(Time::from_secs(10), "future");
+        assert_eq!(w.next_deadline(), Some(Time::from_millis(1)));
+        assert_eq!(
+            w.pop_due(Time::from_secs(6)),
+            Some((Time::from_millis(1), "past"))
+        );
+        assert_eq!(w.pop_due(Time::from_secs(6)), None);
+    }
+
+    #[test]
+    fn cancelled_bucket_is_reclaimed() {
+        let mut w = TimerWheel::new();
+        let keys: Vec<_> = (0..1000)
+            .map(|i| w.schedule(Time::from_millis(5), i))
+            .collect();
+        for k in keys {
+            assert!(w.cancel(k).is_some());
+        }
+        assert!(w.is_empty());
+        assert_eq!(w.pop_due(Time::from_secs(1)), None);
+        // Every cancel unlinked its entry on the spot: no chain remains
+        // and no occupancy bit is left set.
+        assert!(w.levels.iter().all(|l| l.heads.iter().all(|&h| h == NIL)));
+        assert_eq!(w.occupied, [0; LEVELS]);
+    }
+
+    #[test]
+    fn pop_earliest_is_a_fifo_for_equal_times() {
+        let mut w = TimerWheel::new();
+        w.schedule(Time::from_secs(2), "late");
+        w.schedule(Time::from_secs(1), "early-1");
+        w.schedule(Time::from_secs(1), "early-2");
+        assert_eq!(w.pop_earliest().unwrap().1, "early-1");
+        assert_eq!(w.pop_earliest().unwrap().1, "early-2");
+        assert_eq!(w.pop_earliest().unwrap().1, "late");
+        assert_eq!(w.pop_earliest(), None);
+    }
+
+    #[test]
+    fn len_tracks_all_mutations() {
+        let mut w = TimerWheel::new();
+        assert!(w.is_empty());
+        let a = w.schedule(Time::from_millis(1), 1);
+        let b = w.schedule(Time::from_millis(2), 2);
+        assert_eq!(w.len(), 2);
+        w.cancel(a);
+        assert_eq!(w.len(), 1);
+        let b = w.reschedule(b, Time::from_millis(9)).unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.deadline_of(b), Some(Time::from_millis(9)));
+        w.pop_due(Time::from_secs(1));
+        assert!(w.is_empty());
+    }
+}

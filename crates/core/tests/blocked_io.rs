@@ -200,6 +200,89 @@ fn blocked_gossip_tick_runs_once() {
 }
 
 #[test]
+fn unblock_refires_deferred_and_armed_timers_in_deadline_order() {
+    // Regression: deferred timers used to be fired as an isolated batch
+    // at unblock, so timers armed while blocked (gossip ticks, probe
+    // rounds) — even ones due *before* the unblock instant — were left
+    // for a later tick. The wheel re-injects the deferred timers at
+    // their original deadlines and drains everything due, so the
+    // catch-up output interleaves both in global deadline order.
+    let mut n = new_node(Config::lan());
+    add_peer(&mut n, "p", 2, Time::from_secs(1));
+    // Drive until a probe ping is in flight, then block.
+    let mut t = Time::from_secs(1);
+    let mut probe_in_flight = false;
+    while !probe_in_flight {
+        let wake = n.next_wake().expect("probe timers armed");
+        t = wake;
+        probe_in_flight = count_pings(&n.tick(wake)) > 0;
+    }
+    let t_block = t + Duration::from_millis(1);
+    n.set_io_blocked(true, t_block);
+    // Tick through the probe timeout and round end: both deferred. The
+    // gossip loop keeps re-arming itself (deadlines after the deferred
+    // probe deadlines) but is stuck after its one blocked send.
+    run_until(&mut n, t_block + Duration::from_secs(2));
+    // Unblock well past everything, without any further ticks.
+    let t_unblock = t_block + Duration::from_secs(8);
+    let out = n.set_io_blocked(false, t_unblock);
+
+    // The deferred round end (deadline ~t+1 s) fails the probe and
+    // suspects "p"...
+    let suspected_at = out.iter().position(|o| {
+        matches!(o, Output::Event(Event::MemberSuspected { name, .. }) if name.as_str() == "p")
+    });
+    let suspected_at = suspected_at.expect("stuck probe must fail and suspect at unblock");
+    // ...and the gossip tick armed while blocked (deadline ~t+2.2 s)
+    // re-fires *after it, in the same catch-up*, spreading the freshly
+    // queued suspect message. The old deferred-only refire produced no
+    // such packet from set_io_blocked at all.
+    let gossiped_suspect = out[suspected_at..].iter().any(|o| match o {
+        Output::Packet { payload, .. } => compound::decode_packet(payload)
+            .unwrap()
+            .iter()
+            .any(|m| matches!(m, Message::Suspect(s) if s.node.as_str() == "p")),
+        _ => false,
+    });
+    assert!(
+        gossiped_suspect,
+        "catch-up must interleave the armed gossip tick after the deferred probe failure"
+    );
+}
+
+#[test]
+fn deferred_refire_survives_inverted_probe_deadlines() {
+    // Pathological config: the probe timeout lands *after* the round
+    // end. Both deadlines defer while blocked; at unblock the round end
+    // re-fires first (deadline order) and consumes the probe — the
+    // re-injected timeout must be truly cancelled with it, not reach
+    // its handler stale (which would trip the no-stale-fire assertions
+    // in debug builds).
+    let mut cfg = Config::lan();
+    cfg.probe_timeout = cfg.probe_interval * 2;
+    let mut n = new_node(cfg);
+    add_peer(&mut n, "p", 2, Time::from_secs(1));
+    let mut t = Time::from_secs(1);
+    let mut probe_in_flight = false;
+    while !probe_in_flight {
+        let wake = n.next_wake().expect("probe timers armed");
+        t = wake;
+        probe_in_flight = count_pings(&n.tick(wake)) > 0;
+    }
+    let t_block = t + Duration::from_millis(1);
+    n.set_io_blocked(true, t_block);
+    // Past both the round end (t+1 s) and the inverted timeout (t+2 s).
+    run_until(&mut n, t_block + Duration::from_secs(3));
+    let out = n.set_io_blocked(false, t_block + Duration::from_secs(8));
+    assert!(
+        out.iter().any(|o| {
+            matches!(o, Output::Event(Event::MemberSuspected { name, .. }) if name.as_str() == "p")
+        }),
+        "stuck probe must still fail and suspect at unblock"
+    );
+}
+
+#[test]
 fn unblock_is_idempotent_and_resets_loops() {
     let mut n = new_node(Config::lan());
     add_peer(&mut n, "p", 2, Time::from_secs(1));

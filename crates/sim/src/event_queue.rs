@@ -1,39 +1,17 @@
 //! Deterministic discrete-event queue.
 //!
-//! A binary heap keyed by `(time, sequence)`: events at the same instant
-//! are delivered in insertion order, which makes whole-cluster simulations
-//! bit-for-bit reproducible for a given seed.
+//! A thin wrapper over the protocol core's hierarchical
+//! [`TimerWheel`](lifeguard_core::timer_wheel::TimerWheel), so the
+//! simulator and [`SwimNode`](lifeguard_core::node::SwimNode) share one
+//! firing-semantics implementation: exact microsecond deadlines, events
+//! at the same instant delivered in insertion order, and O(1) scheduling
+//! with empty stretches of simulated time skipped via the wheel's
+//! occupancy bitmaps instead of O(log n) heap churn. Whole-cluster
+//! simulations remain bit-for-bit reproducible for a given seed.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use lifeguard_core::timer_wheel::TimerWheel;
 
 use crate::clock::SimTime;
-
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        (self.at, self.seq) == (other.at, other.seq)
-    }
-}
-
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
 
 /// A time-ordered event queue with deterministic tie-breaking.
 ///
@@ -48,15 +26,13 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop().unwrap().1, "late");
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    seq: u64,
+    wheel: TimerWheel<E>,
 }
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
+            wheel: TimerWheel::new(),
         }
     }
 }
@@ -69,36 +45,34 @@ impl<E> EventQueue<E> {
 
     /// Schedules `event` at `at`.
     pub fn push(&mut self, at: SimTime, event: E) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, event }));
+        self.wheel.schedule(at, event);
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+        self.wheel.pop_earliest()
     }
 
     /// The time of the earliest scheduled event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.at)
+        self.wheel.next_deadline()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.wheel.is_empty()
     }
 }
 
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("len", &self.heap.len())
+            .field("len", &self.len())
             .field("next", &self.peek_time())
             .finish()
     }
@@ -130,6 +104,21 @@ mod tests {
         for i in 0..100 {
             assert_eq!(q.pop().unwrap().1, i);
         }
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        // The wheel's cursor advances as events pop; later pushes at
+        // later times must still come out in global time order.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(10), "a");
+        q.push(SimTime::from_secs(5), "d");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.push(SimTime::from_millis(900), "b");
+        q.push(SimTime::from_secs(2), "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "d");
     }
 
     #[test]
