@@ -1,0 +1,224 @@
+//! Benchmarks of the sans-I/O driving surface (`handle_input` /
+//! `poll_output`) against the seed's `Vec<Output>` collection shape
+//! (kept in [`lifeguard_bench::naive::collect_outputs_vec`]), plus an
+//! allocation-count proof that draining the output queue performs
+//! **zero allocations per poll** in steady state.
+//!
+//! The workload is a 1000-member node in steady state: every cycle one
+//! gossip message arrives (keeping the broadcast queue non-empty),
+//! simulated time advances one gossip interval, the due timers fire
+//! (gossip fan-out → up to `gossip_nodes` packets, periodic probe
+//! rounds), and the queued outputs are drained. The poll path hands
+//! each packet out as a borrow of the node's scratch buffer; the
+//! baseline materialises the seed's fresh `Vec` + owned `Bytes` per
+//! packet.
+//!
+//! Results are recorded in `docs/PERFORMANCE.md` §5.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bytes::Bytes;
+use lifeguard_bench::naive::collect_outputs_vec;
+use lifeguard_core::config::Config;
+use lifeguard_core::node::{Input, Output, SwimNode};
+use lifeguard_core::time::Time;
+use lifeguard_proto::{codec, Alive, Incarnation, Message, NodeAddr, NodeName};
+
+/// A pass-through allocator that counts allocations while the flag is
+/// raised — the instrument behind the zero-allocation assertion.
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations performed by `f`.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    f();
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+const MEMBERS: usize = 1000;
+const GOSSIP_STEP: Duration = Duration::from_millis(200);
+
+fn steady_state_node() -> SwimNode {
+    let mut node = SwimNode::new(
+        "local".into(),
+        NodeAddr::new([10, 0, 0, 1], 7946),
+        Config::lan().lifeguard(),
+        7,
+    );
+    node.start(Time::ZERO);
+    let peers = (0..MEMBERS as u32).map(|i| {
+        (
+            NodeName::from(format!("peer-{i}").as_str()),
+            NodeAddr::new([10, 1, (i >> 8) as u8, (i & 0xff) as u8], 7946),
+        )
+    });
+    node.bootstrap_peers(peers, Time::ZERO);
+    node
+}
+
+/// One pre-encoded gossip arrival per incarnation, so the broadcast
+/// queue never runs dry and every gossip tick emits packets.
+fn gossip_payload(incarnation: u64) -> Bytes {
+    codec::encode_message(&Message::Alive(Alive {
+        incarnation: Incarnation(incarnation),
+        node: "peer-0".into(),
+        addr: NodeAddr::new([10, 1, 0, 0], 7946),
+        meta: Bytes::new(),
+    }))
+}
+
+/// Advances one steady-state cycle: gossip arrival + due timers. The
+/// outputs are left queued for the caller to drain.
+fn advance_cycle(node: &mut SwimNode, now: &mut Time, incarnation: &mut u64) {
+    *incarnation += 1;
+    node.handle_input(
+        Input::Datagram {
+            from: NodeAddr::new([10, 1, 0, 0], 7946),
+            payload: gossip_payload(*incarnation),
+        },
+        *now,
+    )
+    .expect("valid gossip payload");
+    *now += GOSSIP_STEP;
+    node.handle_input(Input::Tick, *now).expect("tick");
+}
+
+/// Zero-copy drain: every queued output is visited, packet payloads
+/// stay borrows of the node's scratch buffer.
+fn drain_poll(node: &mut SwimNode) -> usize {
+    let mut packets = 0;
+    while let Some(output) = node.poll_output() {
+        if let Output::Packet { payload, .. } = &output {
+            packets += 1;
+            black_box(payload.len());
+        }
+        black_box(&output);
+    }
+    packets
+}
+
+/// Proof obligation for the acceptance criteria: after warm-up, a full
+/// output drain performs zero allocations, while the seed baseline
+/// allocates per packet (fresh `Vec` growth + one owned `Bytes` each).
+fn assert_poll_is_allocation_free() {
+    let mut node = steady_state_node();
+    let mut now = Time::ZERO;
+    let mut inc = 10;
+    // Warm-up: let the scratch arena, queue and builder reach their
+    // high-water capacities.
+    for _ in 0..200 {
+        advance_cycle(&mut node, &mut now, &mut inc);
+        drain_poll(&mut node);
+    }
+    let mut packets = 0usize;
+    let mut poll_allocs = 0u64;
+    for _ in 0..200 {
+        advance_cycle(&mut node, &mut now, &mut inc);
+        poll_allocs += count_allocs(|| {
+            packets += drain_poll(&mut node);
+        });
+    }
+    assert!(
+        packets > 0,
+        "steady-state cycles must actually emit packets"
+    );
+    assert_eq!(
+        poll_allocs, 0,
+        "poll_output drain must be allocation-free in steady state"
+    );
+
+    // The seed-shaped baseline on the same workload allocates at least
+    // one Bytes per packet plus the Vec itself.
+    let mut baseline_allocs = 0u64;
+    let mut baseline_packets = 0usize;
+    for _ in 0..200 {
+        advance_cycle(&mut node, &mut now, &mut inc);
+        baseline_allocs += count_allocs(|| {
+            let out = collect_outputs_vec(&mut node);
+            baseline_packets += out.len();
+            black_box(&out);
+        });
+    }
+    assert!(
+        baseline_allocs as usize >= baseline_packets,
+        "baseline must allocate per collected output"
+    );
+    println!(
+        "driver/alloc-proof: poll drain 0 allocs over {packets} packets; \
+         vec baseline {baseline_allocs} allocs over {baseline_packets} outputs"
+    );
+}
+
+fn bench_driver(c: &mut Criterion) {
+    assert_poll_is_allocation_free();
+
+    // Full steady-state cycle (input + tick + drain), allocation-free
+    // poll path.
+    {
+        let mut node = steady_state_node();
+        let mut now = Time::ZERO;
+        let mut inc = 10;
+        c.bench_function("driver/poll_output", |b| {
+            b.iter(|| {
+                advance_cycle(&mut node, &mut now, &mut inc);
+                drain_poll(&mut node)
+            })
+        });
+    }
+
+    // The same cycle drained through the seed's Vec<Output> shape.
+    {
+        let mut node = steady_state_node();
+        let mut now = Time::ZERO;
+        let mut inc = 10;
+        c.bench_function("driver/vec_baseline", |b| {
+            b.iter(|| {
+                advance_cycle(&mut node, &mut now, &mut inc);
+                collect_outputs_vec(&mut node).len()
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_driver);
+criterion_main!(benches);

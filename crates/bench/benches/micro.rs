@@ -381,7 +381,22 @@ fn bench_sim_throughput(c: &mut Criterion) {
 }
 
 fn bench_node_message_handling(c: &mut Criterion) {
-    use lifeguard_core::node::SwimNode;
+    use lifeguard_core::node::{Input, SwimNode};
+    // Pre-encoded datagrams: the bench measures the node's decode +
+    // handle + poll cycle, not the test harness's encoding.
+    let from = NodeAddr::new([10, 0, 0, 2], 7946);
+    let alives: Vec<Bytes> = (0..500u64)
+        .map(|i| codec::encode_message(&sample_alive(i)))
+        .collect();
+    let suspects: Vec<Bytes> = (0..500u64)
+        .map(|i| {
+            codec::encode_message(&Message::Suspect(Suspect {
+                incarnation: Incarnation(i),
+                node: format!("node-{i}").into(),
+                from: "accuser".into(),
+            }))
+        })
+        .collect();
     c.bench_function("node/handle_1000_gossip_messages", |b| {
         b.iter_batched(
             || {
@@ -395,20 +410,27 @@ fn bench_node_message_handling(c: &mut Criterion) {
                 node
             },
             |mut node| {
-                let from = NodeAddr::new([10, 0, 0, 2], 7946);
-                for i in 0..500u64 {
-                    node.handle_message_in(from, sample_alive(i), Time::from_millis(i));
+                for (i, payload) in alives.iter().enumerate() {
+                    node.handle_input(
+                        Input::Datagram {
+                            from,
+                            payload: payload.clone(),
+                        },
+                        Time::from_millis(i as u64),
+                    )
+                    .unwrap();
+                    while node.poll_output().is_some() {}
                 }
-                for i in 0..500u64 {
-                    node.handle_message_in(
-                        from,
-                        Message::Suspect(Suspect {
-                            incarnation: Incarnation(i),
-                            node: format!("node-{i}").into(),
-                            from: "accuser".into(),
-                        }),
-                        Time::from_millis(500 + i),
-                    );
+                for (i, payload) in suspects.iter().enumerate() {
+                    node.handle_input(
+                        Input::Datagram {
+                            from,
+                            payload: payload.clone(),
+                        },
+                        Time::from_millis(500 + i as u64),
+                    )
+                    .unwrap();
+                    while node.poll_output().is_some() {}
                 }
                 node.num_alive()
             },
@@ -629,7 +651,11 @@ fn bench_node_tick_10k(c: &mut Criterion) {
                 if wake > now {
                     break;
                 }
-                outputs += node.tick(wake).len();
+                node.handle_input(lifeguard_core::node::Input::Tick, wake)
+                    .unwrap();
+                while node.poll_output().is_some() {
+                    outputs += 1;
+                }
             }
             outputs
         })

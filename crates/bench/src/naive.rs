@@ -287,3 +287,24 @@ impl<T> NaiveTimerHeap<T> {
         None
     }
 }
+
+// ---------------------------------------------------------------------
+// Seed output-collection baseline
+// ---------------------------------------------------------------------
+
+use lifeguard_core::driver::OwnedOutput;
+use lifeguard_core::node::SwimNode;
+
+/// The seed's `Vec<Output>` driving surface, emulated over the poll
+/// API: every driving call allocated a fresh `Vec` and materialised
+/// every packet as an owned `Bytes` (the old `CompoundBuilder::finish`
+/// froze a fresh buffer per packet; `OwnedOutput::from` performs the
+/// same per-packet copy). `benches/driver.rs` measures the
+/// allocation-free `poll_output` drain against this exact shape.
+pub fn collect_outputs_vec(node: &mut SwimNode) -> Vec<OwnedOutput> {
+    let mut out = Vec::new();
+    while let Some(output) = node.poll_output() {
+        out.push(OwnedOutput::from(output));
+    }
+    out
+}

@@ -25,9 +25,19 @@ pub mod channel {
         shared: Arc<Shared<T>>,
     }
 
-    /// The receiving half of an unbounded channel.
+    /// The receiving half of an unbounded channel. Cloning (as in
+    /// upstream crossbeam) yields another consumer of the same queue:
+    /// each item is delivered to exactly one receiver.
     pub struct Receiver<T> {
         shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
     }
 
     /// Error returned when every receiver is gone.

@@ -11,6 +11,78 @@
 
 use std::time::Duration;
 
+/// A reason a [`Config`] is rejected by [`Config::validate`].
+///
+/// Every variant names the invariant it protects; [`SwimNode`] and the
+/// runtime builders validate on construction instead of silently
+/// accepting a configuration that cannot run the protocol.
+///
+/// [`SwimNode`]: crate::node::SwimNode
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `probe_interval` is zero: the failure detector would never run.
+    ZeroProbeInterval,
+    /// `probe_timeout` is zero: every direct probe would fail instantly.
+    ZeroProbeTimeout,
+    /// `probe_timeout` exceeds `probe_interval`: the round would end
+    /// before its own timeout, so indirect probes could never fire on
+    /// time (only the blocked-I/O deferral path tolerates inverted
+    /// deadlines, and it is not a configuration).
+    ProbeTimeoutExceedsInterval,
+    /// `suspicion_alpha` is not a positive finite number.
+    InvalidSuspicionAlpha,
+    /// `suspicion_beta` is NaN or below 1 (`Max` would undercut `Min`).
+    InvalidSuspicionBeta,
+    /// `nack_fraction` is outside `(0, 1]`: the nack would be scheduled
+    /// at or after the probe timeout it is meant to pre-empt.
+    InvalidNackFraction,
+    /// `gossip_interval` is zero: the gossip loop would spin.
+    ZeroGossipInterval,
+    /// `gossip_nodes` is zero: queued broadcasts would never leave the
+    /// node through the dedicated gossip tick.
+    EmptyGossipFanout,
+    /// `packet_budget` is below 64 bytes: no protocol message fits.
+    PacketBudgetTooSmall,
+    /// `push_pull_interval` is `Some(0)`: use `None` to disable
+    /// anti-entropy instead of a zero period.
+    ZeroPushPullInterval,
+    /// `reconnect_interval` is `Some(0)`: use `None` to disable
+    /// reconnects instead of a zero period.
+    ZeroReconnectInterval,
+    /// `dead_reclaim` is zero: dead members would be reaped before
+    /// push-pull could disseminate their fate.
+    ZeroDeadReclaim,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            ConfigError::ZeroProbeInterval => "probe_interval must be positive",
+            ConfigError::ZeroProbeTimeout => "probe_timeout must be positive",
+            ConfigError::ProbeTimeoutExceedsInterval => {
+                "probe_timeout must not exceed probe_interval"
+            }
+            ConfigError::InvalidSuspicionAlpha => "suspicion_alpha must be a positive number",
+            ConfigError::InvalidSuspicionBeta => "suspicion_beta must be >= 1",
+            ConfigError::InvalidNackFraction => "nack_fraction must be in (0, 1]",
+            ConfigError::ZeroGossipInterval => "gossip_interval must be positive",
+            ConfigError::EmptyGossipFanout => "gossip_nodes must be at least 1",
+            ConfigError::PacketBudgetTooSmall => "packet_budget must be at least 64 bytes",
+            ConfigError::ZeroPushPullInterval => {
+                "push_pull_interval must be positive (use None to disable)"
+            }
+            ConfigError::ZeroReconnectInterval => {
+                "reconnect_interval must be positive (use None to disable)"
+            }
+            ConfigError::ZeroDeadReclaim => "dead_reclaim must be positive",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// The LHM deltas applied to each local-health event (paper §IV-A).
 ///
 /// The paper's §VII names these scores as candidates for automatic
@@ -324,37 +396,54 @@ impl Config {
         self.retransmit_mult * log.max(1)
     }
 
-    /// Validates invariants, returning a description of the first
-    /// violation.
+    /// Validates invariants, returning the first violation as a typed
+    /// [`ConfigError`].
+    ///
+    /// Called by [`SwimNode::new`](crate::node::SwimNode::new) and the
+    /// runtime builders, so a nonsense configuration (zero probe
+    /// interval, inverted timeouts, empty gossip fan-out, …) is rejected
+    /// at construction rather than silently accepted.
     ///
     /// # Errors
     ///
-    /// Returns `Err` when a field is out of its documented range (zero
-    /// intervals, α < 0, β < 1, nack fraction outside `(0, 1]`, …).
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the [`ConfigError`] describing the first field that is
+    /// out of its documented range.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.probe_interval.is_zero() {
-            return Err("probe_interval must be positive".into());
+            return Err(ConfigError::ZeroProbeInterval);
         }
         if self.probe_timeout.is_zero() {
-            return Err("probe_timeout must be positive".into());
+            return Err(ConfigError::ZeroProbeTimeout);
         }
         if self.probe_timeout > self.probe_interval {
-            return Err("probe_timeout must not exceed probe_interval".into());
+            return Err(ConfigError::ProbeTimeoutExceedsInterval);
         }
-        if self.suspicion_alpha.is_nan() || self.suspicion_alpha <= 0.0 {
-            return Err("suspicion_alpha must be positive".into());
+        if !(self.suspicion_alpha.is_finite() && self.suspicion_alpha > 0.0) {
+            return Err(ConfigError::InvalidSuspicionAlpha);
         }
         if self.suspicion_beta.is_nan() || self.suspicion_beta < 1.0 {
-            return Err("suspicion_beta must be >= 1".into());
+            return Err(ConfigError::InvalidSuspicionBeta);
         }
         if !(self.nack_fraction > 0.0 && self.nack_fraction <= 1.0) {
-            return Err("nack_fraction must be in (0, 1]".into());
+            return Err(ConfigError::InvalidNackFraction);
         }
         if self.gossip_interval.is_zero() {
-            return Err("gossip_interval must be positive".into());
+            return Err(ConfigError::ZeroGossipInterval);
+        }
+        if self.gossip_nodes == 0 {
+            return Err(ConfigError::EmptyGossipFanout);
         }
         if self.packet_budget < 64 {
-            return Err("packet_budget must be at least 64 bytes".into());
+            return Err(ConfigError::PacketBudgetTooSmall);
+        }
+        if self.push_pull_interval.is_some_and(|d| d.is_zero()) {
+            return Err(ConfigError::ZeroPushPullInterval);
+        }
+        if self.reconnect_interval.is_some_and(|d| d.is_zero()) {
+            return Err(ConfigError::ZeroReconnectInterval);
+        }
+        if self.dead_reclaim.is_zero() {
+            return Err(ConfigError::ZeroDeadReclaim);
         }
         Ok(())
     }
@@ -432,27 +521,44 @@ mod tests {
     }
 
     #[test]
-    fn validate_rejects_bad_configs() {
-        assert!(Config::lan().validate().is_ok());
-        let mut c = Config::lan();
-        c.probe_interval = Duration::ZERO;
-        assert!(c.validate().is_err());
+    fn validate_rejects_bad_configs_with_typed_errors() {
+        assert_eq!(Config::lan().validate(), Ok(()));
+        assert_eq!(Config::wan().validate(), Ok(()));
+        assert_eq!(Config::local().lifeguard().validate(), Ok(()));
 
-        let mut c = Config::lan();
-        c.probe_timeout = Duration::from_secs(5);
-        assert!(c.validate().is_err());
-
-        let mut c = Config::lan();
-        c.suspicion_beta = 0.5;
-        assert!(c.validate().is_err());
-
-        let mut c = Config::lan();
-        c.nack_fraction = 0.0;
-        assert!(c.validate().is_err());
-
-        let mut c = Config::lan();
-        c.packet_budget = 10;
-        assert!(c.validate().is_err());
+        let check = |mutate: fn(&mut Config), expected: ConfigError| {
+            let mut c = Config::lan();
+            mutate(&mut c);
+            assert_eq!(c.validate(), Err(expected));
+        };
+        check(|c| c.probe_interval = Duration::ZERO, ConfigError::ZeroProbeInterval);
+        check(|c| c.probe_timeout = Duration::ZERO, ConfigError::ZeroProbeTimeout);
+        check(
+            |c| c.probe_timeout = Duration::from_secs(5),
+            ConfigError::ProbeTimeoutExceedsInterval,
+        );
+        check(|c| c.suspicion_alpha = 0.0, ConfigError::InvalidSuspicionAlpha);
+        check(
+            |c| c.suspicion_alpha = f64::INFINITY,
+            ConfigError::InvalidSuspicionAlpha,
+        );
+        check(|c| c.suspicion_beta = 0.5, ConfigError::InvalidSuspicionBeta);
+        check(|c| c.nack_fraction = 0.0, ConfigError::InvalidNackFraction);
+        check(|c| c.nack_fraction = 1.5, ConfigError::InvalidNackFraction);
+        check(|c| c.gossip_interval = Duration::ZERO, ConfigError::ZeroGossipInterval);
+        check(|c| c.gossip_nodes = 0, ConfigError::EmptyGossipFanout);
+        check(|c| c.packet_budget = 10, ConfigError::PacketBudgetTooSmall);
+        check(
+            |c| c.push_pull_interval = Some(Duration::ZERO),
+            ConfigError::ZeroPushPullInterval,
+        );
+        check(
+            |c| c.reconnect_interval = Some(Duration::ZERO),
+            ConfigError::ZeroReconnectInterval,
+        );
+        check(|c| c.dead_reclaim = Duration::ZERO, ConfigError::ZeroDeadReclaim);
+        // Errors render a human-readable reason.
+        assert!(ConfigError::EmptyGossipFanout.to_string().contains("gossip_nodes"));
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! The shared sans-I/O driver harness.
+//!
+//! Every runtime — the deterministic simulator, the real UDP/TCP agent,
+//! examples, tests — drives a [`SwimNode`]
+//! through the same [`Driver`]: feed an [`Input`], and the driver drains
+//! the node's output queue into a runtime-supplied [`Sink`] (transmit,
+//! stream and event callbacks) before returning. This is the one place
+//! the input→poll→dispatch loop exists; runtimes only decide *how* to
+//! carry each effect out, never *when* to poll.
+//!
+//! ```
+//! use lifeguard_core::config::Config;
+//! use lifeguard_core::driver::{Driver, OwnedOutput};
+//! use lifeguard_core::node::{Input, SwimNode};
+//! use lifeguard_core::time::Time;
+//! use lifeguard_proto::NodeAddr;
+//!
+//! let node = SwimNode::new(
+//!     "node-0".into(),
+//!     NodeAddr::new([10, 0, 0, 1], 7946),
+//!     Config::lan().lifeguard(),
+//!     42,
+//! );
+//! let mut driver = Driver::new(node);
+//! let mut sink: Vec<OwnedOutput> = Vec::new(); // Vec<OwnedOutput> is a Sink
+//! driver.start(Time::ZERO, &mut sink);
+//! driver
+//!     .handle(Input::Tick, Time::ZERO, &mut sink)
+//!     .expect("tick is infallible");
+//! assert!(sink.is_empty()); // nothing to send until peers exist
+//! assert!(driver.next_wake().is_some());
+//! ```
+
+use bytes::Bytes;
+use lifeguard_proto::{DecodeError, Message, NodeAddr};
+
+use crate::event::Event;
+use crate::node::{Input, Output, SwimNode};
+use crate::time::Time;
+
+/// Where a [`Driver`] dispatches the node's effects.
+///
+/// `transmit` receives the packet payload as a borrow of the node's
+/// scratch buffer: a socket runtime can hand it straight to
+/// `send_to` with zero copies; a runtime that must hold it (a simulated
+/// in-flight packet, a paused node's outbox) copies it into an
+/// [`OwnedOutput`].
+pub trait Sink {
+    /// Send one datagram.
+    fn transmit(&mut self, to: NodeAddr, payload: &[u8]);
+    /// Send one message over the reliable stream transport.
+    fn stream(&mut self, to: NodeAddr, msg: Message);
+    /// Deliver one membership conclusion to the application.
+    fn event(&mut self, event: Event);
+}
+
+/// An owned copy of an [`Output`], for sinks that must hold effects past
+/// the poll that produced them.
+#[derive(Clone, Debug)]
+pub enum OwnedOutput {
+    /// A datagram, with the payload copied out of the node's scratch.
+    Packet {
+        /// Destination address.
+        to: NodeAddr,
+        /// Encoded packet bytes (owned).
+        payload: Bytes,
+    },
+    /// A reliable-stream message.
+    Stream {
+        /// Destination address.
+        to: NodeAddr,
+        /// The message to deliver reliably.
+        msg: Message,
+    },
+    /// A membership conclusion.
+    Event(Event),
+}
+
+impl From<Output<'_>> for OwnedOutput {
+    fn from(o: Output<'_>) -> OwnedOutput {
+        match o {
+            Output::Packet { to, payload } => OwnedOutput::Packet {
+                to,
+                payload: Bytes::copy_from_slice(payload),
+            },
+            Output::Stream { to, msg } => OwnedOutput::Stream { to, msg },
+            Output::Event(e) => OwnedOutput::Event(e),
+        }
+    }
+}
+
+/// `Vec<OwnedOutput>` collects every effect — the sink used by tests and
+/// by runtimes that buffer effects (e.g. a paused simulated node).
+impl Sink for Vec<OwnedOutput> {
+    fn transmit(&mut self, to: NodeAddr, payload: &[u8]) {
+        self.push(OwnedOutput::Packet {
+            to,
+            payload: Bytes::copy_from_slice(payload),
+        });
+    }
+
+    fn stream(&mut self, to: NodeAddr, msg: Message) {
+        self.push(OwnedOutput::Stream { to, msg });
+    }
+
+    fn event(&mut self, event: Event) {
+        self.push(OwnedOutput::Event(event));
+    }
+}
+
+/// Owns the dispatch loop around one [`SwimNode`]: every input is fed
+/// through [`Driver::handle`], and the resulting outputs are drained to
+/// a [`Sink`] in order before the call returns, so no effect is ever
+/// left queued between inputs.
+#[derive(Debug)]
+pub struct Driver {
+    node: SwimNode,
+}
+
+impl Driver {
+    /// Wraps a node (started or not) in a driver.
+    pub fn new(node: SwimNode) -> Driver {
+        Driver { node }
+    }
+
+    /// Boots the node (see [`SwimNode::start`]) and drains any outputs.
+    pub fn start(&mut self, now: Time, sink: &mut impl Sink) {
+        self.node.start(now);
+        self.drain(sink);
+    }
+
+    /// Feeds one input and dispatches every effect it produced to
+    /// `sink`, in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`DecodeError`] of a malformed
+    /// [`Input::Datagram`]; the node's state is unchanged and nothing is
+    /// dispatched in that case. Every other input is infallible.
+    pub fn handle(
+        &mut self,
+        input: Input,
+        now: Time,
+        sink: &mut impl Sink,
+    ) -> Result<(), DecodeError> {
+        let res = self.node.handle_input(input, now);
+        self.drain(sink);
+        res
+    }
+
+    /// [`Driver::handle`] of an [`Input::Tick`]: fires all timers due at
+    /// or before `now`. A no-op when nothing is due, so runtimes may
+    /// call it on a coarse cadence.
+    pub fn tick(&mut self, now: Time, sink: &mut impl Sink) {
+        self.handle(Input::Tick, now, sink)
+            .expect("tick is infallible");
+    }
+
+    /// [`Driver::handle`] of an [`Input::Join`]: the join sequence (a
+    /// push-pull sync to each seed) goes out through `sink`.
+    pub fn join(&mut self, seeds: Vec<NodeAddr>, now: Time, sink: &mut impl Sink) {
+        self.handle(Input::Join { seeds }, now, sink)
+            .expect("join is infallible");
+    }
+
+    /// [`Driver::handle`] of an [`Input::Leave`]: the leave sequence (a
+    /// self-signed `dead` flushed to a few peers) goes out through
+    /// `sink`.
+    pub fn leave(&mut self, now: Time, sink: &mut impl Sink) {
+        self.handle(Input::Leave, now, sink)
+            .expect("leave is infallible");
+    }
+
+    /// When the runtime must next call [`Driver::tick`].
+    pub fn next_wake(&self) -> Option<Time> {
+        self.node.next_wake()
+    }
+
+    /// Read access to the wrapped node.
+    pub fn node(&self) -> &SwimNode {
+        &self.node
+    }
+
+    /// Mutable access to the wrapped node, for non-driving calls
+    /// (e.g. [`SwimNode::bootstrap_peers`]).
+    pub fn node_mut(&mut self) -> &mut SwimNode {
+        &mut self.node
+    }
+
+    /// Unwraps the node.
+    pub fn into_node(self) -> SwimNode {
+        self.node
+    }
+
+    fn drain(&mut self, sink: &mut impl Sink) {
+        while let Some(output) = self.node.poll_output() {
+            match output {
+                Output::Packet { to, payload } => sink.transmit(to, payload),
+                Output::Stream { to, msg } => sink.stream(to, msg),
+                Output::Event(e) => sink.event(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use bytes::Bytes;
+    use lifeguard_proto::{codec, Alive, Incarnation, NodeAddr};
+
+    fn addr(i: u8) -> NodeAddr {
+        NodeAddr::new([10, 0, 0, i], 7946)
+    }
+
+    fn driver() -> Driver {
+        Driver::new(SwimNode::new("local".into(), addr(1), Config::lan(), 1))
+    }
+
+    #[test]
+    fn driver_dispatches_in_order_and_drains_fully() {
+        let mut d = driver();
+        let mut sink: Vec<OwnedOutput> = Vec::new();
+        d.start(Time::ZERO, &mut sink);
+        assert!(sink.is_empty());
+
+        // An alive message produces a join event (and nothing pending).
+        let alive = Message::Alive(Alive {
+            incarnation: Incarnation(1),
+            node: "p".into(),
+            addr: addr(2),
+            meta: Bytes::new(),
+        });
+        d.handle(
+            Input::Datagram {
+                from: addr(2),
+                payload: codec::encode_message(&alive),
+            },
+            Time::from_secs(1),
+            &mut sink,
+        )
+        .unwrap();
+        assert!(sink
+            .iter()
+            .any(|o| matches!(o, OwnedOutput::Event(Event::MemberJoined { name }) if name.as_str() == "p")));
+        assert!(!d.node().has_pending_output(), "handle must drain fully");
+    }
+
+    #[test]
+    fn join_and_leave_sequence_through_sink() {
+        let mut d = driver();
+        let mut sink: Vec<OwnedOutput> = Vec::new();
+        d.start(Time::ZERO, &mut sink);
+        d.join(vec![addr(5)], Time::ZERO, &mut sink);
+        assert!(matches!(
+            sink.last(),
+            Some(OwnedOutput::Stream { to, msg: Message::PushPull(pp) })
+                if *to == addr(5) && pp.join && !pp.reply
+        ));
+        sink.clear();
+        d.leave(Time::from_secs(1), &mut sink);
+        assert!(d.node().has_left());
+    }
+
+    #[test]
+    fn malformed_datagram_reports_error_and_dispatches_nothing() {
+        let mut d = driver();
+        let mut sink: Vec<OwnedOutput> = Vec::new();
+        d.start(Time::ZERO, &mut sink);
+        let res = d.handle(
+            Input::Datagram {
+                from: addr(2),
+                payload: Bytes::copy_from_slice(&[250, 250]),
+            },
+            Time::ZERO,
+            &mut sink,
+        );
+        assert!(res.is_err());
+        assert!(sink.is_empty());
+    }
+}

@@ -2,9 +2,11 @@
 //! Lifeguard extensions (DSN 2018), in the style of HashiCorp
 //! `memberlist`.
 //!
-//! The central type is [`node::SwimNode`], a pure state machine driven by
-//! a runtime (simulator or real sockets) through `tick`/`handle_*` calls
-//! that return [`node::Output`] effects.
+//! The central type is [`node::SwimNode`], a pure state machine with one
+//! poll-based driving surface: feed [`node::Input`]s through
+//! `handle_input`, drain [`node::Output`] effects through `poll_output`.
+//! Runtimes (simulator or real sockets) drive it through the shared
+//! [`driver::Driver`] harness, which owns the input→poll→sink loop.
 //!
 //! # Protocol features
 //!
@@ -30,6 +32,7 @@ pub mod accrual;
 pub mod awareness;
 pub mod broadcast;
 pub mod config;
+pub mod driver;
 pub mod event;
 pub mod member;
 pub mod membership;
@@ -39,7 +42,8 @@ pub mod suspicion;
 pub mod time;
 pub mod timer_wheel;
 
-pub use config::{AwarenessDeltas, Config, LifeguardConfig};
+pub use config::{AwarenessDeltas, Config, ConfigError, LifeguardConfig};
+pub use driver::{Driver, OwnedOutput, Sink};
 pub use event::Event;
-pub use node::{NodeStats, Output, SwimNode};
+pub use node::{Input, NodeStats, Output, SwimNode};
 pub use time::Time;

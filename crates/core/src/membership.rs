@@ -219,16 +219,33 @@ impl Membership {
         pool: SamplePool,
         k: usize,
         rng: &mut R,
-        mut filter: impl FnMut(&Member) -> bool,
+        filter: impl FnMut(&Member) -> bool,
     ) -> Vec<&Member> {
+        let mut picked = Vec::new();
+        self.sample_pool_with(pool, k, rng, filter, |m| picked.push(m));
+        picked
+    }
+
+    /// Visitor form of [`Membership::sample_pool`]: each drawn member is
+    /// passed to `visit` instead of being collected, so hot callers (the
+    /// node's gossip/probe target selection) can copy the one field they
+    /// need into a reusable buffer without allocating a `Vec<&Member>`
+    /// per call.
+    pub fn sample_pool_with<'a, R: Rng>(
+        &'a self,
+        pool: SamplePool,
+        k: usize,
+        rng: &mut R,
+        mut filter: impl FnMut(&Member) -> bool,
+        mut visit: impl FnMut(&'a Member),
+    ) {
         let n = match pool {
             SamplePool::Live => self.live.len(),
             SamplePool::Gone => self.gone.len(),
             SamplePool::All => self.live.len() + self.gone.len(),
         };
-        let mut picked = Vec::with_capacity(k.min(n));
         if k == 0 || n == 0 {
-            return picked;
+            return;
         }
         // Lazy Fisher–Yates: `moved` records the positions whose value
         // differs from the identity permutation. Scanning a uniform
@@ -237,19 +254,20 @@ impl Membership {
         // uniform order — the same distribution as filtering first and
         // shuffling after, without building the O(n) candidate vector.
         let mut moved: HashMap<usize, usize> = HashMap::new();
+        let mut picked = 0;
         let mut i = 0;
-        while i < n && picked.len() < k {
+        while i < n && picked < k {
             let j = rng.random_range(i..n);
             let vj = moved.get(&j).copied().unwrap_or(j);
             let vi = moved.get(&i).copied().unwrap_or(i);
             moved.insert(j, vi);
             let member = self.pool_member(pool, vj);
             if filter(member) {
-                picked.push(member);
+                picked += 1;
+                visit(member);
             }
             i += 1;
         }
-        picked
     }
 
     // ------------------------------------------------------------------

@@ -1,21 +1,32 @@
 //! The SWIM + Lifeguard protocol state machine.
 //!
-//! [`SwimNode`] is **sans-io**: it never reads a clock, opens a socket or
-//! sleeps. A runtime (the deterministic simulator in `lifeguard-sim`, or
-//! the real UDP/TCP agent in `lifeguard-net`) drives it through three
-//! entry points and executes the [`Output`]s it returns:
+//! [`SwimNode`] is **sans-io** in the `quinn-proto`/`str0m` sense: it
+//! never reads a clock, opens a socket or sleeps, and it exposes exactly
+//! one poll-based driving surface shared by every runtime (the
+//! deterministic simulator in `lifeguard-sim`, the real UDP/TCP agent in
+//! `lifeguard-net`, or any future async runtime):
 //!
-//! * [`SwimNode::tick`] — called whenever the wall clock reaches
-//!   [`SwimNode::next_wake`]; fires due internal timers (probe rounds,
-//!   gossip ticks, suspicion expiries…).
-//! * [`SwimNode::handle_datagram`] — a UDP packet arrived.
-//! * [`SwimNode::handle_stream`] — a message arrived on the reliable
-//!   (TCP-like) transport: push-pull sync or fallback probes.
+//! * [`SwimNode::handle_input`] — feed one [`Input`] (a received
+//!   datagram or stream message, a timer tick, a join/leave request, an
+//!   I/O-block transition, a metadata update) at an externally supplied
+//!   instant.
+//! * [`SwimNode::poll_output`] — drain the effects the input produced,
+//!   one [`Output`] at a time. Packet payloads borrow the node's
+//!   internal scratch buffer, so steady-state operation performs **zero
+//!   allocations per poll** — no `Bytes` is materialised unless the
+//!   caller copies one.
+//! * [`SwimNode::next_wake`] — the instant at which the runtime must
+//!   feed the next [`Input::Tick`].
+//!
+//! Runtimes normally do not call these directly but drive the node
+//! through the shared [`Driver`](crate::driver::Driver) harness, which
+//! owns the input→poll→sink dispatch loop.
 //!
 //! All randomness comes from an internal seeded RNG, so a cluster of
 //! `SwimNode`s driven by a deterministic runtime is fully reproducible.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::ops::Range;
 
 use bytes::Bytes;
 use lifeguard_proto::compound::CompoundBuilder;
@@ -37,16 +48,72 @@ use crate::suspicion::Suspicion;
 use crate::time::Time;
 use crate::timer_wheel::{TimerKey, TimerWheel};
 
-/// An effect the runtime must carry out on behalf of the node.
+/// One unit of work fed into the state machine via
+/// [`SwimNode::handle_input`].
+///
+/// Every way a runtime can drive the protocol — network receive, timer
+/// expiry, operator request — is an `Input`, so the simulator, the real
+/// agent and the tests all exercise the exact same entry point.
 #[derive(Clone, Debug)]
-pub enum Output {
+pub enum Input {
+    /// A datagram arrived. Compound parts and blob fields are decoded as
+    /// zero-copy slices of `payload`.
+    Datagram {
+        /// Sender address (used for ack routing).
+        from: NodeAddr,
+        /// The raw packet bytes.
+        payload: Bytes,
+    },
+    /// A message arrived on the reliable stream transport (push-pull
+    /// sync or fallback probe).
+    Stream {
+        /// Sender's advertised address (reply target).
+        from: NodeAddr,
+        /// The decoded message.
+        msg: Message,
+    },
+    /// The wall clock reached [`SwimNode::next_wake`]: fire all due
+    /// internal timers (probe rounds, gossip ticks, suspicion expiries…).
+    Tick,
+    /// Initiate a join: push-pull with each seed over the stream
+    /// transport.
+    Join {
+        /// Seed addresses to contact (the node's own address is skipped).
+        seeds: Vec<NodeAddr>,
+    },
+    /// Leave the group gracefully (broadcasts a self-signed `dead`).
+    Leave,
+    /// Message I/O became blocked/unblocked (anomaly injection, paper
+    /// §V-D). See the blocked-I/O notes on [`SwimNode`].
+    IoBlocked {
+        /// The new blocked state.
+        blocked: bool,
+    },
+    /// Replace the local node's application metadata and gossip the
+    /// change (memberlist's `UpdateNode`).
+    UpdateMeta {
+        /// The new metadata blob.
+        meta: Bytes,
+    },
+}
+
+/// An effect the runtime must carry out on behalf of the node, drained
+/// via [`SwimNode::poll_output`].
+///
+/// Packet payloads borrow the node's internal scratch buffer and are
+/// valid until the next `handle_input`/`poll_output` call; runtimes that
+/// must hold an output across calls (the simulator's in-flight queue, a
+/// paused node's outbox) copy it into an
+/// [`OwnedOutput`](crate::driver::OwnedOutput).
+#[derive(Debug)]
+pub enum Output<'a> {
     /// Send a datagram (already compound-encoded, within the MTU budget
     /// except for oversized single messages).
     Packet {
         /// Destination address.
         to: NodeAddr,
-        /// Encoded packet bytes.
-        payload: Bytes,
+        /// Encoded packet bytes (borrowing the node's scratch buffer).
+        payload: &'a [u8],
     },
     /// Send a message over the reliable stream transport (push-pull sync,
     /// fallback probe).
@@ -57,6 +124,15 @@ pub enum Output {
         msg: Message,
     },
     /// A membership conclusion for the application / metrics.
+    Event(Event),
+}
+
+/// A queued effect. Packets are stored as ranges into the node's scratch
+/// buffer so enqueueing them allocates nothing in steady state.
+#[derive(Debug)]
+enum Queued {
+    Packet { to: NodeAddr, range: Range<usize> },
+    Stream { to: NodeAddr, msg: Message },
     Event(Event),
 }
 
@@ -145,7 +221,7 @@ struct ActiveSuspicion {
 ///
 /// ```
 /// use lifeguard_core::config::Config;
-/// use lifeguard_core::node::SwimNode;
+/// use lifeguard_core::node::{Input, SwimNode};
 /// use lifeguard_core::time::Time;
 /// use lifeguard_proto::NodeAddr;
 ///
@@ -155,8 +231,9 @@ struct ActiveSuspicion {
 ///     Config::lan().lifeguard(),
 ///     42,
 /// );
-/// let outputs = node.start(Time::ZERO);
-/// assert!(outputs.is_empty()); // nothing to send until peers exist
+/// node.start(Time::ZERO);
+/// node.handle_input(Input::Tick, Time::ZERO).unwrap();
+/// assert!(node.poll_output().is_none()); // nothing to send until peers exist
 /// assert!(node.next_wake().is_some()); // probe/gossip timers armed
 /// ```
 #[derive(Debug)]
@@ -188,6 +265,15 @@ pub struct SwimNode {
     /// in original due order.
     deferred_timers: Vec<DeferredTimer>,
     stats: NodeStats,
+    /// Effects awaiting [`SwimNode::poll_output`].
+    pending: VecDeque<Queued>,
+    /// Arena for queued packet payloads; cleared whenever the queue
+    /// drains, so it stabilises at the high-water packet burst size.
+    scratch: Vec<u8>,
+    /// Reusable packet assembler (capacity persists across packets).
+    builder: CompoundBuilder,
+    /// Reusable target-address buffer for gossip/probe fan-out.
+    addr_scratch: Vec<NodeAddr>,
 }
 
 impl SwimNode {
@@ -196,9 +282,34 @@ impl SwimNode {
     /// `seed` fixes the node's private RNG stream (probe order, gossip
     /// fan-out choices); two nodes with the same seed and inputs behave
     /// identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`Config::validate`]; use
+    /// [`SwimNode::try_new`] to handle invalid configurations
+    /// gracefully.
     pub fn new(name: NodeName, addr: NodeAddr, config: Config, seed: u64) -> Self {
+        Self::try_new(name, addr, config, seed)
+            .unwrap_or_else(|e| panic!("invalid SwimNode config: {e}"))
+    }
+
+    /// Fallible [`SwimNode::new`]: rejects invalid configurations with
+    /// the typed [`ConfigError`](crate::config::ConfigError) instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Config::validate`] violation.
+    pub fn try_new(
+        name: NodeName,
+        addr: NodeAddr,
+        config: Config,
+        seed: u64,
+    ) -> Result<Self, crate::config::ConfigError> {
+        config.validate()?;
         let awareness = Awareness::new(config.effective_awareness_max());
-        SwimNode {
+        let packet_budget = config.packet_budget;
+        Ok(SwimNode {
             config,
             name,
             addr,
@@ -222,7 +333,11 @@ impl SwimNode {
             stuck_reconnect: false,
             deferred_timers: Vec::new(),
             stats: NodeStats::default(),
-        }
+            pending: VecDeque::new(),
+            scratch: Vec::new(),
+            builder: CompoundBuilder::new(packet_budget),
+            addr_scratch: Vec::new(),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -289,10 +404,9 @@ impl SwimNode {
         self.stats
     }
 
-    /// Replaces the local node's application metadata and gossips the
-    /// change (memberlist's `UpdateNode`): the incarnation is bumped so
-    /// the new `alive` message supersedes older state.
-    pub fn update_meta(&mut self, meta: Bytes, now: Time) {
+    /// [`Input::UpdateMeta`]: the incarnation is bumped so the new
+    /// `alive` message supersedes older state.
+    fn update_meta(&mut self, meta: Bytes, now: Time) {
         self.meta = meta.clone();
         self.incarnation = self.incarnation.next();
         let incarnation = self.incarnation;
@@ -315,7 +429,8 @@ impl SwimNode {
 
     /// Boots the node: registers itself as alive and arms the periodic
     /// timers. Must be called exactly once before any other driving call.
-    pub fn start(&mut self, now: Time) -> Vec<Output> {
+    /// Produces no outputs (there is nobody to talk to yet).
+    pub fn start(&mut self, now: Time) {
         assert!(!self.started, "start() called twice");
         self.started = true;
         let mut me = Member::new(self.name.clone(), self.addr, self.incarnation, now);
@@ -337,7 +452,6 @@ impl SwimNode {
             self.schedule(now + rc + rc_phase, Timer::Reconnect);
         }
         self.schedule(now + self.config.dead_reclaim, Timer::Reap);
-        Vec::new()
     }
 
     /// Registers peers directly as alive members, bypassing the join
@@ -362,35 +476,34 @@ impl SwimNode {
         self.probe_list.extend_shuffled(fresh, &mut self.rng);
     }
 
-    /// Initiates a join: sends a push-pull sync (carrying our own record)
+    /// [`Input::Join`]: sends a push-pull sync (carrying our own record)
     /// to each seed address over the stream transport.
-    pub fn join(&mut self, seeds: &[NodeAddr], _now: Time) -> Vec<Output> {
+    fn join(&mut self, seeds: &[NodeAddr], _now: Time) {
         debug_assert!(self.started, "join() before start()");
         let states = vec![self
             .membership
             .get(&self.name)
             .expect("self is registered")
             .to_push_state()];
-        seeds
-            .iter()
-            .filter(|a| **a != self.addr)
-            .map(|&to| Output::Stream {
+        let me = self.addr;
+        for &to in seeds.iter().filter(|a| **a != me) {
+            self.emit_stream(
                 to,
-                msg: Message::PushPull(PushPull {
+                Message::PushPull(PushPull {
                     join: true,
                     reply: false,
                     states: states.clone(),
                 }),
-            })
-            .collect()
+            );
+        }
     }
 
-    /// Gracefully leaves the group: broadcasts a self-signed `dead`
-    /// message (memberlist's leave semantics) and flushes it to a few
-    /// peers immediately.
-    pub fn leave(&mut self, now: Time) -> Vec<Output> {
+    /// [`Input::Leave`]: broadcasts a self-signed `dead` message
+    /// (memberlist's leave semantics) and flushes it to a few peers
+    /// immediately.
+    fn leave(&mut self, now: Time) {
         if self.left {
-            return Vec::new();
+            return;
         }
         self.left = true;
         let dead = Message::Dead(Dead {
@@ -400,23 +513,75 @@ impl SwimNode {
         });
         self.broadcasts.enqueue(dead);
         self.membership.set_state(&self.name, MemberState::Left, now);
-        let mut out = Vec::new();
-        self.gossip_once(now, &mut out);
-        out
+        self.gossip_once(now);
     }
 
     // ------------------------------------------------------------------
     // Driving
     // ------------------------------------------------------------------
 
-    /// The earliest instant at which [`SwimNode::tick`] has work to do.
+    /// The earliest instant at which the runtime must feed the next
+    /// [`Input::Tick`].
     pub fn next_wake(&self) -> Option<Time> {
         self.timers.next_deadline()
     }
 
-    /// Marks the node's message I/O as blocked or unblocked (anomaly
-    /// injection, paper §V-D: members "block immediately before sending
-    /// or after receiving any protocol message").
+    /// Feeds one unit of work into the state machine. Effects are queued
+    /// internally; drain them with [`SwimNode::poll_output`] before the
+    /// next `handle_input` if packet payload validity matters (inputs
+    /// never corrupt queued packets, but a fully drained queue lets the
+    /// node reclaim its scratch buffer).
+    ///
+    /// # Errors
+    ///
+    /// [`Input::Datagram`] returns the [`DecodeError`] if the packet is
+    /// malformed; the node's state is unchanged in that case (a real
+    /// deployment just drops such packets). Every other input is
+    /// infallible.
+    pub fn handle_input(&mut self, input: Input, now: Time) -> Result<(), DecodeError> {
+        if self.pending.is_empty() {
+            self.scratch.clear();
+        }
+        match input {
+            Input::Datagram { from, payload } => {
+                let msgs = compound::decode_packet_shared(&payload)?;
+                for msg in msgs {
+                    self.handle_message(from, msg, now);
+                }
+            }
+            Input::Stream { from, msg } => self.handle_stream_msg(from, msg, now),
+            Input::Tick => self.tick(now),
+            Input::Join { seeds } => self.join(&seeds, now),
+            Input::Leave => self.leave(now),
+            Input::IoBlocked { blocked } => self.set_io_blocked(blocked, now),
+            Input::UpdateMeta { meta } => self.update_meta(meta, now),
+        }
+        Ok(())
+    }
+
+    /// Pops the next queued effect, or `None` when the node has nothing
+    /// for the runtime to do. Zero allocations: packet payloads are
+    /// slices of the node's scratch buffer.
+    pub fn poll_output(&mut self) -> Option<Output<'_>> {
+        Some(match self.pending.pop_front()? {
+            Queued::Packet { to, range } => Output::Packet {
+                to,
+                payload: &self.scratch[range],
+            },
+            Queued::Stream { to, msg } => Output::Stream { to, msg },
+            Queued::Event(e) => Output::Event(e),
+        })
+    }
+
+    /// Whether [`SwimNode::poll_output`] has queued effects.
+    pub fn has_pending_output(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// [`Input::IoBlocked`]: marks the node's message I/O as blocked or
+    /// unblocked (anomaly injection, paper §V-D: members "block
+    /// immediately before sending or after receiving any protocol
+    /// message").
     ///
     /// While blocked, the node's logic and wall-clock deadlines keep
     /// running, but each protocol loop (probe, gossip, push-pull,
@@ -430,12 +595,11 @@ impl SwimNode {
     /// the catch-up interleaves them with timers armed while blocked in
     /// global (deadline, insertion) order — the stuck probe fails and
     /// raises a suspicion exactly like a real agent resuming after an
-    /// anomaly, and nothing fires out of order relative to it. Returns
-    /// the outputs of that catch-up processing.
-    pub fn set_io_blocked(&mut self, blocked: bool, now: Time) -> Vec<Output> {
-        let mut out = Vec::new();
+    /// anomaly, and nothing fires out of order relative to it. The
+    /// outputs of that catch-up processing are queued for polling.
+    fn set_io_blocked(&mut self, blocked: bool, now: Time) {
         if blocked == self.io_blocked {
-            return out;
+            return;
         }
         self.io_blocked = blocked;
         if !blocked {
@@ -476,10 +640,9 @@ impl SwimNode {
                 }
             }
             while let Some((at, timer)) = self.timers.pop_due(now) {
-                self.fire(at, timer, now, &mut out);
+                self.fire(at, timer, now);
             }
         }
-        out
     }
 
     /// Whether message I/O is currently blocked (anomaly injection).
@@ -487,130 +650,74 @@ impl SwimNode {
         self.io_blocked
     }
 
-    /// Fires all timers due at or before `now`.
-    pub fn tick(&mut self, now: Time) -> Vec<Output> {
-        let mut out = Vec::new();
+    /// [`Input::Tick`]: fires all timers due at or before `now`.
+    fn tick(&mut self, now: Time) {
         while let Some((at, timer)) = self.timers.pop_due(now) {
-            self.fire(at, timer, now, &mut out);
+            self.fire(at, timer, now);
         }
-        out
     }
 
-    /// Decodes and processes a received datagram.
-    ///
-    /// # Errors
-    ///
-    /// Returns the [`DecodeError`] if the packet is malformed; the node's
-    /// state is unchanged in that case (a real deployment just drops such
-    /// packets).
-    pub fn handle_datagram(
-        &mut self,
-        from: NodeAddr,
-        payload: &[u8],
-        now: Time,
-    ) -> Result<Vec<Output>, DecodeError> {
-        let msgs = compound::decode_packet(payload)?;
-        let mut out = Vec::new();
-        for msg in msgs {
-            self.handle_message(from, msg, now, &mut out);
-        }
-        Ok(out)
-    }
-
-    /// [`SwimNode::handle_datagram`] for runtimes that hold the payload
-    /// as [`Bytes`]: compound parts and blob fields are zero-copy slices
-    /// of the datagram instead of fresh allocations.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`SwimNode::handle_datagram`].
-    pub fn handle_datagram_bytes(
-        &mut self,
-        from: NodeAddr,
-        payload: &Bytes,
-        now: Time,
-    ) -> Result<Vec<Output>, DecodeError> {
-        let msgs = compound::decode_packet_shared(payload)?;
-        let mut out = Vec::new();
-        for msg in msgs {
-            self.handle_message(from, msg, now, &mut out);
-        }
-        Ok(out)
-    }
-
-    /// Processes one already-decoded datagram message.
-    pub fn handle_message_in(&mut self, from: NodeAddr, msg: Message, now: Time) -> Vec<Output> {
-        let mut out = Vec::new();
-        self.handle_message(from, msg, now, &mut out);
-        out
-    }
-
-    /// Processes a message from the reliable stream transport.
-    pub fn handle_stream(&mut self, from: NodeAddr, msg: Message, now: Time) -> Vec<Output> {
-        let mut out = Vec::new();
+    /// [`Input::Stream`]: a message from the reliable stream transport.
+    fn handle_stream_msg(&mut self, from: NodeAddr, msg: Message, now: Time) {
         match msg {
             // Fallback direct probe over TCP: reply in kind.
             Message::Ping(p) if p.target == self.name => {
-                out.push(Output::Stream {
-                    to: from,
-                    msg: Message::Ack(Ack { seq: p.seq }),
-                });
+                self.emit_stream(from, Message::Ack(Ack { seq: p.seq }));
             }
-            Message::Ack(a) => self.handle_ack(a, now, &mut out),
+            Message::Ack(a) => self.handle_ack(a, now),
             Message::PushPull(pp) => {
                 let reply = !pp.reply;
-                self.merge_remote_state(&pp.states, now, &mut out);
+                self.merge_remote_state(&pp.states, now);
                 if reply {
                     let states = self.membership.iter().map(Member::to_push_state).collect();
-                    out.push(Output::Stream {
-                        to: from,
-                        msg: Message::PushPull(PushPull {
+                    self.emit_stream(
+                        from,
+                        Message::PushPull(PushPull {
                             join: false,
                             reply: true,
                             states,
                         }),
-                    });
+                    );
                 }
             }
             // Gossip over the stream transport is not part of the
             // protocol; ignore anything else.
             _ => {}
         }
-        out
     }
 
     // ------------------------------------------------------------------
     // Message handling (datagram)
     // ------------------------------------------------------------------
 
-    fn handle_message(&mut self, from: NodeAddr, msg: Message, now: Time, out: &mut Vec<Output>) {
+    fn handle_message(&mut self, from: NodeAddr, msg: Message, now: Time) {
         if !self.started {
             return;
         }
         match msg {
-            Message::Ping(p) => self.handle_ping(from, p, now, out),
-            Message::IndirectPing(p) => self.handle_indirect_ping(p, now, out),
-            Message::Ack(a) => self.handle_ack(a, now, out),
+            Message::Ping(p) => self.handle_ping(from, p, now),
+            Message::IndirectPing(p) => self.handle_indirect_ping(p, now),
+            Message::Ack(a) => self.handle_ack(a, now),
             Message::Nack(n) => self.handle_nack(n),
-            Message::Suspect(s) => self.handle_suspect(s, now, out),
-            Message::Alive(a) => self.handle_alive(a, now, out),
-            Message::Dead(d) => self.handle_dead(d, now, out),
+            Message::Suspect(s) => self.handle_suspect(s, now),
+            Message::Alive(a) => self.handle_alive(a, now),
+            Message::Dead(d) => self.handle_dead(d, now),
             // Push-pull is stream-only; drop it if it arrives by datagram.
             Message::PushPull(_) => {}
         }
     }
 
-    fn handle_ping(&mut self, _from: NodeAddr, ping: Ping, now: Time, out: &mut Vec<Output>) {
+    fn handle_ping(&mut self, _from: NodeAddr, ping: Ping, now: Time) {
         // memberlist drops pings addressed to a different node name: they
         // indicate a stale address mapping.
         if ping.target != self.name {
             return;
         }
         let ack = Message::Ack(Ack { seq: ping.seq });
-        self.send_packet(ping.source_addr, vec![ack], None, now, out);
+        self.send_packet(ping.source_addr, &ack, None, now);
     }
 
-    fn handle_indirect_ping(&mut self, req: IndirectPing, now: Time, out: &mut Vec<Output>) {
+    fn handle_indirect_ping(&mut self, req: IndirectPing, now: Time) {
         let local_seq = self.next_seq();
         let ping = Message::Ping(Ping {
             seq: local_seq,
@@ -618,7 +725,7 @@ impl SwimNode {
             source: self.name.clone(),
             source_addr: self.addr,
         });
-        self.send_packet(req.target_addr, vec![ping], Some(&req.target), now, out);
+        self.send_packet(req.target_addr, &ping, Some(&req.target), now);
         let nack_timer = if req.nack {
             let nack_at = now + crate::time::scale_duration(
                 self.config.probe_timeout,
@@ -643,7 +750,7 @@ impl SwimNode {
         );
     }
 
-    fn handle_ack(&mut self, ack: Ack, now: Time, out: &mut Vec<Output>) {
+    fn handle_ack(&mut self, ack: Ack, now: Time) {
         // Our own outstanding probe? A timely ack completes the round
         // immediately (memberlist's probeNode returns on the first ack);
         // a stale ack is ignored and the round fails at its end.
@@ -675,7 +782,7 @@ impl SwimNode {
                 if let Some(key) = nack_timer {
                     self.timers.cancel(key);
                 }
-                self.send_packet(to, vec![fwd], None, now, out);
+                self.send_packet(to, &fwd, None, now);
             }
         }
     }
@@ -688,37 +795,52 @@ impl SwimNode {
         }
     }
 
-    fn handle_suspect(&mut self, s: Suspect, now: Time, out: &mut Vec<Output>) {
+    fn handle_suspect(&mut self, s: Suspect, now: Time) {
         if s.node == self.name {
-            self.refute(s.incarnation, now, out);
+            self.refute(s.incarnation, now);
             return;
         }
-        self.suspect_node(s, now, out);
+        self.apply_suspect(s.incarnation, &s.node, &s.from, now);
     }
 
-    /// Processes a suspicion about a peer, whether it arrived by gossip
-    /// or was raised by our own failed probe (memberlist's
-    /// `suspectNode`). A suspicion about an already-suspected member
-    /// counts as an independent confirmation.
-    fn suspect_node(&mut self, s: Suspect, now: Time, out: &mut Vec<Output>) {
-        let Some(member) = self.membership.get(&s.node) else {
+    /// Processes a suspicion about a peer, whether it arrived by gossip,
+    /// by push-pull merge, or was raised by our own failed probe
+    /// (memberlist's `suspectNode`). A suspicion about an
+    /// already-suspected member counts as an independent confirmation.
+    ///
+    /// Borrowed path (ROADMAP zero-copy slice): `node`/`from` are only
+    /// cloned (reference-count bumps) when the suspicion actually
+    /// changes state — stale or superseded suspicions are dropped
+    /// without touching either name.
+    fn apply_suspect(
+        &mut self,
+        incarnation: Incarnation,
+        node: &NodeName,
+        from: &NodeName,
+        now: Time,
+    ) {
+        let Some(member) = self.membership.get(node) else {
             return;
         };
-        if s.incarnation < member.incarnation {
+        if incarnation < member.incarnation {
             return; // stale
         }
         match member.state {
             MemberState::Dead | MemberState::Left => {}
             MemberState::Suspect => {
-                let Some(active) = self.suspicions.get_mut(&s.node) else {
+                let Some(active) = self.suspicions.get_mut(node) else {
                     return;
                 };
-                active.sus.observe_incarnation(s.incarnation);
-                if active.sus.confirm(s.from.clone()) {
+                active.sus.observe_incarnation(incarnation);
+                if active.sus.confirm(from.clone()) {
                     // LHA-Suspicion: re-gossip the first K independent
                     // suspicions (paper §IV-B). The enqueue resets the
                     // transmit budget, giving (K+1)·λ·log n max copies.
-                    self.broadcasts.enqueue(Message::Suspect(s.clone()));
+                    self.broadcasts.enqueue(Message::Suspect(Suspect {
+                        incarnation,
+                        node: node.clone(),
+                        from: from.clone(),
+                    }));
                 }
                 // Timeout shrinking moves the one suspicion timer in
                 // place; the superseded deadline can never fire.
@@ -727,77 +849,102 @@ impl SwimNode {
                     Some(key) => active.timer = key,
                     None => debug_assert!(false, "active suspicion lost its timer"),
                 }
-                self.membership.update(&s.node, |m| {
-                    if s.incarnation > m.incarnation {
-                        m.incarnation = s.incarnation;
+                self.membership.update(node, |m| {
+                    if incarnation > m.incarnation {
+                        m.incarnation = incarnation;
                     }
                 });
             }
             MemberState::Alive => {
-                self.start_suspicion(s.node.clone(), s.incarnation, s.from.clone(), now, out);
+                self.start_suspicion(node, incarnation, from, now);
             }
         }
     }
 
-    fn handle_alive(&mut self, a: Alive, now: Time, out: &mut Vec<Output>) {
-        if a.node == self.name {
+    fn handle_alive(&mut self, a: Alive, now: Time) {
+        self.apply_alive(a.incarnation, &a.node, a.addr, &a.meta, now);
+    }
+
+    /// The borrowed alive path (ROADMAP zero-copy slice): both gossip
+    /// and push-pull merge land here without constructing an
+    /// intermediate [`Alive`].
+    ///
+    /// Allocation discipline: a *genuinely new* member costs one meta
+    /// copy (membership records are long-lived; with zero-copy decode
+    /// `meta` may alias a whole received datagram, so a compact copy is
+    /// stored rather than pinning the packet buffer). An *accepted*
+    /// update to a known member reuses the stored name `Arc` and — when
+    /// the metadata is unchanged, the steady-state push-pull case — the
+    /// stored meta `Bytes` too, so it performs no allocation at all.
+    /// Stale duplicates return without touching anything.
+    fn apply_alive(
+        &mut self,
+        incarnation: Incarnation,
+        node: &NodeName,
+        addr: NodeAddr,
+        meta: &Bytes,
+        now: Time,
+    ) {
+        if *node == self.name {
             // Someone is echoing our own alive message, or a name
             // conflict. Nothing to do: our own incarnation is
             // authoritative.
             return;
         }
-        match self.membership.get(&a.node) {
+        match self.membership.get(node) {
             None => {
-                // Membership records and queued rebroadcasts are
-                // long-lived; with zero-copy decode `a.meta` may alias a
-                // whole received datagram, so store and re-gossip a
-                // compact copy rather than pinning the packet buffer.
-                // (Copied only on accepted messages — stale duplicates
-                // return above/below without allocating.)
-                let meta = Bytes::copy_from_slice(&a.meta);
-                let mut m = Member::new(a.node.clone(), a.addr, a.incarnation, now);
+                let meta = Bytes::copy_from_slice(meta);
+                let name = node.clone();
+                let mut m = Member::new(name.clone(), addr, incarnation, now);
                 m.meta = meta.clone();
                 self.membership.upsert(m);
-                self.probe_list.insert(a.node.clone(), &mut self.rng);
+                self.probe_list.insert(name.clone(), &mut self.rng);
                 self.broadcasts.enqueue(Message::Alive(Alive {
-                    incarnation: a.incarnation,
-                    node: a.node.clone(),
-                    addr: a.addr,
+                    incarnation,
+                    node: name.clone(),
+                    addr,
                     meta,
                 }));
-                out.push(Output::Event(Event::MemberJoined { name: a.node }));
+                self.emit_event(Event::MemberJoined { name });
             }
             Some(member) => {
                 // An alive message only overrides suspect/dead at a
                 // strictly higher incarnation (SWIM §4.2).
-                if a.incarnation <= member.incarnation {
+                if incarnation <= member.incarnation {
                     return;
                 }
                 let old_state = member.state;
-                let meta = Bytes::copy_from_slice(&a.meta);
-                let updated = self.membership.update(&a.node, |m| {
-                    m.incarnation = a.incarnation;
-                    m.addr = a.addr;
+                // Reuse the stored name/meta instead of cloning the
+                // (possibly packet-aliasing) decoded ones.
+                let name = member.name.clone();
+                let meta = if member.meta.as_ref() == meta.as_ref() {
+                    member.meta.clone()
+                } else {
+                    Bytes::copy_from_slice(meta)
+                };
+                let updated = self.membership.update(&name, |m| {
+                    m.incarnation = incarnation;
+                    m.addr = addr;
                     m.meta = meta.clone();
                     m.set_state(MemberState::Alive, now);
                 });
                 debug_assert!(updated.is_some(), "member present");
-                if let Some(active) = self.suspicions.remove(&a.node) {
+                if let Some(active) = self.suspicions.remove(&name) {
                     // Refuted: the pending expiry is truly cancelled.
                     self.timers.cancel(active.timer);
                 }
                 self.broadcasts.enqueue(Message::Alive(Alive {
-                    incarnation: a.incarnation,
-                    node: a.node.clone(),
-                    addr: a.addr,
+                    incarnation,
+                    node: name.clone(),
+                    addr,
                     meta,
                 }));
                 match old_state {
                     MemberState::Suspect | MemberState::Dead => {
-                        out.push(Output::Event(Event::MemberRecovered { name: a.node }));
+                        self.emit_event(Event::MemberRecovered { name });
                     }
                     MemberState::Left => {
-                        out.push(Output::Event(Event::MemberJoined { name: a.node }));
+                        self.emit_event(Event::MemberJoined { name });
                     }
                     MemberState::Alive => {}
                 }
@@ -805,10 +952,10 @@ impl SwimNode {
         }
     }
 
-    fn handle_dead(&mut self, d: Dead, now: Time, out: &mut Vec<Output>) {
+    fn handle_dead(&mut self, d: Dead, now: Time) {
         if d.node == self.name {
             if !self.left {
-                self.refute(d.incarnation, now, out);
+                self.refute(d.incarnation, now);
             }
             return;
         }
@@ -839,13 +986,13 @@ impl SwimNode {
         }
         self.broadcasts.enqueue(Message::Dead(d.clone()));
         if is_leave {
-            out.push(Output::Event(Event::MemberLeft { name: d.node }));
+            self.emit_event(Event::MemberLeft { name: d.node });
         } else {
-            out.push(Output::Event(Event::MemberFailed {
+            self.emit_event(Event::MemberFailed {
                 name: d.node,
                 incarnation: d.incarnation,
                 from: d.from,
-            }));
+            });
         }
     }
 
@@ -856,7 +1003,7 @@ impl SwimNode {
     /// Executes one fired timer. `at` is the timer's original deadline
     /// (used to defer it faithfully while I/O is blocked); `now` is the
     /// current wall-clock instant the handlers observe.
-    fn fire(&mut self, at: Time, timer: Timer, now: Time, out: &mut Vec<Output>) {
+    fn fire(&mut self, at: Time, timer: Timer, now: Time) {
         if self.io_blocked {
             match &timer {
                 // The dedicated gossip / push-pull / reconnect loops are
@@ -867,7 +1014,7 @@ impl SwimNode {
                     self.schedule(now + self.config.gossip_interval, Timer::GossipTick);
                     if !self.stuck_gossip && !self.left {
                         self.stuck_gossip = true;
-                        self.gossip_once(now, out);
+                        self.gossip_once(now);
                     }
                     return;
                 }
@@ -877,7 +1024,7 @@ impl SwimNode {
                     }
                     if !self.stuck_push_pull && !self.left {
                         self.stuck_push_pull = true;
-                        self.push_pull_once(out);
+                        self.push_pull_once();
                     }
                     return;
                 }
@@ -887,7 +1034,7 @@ impl SwimNode {
                     }
                     if !self.stuck_reconnect && !self.left {
                         self.stuck_reconnect = true;
-                        self.reconnect_once(out);
+                        self.reconnect_once();
                     }
                     return;
                 }
@@ -910,13 +1057,13 @@ impl SwimNode {
             }
         }
         match timer {
-            Timer::ProbeRound => self.probe_round(now, out),
-            Timer::ProbeTimeout { seq } => self.probe_timeout(seq, now, out),
-            Timer::ProbeRoundEnd { seq } => self.probe_round_end(seq, now, out),
+            Timer::ProbeRound => self.probe_round(now),
+            Timer::ProbeTimeout { seq } => self.probe_timeout(seq, now),
+            Timer::ProbeRoundEnd { seq } => self.probe_round_end(seq, now),
             Timer::GossipTick => {
                 self.schedule(now + self.config.gossip_interval, Timer::GossipTick);
                 if !self.left {
-                    self.gossip_once(now, out);
+                    self.gossip_once(now);
                 }
             }
             Timer::PushPullTick => {
@@ -924,7 +1071,7 @@ impl SwimNode {
                     self.schedule(now + pp, Timer::PushPullTick);
                 }
                 if !self.left {
-                    self.push_pull_once(out);
+                    self.push_pull_once();
                 }
             }
             Timer::Reconnect => {
@@ -932,10 +1079,10 @@ impl SwimNode {
                     self.schedule(now + rc, Timer::Reconnect);
                 }
                 if !self.left {
-                    self.reconnect_once(out);
+                    self.reconnect_once();
                 }
             }
-            Timer::SuspicionCheck { node } => self.suspicion_check(node, now, out),
+            Timer::SuspicionCheck { node } => self.suspicion_check(node, now),
             Timer::RelayNack { seq } => {
                 // An ack (or the relay's expiry) cancels this timer, so a
                 // fire always means the target is still silent — no
@@ -949,7 +1096,7 @@ impl SwimNode {
                         seq: relay.origin_seq,
                     });
                     let to = relay.origin_addr;
-                    self.send_packet(to, vec![msg], None, now, out);
+                    self.send_packet(to, &msg, None, now);
                 }
             }
             Timer::RelayExpire { seq } => {
@@ -982,7 +1129,7 @@ impl SwimNode {
     }
 
     /// Starts one failure-detector round (SWIM's protocol period).
-    fn probe_round(&mut self, now: Time, out: &mut Vec<Output>) {
+    fn probe_round(&mut self, now: Time) {
         // LHA-Probe: the period itself is scaled by LHM+1 (paper §IV-A).
         let interval = self.awareness.scale(self.config.probe_interval);
         self.schedule(now + interval, Timer::ProbeRound);
@@ -1018,7 +1165,7 @@ impl SwimNode {
             source_addr: self.addr,
         });
         self.stats.probes_sent += 1;
-        self.send_packet(target_addr, vec![ping], Some(&target), now, out);
+        self.send_packet(target_addr, &ping, Some(&target), now);
         let timeout = self.awareness.scale(self.config.probe_timeout);
         let timeout_timer = self.schedule(now + timeout, Timer::ProbeTimeout { seq });
         let round_end_timer = self.schedule(now + interval, Timer::ProbeRoundEnd { seq });
@@ -1036,7 +1183,7 @@ impl SwimNode {
 
     /// Direct probe timed out: launch indirect probes and the stream
     /// fallback.
-    fn probe_timeout(&mut self, seq: SeqNo, now: Time, out: &mut Vec<Output>) {
+    fn probe_timeout(&mut self, seq: SeqNo, now: Time) {
         // Generation-keyed cancellation (a timely ack unschedules this
         // timer) makes a stale fire impossible; assert instead of guard.
         let Some(p) = &self.probe else {
@@ -1048,21 +1195,27 @@ impl SwimNode {
         let target_addr = p.target_addr;
         let k = self.config.indirect_checks;
         let nack = self.config.nack_enabled();
-        // O(k) draw from the live pool: the filter only rejects self and
-        // the probe target, so expected inspections stay ~k even at 10k
-        // members.
-        let me = &self.name;
-        let peers: Vec<NodeAddr> = self
-            .membership
-            .sample_pool(SamplePool::Live, k, &mut self.rng, |m| {
-                m.name != *me && m.name != target
-            })
-            .into_iter()
-            .map(|m| m.addr)
-            .collect();
-        let sent = peers.len() as u32;
+        // O(k) draw from the live pool into the reusable address buffer:
+        // the filter only rejects self and the probe target, so expected
+        // inspections stay ~k even at 10k members, and nothing is
+        // allocated in steady state.
+        self.addr_scratch.clear();
+        {
+            let me = &self.name;
+            let tgt = &target;
+            let scratch = &mut self.addr_scratch;
+            self.membership.sample_pool_with(
+                SamplePool::Live,
+                k,
+                &mut self.rng,
+                |m| m.name != *me && m.name != *tgt,
+                |m| scratch.push(m.addr),
+            );
+        }
+        let sent = self.addr_scratch.len() as u32;
         self.stats.indirect_probes_sent += sent as u64;
-        for &peer_addr in &peers {
+        for i in 0..sent as usize {
+            let peer_addr = self.addr_scratch[i];
             let req = Message::IndirectPing(IndirectPing {
                 seq,
                 target: target.clone(),
@@ -1071,26 +1224,26 @@ impl SwimNode {
                 source: self.name.clone(),
                 source_addr: self.addr,
             });
-            self.send_packet(peer_addr, vec![req], None, now, out);
+            self.send_packet(peer_addr, &req, None, now);
         }
         if let Some(p) = &mut self.probe {
             p.expected_nacks = if nack { sent } else { 0 };
         }
         if self.config.stream_fallback_probe {
-            out.push(Output::Stream {
-                to: target_addr,
-                msg: Message::Ping(Ping {
+            self.emit_stream(
+                target_addr,
+                Message::Ping(Ping {
                     seq,
                     target,
                     source: self.name.clone(),
                     source_addr: self.addr,
                 }),
-            });
+            );
         }
     }
 
     /// End of the protocol period: settle the probe result.
-    fn probe_round_end(&mut self, seq: SeqNo, now: Time, out: &mut Vec<Output>) {
+    fn probe_round_end(&mut self, seq: SeqNo, now: Time) {
         let Some(p) = &self.probe else {
             debug_assert!(false, "probe round end fired with no probe in flight");
             return;
@@ -1121,15 +1274,8 @@ impl SwimNode {
         // Routed through the same path as gossiped suspicions: if the
         // target is already suspect, our failed probe is an independent
         // confirmation (and is re-gossiped under LHA-Suspicion).
-        self.suspect_node(
-            Suspect {
-                incarnation,
-                node: p.target,
-                from: self.name.clone(),
-            },
-            now,
-            out,
-        );
+        let me = self.name.clone();
+        self.apply_suspect(incarnation, &p.target, &me, now);
     }
 
     /// The suspicion deadline was reached: declare the failure.
@@ -1138,7 +1284,7 @@ impl SwimNode {
     /// and refutations cancel it, so — unlike the old lazy-heap design —
     /// a fire here always means the *current* deadline truly expired;
     /// there is no re-arm path and no fire-time staleness check.
-    fn suspicion_check(&mut self, node: NodeName, now: Time, out: &mut Vec<Output>) {
+    fn suspicion_check(&mut self, node: NodeName, now: Time) {
         let Some(active) = self.suspicions.remove(&node) else {
             debug_assert!(false, "stale suspicion timer reached its handler");
             return;
@@ -1169,11 +1315,11 @@ impl SwimNode {
             from: self.name.clone(),
         };
         self.broadcasts.enqueue(Message::Dead(dead));
-        out.push(Output::Event(Event::MemberFailed {
+        self.emit_event(Event::MemberFailed {
             name: node,
             incarnation,
             from: self.name.clone(),
-        }));
+        });
     }
 
     // ------------------------------------------------------------------
@@ -1181,21 +1327,24 @@ impl SwimNode {
     // ------------------------------------------------------------------
 
     /// Marks `node` suspect and arms the (possibly dynamic) suspicion
-    /// timer. `from` is the accuser (ourselves on probe failure).
+    /// timer. `from` is the accuser (ourselves on probe failure). The
+    /// names are cloned here — reference-count bumps, the suspicion
+    /// state and the gossip message need owned handles.
     fn start_suspicion(
         &mut self,
-        node: NodeName,
+        node: &NodeName,
         incarnation: Incarnation,
-        from: NodeName,
+        from: &NodeName,
         now: Time,
-        out: &mut Vec<Output>,
     ) {
-        let Some(member) = self.membership.get(&node) else {
+        let Some(member) = self.membership.get(node) else {
             return;
         };
         if !matches!(member.state, MemberState::Alive) {
             return;
         }
+        let node = member.name.clone();
+        let from = from.clone();
         let n = self.membership.live_count();
         let min = self.config.suspicion_min(n);
         let max = self.config.suspicion_max(n);
@@ -1214,13 +1363,13 @@ impl SwimNode {
             node: node.clone(),
             from: from.clone(),
         }));
-        out.push(Output::Event(Event::MemberSuspected { name: node, from }));
+        self.emit_event(Event::MemberSuspected { name: node, from });
     }
 
     /// Refutes a suspicion (or death declaration) about ourselves by
     /// taking a higher incarnation and gossiping it. Feeds the LHM (+1):
     /// being suspected means we were too slow to answer probes.
-    fn refute(&mut self, accused_incarnation: Incarnation, now: Time, out: &mut Vec<Output>) {
+    fn refute(&mut self, accused_incarnation: Incarnation, now: Time) {
         if accused_incarnation < self.incarnation {
             // Old news: our current incarnation already supersedes it,
             // but re-gossip our aliveness to speed convergence.
@@ -1241,9 +1390,9 @@ impl SwimNode {
             addr: self.addr,
             meta: self.meta.clone(),
         }));
-        out.push(Output::Event(Event::SelfRefuted {
+        self.emit_event(Event::SelfRefuted {
             incarnation: self.incarnation,
-        }));
+        });
     }
 
     // ------------------------------------------------------------------
@@ -1252,77 +1401,91 @@ impl SwimNode {
 
     /// One dedicated gossip tick: send queued broadcasts to up to
     /// `gossip_nodes` random live (or recently dead) members.
-    fn gossip_once(&mut self, now: Time, out: &mut Vec<Output>) {
+    /// Allocation-free in steady state: targets land in the reusable
+    /// address buffer and packets in the scratch arena.
+    fn gossip_once(&mut self, now: Time) {
         if self.broadcasts.is_empty() {
             return;
         }
-        let me = &self.name;
-        let dead_window = self.config.gossip_to_the_dead;
-        let targets: Vec<NodeAddr> = self
-            .membership
-            .sample(self.config.gossip_nodes, &mut self.rng, |m| {
-                m.name != *me
-                    && (m.is_live()
-                        || (matches!(m.state, MemberState::Dead | MemberState::Left)
-                            && now.saturating_since(m.state_change) <= dead_window))
-            })
-            .into_iter()
-            .map(|m| m.addr)
-            .collect();
+        self.addr_scratch.clear();
+        {
+            let me = &self.name;
+            let dead_window = self.config.gossip_to_the_dead;
+            let scratch = &mut self.addr_scratch;
+            self.membership.sample_pool_with(
+                SamplePool::All,
+                self.config.gossip_nodes,
+                &mut self.rng,
+                |m| {
+                    m.name != *me
+                        && (m.is_live()
+                            || (matches!(m.state, MemberState::Dead | MemberState::Left)
+                                && now.saturating_since(m.state_change) <= dead_window))
+                },
+                |m| scratch.push(m.addr),
+            );
+        }
         let limit = self.config.retransmit_limit(self.membership.live_count());
-        for to in targets {
-            let mut builder = CompoundBuilder::new(self.config.packet_budget);
-            self.broadcasts.fill(&mut builder, limit, None);
-            if let Some(payload) = builder.finish() {
-                out.push(Output::Packet { to, payload });
+        for i in 0..self.addr_scratch.len() {
+            let to = self.addr_scratch[i];
+            self.builder.reset(self.config.packet_budget);
+            self.broadcasts.fill(&mut self.builder, limit, None);
+            if let Some(range) = self.builder.finish_into(&mut self.scratch) {
+                self.pending.push_back(Queued::Packet { to, range });
             }
         }
     }
 
     /// One anti-entropy exchange with a random alive peer.
-    fn push_pull_once(&mut self, out: &mut Vec<Output>) {
-        let me = &self.name;
-        let peer = self
-            .membership
-            .sample_pool(SamplePool::Live, 1, &mut self.rng, |m| {
-                m.name != *me && m.state == MemberState::Alive
-            })
-            .first()
-            .map(|m| m.addr);
+    fn push_pull_once(&mut self) {
+        let mut peer = None;
+        {
+            let me = &self.name;
+            self.membership.sample_pool_with(
+                SamplePool::Live,
+                1,
+                &mut self.rng,
+                |m| m.name != *me && m.state == MemberState::Alive,
+                |m| peer = Some(m.addr),
+            );
+        }
         let Some(to) = peer else { return };
         let states = self.membership.iter().map(Member::to_push_state).collect();
-        out.push(Output::Stream {
+        self.emit_stream(
             to,
-            msg: Message::PushPull(PushPull {
+            Message::PushPull(PushPull {
                 join: false,
                 reply: false,
                 states,
             }),
-        });
+        );
     }
 
     /// One Serf-style reconnect attempt: push-pull with a random member
     /// believed dead, so partitioned sub-groups re-merge automatically
     /// once connectivity is restored.
-    fn reconnect_once(&mut self, out: &mut Vec<Output>) {
-        let me = &self.name;
-        let peer = self
-            .membership
-            .sample_pool(SamplePool::Gone, 1, &mut self.rng, |m| {
-                m.name != *me && m.state == MemberState::Dead
-            })
-            .first()
-            .map(|m| m.addr);
+    fn reconnect_once(&mut self) {
+        let mut peer = None;
+        {
+            let me = &self.name;
+            self.membership.sample_pool_with(
+                SamplePool::Gone,
+                1,
+                &mut self.rng,
+                |m| m.name != *me && m.state == MemberState::Dead,
+                |m| peer = Some(m.addr),
+            );
+        }
         let Some(to) = peer else { return };
         let states = self.membership.iter().map(Member::to_push_state).collect();
-        out.push(Output::Stream {
+        self.emit_stream(
             to,
-            msg: Message::PushPull(PushPull {
+            Message::PushPull(PushPull {
                 join: false,
                 reply: false,
                 states,
             }),
-        });
+        );
     }
 
     /// Merges a remote membership table (push-pull). Remote `dead` claims
@@ -1335,77 +1498,36 @@ impl SwimNode {
     /// supersedes) is dropped *before* any name/meta clone or message
     /// construction. In steady-state anti-entropy almost every entry is
     /// such a no-op, so the merge allocates only for actual changes.
-    fn merge_remote_state(
-        &mut self,
-        states: &[lifeguard_proto::PushNodeState],
-        now: Time,
-        out: &mut Vec<Output>,
-    ) {
+    fn merge_remote_state(&mut self, states: &[lifeguard_proto::PushNodeState], now: Time) {
         for st in states {
             match st.state {
                 MemberState::Alive => {
-                    // `handle_alive` ignores alives at or below the known
-                    // incarnation; decide that from the borrowed entry.
-                    if st.name == self.name {
-                        continue;
-                    }
-                    if let Some(member) = self.membership.get(&st.name) {
-                        if st.incarnation <= member.incarnation {
-                            continue;
-                        }
-                    }
-                    let alive = Alive {
-                        incarnation: st.incarnation,
-                        node: st.name.clone(),
-                        addr: st.addr,
-                        meta: st.meta.clone(),
-                    };
-                    self.handle_alive(alive, now, out);
+                    // The borrowed alive path drops stale entries and
+                    // reuses stored names/metas for accepted updates to
+                    // known members; only genuinely new members allocate.
+                    self.apply_alive(st.incarnation, &st.name, st.addr, &st.meta, now);
                 }
                 MemberState::Suspect | MemberState::Dead => {
                     if st.name == self.name {
-                        self.refute(st.incarnation, now, out);
+                        self.refute(st.incarnation, now);
                         continue;
                     }
-                    match self.membership.get(&st.name) {
-                        // A suspicion below the known incarnation, or
-                        // about a member already dead/left, is a no-op
-                        // in `suspect_node`: drop it borrowed.
-                        Some(member)
-                            if st.incarnation < member.incarnation
-                                || matches!(
-                                    member.state,
-                                    MemberState::Dead | MemberState::Left
-                                ) =>
-                        {
-                            continue;
-                        }
-                        Some(_) => {}
-                        // Learn the member first if unknown (a suspect
-                        // entry still carries a usable address).
-                        None => {
-                            let alive = Alive {
-                                incarnation: st.incarnation,
-                                node: st.name.clone(),
-                                addr: st.addr,
-                                meta: st.meta.clone(),
-                            };
-                            self.handle_alive(alive, now, out);
-                        }
+                    // Learn the member first if unknown (a suspect entry
+                    // still carries a usable address); the borrowed
+                    // suspect path then drops stale/superseded
+                    // suspicions without cloning anything.
+                    if self.membership.get(&st.name).is_none() {
+                        self.apply_alive(st.incarnation, &st.name, st.addr, &st.meta, now);
                     }
-                    let suspect = Suspect {
-                        incarnation: st.incarnation,
-                        node: st.name.clone(),
-                        from: self.name.clone(),
-                    };
-                    self.handle_suspect(suspect, now, out);
+                    let me = self.name.clone();
+                    self.apply_suspect(st.incarnation, &st.name, &me, now);
                 }
                 MemberState::Left => {
                     // A leave claim about ourselves is refuted exactly as
                     // `handle_dead` would.
                     if st.name == self.name {
                         if !self.left {
-                            self.refute(st.incarnation, now, out);
+                            self.refute(st.incarnation, now);
                         }
                         continue;
                     }
@@ -1429,7 +1551,7 @@ impl SwimNode {
                         node: st.name.clone(),
                         from: st.name.clone(),
                     };
-                    self.handle_dead(dead, now, out);
+                    self.handle_dead(dead, now);
                 }
             }
         }
@@ -1439,25 +1561,24 @@ impl SwimNode {
     // Send helpers
     // ------------------------------------------------------------------
 
-    /// Builds and emits one datagram: the primary messages plus gossip
-    /// piggyback. `ping_target` enables the Buddy System hook: when set
-    /// and the target is suspected, the suspect message about it is
+    /// Builds and queues one datagram: the primary message plus gossip
+    /// piggyback, encoded by the node's reusable builder straight into
+    /// the scratch arena — no allocation per packet in steady state.
+    /// `ping_target` enables the Buddy System hook: when set and the
+    /// target is suspected, the suspect message about it is
     /// force-included first (paper §IV-C).
     fn send_packet(
         &mut self,
         to: NodeAddr,
-        primary: Vec<Message>,
+        primary: &Message,
         ping_target: Option<&NodeName>,
         _now: Time,
-        out: &mut Vec<Output>,
     ) {
-        let mut builder = CompoundBuilder::new(self.config.packet_budget);
-        for msg in &primary {
-            // Encoded straight into the packet buffer: no per-message
-            // allocation on the assembly path.
-            let added = builder.try_add_msg(msg);
-            debug_assert!(added, "primary message must fit");
-        }
+        self.builder.reset(self.config.packet_budget);
+        // Encoded straight into the packet buffer: no per-message
+        // allocation on the assembly path.
+        let added = self.builder.try_add_msg(primary);
+        debug_assert!(added, "primary message must fit");
         let mut exclude = None;
         if let Some(target) = ping_target {
             if self.config.lifeguard.buddy_system {
@@ -1467,16 +1588,24 @@ impl SwimNode {
                         node: target.clone(),
                         from: self.name.clone(),
                     });
-                    builder.try_add_msg(&suspect);
+                    self.builder.try_add_msg(&suspect);
                     exclude = Some(target.clone());
                 }
             }
         }
         let limit = self.config.retransmit_limit(self.membership.live_count());
-        self.broadcasts.fill(&mut builder, limit, exclude.as_ref());
-        if let Some(payload) = builder.finish() {
-            out.push(Output::Packet { to, payload });
+        self.broadcasts.fill(&mut self.builder, limit, exclude.as_ref());
+        if let Some(range) = self.builder.finish_into(&mut self.scratch) {
+            self.pending.push_back(Queued::Packet { to, range });
         }
+    }
+
+    fn emit_stream(&mut self, to: NodeAddr, msg: Message) {
+        self.pending.push_back(Queued::Stream { to, msg });
+    }
+
+    fn emit_event(&mut self, event: Event) {
+        self.pending.push_back(Queued::Event(event));
     }
 
     fn next_seq(&mut self) -> SeqNo {
@@ -1504,6 +1633,8 @@ impl SwimNode {
 mod tests {
     use super::*;
     use crate::config::LifeguardConfig;
+    use crate::driver::OwnedOutput;
+    use lifeguard_proto::codec;
     use std::time::Duration;
 
     fn addr(i: u8) -> NodeAddr {
@@ -1516,9 +1647,51 @@ mod tests {
         n
     }
 
+    /// Drains the node's output queue into owned outputs.
+    fn drain(n: &mut SwimNode) -> Vec<OwnedOutput> {
+        let mut out = Vec::new();
+        while let Some(o) = n.poll_output() {
+            out.push(OwnedOutput::from(o));
+        }
+        out
+    }
+
+    /// Delivers one message as a (real, encoded) datagram and drains the
+    /// effects.
+    fn feed(n: &mut SwimNode, from: NodeAddr, msg: Message, now: Time) -> Vec<OwnedOutput> {
+        n.handle_input(
+            Input::Datagram {
+                from,
+                payload: codec::encode_message(&msg),
+            },
+            now,
+        )
+        .expect("well-formed test message");
+        drain(n)
+    }
+
+    /// Delivers one stream message and drains the effects.
+    fn feed_stream(
+        n: &mut SwimNode,
+        from: NodeAddr,
+        msg: Message,
+        now: Time,
+    ) -> Vec<OwnedOutput> {
+        n.handle_input(Input::Stream { from, msg }, now)
+            .expect("stream input is infallible");
+        drain(n)
+    }
+
+    /// Fires timers due at `now` and drains the effects.
+    fn tick(n: &mut SwimNode, now: Time) -> Vec<OwnedOutput> {
+        n.handle_input(Input::Tick, now).expect("tick is infallible");
+        drain(n)
+    }
+
     /// Registers `name` as an alive peer via an alive message.
     fn add_peer(n: &mut SwimNode, name: &str, i: u8, now: Time) {
-        let outputs = n.handle_message_in(
+        let outputs = feed(
+            n,
             addr(i),
             Message::Alive(Alive {
                 incarnation: Incarnation(1),
@@ -1530,24 +1703,24 @@ mod tests {
         );
         assert!(outputs
             .iter()
-            .any(|o| matches!(o, Output::Event(Event::MemberJoined { .. }))));
+            .any(|o| matches!(o, OwnedOutput::Event(Event::MemberJoined { .. }))));
     }
 
-    fn events(outputs: &[Output]) -> Vec<&Event> {
+    fn events(outputs: &[OwnedOutput]) -> Vec<&Event> {
         outputs
             .iter()
             .filter_map(|o| match o {
-                Output::Event(e) => Some(e),
+                OwnedOutput::Event(e) => Some(e),
                 _ => None,
             })
             .collect()
     }
 
-    fn packets(outputs: &[Output]) -> Vec<(NodeAddr, Vec<Message>)> {
+    fn packets(outputs: &[OwnedOutput]) -> Vec<(NodeAddr, Vec<Message>)> {
         outputs
             .iter()
             .filter_map(|o| match o {
-                Output::Packet { to, payload } => {
+                OwnedOutput::Packet { to, payload } => {
                     Some((*to, compound::decode_packet(payload).unwrap()))
                 }
                 _ => None,
@@ -1556,13 +1729,13 @@ mod tests {
     }
 
     /// Runs the node's timers up to `until`, collecting outputs.
-    fn run_until(n: &mut SwimNode, until: Time) -> Vec<Output> {
+    fn run_until(n: &mut SwimNode, until: Time) -> Vec<OwnedOutput> {
         let mut out = Vec::new();
         while let Some(wake) = n.next_wake() {
             if wake > until {
                 break;
             }
-            out.extend(n.tick(wake));
+            out.extend(tick(n, wake));
         }
         out
     }
@@ -1585,7 +1758,7 @@ mod tests {
     #[test]
     fn ping_is_acked_to_source() {
         let mut n = node(Config::lan());
-        let out = n.handle_message_in(
+        let out = feed(&mut n, 
             addr(2),
             Message::Ping(Ping {
                 seq: SeqNo(7),
@@ -1604,7 +1777,7 @@ mod tests {
     #[test]
     fn misaddressed_ping_is_dropped() {
         let mut n = node(Config::lan());
-        let out = n.handle_message_in(
+        let out = feed(&mut n, 
             addr(2),
             Message::Ping(Ping {
                 seq: SeqNo(7),
@@ -1633,7 +1806,7 @@ mod tests {
     fn stale_alive_does_not_override_suspect() {
         let mut n = node(Config::lan());
         add_peer(&mut n, "p", 2, Time::from_secs(1));
-        let out = n.handle_message_in(
+        let out = feed(&mut n, 
             addr(3),
             Message::Suspect(Suspect {
                 incarnation: Incarnation(1),
@@ -1648,7 +1821,7 @@ mod tests {
         assert_eq!(n.member(&"p".into()).unwrap().state, MemberState::Suspect);
 
         // Alive at the same incarnation must NOT clear the suspicion.
-        let out = n.handle_message_in(
+        let out = feed(&mut n, 
             addr(2),
             Message::Alive(Alive {
                 incarnation: Incarnation(1),
@@ -1662,7 +1835,7 @@ mod tests {
         assert_eq!(n.member(&"p".into()).unwrap().state, MemberState::Suspect);
 
         // Alive at a higher incarnation refutes it.
-        let out = n.handle_message_in(
+        let out = feed(&mut n, 
             addr(2),
             Message::Alive(Alive {
                 incarnation: Incarnation(2),
@@ -1682,7 +1855,7 @@ mod tests {
     fn suspect_about_self_is_refuted() {
         let mut n = node(Config::lan().lifeguard());
         let health_before = n.local_health();
-        let out = n.handle_message_in(
+        let out = feed(&mut n, 
             addr(2),
             Message::Suspect(Suspect {
                 incarnation: Incarnation::ZERO,
@@ -1704,7 +1877,7 @@ mod tests {
     #[test]
     fn dead_about_self_is_refuted() {
         let mut n = node(Config::lan());
-        let out = n.handle_message_in(
+        let out = feed(&mut n, 
             addr(2),
             Message::Dead(Dead {
                 incarnation: Incarnation(3),
@@ -1723,7 +1896,7 @@ mod tests {
     fn suspicion_expires_to_dead_with_fixed_swim_timeout() {
         let mut n = node(Config::lan()); // SWIM: α=5, β(eff)=1
         add_peer(&mut n, "p", 2, Time::from_secs(1));
-        n.handle_message_in(
+        feed(&mut n, 
             addr(3),
             Message::Suspect(Suspect {
                 incarnation: Incarnation(1),
@@ -1749,7 +1922,7 @@ mod tests {
             add_peer(&mut n, name, i as u8 + 2, Time::from_secs(1));
         }
         let t0 = Time::from_secs(2);
-        n.handle_message_in(
+        feed(&mut n, 
             addr(9),
             Message::Suspect(Suspect {
                 incarnation: Incarnation(1),
@@ -1767,7 +1940,7 @@ mod tests {
         // Three independent confirmations drive the deadline to min,
         // which has already passed → immediate failure on next tick.
         for from in ["b", "c", "local-other"] {
-            n.handle_message_in(
+            feed(&mut n, 
                 addr(9),
                 Message::Suspect(Suspect {
                     incarnation: Incarnation(1),
@@ -1785,7 +1958,7 @@ mod tests {
     fn independent_suspicions_are_regossiped_at_most_k_times() {
         let mut n = node(Config::lan().lifeguard());
         add_peer(&mut n, "p", 2, Time::from_secs(1));
-        n.handle_message_in(
+        feed(&mut n, 
             addr(3),
             Message::Suspect(Suspect {
                 incarnation: Incarnation(1),
@@ -1798,7 +1971,7 @@ mod tests {
         let mut regossiped = 0;
         for from in ["b", "c", "d", "e", "f"] {
             let before = n.pending_broadcasts();
-            n.handle_message_in(
+            feed(&mut n, 
                 addr(3),
                 Message::Suspect(Suspect {
                     incarnation: Incarnation(1),
@@ -1839,7 +2012,7 @@ mod tests {
         let mut n = node(Config::lan().lifeguard());
         add_peer(&mut n, "p", 2, Time::from_secs(1));
         // Push LHM up first.
-        n.handle_message_in(
+        feed(&mut n, 
             addr(2),
             Message::Suspect(Suspect {
                 incarnation: Incarnation::ZERO,
@@ -1855,12 +2028,12 @@ mod tests {
         let mut acked = false;
         for _ in 0..50 {
             let wake = n.next_wake().unwrap();
-            let out = n.tick(wake);
+            let out = tick(&mut n, wake);
             for (to, msgs) in packets(&out) {
                 for m in msgs {
                     if let Message::Ping(p) = m {
                         assert_eq!(to, addr(2));
-                        n.handle_message_in(
+                        feed(&mut n, 
                             addr(2),
                             Message::Ack(Ack { seq: p.seq }),
                             wake + Duration::from_millis(1),
@@ -1881,7 +2054,7 @@ mod tests {
     fn indirect_ping_is_relayed_and_ack_forwarded() {
         let mut n = node(Config::lan());
         add_peer(&mut n, "target", 3, Time::from_secs(1));
-        let out = n.handle_message_in(
+        let out = feed(&mut n, 
             addr(2),
             Message::IndirectPing(IndirectPing {
                 seq: SeqNo(99),
@@ -1906,7 +2079,7 @@ mod tests {
 
         // Target acks → the ack is forwarded to the origin with the
         // origin's sequence number.
-        let out = n.handle_message_in(
+        let out = feed(&mut n, 
             addr(3),
             Message::Ack(Ack { seq: relayed_seq }),
             Time::from_secs(1) + Duration::from_millis(10),
@@ -1921,7 +2094,7 @@ mod tests {
     fn relay_sends_nack_at_deadline_when_target_silent() {
         let mut n = node(Config::lan());
         add_peer(&mut n, "target", 3, Time::from_secs(1));
-        n.handle_message_in(
+        feed(&mut n, 
             addr(2),
             Message::IndirectPing(IndirectPing {
                 seq: SeqNo(99),
@@ -1948,7 +2121,8 @@ mod tests {
     fn leave_broadcasts_self_signed_dead() {
         let mut n = node(Config::lan());
         add_peer(&mut n, "p", 2, Time::from_secs(1));
-        let out = n.leave(Time::from_secs(2));
+        n.handle_input(Input::Leave, Time::from_secs(2)).unwrap();
+        let out = drain(&mut n);
         assert!(n.has_left());
         let mut saw_leave = false;
         for (_, msgs) in packets(&out) {
@@ -1966,7 +2140,7 @@ mod tests {
     fn peer_leave_emits_member_left() {
         let mut n = node(Config::lan());
         add_peer(&mut n, "p", 2, Time::from_secs(1));
-        let out = n.handle_message_in(
+        let out = feed(&mut n, 
             addr(2),
             Message::Dead(Dead {
                 incarnation: Incarnation(1),
@@ -1993,7 +2167,8 @@ mod tests {
                 meta: Bytes::new(),
             },
         ];
-        let out = n.handle_stream(
+        let out = feed_stream(
+            &mut n,
             addr(2),
             Message::PushPull(PushPull {
                 join: true,
@@ -2007,13 +2182,14 @@ mod tests {
         // And the exchange is answered.
         assert!(out
             .iter()
-            .any(|o| matches!(o, Output::Stream { msg: Message::PushPull(pp), .. } if pp.reply)));
+            .any(|o| matches!(o, OwnedOutput::Stream { msg: Message::PushPull(pp), .. } if pp.reply)));
     }
 
     #[test]
     fn stream_ping_gets_stream_ack() {
         let mut n = node(Config::lan());
-        let out = n.handle_stream(
+        let out = feed_stream(
+            &mut n,
             addr(2),
             Message::Ping(Ping {
                 seq: SeqNo(5),
@@ -2025,7 +2201,7 @@ mod tests {
         );
         assert!(matches!(
             &out[0],
-            Output::Stream { msg: Message::Ack(a), .. } if a.seq == SeqNo(5)
+            OwnedOutput::Stream { msg: Message::Ack(a), .. } if a.seq == SeqNo(5)
         ));
     }
 
@@ -2035,7 +2211,7 @@ mod tests {
         cfg.lifeguard = LifeguardConfig::buddy_system_only();
         let mut n = node(cfg);
         add_peer(&mut n, "p", 2, Time::from_secs(1));
-        n.handle_message_in(
+        feed(&mut n, 
             addr(3),
             Message::Suspect(Suspect {
                 incarnation: Incarnation(1),
@@ -2048,7 +2224,7 @@ mod tests {
         // could possibly attach the suspicion.
         while n.pending_broadcasts() > 0 {
             let wake = n.next_wake().unwrap();
-            n.tick(wake);
+            tick(&mut n, wake);
         }
         // Probe rounds target "p" (the only peer): the ping must carry
         // the suspect message about "p".
@@ -2058,7 +2234,7 @@ mod tests {
             if wake > Time::from_secs(60) {
                 break;
             }
-            let out = n.tick(wake);
+            let out = tick(&mut n, wake);
             for (to, msgs) in packets(&out) {
                 let has_ping = msgs.iter().any(
                     |m| matches!(m, Message::Ping(p) if p.target.as_str() == "p"),
@@ -2085,18 +2261,116 @@ mod tests {
     #[test]
     fn join_sends_push_pull_to_seeds() {
         let mut n = node(Config::lan());
-        let out = n.join(&[addr(5), addr(1)], Time::ZERO);
+        n.handle_input(
+            Input::Join {
+                seeds: vec![addr(5), addr(1)],
+            },
+            Time::ZERO,
+        )
+        .unwrap();
+        let out = drain(&mut n);
         // addr(1) is ourselves and is skipped.
         assert_eq!(out.len(), 1);
         assert!(matches!(
             &out[0],
-            Output::Stream { to, msg: Message::PushPull(pp) } if *to == addr(5) && pp.join && !pp.reply
+            OwnedOutput::Stream { to, msg: Message::PushPull(pp) } if *to == addr(5) && pp.join && !pp.reply
         ));
     }
 
     #[test]
     fn datagram_decode_error_is_propagated() {
         let mut n = node(Config::lan());
-        assert!(n.handle_datagram(addr(2), &[250, 250], Time::ZERO).is_err());
+        assert!(n
+            .handle_input(
+                Input::Datagram {
+                    from: addr(2),
+                    payload: Bytes::copy_from_slice(&[250, 250]),
+                },
+                Time::ZERO,
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let mut cfg = Config::lan();
+        cfg.gossip_nodes = 0;
+        assert_eq!(
+            SwimNode::try_new("x".into(), addr(1), cfg, 1).err(),
+            Some(crate::config::ConfigError::EmptyGossipFanout)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SwimNode config")]
+    fn invalid_config_panics_in_new() {
+        let mut cfg = Config::lan();
+        cfg.probe_interval = Duration::ZERO;
+        let _ = SwimNode::new("x".into(), addr(1), cfg, 1);
+    }
+
+    #[test]
+    fn accepted_alive_for_known_member_reuses_stored_meta() {
+        let mut n = node(Config::lan());
+        let meta = Bytes::from_static(b"role=db");
+        feed(
+            &mut n,
+            addr(2),
+            Message::Alive(Alive {
+                incarnation: Incarnation(1),
+                node: "p".into(),
+                addr: addr(2),
+                meta: meta.clone(),
+            }),
+            Time::from_secs(1),
+        );
+        // Higher incarnation, identical meta: the stored record keeps
+        // its bytes and the state refresh is accepted.
+        feed(
+            &mut n,
+            addr(2),
+            Message::Alive(Alive {
+                incarnation: Incarnation(2),
+                node: "p".into(),
+                addr: addr(2),
+                meta: meta.clone(),
+            }),
+            Time::from_secs(2),
+        );
+        let m = n.member(&"p".into()).unwrap();
+        assert_eq!(m.incarnation, Incarnation(2));
+        assert_eq!(m.meta.as_ref(), b"role=db");
+        // Changed meta is still picked up.
+        feed(
+            &mut n,
+            addr(2),
+            Message::Alive(Alive {
+                incarnation: Incarnation(3),
+                node: "p".into(),
+                addr: addr(2),
+                meta: Bytes::from_static(b"role=web"),
+            }),
+            Time::from_secs(3),
+        );
+        assert_eq!(n.member(&"p".into()).unwrap().meta.as_ref(), b"role=web");
+    }
+
+    #[test]
+    fn poll_output_reclaims_scratch_after_full_drain() {
+        let mut n = node(Config::lan());
+        add_peer(&mut n, "p", 2, Time::from_secs(1));
+        // Produce some packets (gossip ticks), drain fully, repeat: the
+        // scratch arena must not grow without bound.
+        let mut high_water = 0;
+        for s in 2..30u64 {
+            run_until(&mut n, Time::from_secs(s));
+            assert!(!n.has_pending_output());
+            high_water = high_water.max(n.scratch.capacity());
+        }
+        assert_eq!(n.scratch.capacity(), high_water);
+        assert!(
+            high_water <= 16 * n.config().packet_budget,
+            "scratch arena grew unexpectedly: {high_water}"
+        );
     }
 }

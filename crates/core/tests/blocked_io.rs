@@ -1,15 +1,19 @@
 //! Tests of the anomaly (blocked message I/O) semantics of `SwimNode`
 //! (paper §V-D): logic and deadlines keep running, loops execute at most
 //! one blocked iteration, and the stuck probe fails at unblock time.
+//!
+//! Driven entirely through the sans-I/O surface: `Input`s in,
+//! `poll_output` drained after every input.
 
 use std::time::Duration;
 
 use bytes::Bytes;
 use lifeguard_core::config::Config;
+use lifeguard_core::driver::OwnedOutput;
 use lifeguard_core::event::Event;
-use lifeguard_core::node::{Output, SwimNode};
+use lifeguard_core::node::{Input, SwimNode};
 use lifeguard_core::time::Time;
-use lifeguard_proto::{compound, Ack, Alive, Incarnation, Message, NodeAddr, Suspect};
+use lifeguard_proto::{codec, compound, Ack, Alive, Incarnation, Message, NodeAddr, Suspect};
 
 fn addr(i: u8) -> NodeAddr {
     NodeAddr::new([10, 0, 0, i], 7946)
@@ -21,8 +25,40 @@ fn new_node(cfg: Config) -> SwimNode {
     n
 }
 
+fn drain(n: &mut SwimNode) -> Vec<OwnedOutput> {
+    let mut out = Vec::new();
+    while let Some(o) = n.poll_output() {
+        out.push(OwnedOutput::from(o));
+    }
+    out
+}
+
+fn feed(n: &mut SwimNode, from: NodeAddr, msg: Message, now: Time) -> Vec<OwnedOutput> {
+    n.handle_input(
+        Input::Datagram {
+            from,
+            payload: codec::encode_message(&msg),
+        },
+        now,
+    )
+    .expect("well-formed test message");
+    drain(n)
+}
+
+fn tick(n: &mut SwimNode, now: Time) -> Vec<OwnedOutput> {
+    n.handle_input(Input::Tick, now).expect("tick is infallible");
+    drain(n)
+}
+
+fn set_blocked(n: &mut SwimNode, blocked: bool, now: Time) -> Vec<OwnedOutput> {
+    n.handle_input(Input::IoBlocked { blocked }, now)
+        .expect("io-blocked input is infallible");
+    drain(n)
+}
+
 fn add_peer(n: &mut SwimNode, name: &str, i: u8, now: Time) {
-    n.handle_message_in(
+    feed(
+        n,
         addr(i),
         Message::Alive(Alive {
             incarnation: Incarnation(1),
@@ -34,22 +70,22 @@ fn add_peer(n: &mut SwimNode, name: &str, i: u8, now: Time) {
     );
 }
 
-fn run_until(n: &mut SwimNode, until: Time) -> Vec<Output> {
+fn run_until(n: &mut SwimNode, until: Time) -> Vec<OwnedOutput> {
     let mut out = Vec::new();
     while let Some(wake) = n.next_wake() {
         if wake > until {
             break;
         }
-        out.extend(n.tick(wake));
+        out.extend(tick(n, wake));
     }
     out
 }
 
-fn count_pings(outputs: &[Output]) -> usize {
+fn count_pings(outputs: &[OwnedOutput]) -> usize {
     outputs
         .iter()
         .filter_map(|o| match o {
-            Output::Packet { payload, .. } => compound::decode_packet(payload).ok(),
+            OwnedOutput::Packet { payload, .. } => compound::decode_packet(payload).ok(),
             _ => None,
         })
         .flatten()
@@ -66,7 +102,7 @@ fn blocked_probe_loop_sends_at_most_one_ping() {
     run_until(&mut n, Time::from_secs(3));
 
     let t_block = Time::from_secs(3);
-    n.set_io_blocked(true, t_block);
+    set_blocked(&mut n, true, t_block);
     // Over 10 blocked seconds, exactly one probe-round ping may be
     // produced (the stuck one); a healthy loop would have sent ~10.
     let out = run_until(&mut n, t_block + Duration::from_secs(10));
@@ -89,10 +125,10 @@ fn stuck_probe_fails_and_suspects_at_unblock() {
     while !probe_in_flight {
         let wake = n.next_wake().expect("probe timers armed");
         t = wake;
-        probe_in_flight = count_pings(&n.tick(wake)) > 0;
+        probe_in_flight = count_pings(&tick(&mut n, wake)) > 0;
     }
     let t_block = t + Duration::from_millis(1);
-    n.set_io_blocked(true, t_block);
+    set_blocked(&mut n, true, t_block);
     let t_unblock = t_block + Duration::from_secs(8);
     run_until(&mut n, t_unblock);
 
@@ -105,9 +141,9 @@ fn stuck_probe_fails_and_suspects_at_unblock() {
     );
     // ...but unblocking evaluates the stale deadlines: the stuck probe
     // fails and the target is suspected immediately.
-    let out = n.set_io_blocked(false, t_unblock);
+    let out = set_blocked(&mut n, false, t_unblock);
     let suspected = out.iter().any(|o| {
-        matches!(o, Output::Event(Event::MemberSuspected { name, .. }) if name.as_str() == "p")
+        matches!(o, OwnedOutput::Event(Event::MemberSuspected { name, .. }) if name.as_str() == "p")
     });
     assert!(suspected, "stuck probe must fail and suspect at unblock");
 }
@@ -122,8 +158,8 @@ fn stale_ack_is_rejected_after_unblock() {
     while ping_seq.is_none() {
         let wake = n.next_wake().unwrap();
         t = wake;
-        for o in n.tick(wake) {
-            if let Output::Packet { payload, .. } = o {
+        for o in tick(&mut n, wake) {
+            if let OwnedOutput::Packet { payload, .. } = o {
                 for m in compound::decode_packet(&payload).unwrap() {
                     if let Message::Ping(p) = m {
                         ping_seq = Some(p.seq);
@@ -135,12 +171,13 @@ fn stale_ack_is_rejected_after_unblock() {
     // Block right after the ping went out; the ack "arrives" (is
     // queued by the runtime) but is only processed after unblock,
     // long past the round end.
-    n.set_io_blocked(true, t + Duration::from_millis(1));
+    set_blocked(&mut n, true, t + Duration::from_millis(1));
     let t_unblock = t + Duration::from_secs(6);
     run_until(&mut n, t_unblock);
     let health_before = n.local_health();
-    n.set_io_blocked(false, t_unblock);
-    n.handle_message_in(
+    set_blocked(&mut n, false, t_unblock);
+    feed(
+        &mut n,
         addr(2),
         Message::Ack(Ack {
             seq: ping_seq.unwrap(),
@@ -162,7 +199,8 @@ fn suspicion_expiry_fires_during_block() {
     // failures it declared while slow — paper's FP accounting).
     let mut n = new_node(Config::lan());
     add_peer(&mut n, "p", 2, Time::from_secs(1));
-    n.handle_message_in(
+    feed(
+        &mut n,
         addr(3),
         Message::Suspect(Suspect {
             incarnation: Incarnation(1),
@@ -171,12 +209,12 @@ fn suspicion_expiry_fires_during_block() {
         }),
         Time::from_secs(2),
     );
-    n.set_io_blocked(true, Time::from_millis(2500));
+    set_blocked(&mut n, true, Time::from_millis(2500));
     // SWIM timeout for n=2 live is 5 s; run well past it while blocked.
     let out = run_until(&mut n, Time::from_secs(12));
     let failed = out
         .iter()
-        .any(|o| matches!(o, Output::Event(e) if e.is_failure()));
+        .any(|o| matches!(o, OwnedOutput::Event(e) if e.is_failure()));
     assert!(failed, "suspicion expiry must fire during the block");
 }
 
@@ -186,12 +224,12 @@ fn blocked_gossip_tick_runs_once() {
     add_peer(&mut n, "p", 2, Time::from_secs(1));
     // Ensure there is something to gossip.
     assert!(n.pending_broadcasts() > 0);
-    n.set_io_blocked(true, Time::from_millis(1100));
+    set_blocked(&mut n, true, Time::from_millis(1100));
     let out = run_until(&mut n, Time::from_secs(6));
     // Gossip ticks every 200 ms; blocked: only the first sends.
     let gossip_packets = out
         .iter()
-        .filter(|o| matches!(o, Output::Packet { .. }))
+        .filter(|o| matches!(o, OwnedOutput::Packet { .. }))
         .count();
     assert!(
         gossip_packets <= n.config().gossip_nodes + 1,
@@ -215,30 +253,30 @@ fn unblock_refires_deferred_and_armed_timers_in_deadline_order() {
     while !probe_in_flight {
         let wake = n.next_wake().expect("probe timers armed");
         t = wake;
-        probe_in_flight = count_pings(&n.tick(wake)) > 0;
+        probe_in_flight = count_pings(&tick(&mut n, wake)) > 0;
     }
     let t_block = t + Duration::from_millis(1);
-    n.set_io_blocked(true, t_block);
+    set_blocked(&mut n, true, t_block);
     // Tick through the probe timeout and round end: both deferred. The
     // gossip loop keeps re-arming itself (deadlines after the deferred
     // probe deadlines) but is stuck after its one blocked send.
     run_until(&mut n, t_block + Duration::from_secs(2));
     // Unblock well past everything, without any further ticks.
     let t_unblock = t_block + Duration::from_secs(8);
-    let out = n.set_io_blocked(false, t_unblock);
+    let out = set_blocked(&mut n, false, t_unblock);
 
     // The deferred round end (deadline ~t+1 s) fails the probe and
     // suspects "p"...
     let suspected_at = out.iter().position(|o| {
-        matches!(o, Output::Event(Event::MemberSuspected { name, .. }) if name.as_str() == "p")
+        matches!(o, OwnedOutput::Event(Event::MemberSuspected { name, .. }) if name.as_str() == "p")
     });
     let suspected_at = suspected_at.expect("stuck probe must fail and suspect at unblock");
     // ...and the gossip tick armed while blocked (deadline ~t+2.2 s)
     // re-fires *after it, in the same catch-up*, spreading the freshly
     // queued suspect message. The old deferred-only refire produced no
-    // such packet from set_io_blocked at all.
+    // such packet from the unblock input at all.
     let gossiped_suspect = out[suspected_at..].iter().any(|o| match o {
-        Output::Packet { payload, .. } => compound::decode_packet(payload)
+        OwnedOutput::Packet { payload, .. } => compound::decode_packet(payload)
             .unwrap()
             .iter()
             .any(|m| matches!(m, Message::Suspect(s) if s.node.as_str() == "p")),
@@ -251,15 +289,17 @@ fn unblock_refires_deferred_and_armed_timers_in_deadline_order() {
 }
 
 #[test]
-fn deferred_refire_survives_inverted_probe_deadlines() {
-    // Pathological config: the probe timeout lands *after* the round
-    // end. Both deadlines defer while blocked; at unblock the round end
-    // re-fires first (deadline order) and consumes the probe — the
-    // re-injected timeout must be truly cancelled with it, not reach
-    // its handler stale (which would trip the no-stale-fire assertions
-    // in debug builds).
+fn deferred_refire_survives_coinciding_probe_deadlines() {
+    // Edge timing: probe timeout == probe interval (the most extreme
+    // shape Config::validate admits — truly inverted deadlines are now
+    // rejected at construction), so the deferred timeout and round end
+    // share one deadline. Both defer while blocked; at unblock they
+    // re-fire in original order and the round end consumes the probe —
+    // the re-injected sibling timer must be truly cancelled with it,
+    // not reach its handler stale (which would trip the no-stale-fire
+    // assertions in debug builds).
     let mut cfg = Config::lan();
-    cfg.probe_timeout = cfg.probe_interval * 2;
+    cfg.probe_timeout = cfg.probe_interval;
     let mut n = new_node(cfg);
     add_peer(&mut n, "p", 2, Time::from_secs(1));
     let mut t = Time::from_secs(1);
@@ -267,16 +307,16 @@ fn deferred_refire_survives_inverted_probe_deadlines() {
     while !probe_in_flight {
         let wake = n.next_wake().expect("probe timers armed");
         t = wake;
-        probe_in_flight = count_pings(&n.tick(wake)) > 0;
+        probe_in_flight = count_pings(&tick(&mut n, wake)) > 0;
     }
     let t_block = t + Duration::from_millis(1);
-    n.set_io_blocked(true, t_block);
-    // Past both the round end (t+1 s) and the inverted timeout (t+2 s).
+    set_blocked(&mut n, true, t_block);
+    // Past both the round end and the coinciding timeout (t+1 s).
     run_until(&mut n, t_block + Duration::from_secs(3));
-    let out = n.set_io_blocked(false, t_block + Duration::from_secs(8));
+    let out = set_blocked(&mut n, false, t_block + Duration::from_secs(8));
     assert!(
         out.iter().any(|o| {
-            matches!(o, Output::Event(Event::MemberSuspected { name, .. }) if name.as_str() == "p")
+            matches!(o, OwnedOutput::Event(Event::MemberSuspected { name, .. }) if name.as_str() == "p")
         }),
         "stuck probe must still fail and suspect at unblock"
     );
@@ -287,13 +327,13 @@ fn unblock_is_idempotent_and_resets_loops() {
     let mut n = new_node(Config::lan());
     add_peer(&mut n, "p", 2, Time::from_secs(1));
     assert!(!n.is_io_blocked());
-    n.set_io_blocked(true, Time::from_secs(2));
+    set_blocked(&mut n, true, Time::from_secs(2));
     assert!(n.is_io_blocked());
     // Double-block is a no-op.
-    assert!(n.set_io_blocked(true, Time::from_secs(2)).is_empty());
-    n.set_io_blocked(false, Time::from_secs(4));
+    assert!(set_blocked(&mut n, true, Time::from_secs(2)).is_empty());
+    set_blocked(&mut n, false, Time::from_secs(4));
     assert!(!n.is_io_blocked());
-    assert!(n.set_io_blocked(false, Time::from_secs(4)).is_empty());
+    assert!(set_blocked(&mut n, false, Time::from_secs(4)).is_empty());
     // After unblocking, the loops resume: pings flow again.
     let out = run_until(&mut n, Time::from_secs(10));
     assert!(count_pings(&out) >= 2, "probe loop did not resume");

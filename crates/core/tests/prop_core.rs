@@ -426,7 +426,20 @@ mod model_agreement {
 /// declarations, which are sticky).
 mod precedence {
     use super::*;
-    use lifeguard_core::node::SwimNode;
+    use lifeguard_core::node::{Input, SwimNode};
+    use lifeguard_proto::codec;
+
+    fn feed_node(node: &mut SwimNode, from: NodeAddr, msg: Message, now: Time) {
+        node.handle_input(
+            Input::Datagram {
+                from,
+                payload: codec::encode_message(&msg),
+            },
+            now,
+        )
+        .expect("well-formed test message");
+        while node.poll_output().is_some() {}
+    }
 
     fn fresh_node(seed: u64) -> SwimNode {
         let mut node = SwimNode::new(
@@ -451,20 +464,20 @@ mod precedence {
             let mut node = fresh_node(1);
             let from = NodeAddr::new([10, 0, 0, 2], 7946);
             // Register the subject first.
-            node.handle_message_in(from, alive_msg("p", 0), Time::ZERO);
+            feed_node(&mut node, from, alive_msg("p", 0), Time::ZERO);
 
             let mut model_inc = 0u64;
             let mut model_suspect = false;
             for (i, (is_alive, inc)) in msgs.iter().enumerate() {
                 let t = Time::from_millis(i as u64 + 1);
                 if *is_alive {
-                    node.handle_message_in(from, alive_msg("p", *inc), t);
+                    feed_node(&mut node, from, alive_msg("p", *inc), t);
                     if *inc > model_inc {
                         model_inc = *inc;
                         model_suspect = false;
                     }
                 } else {
-                    node.handle_message_in(
+                    feed_node(&mut node, 
                         from,
                         Message::Suspect(Suspect {
                             incarnation: Incarnation(*inc),

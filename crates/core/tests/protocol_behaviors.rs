@@ -6,10 +6,11 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use lifeguard_core::config::Config;
-use lifeguard_core::node::{Output, SwimNode};
+use lifeguard_core::driver::OwnedOutput;
+use lifeguard_core::node::{Input, SwimNode};
 use lifeguard_core::time::Time;
 use lifeguard_proto::{
-    compound, Alive, Dead, Incarnation, MemberState, Message, NodeAddr, PushPull, Suspect,
+    codec, compound, Alive, Dead, Incarnation, MemberState, Message, NodeAddr, PushPull, Suspect,
 };
 
 fn addr(i: u8) -> NodeAddr {
@@ -22,8 +23,40 @@ fn new_node(cfg: Config) -> SwimNode {
     n
 }
 
+fn drain(n: &mut SwimNode) -> Vec<OwnedOutput> {
+    let mut out = Vec::new();
+    while let Some(o) = n.poll_output() {
+        out.push(OwnedOutput::from(o));
+    }
+    out
+}
+
+fn feed(n: &mut SwimNode, from: NodeAddr, msg: Message, now: Time) -> Vec<OwnedOutput> {
+    n.handle_input(
+        Input::Datagram {
+            from,
+            payload: codec::encode_message(&msg),
+        },
+        now,
+    )
+    .expect("well-formed test message");
+    drain(n)
+}
+
+fn feed_stream(n: &mut SwimNode, from: NodeAddr, msg: Message, now: Time) -> Vec<OwnedOutput> {
+    n.handle_input(Input::Stream { from, msg }, now)
+        .expect("stream input is infallible");
+    drain(n)
+}
+
+fn tick(n: &mut SwimNode, now: Time) -> Vec<OwnedOutput> {
+    n.handle_input(Input::Tick, now).expect("tick is infallible");
+    drain(n)
+}
+
 fn add_peer(n: &mut SwimNode, name: &str, i: u8, now: Time) {
-    n.handle_message_in(
+    feed(
+        n,
         addr(i),
         Message::Alive(Alive {
             incarnation: Incarnation(1),
@@ -35,13 +68,13 @@ fn add_peer(n: &mut SwimNode, name: &str, i: u8, now: Time) {
     );
 }
 
-fn run_until(n: &mut SwimNode, until: Time) -> Vec<Output> {
+fn run_until(n: &mut SwimNode, until: Time) -> Vec<OwnedOutput> {
     let mut out = Vec::new();
     while let Some(wake) = n.next_wake() {
         if wake > until {
             break;
         }
-        out.extend(n.tick(wake));
+        out.extend(tick(n, wake));
     }
     out
 }
@@ -51,7 +84,7 @@ fn push_pull_reply_contains_full_table_including_dead() {
     let mut n = new_node(Config::lan());
     add_peer(&mut n, "alive-peer", 2, Time::from_secs(1));
     add_peer(&mut n, "dead-peer", 3, Time::from_secs(1));
-    n.handle_message_in(
+    feed(&mut n, 
         addr(4),
         Message::Dead(Dead {
             incarnation: Incarnation(1),
@@ -60,7 +93,7 @@ fn push_pull_reply_contains_full_table_including_dead() {
         }),
         Time::from_secs(2),
     );
-    let out = n.handle_stream(
+    let out = feed_stream(&mut n, 
         addr(9),
         Message::PushPull(PushPull {
             join: true,
@@ -72,7 +105,7 @@ fn push_pull_reply_contains_full_table_including_dead() {
     let reply = out
         .iter()
         .find_map(|o| match o {
-            Output::Stream {
+            OwnedOutput::Stream {
                 msg: Message::PushPull(pp),
                 ..
             } if pp.reply => Some(pp),
@@ -100,7 +133,7 @@ fn dead_members_are_reaped_after_retention() {
     cfg.dead_reclaim = Duration::from_secs(10);
     let mut n = new_node(cfg);
     add_peer(&mut n, "p", 2, Time::from_secs(1));
-    n.handle_message_in(
+    feed(&mut n, 
         addr(3),
         Message::Dead(Dead {
             incarnation: Incarnation(1),
@@ -125,7 +158,7 @@ fn gossip_reaches_recently_dead_members() {
     add_peer(&mut n, "dead-peer", 2, Time::from_secs(1));
     add_peer(&mut n, "other", 3, Time::from_secs(1));
     let t = Time::from_secs(2);
-    n.handle_message_in(
+    feed(&mut n, 
         addr(3),
         Message::Dead(Dead {
             incarnation: Incarnation(1),
@@ -138,7 +171,7 @@ fn gossip_reaches_recently_dead_members() {
     // dead member itself for gossip_to_the_dead (30 s).
     let out = run_until(&mut n, t + Duration::from_secs(10));
     let gossiped_to_dead = out.iter().any(|o| match o {
-        Output::Packet { to, .. } => *to == addr(2),
+        OwnedOutput::Packet { to, .. } => *to == addr(2),
         _ => false,
     });
     assert!(
@@ -154,7 +187,7 @@ fn reconnect_push_pulls_a_dead_member() {
     cfg.push_pull_interval = None; // isolate the reconnect path
     let mut n = new_node(cfg);
     add_peer(&mut n, "p", 2, Time::from_secs(1));
-    n.handle_message_in(
+    feed(&mut n, 
         addr(3),
         Message::Dead(Dead {
             incarnation: Incarnation(1),
@@ -167,7 +200,7 @@ fn reconnect_push_pulls_a_dead_member() {
     let reconnects = out
         .iter()
         .filter(|o| {
-            matches!(o, Output::Stream { to, msg: Message::PushPull(pp) } if *to == addr(2) && !pp.reply)
+            matches!(o, OwnedOutput::Stream { to, msg: Message::PushPull(pp) } if *to == addr(2) && !pp.reply)
         })
         .count();
     assert!(
@@ -208,13 +241,13 @@ fn indirect_probe_roundtrip_between_nodes() {
         source: "origin".into(),
         source_addr: addr(1),
     });
-    let relay_out = relay.handle_message_in(addr(1), req, now);
+    let relay_out = feed(&mut relay, addr(1), req, now);
 
     // Relay pings target.
     let (to, packet) = relay_out
         .iter()
         .find_map(|o| match o {
-            Output::Packet { to, payload } => Some((*to, payload.clone())),
+            OwnedOutput::Packet { to, payload } => Some((*to, payload.clone())),
             _ => None,
         })
         .expect("relay must ping the target");
@@ -223,12 +256,12 @@ fn indirect_probe_roundtrip_between_nodes() {
     // Target handles the ping and acks back to relay.
     let mut target_out = Vec::new();
     for msg in compound::decode_packet(&packet).unwrap() {
-        target_out.extend(target.handle_message_in(addr(2), msg, now + Duration::from_millis(1)));
+        target_out.extend(feed(&mut target, addr(2), msg, now + Duration::from_millis(1)));
     }
     let (to, packet) = target_out
         .iter()
         .find_map(|o| match o {
-            Output::Packet { to, payload } => Some((*to, payload.clone())),
+            OwnedOutput::Packet { to, payload } => Some((*to, payload.clone())),
             _ => None,
         })
         .expect("target must ack");
@@ -237,12 +270,12 @@ fn indirect_probe_roundtrip_between_nodes() {
     // Relay forwards the ack to origin with the origin's sequence number.
     let mut relay_fwd = Vec::new();
     for msg in compound::decode_packet(&packet).unwrap() {
-        relay_fwd.extend(relay.handle_message_in(addr(3), msg, now + Duration::from_millis(2)));
+        relay_fwd.extend(feed(&mut relay, addr(3), msg, now + Duration::from_millis(2)));
     }
     let forwarded = relay_fwd
         .iter()
         .find_map(|o| match o {
-            Output::Packet { to, payload } => Some((*to, payload.clone())),
+            OwnedOutput::Packet { to, payload } => Some((*to, payload.clone())),
             _ => None,
         })
         .expect("relay must forward the ack");
@@ -259,7 +292,7 @@ fn indirect_probe_roundtrip_between_nodes() {
 fn gossip_about_unknown_members_is_ignored() {
     let mut n = new_node(Config::lan());
     let before = n.members().count();
-    n.handle_message_in(
+    feed(&mut n, 
         addr(2),
         Message::Suspect(Suspect {
             incarnation: Incarnation(5),
@@ -268,7 +301,7 @@ fn gossip_about_unknown_members_is_ignored() {
         }),
         Time::from_secs(1),
     );
-    n.handle_message_in(
+    feed(&mut n, 
         addr(2),
         Message::Dead(Dead {
             incarnation: Incarnation(5),
@@ -286,14 +319,15 @@ fn gossip_about_unknown_members_is_ignored() {
 fn left_node_goes_quiet() {
     let mut n = new_node(Config::lan());
     add_peer(&mut n, "p", 2, Time::from_secs(1));
-    let leave_out = n.leave(Time::from_secs(2));
+    n.handle_input(Input::Leave, Time::from_secs(2)).unwrap();
+    let leave_out = drain(&mut n);
     assert!(!leave_out.is_empty(), "leave gossips the departure");
     // After the leave flush, the node stays quiet: no pings.
     let out = run_until(&mut n, Time::from_secs(30));
     let pings = out
         .iter()
         .filter_map(|o| match o {
-            Output::Packet { payload, .. } => compound::decode_packet(payload).ok(),
+            OwnedOutput::Packet { payload, .. } => compound::decode_packet(payload).ok(),
             _ => None,
         })
         .flatten()

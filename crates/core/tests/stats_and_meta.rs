@@ -2,9 +2,9 @@
 
 use bytes::Bytes;
 use lifeguard_core::config::{AwarenessDeltas, Config};
-use lifeguard_core::node::SwimNode;
+use lifeguard_core::node::{Input, SwimNode};
 use lifeguard_core::time::Time;
-use lifeguard_proto::{Alive, Incarnation, Message, NodeAddr, Suspect};
+use lifeguard_proto::{codec, Alive, Incarnation, Message, NodeAddr, Suspect};
 
 fn addr(i: u8) -> NodeAddr {
     NodeAddr::new([10, 0, 0, i], 7946)
@@ -16,8 +16,25 @@ fn new_node(cfg: Config) -> SwimNode {
     n
 }
 
+fn drain(n: &mut SwimNode) {
+    while n.poll_output().is_some() {}
+}
+
+fn feed(n: &mut SwimNode, from: NodeAddr, msg: Message, now: Time) {
+    n.handle_input(
+        Input::Datagram {
+            from,
+            payload: codec::encode_message(&msg),
+        },
+        now,
+    )
+    .expect("well-formed test message");
+    drain(n);
+}
+
 fn add_peer(n: &mut SwimNode, name: &str, i: u8, now: Time) {
-    n.handle_message_in(
+    feed(
+        n,
         addr(i),
         Message::Alive(Alive {
             incarnation: Incarnation(1),
@@ -34,7 +51,8 @@ fn run_until(n: &mut SwimNode, until: Time) {
         if wake > until {
             break;
         }
-        n.tick(wake);
+        n.handle_input(Input::Tick, wake).expect("tick is infallible");
+        drain(n);
     }
 }
 
@@ -67,10 +85,12 @@ fn stats_count_indirect_probes_and_refutations() {
         "failed probes with peers available must fan out: {:?}",
         n.stats()
     );
-    n.handle_message_in(
+    let inc = n.incarnation();
+    feed(
+        &mut n,
         addr(2),
         Message::Suspect(Suspect {
-            incarnation: n.incarnation(),
+            incarnation: inc,
             node: "local".into(),
             from: "a".into(),
         }),
@@ -84,7 +104,14 @@ fn update_meta_bumps_incarnation_and_gossips() {
     let mut n = new_node(Config::lan());
     add_peer(&mut n, "p", 2, Time::from_secs(1));
     let inc_before = n.incarnation();
-    n.update_meta(Bytes::from_static(b"v2"), Time::from_secs(2));
+    n.handle_input(
+        Input::UpdateMeta {
+            meta: Bytes::from_static(b"v2"),
+        },
+        Time::from_secs(2),
+    )
+    .unwrap();
+    drain(&mut n);
     assert!(n.incarnation() > inc_before);
     let queued = n.queued_broadcast_for(&"local".into());
     match queued {
@@ -103,7 +130,7 @@ fn meta_update_propagates_to_peer_view() {
     // Peer applies the alive message carrying new meta.
     let mut observer = new_node(Config::lan());
     add_peer(&mut observer, "p", 2, Time::from_secs(1));
-    observer.handle_message_in(
+    feed(&mut observer, 
         addr(2),
         Message::Alive(Alive {
             incarnation: Incarnation(2),
@@ -144,10 +171,12 @@ fn custom_awareness_deltas_are_applied() {
     };
     let mut n = new_node(cfg);
     add_peer(&mut n, "p", 2, Time::from_secs(1));
-    n.handle_message_in(
+    let inc = n.incarnation();
+    feed(
+        &mut n,
         addr(2),
         Message::Suspect(Suspect {
-            incarnation: n.incarnation(),
+            incarnation: inc,
             node: "local".into(),
             from: "p".into(),
         }),

@@ -14,6 +14,12 @@
 //! Parameter value sets are encoded verbatim from Tables II and III; the
 //! [`Scale`] knob subsamples them so the full reproduction fits a laptop
 //! budget while `--scale paper` runs the original grid.
+//!
+//! Every scenario drives its nodes through the simulator's instance of
+//! the shared sans-I/O `Driver` harness (`lifeguard_core::driver`) — the
+//! same dispatch loop the real UDP/TCP agent runs — and validates the
+//! protocol configuration up front, so a nonsense parameter combination
+//! fails the run immediately instead of skewing a table.
 
 use std::time::Duration;
 
@@ -255,7 +261,14 @@ impl ThresholdScenario {
     }
 
     /// Executes the scenario and reduces it to metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol configuration fails
+    /// [`Config::validate`] — a malformed grid point must not produce a
+    /// silently wrong table row.
     pub fn run(&self) -> RunOutcome {
+        self.config.validate().expect("scenario config must be valid");
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xD1CE);
         let anomalous = pick_anomalous(self.n, self.c, &mut rng);
         let start = SimTime::ZERO + self.quiesce;
@@ -317,7 +330,12 @@ impl IntervalScenario {
     }
 
     /// Executes the scenario and reduces it to metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol configuration fails [`Config::validate`].
     pub fn run(&self) -> RunOutcome {
+        self.config.validate().expect("scenario config must be valid");
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xD1CE);
         let anomalous = pick_anomalous(self.n, self.c, &mut rng);
         let start = SimTime::ZERO + self.quiesce;
@@ -377,7 +395,12 @@ impl StressScenario {
     }
 
     /// Executes the scenario and reduces it to metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol configuration fails [`Config::validate`].
     pub fn run(&self) -> RunOutcome {
+        self.config.validate().expect("scenario config must be valid");
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xD1CE);
         let anomalous = pick_anomalous(self.n, self.stressed, &mut rng);
         let start = SimTime::ZERO + QUIESCE;

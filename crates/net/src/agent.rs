@@ -1,15 +1,32 @@
 //! A memberlist-style agent: the protocol core driven by real sockets.
 //!
-//! [`Agent::start`] binds one UDP socket and one TCP listener on the
-//! same port and spawns three background threads:
+//! The agent is a thin I/O shell around the shared sans-I/O
+//! [`Driver`] harness from `lifeguard-core` — the same harness the
+//! deterministic simulator uses, so the protocol logic running here is
+//! *identical* to the simulated one. [`Agent::start`] binds one UDP
+//! socket and one TCP listener on the same port and spawns four
+//! background threads:
 //!
 //! * the **datagram loop** receives UDP packets and feeds them to the
-//!   protocol core;
+//!   driver as [`Input::Datagram`]s;
 //! * the **stream loop** accepts TCP connections carrying framed
-//!   push-pull / fallback-probe messages;
-//! * the **ticker** fires the core's timers at their deadlines.
+//!   push-pull / fallback-probe messages ([`Input::Stream`]);
+//! * the **ticker** feeds [`Input::Tick`] at the driver's deadlines;
+//! * a small fixed **stream-writer pool** drains outbound stream
+//!   messages (encoding them off the protocol thread) over short-lived
+//!   TCP connections, so blocking connects never happen on a protocol
+//!   thread, no thread is spawned per send, and one unreachable peer
+//!   cannot head-of-line-block the healthy ones.
+//!
+//! UDP transmits happen inline from the driver's sink with zero copies:
+//! the packet payload is borrowed straight from the protocol core's
+//! scratch buffer into `send_to`.
 //!
 //! Membership conclusions are delivered on a channel as [`AgentEvent`]s.
+//!
+//! Shutdown is idempotent and [`Drop`] also performs it, joining every
+//! spawned thread — a dropped-without-`shutdown` agent no longer leaks
+//! its driver threads.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, UdpSocket};
@@ -18,13 +35,15 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use lifeguard_core::config::Config;
+use lifeguard_core::driver::{Driver, Sink};
 use lifeguard_core::event::Event;
 use lifeguard_core::member::Member;
-use lifeguard_core::node::{Output, SwimNode};
+use lifeguard_core::node::{Input, SwimNode};
 use lifeguard_core::time::Time;
-use lifeguard_proto::{NodeAddr, NodeName};
+use lifeguard_proto::{Message, NodeAddr, NodeName};
 use parking_lot::Mutex;
 
 use crate::transport;
@@ -76,13 +95,56 @@ impl AgentConfig {
     }
 }
 
+/// An outbound stream message for the writer pool: destination plus
+/// the not-yet-encoded message (framing happens on a writer thread, so
+/// a large push-pull never serialises while the driver lock is held).
+type StreamJob = (SocketAddr, Message);
+
+/// Writer threads in the stream pool. Bounds the damage of blocking
+/// connects to unreachable peers (each can stall one writer for up to
+/// [`transport::STREAM_TIMEOUT`]) without reverting to the seed's
+/// thread-spawn-per-send.
+const STREAM_WRITERS: usize = 4;
+
+/// The agent's [`Sink`]: UDP transmits go straight to the socket
+/// (borrowing the core's scratch buffer — no copy), stream messages are
+/// handed to the writer pool, events go to the subscriber channel.
+struct NetSink<'a> {
+    udp: &'a UdpSocket,
+    stream_tx: &'a Sender<StreamJob>,
+    events_tx: &'a Sender<AgentEvent>,
+    now: Time,
+}
+
+impl Sink for NetSink<'_> {
+    fn transmit(&mut self, to: NodeAddr, payload: &[u8]) {
+        let _ = self.udp.send_to(payload, to.socket_addr());
+    }
+
+    fn stream(&mut self, to: NodeAddr, msg: Message) {
+        // Hand the message over untouched: a push-pull carries the
+        // whole membership table, and both its encoding and the
+        // blocking connect/write belong on a writer thread, not here
+        // (the driver lock is held while the sink runs).
+        let _ = self.stream_tx.send((to.socket_addr(), msg));
+    }
+
+    fn event(&mut self, event: Event) {
+        let _ = self.events_tx.send(AgentEvent {
+            at: self.now,
+            event,
+        });
+    }
+}
+
 struct Inner {
-    node: Mutex<SwimNode>,
+    driver: Mutex<Driver>,
     udp: UdpSocket,
     advertised: NodeAddr,
     start: Instant,
     shutdown: AtomicBool,
     events_tx: Sender<AgentEvent>,
+    stream_tx: Sender<StreamJob>,
 }
 
 impl Inner {
@@ -90,26 +152,18 @@ impl Inner {
         Time::from_micros(self.start.elapsed().as_micros() as u64)
     }
 
-    /// Executes protocol outputs against the real network.
-    fn execute(self: &Arc<Self>, outputs: Vec<Output>, now: Time) {
-        for output in outputs {
-            match output {
-                Output::Packet { to, payload } => {
-                    let _ = self.udp.send_to(&payload, to.socket_addr());
-                }
-                Output::Stream { to, msg } => {
-                    // Stream sends may block up to the connect timeout;
-                    // do them off the protocol threads.
-                    let advertised = self.advertised;
-                    std::thread::spawn(move || {
-                        let _ = transport::send_stream(to.socket_addr(), advertised, &msg);
-                    });
-                }
-                Output::Event(event) => {
-                    let _ = self.events_tx.send(AgentEvent { at: now, event });
-                }
-            }
-        }
+    /// Feeds one input through the shared driver harness; the sink
+    /// executes every effect against the real network before the driver
+    /// lock is released.
+    fn drive(&self, input: Input, now: Time) {
+        let mut driver = self.driver.lock();
+        let mut sink = NetSink {
+            udp: &self.udp,
+            stream_tx: &self.stream_tx,
+            events_tx: &self.events_tx,
+            now,
+        };
+        let _ = driver.handle(input, now, &mut sink);
     }
 }
 
@@ -120,7 +174,7 @@ impl Inner {
 /// [`Agent::leave`] first for a graceful departure.
 pub struct Agent {
     inner: Arc<Inner>,
-    threads: Vec<JoinHandle<()>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
     events_rx: Receiver<AgentEvent>,
 }
 
@@ -130,9 +184,15 @@ impl Agent {
     ///
     /// # Errors
     ///
-    /// Fails if the UDP socket and TCP listener cannot be bound to the
-    /// same address.
+    /// Fails if the protocol configuration is invalid
+    /// ([`io::ErrorKind::InvalidInput`]) or the UDP socket and TCP
+    /// listener cannot be bound to the same address.
     pub fn start(config: AgentConfig) -> io::Result<Agent> {
+        // Reject nonsense configs before touching the network.
+        config
+            .protocol
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         // Bind TCP first (possibly port 0), then UDP on the same port.
         let tcp = TcpListener::bind(config.bind)?;
         let addr = tcp.local_addr()?;
@@ -142,23 +202,32 @@ impl Agent {
 
         let advertised = NodeAddr::from(addr);
         let (events_tx, events_rx) = unbounded();
-        let mut node = SwimNode::new(
+        let (stream_tx, stream_rx) = unbounded::<StreamJob>();
+        let node = SwimNode::new(
             NodeName::from(config.name),
             advertised,
             config.protocol,
             config.seed,
         );
-        let start = Instant::now();
-        let boot = node.start(Time::ZERO);
         let inner = Arc::new(Inner {
-            node: Mutex::new(node),
+            driver: Mutex::new(Driver::new(node)),
             udp,
             advertised,
-            start,
+            start: Instant::now(),
             shutdown: AtomicBool::new(false),
             events_tx,
+            stream_tx,
         });
-        inner.execute(boot, Time::ZERO);
+        {
+            let mut driver = inner.driver.lock();
+            let mut sink = NetSink {
+                udp: &inner.udp,
+                stream_tx: &inner.stream_tx,
+                events_tx: &inner.events_tx,
+                now: Time::ZERO,
+            };
+            driver.start(Time::ZERO, &mut sink);
+        }
 
         let mut threads = Vec::new();
         // Datagram loop.
@@ -170,13 +239,13 @@ impl Agent {
                     match inner.udp.recv_from(&mut buf) {
                         Ok((len, from)) => {
                             let now = inner.now();
-                            let outputs = {
-                                let mut node = inner.node.lock();
-                                node.handle_datagram(NodeAddr::from(from), &buf[..len], now)
-                            };
-                            if let Ok(outputs) = outputs {
-                                inner.execute(outputs, now);
-                            }
+                            inner.drive(
+                                Input::Datagram {
+                                    from: NodeAddr::from(from),
+                                    payload: Bytes::copy_from_slice(&buf[..len]),
+                                },
+                                now,
+                            );
                         }
                         Err(ref e)
                             if e.kind() == io::ErrorKind::WouldBlock
@@ -196,11 +265,7 @@ impl Agent {
                             let _ = stream.set_read_timeout(Some(transport::STREAM_TIMEOUT));
                             if let Ok((from, msg)) = transport::read_frame(&mut stream) {
                                 let now = inner.now();
-                                let outputs = {
-                                    let mut node = inner.node.lock();
-                                    node.handle_stream(from, msg, now)
-                                };
-                                inner.execute(outputs, now);
+                                inner.drive(Input::Stream { from, msg }, now);
                             }
                         }
                         Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -217,15 +282,14 @@ impl Agent {
             threads.push(std::thread::spawn(move || {
                 while !inner.shutdown.load(Ordering::Relaxed) {
                     let now = inner.now();
-                    let (outputs, next) = {
-                        let mut node = inner.node.lock();
-                        let outputs = match node.next_wake() {
-                            Some(wake) if wake <= now => node.tick(now),
-                            _ => Vec::new(),
-                        };
-                        (outputs, node.next_wake())
+                    let due = {
+                        let driver = inner.driver.lock();
+                        matches!(driver.next_wake(), Some(wake) if wake <= now)
                     };
-                    inner.execute(outputs, now);
+                    if due {
+                        inner.drive(Input::Tick, now);
+                    }
+                    let next = inner.driver.lock().next_wake();
                     let sleep = next
                         .map(|w| w.saturating_since(inner.now()))
                         .unwrap_or(Duration::from_millis(20))
@@ -235,10 +299,27 @@ impl Agent {
                 }
             }));
         }
+        // Stream-writer pool: a few threads share the outbound queue
+        // (replacing the former thread-spawn-per-send). Each job is
+        // encoded and sent on the writer, so a slow or unreachable
+        // destination stalls at most one writer for one stream timeout
+        // while the others keep draining.
+        for _ in 0..STREAM_WRITERS {
+            let inner = Arc::clone(&inner);
+            let stream_rx = stream_rx.clone();
+            threads.push(std::thread::spawn(move || {
+                while !inner.shutdown.load(Ordering::Relaxed) {
+                    // A timeout (or disconnect) just re-checks shutdown.
+                    if let Ok((to, msg)) = stream_rx.recv_timeout(Duration::from_millis(20)) {
+                        let _ = transport::send_stream(to, inner.advertised, &msg);
+                    }
+                }
+            }));
+        }
 
         Ok(Agent {
             inner,
-            threads,
+            threads: Mutex::new(threads),
             events_rx,
         })
     }
@@ -250,41 +331,43 @@ impl Agent {
 
     /// The agent's node name.
     pub fn name(&self) -> NodeName {
-        self.inner.node.lock().name().clone()
+        self.inner.driver.lock().node().name().clone()
     }
 
     /// Joins a cluster through the given seed addresses.
     pub fn join(&self, seeds: &[SocketAddr]) {
         let now = self.inner.now();
-        let outputs = {
-            let mut node = self.inner.node.lock();
-            let seeds: Vec<NodeAddr> = seeds.iter().map(|&s| NodeAddr::from(s)).collect();
-            node.join(&seeds, now)
-        };
-        self.inner.execute(outputs, now);
+        let seeds: Vec<NodeAddr> = seeds.iter().map(|&s| NodeAddr::from(s)).collect();
+        self.inner.drive(Input::Join { seeds }, now);
     }
 
     /// Gracefully leaves the group (peers observe a leave, not a
     /// failure).
     pub fn leave(&self) {
         let now = self.inner.now();
-        let outputs = self.inner.node.lock().leave(now);
-        self.inner.execute(outputs, now);
+        self.inner.drive(Input::Leave, now);
+    }
+
+    /// Replaces the local node's application metadata and gossips the
+    /// change.
+    pub fn update_meta(&self, meta: Bytes) {
+        let now = self.inner.now();
+        self.inner.drive(Input::UpdateMeta { meta }, now);
     }
 
     /// Snapshot of the membership table.
     pub fn members(&self) -> Vec<Member> {
-        self.inner.node.lock().members().cloned().collect()
+        self.inner.driver.lock().node().members().cloned().collect()
     }
 
     /// Number of members believed alive (including self).
     pub fn num_alive(&self) -> usize {
-        self.inner.node.lock().num_alive()
+        self.inner.driver.lock().node().num_alive()
     }
 
     /// Current Local Health Multiplier score.
     pub fn local_health(&self) -> u32 {
-        self.inner.node.lock().local_health()
+        self.inner.driver.lock().node().local_health()
     }
 
     /// The membership event channel.
@@ -293,10 +376,12 @@ impl Agent {
     }
 
     /// Stops the agent abruptly (no leave message) and joins its
-    /// threads.
-    pub fn shutdown(mut self) {
+    /// threads. Idempotent: the second and later calls (including the
+    /// one [`Drop`] performs) are no-ops.
+    pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Relaxed);
-        for t in self.threads.drain(..) {
+        let handles: Vec<JoinHandle<()>> = self.threads.lock().drain(..).collect();
+        for t in handles {
             let _ = t.join();
         }
     }
@@ -304,9 +389,14 @@ impl Agent {
 
 impl Drop for Agent {
     fn drop(&mut self) {
-        self.inner.shutdown.store(true, Ordering::Relaxed);
-        // Threads exit on their next poll; detach rather than join so
-        // drop never blocks (C-DTOR-BLOCK).
+        // Threads observe the flag within one poll interval; joining
+        // here guarantees a dropped agent never leaks its driver
+        // threads. The bound: an idle agent drops in ~tens of
+        // milliseconds, while a writer mid-send to an unreachable peer
+        // can hold its join for up to one connect + write timeout
+        // (2 × [`transport::STREAM_TIMEOUT`]) — a deliberate trade of
+        // a bounded block for leak-freedom.
+        self.shutdown();
     }
 }
 
@@ -408,5 +498,31 @@ mod tests {
         );
         b.shutdown();
         a.shutdown();
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_binding() {
+        let mut bad = fast();
+        bad.gossip_nodes = 0;
+        let err = Agent::start(AgentConfig::local("x").protocol(bad)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_joins_threads() {
+        let a = Agent::start(AgentConfig::local("solo").protocol(fast()).seed(8)).unwrap();
+        a.shutdown();
+        a.shutdown(); // second call is a no-op
+        assert!(a.threads.lock().is_empty());
+        drop(a); // drop after shutdown is fine too
+
+        // Dropping without shutdown joins the threads (no leak, no hang).
+        let b = Agent::start(AgentConfig::local("solo2").protocol(fast()).seed(9)).unwrap();
+        let start = Instant::now();
+        drop(b);
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "drop must join promptly"
+        );
     }
 }

@@ -128,10 +128,22 @@ pub fn read_frame(stream: &mut impl Read) -> Result<(NodeAddr, Message), StreamE
 /// Fails if the connection cannot be established or written within
 /// [`STREAM_TIMEOUT`].
 pub fn send_stream(to: SocketAddr, sender: NodeAddr, msg: &Message) -> Result<(), StreamError> {
+    send_frame(to, &encode_frame(sender, msg))
+}
+
+/// Sends one already-encoded frame (see [`encode_frame`]) over a fresh
+/// TCP connection — the agent's pooled stream writer encodes off the
+/// protocol thread and ships the bytes here.
+///
+/// # Errors
+///
+/// Fails if the connection cannot be established or written within
+/// [`STREAM_TIMEOUT`].
+pub fn send_frame(to: SocketAddr, frame: &[u8]) -> Result<(), StreamError> {
     let mut stream = TcpStream::connect_timeout(&to, STREAM_TIMEOUT)?;
     stream.set_write_timeout(Some(STREAM_TIMEOUT))?;
     stream.set_nodelay(true)?;
-    stream.write_all(&encode_frame(sender, msg))?;
+    stream.write_all(frame)?;
     Ok(())
 }
 

@@ -33,8 +33,8 @@ pub const COMPOUND_TAG: u8 = 255;
 /// Encodes a single message into a fresh buffer.
 ///
 /// Single-pass: the message is traversed exactly once (by
-/// [`encode_into`]); the initial reservation comes from the O(1)
-/// [`size_hint`] instead of a second full walk through
+/// `encode_into`); the initial reservation comes from the O(1)
+/// `size_hint` instead of a second full walk through
 /// [`encoded_len`]. The produced length still equals `encoded_len`:
 ///
 /// ```

@@ -134,6 +134,48 @@ impl CompoundBuilder {
         true
     }
 
+    /// Resets the builder for a new packet under a (possibly different)
+    /// budget, keeping the payload buffer's capacity. Together with
+    /// [`CompoundBuilder::finish_into`] this lets one long-lived builder
+    /// assemble every packet a node sends without per-packet allocation.
+    pub fn reset(&mut self, budget: usize) {
+        self.budget = budget;
+        self.payload.clear();
+        self.lens.clear();
+    }
+
+    /// Finishes the packet into `out`, appending the encoded bytes and
+    /// returning their range within `out` — the allocation-free
+    /// counterpart of [`CompoundBuilder::finish`] for callers that own a
+    /// reusable scratch buffer. The builder is left empty (as if
+    /// [`CompoundBuilder::reset`] had been called with the same budget),
+    /// ready for the next packet.
+    ///
+    /// Returns `None` (and appends nothing) if no message was added.
+    pub fn finish_into(&mut self, out: &mut Vec<u8>) -> Option<std::ops::Range<usize>> {
+        let start = out.len();
+        match self.lens.len() {
+            0 => None,
+            1 => {
+                out.extend_from_slice(&self.payload);
+                self.payload.clear();
+                self.lens.clear();
+                Some(start..out.len())
+            }
+            n => {
+                out.push(COMPOUND_TAG);
+                out.push(n as u8);
+                for &len in &self.lens {
+                    out.extend_from_slice(&len.to_be_bytes());
+                }
+                out.extend_from_slice(&self.payload);
+                self.payload.clear();
+                self.lens.clear();
+                Some(start..out.len())
+            }
+        }
+    }
+
     /// Finishes the packet: `None` if empty, a bare message if one part,
     /// a compound frame otherwise.
     pub fn finish(self) -> Option<Bytes> {
@@ -354,6 +396,36 @@ mod tests {
             decoded.extend(decode_packet(p).unwrap());
         }
         assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn finish_into_matches_finish_and_reuses_builder() {
+        let mut scratch = Vec::new();
+        let mut b = CompoundBuilder::new(1400);
+        // Bare single message.
+        assert!(b.try_add(enc(&ack(1))));
+        let r1 = b.finish_into(&mut scratch).unwrap();
+        // Compound, from the *same* (now reset) builder.
+        assert!(b.try_add(enc(&ack(2))));
+        assert!(b.try_add(enc(&ack(3))));
+        let r2 = b.finish_into(&mut scratch).unwrap();
+        assert_eq!(decode_packet(&scratch[r1]).unwrap(), vec![ack(1)]);
+        assert_eq!(decode_packet(&scratch[r2]).unwrap(), vec![ack(2), ack(3)]);
+
+        // Byte-for-byte identical to the owned finish().
+        let mut owned = CompoundBuilder::new(1400);
+        owned.try_add(enc(&ack(2)));
+        owned.try_add(enc(&ack(3)));
+        let r2 = b.try_add(enc(&ack(2))) && b.try_add(enc(&ack(3)));
+        assert!(r2);
+        let mut scratch2 = Vec::new();
+        let range = b.finish_into(&mut scratch2).unwrap();
+        assert_eq!(&scratch2[range], owned.finish().unwrap().as_ref());
+
+        // Empty builder appends nothing.
+        let before = scratch.len();
+        assert!(b.finish_into(&mut scratch).is_none());
+        assert_eq!(scratch.len(), before);
     }
 
     #[test]

@@ -15,7 +15,8 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use lifeguard_core::config::Config;
-use lifeguard_core::node::{Output, SwimNode};
+use lifeguard_core::driver::{Driver, OwnedOutput, Sink};
+use lifeguard_core::node::{Input, SwimNode};
 use lifeguard_proto::{codec, Message, NodeAddr, NodeName};
 
 use crate::anomaly::AnomalySpec;
@@ -65,13 +66,113 @@ enum SimEvent {
 }
 
 struct NodeSlot {
-    node: SwimNode,
+    /// The protocol core behind the shared sans-I/O driver harness.
+    driver: Driver,
     paused_until: Option<SimTime>,
     crashed: bool,
     wake_marker: Option<SimTime>,
     /// Sends generated while paused ("block immediately before
     /// sending"); flushed in order at the end of the anomaly.
-    outbox: Vec<Output>,
+    outbox: Vec<OwnedOutput>,
+}
+
+/// The simulator's [`Sink`]: packets and stream messages enter the
+/// simulated network (or a paused node's outbox), events enter the
+/// trace. One instance is materialised per driver call from split
+/// borrows of the cluster's fields.
+struct SimSink<'a> {
+    from_idx: usize,
+    from_addr: NodeAddr,
+    now: SimTime,
+    paused: bool,
+    outbox: &'a mut Vec<OwnedOutput>,
+    queue: &'a mut EventQueue<SimEvent>,
+    network: &'a mut Network,
+    addr_to_idx: &'a HashMap<NodeAddr, usize>,
+    trace: &'a mut Trace,
+    telemetry: &'a mut Telemetry,
+}
+
+impl SimSink<'_> {
+    fn deliver_packet(&mut self, to: NodeAddr, payload: Bytes) {
+        self.telemetry.record_datagram(self.from_idx, payload.len());
+        let Some(&to_idx) = self.addr_to_idx.get(&to) else {
+            return; // address outside the simulation
+        };
+        match self.network.datagram(self.from_idx, to_idx) {
+            Delivery::Deliver(delay) => self.queue.push(
+                self.now + delay,
+                SimEvent::Datagram {
+                    to: to_idx,
+                    from: self.from_addr,
+                    payload,
+                },
+            ),
+            Delivery::Dropped => {}
+        }
+    }
+
+    fn deliver_stream(&mut self, to: NodeAddr, msg: Message) {
+        self.telemetry
+            .record_stream(self.from_idx, codec::encoded_len(&msg));
+        let Some(&to_idx) = self.addr_to_idx.get(&to) else {
+            return;
+        };
+        match self.network.stream(self.from_idx, to_idx) {
+            Delivery::Deliver(delay) => self.queue.push(
+                self.now + delay,
+                SimEvent::Stream {
+                    to: to_idx,
+                    from: self.from_addr,
+                    msg,
+                },
+            ),
+            Delivery::Dropped => {}
+        }
+    }
+
+    /// Dispatches a previously captured (outbox) output as if it were
+    /// produced now — used when a pause ends and the blocked sends are
+    /// released.
+    fn dispatch_owned(&mut self, output: OwnedOutput) {
+        match output {
+            OwnedOutput::Packet { to, payload } => self.deliver_packet(to, payload),
+            OwnedOutput::Stream { to, msg } => self.deliver_stream(to, msg),
+            OwnedOutput::Event(e) => self.trace.record(self.now, self.from_idx, e),
+        }
+    }
+}
+
+impl Sink for SimSink<'_> {
+    fn transmit(&mut self, to: NodeAddr, payload: &[u8]) {
+        // A paused node blocks before sending: network effects are held
+        // in its outbox until the anomaly ends. In-flight packets
+        // outlive the borrow of the node's scratch, so both paths copy
+        // the payload into an owned buffer.
+        if self.paused {
+            self.outbox.push(OwnedOutput::Packet {
+                to,
+                payload: Bytes::copy_from_slice(payload),
+            });
+        } else {
+            self.deliver_packet(to, Bytes::copy_from_slice(payload));
+        }
+    }
+
+    fn stream(&mut self, to: NodeAddr, msg: Message) {
+        if self.paused {
+            self.outbox.push(OwnedOutput::Stream { to, msg });
+        } else {
+            self.deliver_stream(to, msg);
+        }
+    }
+
+    fn event(&mut self, event: lifeguard_core::event::Event) {
+        // A paused node's membership conclusions are still logged (the
+        // paper's analysis reads the agents' logs, which are written
+        // regardless).
+        self.trace.record(self.now, self.from_idx, event);
+    }
 }
 
 /// Configures and builds a [`Cluster`].
@@ -151,7 +252,7 @@ impl ClusterBuilder {
                 .wrapping_add(i as u64 + 1);
             let node = SwimNode::new(name, addr, self.config.clone(), node_seed);
             slots.push(NodeSlot {
-                node,
+                driver: Driver::new(node),
                 paused_until: None,
                 crashed: false,
                 wake_marker: None,
@@ -177,15 +278,16 @@ impl ClusterBuilder {
             Vec::new()
         };
         for i in 0..n {
-            let out = cluster.slots[i].node.start(SimTime::ZERO);
-            cluster.process_outputs(i, out);
+            cluster.with_sink(i, |driver, sink| driver.start(SimTime::ZERO, sink));
             if self.full_mesh {
                 cluster.slots[i]
-                    .node
+                    .driver
+                    .node_mut()
                     .bootstrap_peers(roster.iter().cloned(), SimTime::ZERO);
             } else if i > 0 {
-                let out = cluster.slots[i].node.join(&[seed_addr], SimTime::ZERO);
-                cluster.process_outputs(i, out);
+                cluster.with_sink(i, |driver, sink| {
+                    driver.join(vec![seed_addr], SimTime::ZERO, sink);
+                });
             }
             cluster.ensure_wake(i);
         }
@@ -242,7 +344,7 @@ impl Cluster {
 
     /// Read access to a node's protocol state.
     pub fn node(&self, i: usize) -> &SwimNode {
-        &self.slots[i].node
+        self.slots[i].driver.node()
     }
 
     /// The recorded event trace.
@@ -296,13 +398,17 @@ impl Cluster {
             SimAction::Pause { node, duration } => {
                 let until = self.now + duration;
                 self.slots[node].paused_until = Some(until);
-                let out = self.slots[node].node.set_io_blocked(true, self.now);
-                self.process_outputs(node, out);
+                let now = self.now;
+                self.with_sink(node, |driver, sink| {
+                    driver
+                        .handle(Input::IoBlocked { blocked: true }, now, sink)
+                        .expect("io-blocked input is infallible");
+                });
                 self.queue.push(until, SimEvent::PauseEnd { node });
             }
             SimAction::Leave { node } => {
-                let out = self.slots[node].node.leave(self.now);
-                self.process_outputs(node, out);
+                let now = self.now;
+                self.with_sink(node, |driver, sink| driver.leave(now, sink));
                 self.ensure_wake(node);
             }
             SimAction::Partition { a, b } => {
@@ -318,7 +424,7 @@ impl Cluster {
     /// other functioning node as alive.
     pub fn converged(&self) -> bool {
         let participants: Vec<usize> = (0..self.len())
-            .filter(|&i| !self.slots[i].crashed && !self.slots[i].node.has_left())
+            .filter(|&i| !self.slots[i].crashed && !self.slots[i].driver.node().has_left())
             .collect();
         for &i in &participants {
             for &j in &participants {
@@ -326,7 +432,7 @@ impl Cluster {
                     continue;
                 }
                 let name = Self::name_of(j);
-                match self.slots[i].node.member(&name) {
+                match self.slots[i].driver.node().member(&name) {
                     Some(m) if m.state == lifeguard_proto::MemberState::Alive => {}
                     _ => return false,
                 }
@@ -341,7 +447,8 @@ impl Cluster {
         (0..self.len())
             .filter(|&i| {
                 self.slots[i]
-                    .node
+                    .driver
+                    .node()
                     .member(&name)
                     .map(|m| m.state == lifeguard_proto::MemberState::Alive)
                     .unwrap_or(false)
@@ -354,10 +461,11 @@ impl Cluster {
     // ------------------------------------------------------------------
 
     fn dispatch(&mut self, ev: SimEvent) {
+        let now = self.now;
         match ev {
             SimEvent::Wake { node } => {
                 let slot = &mut self.slots[node];
-                if slot.wake_marker != Some(self.now) {
+                if slot.wake_marker != Some(now) {
                     return; // stale wake; a fresher one is queued
                 }
                 slot.wake_marker = None;
@@ -367,10 +475,9 @@ impl Cluster {
                 // Timers run even during an anomaly: the paper's
                 // instrumentation blocks only sends/receives, so the
                 // agent's logic keeps evaluating wall-clock deadlines.
-                // Sends it produces are captured in the outbox by
-                // process_outputs.
-                let out = slot.node.tick(self.now);
-                self.process_outputs(node, out);
+                // Sends it produces are captured in the outbox by the
+                // sink.
+                self.with_sink(node, |driver, sink| driver.tick(now, sink));
                 self.ensure_wake(node);
             }
             SimEvent::Datagram { to, from, payload } => {
@@ -385,11 +492,12 @@ impl Cluster {
                     return;
                 }
                 // Zero-copy delivery: compound parts and blob fields
-                // alias the datagram buffer.
-                if let Ok(out) = slot.node.handle_datagram_bytes(from, &payload, self.now) {
-                    self.process_outputs(to, out);
-                    self.ensure_wake(to);
-                }
+                // alias the datagram buffer. Malformed packets are
+                // dropped, as a real deployment would.
+                self.with_sink(to, |driver, sink| {
+                    let _ = driver.handle(Input::Datagram { from, payload }, now, sink);
+                });
+                self.ensure_wake(to);
             }
             SimEvent::Stream { to, from, msg } => {
                 let slot = &mut self.slots[to];
@@ -400,15 +508,21 @@ impl Cluster {
                     self.queue.push(until, SimEvent::Stream { to, from, msg });
                     return;
                 }
-                let out = slot.node.handle_stream(from, msg, self.now);
-                self.process_outputs(to, out);
+                self.with_sink(to, |driver, sink| {
+                    driver
+                        .handle(Input::Stream { from, msg }, now, sink)
+                        .expect("stream input is infallible");
+                });
                 self.ensure_wake(to);
             }
             SimEvent::PauseStart { node, until } => {
                 if !self.slots[node].crashed {
                     self.slots[node].paused_until = Some(until);
-                    let out = self.slots[node].node.set_io_blocked(true, self.now);
-                    self.process_outputs(node, out);
+                    self.with_sink(node, |driver, sink| {
+                        driver
+                            .handle(Input::IoBlocked { blocked: true }, now, sink)
+                            .expect("io-blocked input is infallible");
+                    });
                 }
             }
             SimEvent::PauseEnd { node } => {
@@ -418,7 +532,7 @@ impl Cluster {
                 }
                 // Only clear if this PauseEnd matches the active window
                 // (an overlapping manual pause may extend it).
-                if slot.paused_until.map(|u| u <= self.now).unwrap_or(false) {
+                if slot.paused_until.map(|u| u <= now).unwrap_or(false) {
                     slot.paused_until = None;
                     // "The blocked sends ... are unblocked": flush
                     // everything the node tried to send while paused,
@@ -426,70 +540,44 @@ impl Cluster {
                     // deadlines (which fail, raising suspicions) and any
                     // other due timers.
                     let outbox = std::mem::take(&mut slot.outbox);
-                    self.process_outputs(node, outbox);
-                    let out = self.slots[node].node.set_io_blocked(false, self.now);
-                    self.process_outputs(node, out);
-                    let out = self.slots[node].node.tick(self.now);
-                    self.process_outputs(node, out);
+                    self.with_sink(node, |driver, sink| {
+                        for held in outbox {
+                            sink.dispatch_owned(held);
+                        }
+                        driver
+                            .handle(Input::IoBlocked { blocked: false }, now, sink)
+                            .expect("io-blocked input is infallible");
+                        driver.tick(now, sink);
+                    });
                     self.ensure_wake(node);
                 }
             }
         }
     }
 
-    fn process_outputs(&mut self, from_idx: usize, outputs: Vec<Output>) {
-        let from_addr = self.slots[from_idx].node.addr();
-        let paused = self.slots[from_idx].paused_until.is_some();
-        for output in outputs {
-            // A paused node blocks before sending: network effects are
-            // held in its outbox until the anomaly ends. Its membership
-            // conclusions are still logged (the paper's analysis reads
-            // the agents' logs, which are written regardless).
-            if paused && !matches!(output, Output::Event(_)) {
-                self.slots[from_idx].outbox.push(output);
-                continue;
-            }
-            match output {
-                Output::Packet { to, payload } => {
-                    self.telemetry.record_datagram(from_idx, payload.len());
-                    let Some(&to_idx) = self.addr_to_idx.get(&to) else {
-                        continue; // address outside the simulation
-                    };
-                    match self.network.datagram(from_idx, to_idx) {
-                        Delivery::Deliver(delay) => self.queue.push(
-                            self.now + delay,
-                            SimEvent::Datagram {
-                                to: to_idx,
-                                from: from_addr,
-                                payload,
-                            },
-                        ),
-                        Delivery::Dropped => {}
-                    }
-                }
-                Output::Stream { to, msg } => {
-                    self.telemetry
-                        .record_stream(from_idx, codec::encoded_len(&msg));
-                    let Some(&to_idx) = self.addr_to_idx.get(&to) else {
-                        continue;
-                    };
-                    match self.network.stream(from_idx, to_idx) {
-                        Delivery::Deliver(delay) => self.queue.push(
-                            self.now + delay,
-                            SimEvent::Stream {
-                                to: to_idx,
-                                from: from_addr,
-                                msg,
-                            },
-                        ),
-                        Delivery::Dropped => {}
-                    }
-                }
-                Output::Event(e) => {
-                    self.trace.record(self.now, from_idx, e);
-                }
-            }
-        }
+    /// Runs one driver call with a [`SimSink`] assembled from split
+    /// borrows of the cluster's fields — the single place simulated
+    /// network I/O, telemetry and tracing attach to the shared driver
+    /// harness.
+    fn with_sink<R>(&mut self, node: usize, f: impl FnOnce(&mut Driver, &mut SimSink<'_>) -> R) -> R {
+        let now = self.now;
+        let slot = &mut self.slots[node];
+        let paused = slot.paused_until.is_some();
+        let from_addr = slot.driver.node().addr();
+        let NodeSlot { driver, outbox, .. } = slot;
+        let mut sink = SimSink {
+            from_idx: node,
+            from_addr,
+            now,
+            paused,
+            outbox,
+            queue: &mut self.queue,
+            network: &mut self.network,
+            addr_to_idx: &self.addr_to_idx,
+            trace: &mut self.trace,
+            telemetry: &mut self.telemetry,
+        };
+        f(driver, &mut sink)
     }
 
     /// Arms a wake event at the node's next timer deadline unless an
@@ -499,7 +587,7 @@ impl Cluster {
         if slot.crashed {
             return;
         }
-        let Some(wake) = slot.node.next_wake() else {
+        let Some(wake) = slot.driver.next_wake() else {
             return;
         };
         let wake = wake.max(self.now);

@@ -1,7 +1,7 @@
 //! Deterministic discrete-event queue.
 //!
 //! A thin wrapper over the protocol core's hierarchical
-//! [`TimerWheel`](lifeguard_core::timer_wheel::TimerWheel), so the
+//! [`TimerWheel`], so the
 //! simulator and [`SwimNode`](lifeguard_core::node::SwimNode) share one
 //! firing-semantics implementation: exact microsecond deadlines, events
 //! at the same instant delivered in insertion order, and O(1) scheduling

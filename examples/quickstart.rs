@@ -4,6 +4,17 @@
 //! ```text
 //! cargo run --example quickstart
 //! ```
+//!
+//! Everything below drives the protocol through the shared sans-I/O
+//! stack (see `docs/ARCHITECTURE.md`): each simulated node is a
+//! `SwimNode` state machine wrapped in the `lifeguard_core::driver::
+//! Driver` harness, and the simulator merely delivers `Input`s (ticks,
+//! datagrams, stream messages) and carries out the polled outputs over
+//! its virtual network. The real UDP/TCP agent (`examples/
+//! udp_cluster.rs`) runs the *same* driver — swap `ClusterBuilder` for
+//! `lifeguard::net::agent::Agent` and the protocol behaviour is
+//! identical, which is exactly the property the paper's evaluation
+//! methodology relies on.
 
 use std::time::Duration;
 
