@@ -24,7 +24,7 @@ use lifeguard_proto::compound::{decode_packet, CompoundBuilder};
 use lifeguard_proto::{
     codec, Alive, Incarnation, MemberState, Message, NodeAddr, NodeName, Ping, SeqNo, Suspect,
 };
-use lifeguard_sim::cluster::ClusterBuilder;
+use lifeguard_sim::cluster::{ClusterBuilder, SimAction};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -341,6 +341,76 @@ fn bench_cluster_throughput(c: &mut Criterion) {
                 })
             },
         );
+    }
+    group.finish();
+}
+
+/// Anti-entropy wire cost at scale: bytes sent per push-pull round,
+/// full-state vs delta sync, under ≤ 1% churn per round — the
+/// PERFORMANCE.md §6 table. Doubles as a regression gate: the run
+/// asserts the delta rounds stay at ≤ 10% of the full-state rounds
+/// (5k-node version of the `delta_push_pull_cuts_steady_state_sync_bytes_by_10x`
+/// integration test), then benches the latency of one warm delta round.
+fn bench_push_pull(c: &mut Criterion) {
+    const ROUND: Duration = Duration::from_secs(2);
+
+    fn cluster_at(n: usize, delta: bool) -> lifeguard_sim::cluster::Cluster {
+        let mut cfg = Config::lan().lifeguard();
+        cfg.push_pull_interval = Some(ROUND);
+        cfg.delta_sync = delta;
+        let mut cluster = ClusterBuilder::new(n)
+            .config(cfg)
+            .seed(23)
+            .full_mesh(true)
+            .build();
+        // Warm-up: enough rounds for every node to accumulate its warm
+        // delta partners (a no-op for the full-state configuration).
+        cluster.run_for(Duration::from_secs(8));
+        cluster
+    }
+
+    fn churned_rounds(cluster: &mut lifeguard_sim::cluster::Cluster, rounds: u64) -> u64 {
+        let n = cluster.len();
+        let start = cluster.telemetry().total().stream_bytes;
+        for r in 0..rounds {
+            for k in 0..n / 100 {
+                // ≤ 1% churn per round via metadata updates: real
+                // membership changes, no failure-detector cascades.
+                let node = (r as usize * 131 + k * 37) % n;
+                cluster.apply(SimAction::UpdateMeta {
+                    node,
+                    meta: Bytes::from(format!("gen-{r}-{k}").into_bytes()),
+                });
+            }
+            cluster.run_for(ROUND);
+        }
+        assert!(cluster.converged(), "cluster must stay converged");
+        (cluster.telemetry().total().stream_bytes - start) / rounds
+    }
+
+    let mut group = c.benchmark_group("push_pull");
+    group.sample_size(10);
+    for n in [1_000usize, 5_000] {
+        let full = churned_rounds(&mut cluster_at(n, false), 2);
+        let mut delta_cluster = cluster_at(n, true);
+        let delta = churned_rounds(&mut delta_cluster, 2);
+        println!(
+            "push_pull wire bytes/round at n={n}, <=1% churn: \
+             full {full} B, delta {delta} B ({:.2}% of full)",
+            delta as f64 / full as f64 * 100.0
+        );
+        assert!(
+            delta * 10 <= full,
+            "delta sync must stay at <= 10% of full-state wire bytes \
+             (n={n}: delta {delta} B/round vs full {full} B/round)"
+        );
+        // Latency of warm, churn-free delta rounds at this scale.
+        group.bench_with_input(BenchmarkId::new("delta_round", n), &n, |b, _| {
+            b.iter(|| {
+                delta_cluster.run_for(ROUND);
+                delta_cluster.telemetry().total().stream_bytes
+            })
+        });
     }
     group.finish();
 }
@@ -675,6 +745,7 @@ criterion_group!(
     bench_node_tick_10k,
     bench_sim_throughput,
     bench_cluster_throughput,
+    bench_push_pull,
     bench_node_message_handling
 );
 criterion_main!(benches);

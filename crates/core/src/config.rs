@@ -53,6 +53,18 @@ pub enum ConfigError {
     /// `dead_reclaim` is zero: dead members would be reaped before
     /// push-pull could disseminate their fate.
     ZeroDeadReclaim,
+    /// `delta_sync_horizon` is zero while delta sync is enabled: every
+    /// watermark would be considered stale and every exchange would
+    /// fall back to a full sync, silently disabling the feature.
+    ZeroDeltaSyncHorizon,
+    /// `delta_sync_horizon` is shorter than `push_pull_interval`: a
+    /// watermark would expire before the next periodic exchange could
+    /// ever reuse it, so no delta would ever be sent.
+    DeltaSyncHorizonBelowPushPullInterval,
+    /// `delta_sync_partners` is zero while delta sync is enabled: no
+    /// pairing could ever stay warm, so anti-entropy would degenerate
+    /// to cold full-size exchanges.
+    ZeroDeltaSyncPartners,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -76,6 +88,15 @@ impl std::fmt::Display for ConfigError {
                 "reconnect_interval must be positive (use None to disable)"
             }
             ConfigError::ZeroDeadReclaim => "dead_reclaim must be positive",
+            ConfigError::ZeroDeltaSyncHorizon => {
+                "delta_sync_horizon must be positive when delta_sync is enabled"
+            }
+            ConfigError::DeltaSyncHorizonBelowPushPullInterval => {
+                "delta_sync_horizon must be at least push_pull_interval"
+            }
+            ConfigError::ZeroDeltaSyncPartners => {
+                "delta_sync_partners must be at least 1 when delta_sync is enabled"
+            }
         };
         f.write_str(msg)
     }
@@ -228,6 +249,21 @@ pub struct Config {
     /// Period of anti-entropy push-pull sync (memberlist LAN: 30 s);
     /// `None` disables it.
     pub push_pull_interval: Option<Duration>,
+    /// Whether periodic anti-entropy uses incremental (delta) push-pull:
+    /// each exchange carries only the members whose record changed since
+    /// the watermark the peer last confirmed, falling back to a full
+    /// [`PushPull`](lifeguard_proto::PushPull) whenever a watermark
+    /// cannot be trusted. Joins and reconnects always use full sync.
+    pub delta_sync: bool,
+    /// How long a per-peer delta watermark stays trustworthy: if the
+    /// last completed exchange with the chosen peer is older than this,
+    /// the node discards the watermark and falls back to a full sync.
+    pub delta_sync_horizon: Duration,
+    /// Number of warm sync partners a node aims to keep. Once this many
+    /// peers have fresh watermarks, periodic push-pull picks among them
+    /// (cheap deltas); below it, a random peer is chosen, cold-starting
+    /// a new pairing with a full-size exchange.
+    pub delta_sync_partners: usize,
     /// Period of reconnect attempts to members believed dead (Serf-style
     /// `reconnect_interval`, 30 s): a push-pull is sent to one random
     /// dead member so fully partitioned sub-groups re-merge automatically
@@ -268,6 +304,9 @@ impl Config {
             gossip_nodes: 3,
             gossip_to_the_dead: Duration::from_secs(30),
             push_pull_interval: Some(Duration::from_secs(30)),
+            delta_sync: true,
+            delta_sync_horizon: Duration::from_secs(300),
+            delta_sync_partners: 3,
             reconnect_interval: Some(Duration::from_secs(30)),
             awareness_max: 8,
             awareness_deltas: AwarenessDeltas::default(),
@@ -445,6 +484,20 @@ impl Config {
         if self.dead_reclaim.is_zero() {
             return Err(ConfigError::ZeroDeadReclaim);
         }
+        if self.delta_sync {
+            if self.delta_sync_horizon.is_zero() {
+                return Err(ConfigError::ZeroDeltaSyncHorizon);
+            }
+            if self
+                .push_pull_interval
+                .is_some_and(|pp| self.delta_sync_horizon < pp)
+            {
+                return Err(ConfigError::DeltaSyncHorizonBelowPushPullInterval);
+            }
+            if self.delta_sync_partners == 0 {
+                return Err(ConfigError::ZeroDeltaSyncPartners);
+            }
+        }
         Ok(())
     }
 }
@@ -557,8 +610,29 @@ mod tests {
             ConfigError::ZeroReconnectInterval,
         );
         check(|c| c.dead_reclaim = Duration::ZERO, ConfigError::ZeroDeadReclaim);
+        check(
+            |c| c.delta_sync_horizon = Duration::ZERO,
+            ConfigError::ZeroDeltaSyncHorizon,
+        );
+        check(
+            |c| c.delta_sync_horizon = Duration::from_secs(10),
+            ConfigError::DeltaSyncHorizonBelowPushPullInterval,
+        );
+        check(
+            |c| c.delta_sync_partners = 0,
+            ConfigError::ZeroDeltaSyncPartners,
+        );
+        // The delta knobs are only constrained while delta sync is on.
+        let mut off = Config::lan();
+        off.delta_sync = false;
+        off.delta_sync_horizon = Duration::ZERO;
+        off.delta_sync_partners = 0;
+        assert_eq!(off.validate(), Ok(()));
         // Errors render a human-readable reason.
         assert!(ConfigError::EmptyGossipFanout.to_string().contains("gossip_nodes"));
+        assert!(ConfigError::ZeroDeltaSyncHorizon
+            .to_string()
+            .contains("delta_sync_horizon"));
     }
 
     #[test]

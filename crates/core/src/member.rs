@@ -20,6 +20,11 @@ pub struct Member {
     pub state_change: Time,
     /// Opaque application metadata from the member's `alive` messages.
     pub meta: Bytes,
+    /// Value of the owning [`Membership`](crate::membership::Membership)
+    /// table's update sequence when this record last changed — the
+    /// watermark delta push-pull filters on. Local bookkeeping only,
+    /// never on the wire; stamped by the table, not by callers.
+    pub updated_seq: u64,
 }
 
 impl Member {
@@ -32,6 +37,7 @@ impl Member {
             state: MemberState::Alive,
             state_change: now,
             meta: Bytes::new(),
+            updated_seq: 0,
         }
     }
 

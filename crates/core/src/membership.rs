@@ -23,7 +23,7 @@
 //! go through the table ([`Membership::update`] or
 //! [`Membership::set_state`]); there is deliberately no `get_mut`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use lifeguard_proto::{MemberState, NodeName};
 use rand::{Rng, RngExt};
@@ -64,6 +64,15 @@ pub struct Membership {
     gone: Vec<usize>,
     /// Number of members in state `Alive` exactly.
     alive: usize,
+    /// Monotonically increasing sequence, bumped once per observable
+    /// record change ([`Membership::update_seq`]).
+    update_seq: u64,
+    /// Change log for [`Membership::changed_since`]: `(seq, slot id)`
+    /// in ascending-seq order, one *live* entry per member (an entry is
+    /// stale once its slot's record was re-stamped or removed; stale
+    /// entries are skipped on read and dropped by amortised
+    /// compaction). Keeps delta generation O(changed), not O(n).
+    log: VecDeque<(u64, usize)>,
 }
 
 impl Membership {
@@ -100,6 +109,32 @@ impl Membership {
         Some(&self.slot(id).member)
     }
 
+    /// The table's current update sequence: the stamp of the most
+    /// recent record change. Strictly monotonic per observable change,
+    /// never reused, local to this table instance. O(1).
+    pub fn update_seq(&self) -> u64 {
+        self.update_seq
+    }
+
+    /// Members whose record changed after `since` (in this table's own
+    /// sequence space), newest first. O(changed): walks the change log
+    /// from its tail, skipping superseded entries, so steady-state
+    /// delta generation never touches the unchanged bulk of the table.
+    ///
+    /// `changed_since(0)` visits every member — a fresh watermark
+    /// degenerates to a full-state exchange, which is what makes delta
+    /// sync safe to bootstrap from nothing.
+    pub fn changed_since(&self, since: u64) -> impl Iterator<Item = &Member> {
+        self.log
+            .iter()
+            .rev()
+            .take_while(move |&&(seq, _)| seq > since)
+            .filter_map(move |&(seq, id)| {
+                let slot = self.slots[id].as_ref()?;
+                (slot.member.updated_seq == seq).then_some(&slot.member)
+            })
+    }
+
     /// Mutates the member named `name` through `f`, keeping the state
     /// counters and liveness pools consistent with whatever `f` changed.
     /// Returns `None` (without running `f`) if the member is unknown.
@@ -113,14 +148,32 @@ impl Membership {
         let &id = self.index.get(name)?;
         let slot = self.slots[id].as_mut().expect("indexed slot occupied");
         let before = slot.member.state;
+        // Snapshot for change-stamping. The meta clone (a refcount
+        // bump) keeps the old buffer alive across `f`, so an equal
+        // pointer + length afterwards *proves* the buffer is unchanged
+        // (`Bytes` is immutable and the allocator cannot have reused a
+        // block that is still live). Only when the buffer genuinely
+        // changed do we pay a content comparison — the borrowed alive
+        // path reuses the stored buffer for unchanged metadata, so the
+        // steady state stays on the pointer fast path.
+        let before_key = (slot.member.state, slot.member.incarnation, slot.member.addr);
+        let before_meta = slot.member.meta.clone();
         let out = f(&mut slot.member);
         let after = slot.member.state;
+        let after_key = (slot.member.state, slot.member.incarnation, slot.member.addr);
+        let after_meta = &slot.member.meta;
+        let same_buffer = before_meta.len() == after_meta.len()
+            && std::ptr::eq(before_meta.as_ref().as_ptr(), after_meta.as_ref().as_ptr());
+        let meta_changed = !same_buffer && before_meta.as_ref() != after_meta.as_ref();
         debug_assert_eq!(
             &self.slots[id].as_ref().expect("indexed slot occupied").member.name,
             name,
             "update() must not change the member's name (index key)"
         );
         self.reconcile(id, before, after);
+        if before_key != after_key || meta_changed {
+            self.stamp(id);
+        }
         Some(out)
     }
 
@@ -132,6 +185,7 @@ impl Membership {
     }
 
     /// Inserts or replaces a member record. Returns the previous record.
+    /// Always counts as a record change for [`Membership::changed_since`].
     pub fn upsert(&mut self, member: Member) -> Option<Member> {
         if let Some(&id) = self.index.get(&member.name) {
             let slot = self.slots[id].as_mut().expect("indexed slot occupied");
@@ -139,6 +193,7 @@ impl Membership {
             let after = member.state;
             let prev = std::mem::replace(&mut slot.member, member);
             self.reconcile(id, before, after);
+            self.stamp(id);
             return Some(prev);
         }
         let id = match self.free.pop() {
@@ -158,6 +213,7 @@ impl Membership {
         if state == MemberState::Alive {
             self.alive += 1;
         }
+        self.stamp(id);
         None
     }
 
@@ -278,6 +334,29 @@ impl Membership {
         self.slots[id].as_ref().expect("indexed slot occupied")
     }
 
+    /// Assigns the next update-seq to slot `id` and logs the change.
+    /// The log entry this supersedes (if any) becomes stale and is
+    /// dropped lazily; compaction keeps the log within 2× the member
+    /// count, so the amortised cost per change stays O(1).
+    fn stamp(&mut self, id: usize) {
+        self.update_seq += 1;
+        self.slots[id]
+            .as_mut()
+            .expect("indexed slot occupied")
+            .member
+            .updated_seq = self.update_seq;
+        self.log.push_back((self.update_seq, id));
+        if self.log.len() > 64 && self.log.len() > 2 * self.index.len() {
+            let slots = &self.slots;
+            self.log.retain(|&(seq, id)| {
+                slots[id]
+                    .as_ref()
+                    .map(|s| s.member.updated_seq == seq)
+                    .unwrap_or(false)
+            });
+        }
+    }
+
     /// The member at virtual position `v` of a pool (All concatenates
     /// live then gone).
     fn pool_member(&self, pool: SamplePool, v: usize) -> &Member {
@@ -357,6 +436,33 @@ impl Membership {
             };
             assert_eq!(pool[slot.pos], id, "pool position out of sync");
         }
+        // Change-log invariants: ascending seqs bounded by the counter,
+        // and exactly one live log entry per member (so `changed_since`
+        // is complete at any watermark, including 0).
+        let mut prev = 0;
+        let mut live_entries = 0;
+        for &(seq, id) in &self.log {
+            assert!(seq > prev, "log seqs must be strictly ascending");
+            assert!(seq <= self.update_seq, "log seq beyond counter");
+            prev = seq;
+            if self.slots[id]
+                .as_ref()
+                .map(|s| s.member.updated_seq == seq)
+                .unwrap_or(false)
+            {
+                live_entries += 1;
+            }
+        }
+        assert_eq!(
+            live_entries,
+            self.index.len(),
+            "each member must have exactly one live log entry"
+        );
+        assert_eq!(
+            self.changed_since(0).count(),
+            self.index.len(),
+            "changed_since(0) must visit every member"
+        );
     }
 }
 
@@ -537,6 +643,60 @@ mod tests {
         assert!(gone.iter().all(|m| !m.is_live()));
         let all = t.sample_pool(SamplePool::All, 10, &mut rng, |_| true);
         assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn changed_since_tracks_only_observable_changes() {
+        let mut t = table(4);
+        let base = t.update_seq();
+        assert_eq!(t.changed_since(0).count(), 4, "inserts are changes");
+        assert_eq!(t.changed_since(base).count(), 0);
+
+        // A state change stamps exactly the touched member.
+        t.set_state(&"node-1".into(), MemberState::Suspect, Time::from_secs(1));
+        let changed: Vec<_> = t.changed_since(base).map(|m| m.name.clone()).collect();
+        assert_eq!(changed, vec![NodeName::from("node-1")]);
+
+        // A no-op update (nothing observable changed) does not stamp.
+        let mid = t.update_seq();
+        t.update(&"node-2".into(), |_m| {});
+        t.set_state(&"node-1".into(), MemberState::Suspect, Time::from_secs(2));
+        assert_eq!(t.update_seq(), mid);
+        assert_eq!(t.changed_since(mid).count(), 0);
+
+        // Incarnation and address changes stamp.
+        t.update(&"node-2".into(), |m| m.incarnation = Incarnation(5));
+        t.update(&"node-3".into(), |m| m.addr = addr(99));
+        assert_eq!(t.changed_since(mid).count(), 2);
+
+        // Re-touching a member keeps exactly one live entry for it.
+        t.update(&"node-2".into(), |m| m.incarnation = Incarnation(6));
+        assert_eq!(t.changed_since(mid).count(), 2);
+        assert_eq!(t.changed_since(0).count(), 4);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn changed_since_survives_removal_slot_reuse_and_compaction() {
+        let mut t = table(8);
+        // Churn hard enough to trigger compaction (log > 2 * members).
+        for round in 0..40u64 {
+            let i = (round % 8) as usize;
+            let name = NodeName::from(format!("node-{i}"));
+            if round % 11 == 3 {
+                t.remove(&name);
+                t.upsert(Member::new(name, addr(i as u8), Incarnation(round), Time::ZERO));
+            } else {
+                t.update(&name, |m| m.incarnation = Incarnation(100 + round));
+            }
+            t.check_invariants();
+        }
+        assert_eq!(t.changed_since(0).count(), 8);
+        // The newest change is visible at the tightest watermark.
+        let before = t.update_seq();
+        t.set_state(&"node-0".into(), MemberState::Dead, Time::from_secs(1));
+        let changed: Vec<_> = t.changed_since(before).map(|m| m.name.clone()).collect();
+        assert_eq!(changed, vec![NodeName::from("node-0")]);
     }
 
     #[test]

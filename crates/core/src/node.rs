@@ -32,7 +32,7 @@ use bytes::Bytes;
 use lifeguard_proto::compound::CompoundBuilder;
 use lifeguard_proto::{
     compound, Ack, Alive, Dead, DecodeError, IndirectPing, Incarnation, MemberState, Message,
-    Nack, NodeAddr, NodeName, Ping, PushPull, SeqNo, Suspect,
+    Nack, NodeAddr, NodeName, Ping, PushPull, PushPullDelta, SeqNo, Suspect,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -83,6 +83,14 @@ pub enum Input {
     },
     /// Leave the group gracefully (broadcasts a self-signed `dead`).
     Leave,
+    /// Run one anti-entropy exchange with the named member right now
+    /// (operator-triggered sync; the periodic `PushPullTick` uses the
+    /// same path with a sampled peer). Delta or full per configuration
+    /// and watermark state; a no-op for unknown names and self.
+    Sync {
+        /// The member to exchange state with.
+        with: NodeName,
+    },
     /// Message I/O became blocked/unblocked (anomaly injection, paper
     /// §V-D). See the blocked-I/O notes on [`SwimNode`].
     IoBlocked {
@@ -215,6 +223,27 @@ struct ActiveSuspicion {
     timer: TimerKey,
 }
 
+/// Delta-sync bookkeeping for one peer.
+///
+/// Watermarks are conservative by construction: `remote_seen` advances
+/// only after the peer's entries were merged locally, and `local_acked`
+/// advances only on the peer's own `since` claims, so a dropped message
+/// can cause re-sending but never a missed update.
+#[derive(Clone, Debug)]
+struct PeerSync {
+    /// The peer instance (epoch) these watermarks refer to; a changed
+    /// epoch invalidates them wholesale.
+    peer_epoch: u64,
+    /// Highest peer update-seq merged locally — sent as `since`.
+    remote_seen: u64,
+    /// Highest local update-seq the peer has confirmed merging — the
+    /// lower bound of the next delta this node sends it.
+    local_acked: u64,
+    /// When a delta message from this peer was last processed; past the
+    /// configured horizon the watermarks are discarded.
+    last_exchange: Time,
+}
+
 /// A single group member's protocol instance.
 ///
 /// # Example
@@ -250,6 +279,14 @@ pub struct SwimNode {
     suspicions: HashMap<NodeName, ActiveSuspicion>,
     probe: Option<ProbeState>,
     relays: HashMap<SeqNo, RelayState>,
+    /// This instance's id for delta-sync watermarks: seq values this
+    /// node hands out are only meaningful together with this epoch, so
+    /// a restarted peer can never mis-apply watermarks from a previous
+    /// life.
+    epoch: u64,
+    /// Per-peer delta-sync watermarks (pruned on reap and past the
+    /// configured horizon).
+    peer_sync: HashMap<NodeName, PeerSync>,
     seq: SeqNo,
     timers: TimerWheel<Timer>,
     rng: StdRng,
@@ -309,6 +346,16 @@ impl SwimNode {
         config.validate()?;
         let awareness = Awareness::new(config.effective_awareness_max());
         let packet_budget = config.packet_budget;
+        // Instance id for delta-sync watermarks: seed-derived (so runs
+        // stay reproducible) without consuming the protocol RNG stream,
+        // and never zero (`since_epoch == 0` means "unknown" on the
+        // wire). Runtime contract: a restarted node must be given a
+        // fresh seed (`Agent::start` derives one from entropy when
+        // unseeded) so it gets a fresh epoch — that is what invalidates
+        // stale peer watermarks. Even under an epoch collision, a
+        // `since = 0` request is always served from scratch, so the
+        // failure mode is re-sending, not data loss.
+        let epoch = (seed ^ 0x9E37_79B9_7F4A_7C15).wrapping_mul(0xBF58_476D_1CE4_E5B9) | 1;
         Ok(SwimNode {
             config,
             name,
@@ -322,6 +369,8 @@ impl SwimNode {
             suspicions: HashMap::new(),
             probe: None,
             relays: HashMap::new(),
+            epoch,
+            peer_sync: HashMap::new(),
             seq: SeqNo(0),
             timers: TimerWheel::new(),
             rng: StdRng::seed_from_u64(seed),
@@ -553,6 +602,7 @@ impl SwimNode {
             Input::Tick => self.tick(now),
             Input::Join { seeds } => self.join(&seeds, now),
             Input::Leave => self.leave(now),
+            Input::Sync { with } => self.sync_request(&with, now),
             Input::IoBlocked { blocked } => self.set_io_blocked(blocked, now),
             Input::UpdateMeta { meta } => self.update_meta(meta, now),
         }
@@ -659,6 +709,16 @@ impl SwimNode {
 
     /// [`Input::Stream`]: a message from the reliable stream transport.
     fn handle_stream_msg(&mut self, from: NodeAddr, msg: Message, now: Time) {
+        // Same pre-start guard as the datagram path (`handle_message`),
+        // plus post-leave: a node that has not booted yet — or has left
+        // the group — must not answer probes or anti-entropy exchanges.
+        // Streams outlive datagrams (a TCP connection accepted before
+        // `start` can deliver arbitrarily late), so without this guard a
+        // pre-start push-pull could seed membership state that `start`
+        // then clobbers.
+        if !self.started || self.left {
+            return;
+        }
         match msg {
             // Fallback direct probe over TCP: reply in kind.
             Message::Ping(p) if p.target == self.name => {
@@ -680,6 +740,7 @@ impl SwimNode {
                     );
                 }
             }
+            Message::PushPullDelta(d) => self.handle_push_pull_delta(from, d, now),
             // Gossip over the stream transport is not part of the
             // protocol; ignore anything else.
             _ => {}
@@ -703,7 +764,7 @@ impl SwimNode {
             Message::Alive(a) => self.handle_alive(a, now),
             Message::Dead(d) => self.handle_dead(d, now),
             // Push-pull is stream-only; drop it if it arrives by datagram.
-            Message::PushPull(_) => {}
+            Message::PushPull(_) | Message::PushPullDelta(_) => {}
         }
     }
 
@@ -1024,7 +1085,7 @@ impl SwimNode {
                     }
                     if !self.stuck_push_pull && !self.left {
                         self.stuck_push_pull = true;
-                        self.push_pull_once();
+                        self.push_pull_once(now);
                     }
                     return;
                 }
@@ -1071,7 +1132,7 @@ impl SwimNode {
                     self.schedule(now + pp, Timer::PushPullTick);
                 }
                 if !self.left {
-                    self.push_pull_once();
+                    self.push_pull_once(now);
                 }
             }
             Timer::Reconnect => {
@@ -1124,6 +1185,15 @@ impl SwimNode {
                 for name in &names {
                     self.membership.remove(name);
                 }
+                // Delta-sync watermarks ride the same retention policy:
+                // entries for reaped members or past the trust horizon
+                // are dropped, bounding `peer_sync` by the live roster.
+                let horizon = self.config.delta_sync_horizon;
+                let membership = &self.membership;
+                self.peer_sync.retain(|name, ps| {
+                    membership.get(name).is_some()
+                        && now.saturating_since(ps.last_exchange) <= horizon
+                });
             }
         }
     }
@@ -1436,8 +1506,35 @@ impl SwimNode {
         }
     }
 
-    /// One anti-entropy exchange with a random alive peer.
-    fn push_pull_once(&mut self) {
+    /// One periodic anti-entropy exchange.
+    ///
+    /// Peer choice implements warm-partner selection: once at least
+    /// `delta_sync_partners` peers hold fresh watermarks, the node keeps
+    /// syncing among them (every exchange is an O(churn) delta);
+    /// otherwise it explores a random alive peer, cold-starting a new
+    /// pairing with one full-size exchange. Inbound exchanges warm
+    /// pairings too, so the partner graph stays connected and mixes.
+    fn push_pull_once(&mut self, now: Time) {
+        if self.config.delta_sync {
+            let horizon = self.config.delta_sync_horizon;
+            let mut warm: Vec<(NodeName, NodeAddr)> = self
+                .peer_sync
+                .iter()
+                .filter(|(_, ps)| now.saturating_since(ps.last_exchange) <= horizon)
+                .filter_map(|(name, _)| {
+                    let m = self.membership.get(name)?;
+                    (m.state == MemberState::Alive).then(|| (m.name.clone(), m.addr))
+                })
+                .collect();
+            if warm.len() >= self.config.delta_sync_partners {
+                // HashMap iteration order is not deterministic; sort so
+                // the seeded draw below is reproducible.
+                warm.sort_by(|a, b| a.0.cmp(&b.0));
+                let (name, to) = warm[self.rng.random_range(0..warm.len())].clone();
+                self.sync_with(&name, to, now);
+                return;
+            }
+        }
         let mut peer = None;
         {
             let me = &self.name;
@@ -1446,10 +1543,156 @@ impl SwimNode {
                 1,
                 &mut self.rng,
                 |m| m.name != *me && m.state == MemberState::Alive,
-                |m| peer = Some(m.addr),
+                |m| peer = Some((m.name.clone(), m.addr)),
             );
         }
-        let Some(to) = peer else { return };
+        let Some((name, to)) = peer else { return };
+        self.sync_with(&name, to, now);
+    }
+
+    /// [`Input::Sync`]: one exchange with a specific member.
+    fn sync_request(&mut self, with: &NodeName, now: Time) {
+        if !self.started || self.left || *with == self.name {
+            return;
+        }
+        let Some(m) = self.membership.get(with) else {
+            return;
+        };
+        let (name, to) = (m.name.clone(), m.addr);
+        self.sync_with(&name, to, now);
+    }
+
+    /// Starts one anti-entropy exchange with `peer`: an incremental
+    /// [`PushPullDelta`] against the stored watermarks when delta sync
+    /// is enabled and the watermarks are fresh, a full [`PushPull`]
+    /// otherwise (delta sync disabled, or watermark stale past
+    /// `delta_sync_horizon`). A peer without watermarks gets a
+    /// `since = 0` delta — semantically a full exchange that also
+    /// bootstraps the watermarks for the rounds after it.
+    fn sync_with(&mut self, peer: &NodeName, to: NodeAddr, now: Time) {
+        if !self.config.delta_sync {
+            self.emit_full_push_pull(to);
+            return;
+        }
+        if let Some(ps) = self.peer_sync.get(peer) {
+            if now.saturating_since(ps.last_exchange) > self.config.delta_sync_horizon {
+                // Watermark stale past the horizon: distrust it, resync
+                // in full, and let fresh watermarks re-form.
+                self.peer_sync.remove(peer);
+                self.emit_full_push_pull(to);
+                return;
+            }
+        }
+        let (since, since_epoch, local_acked) = match self.peer_sync.get(peer) {
+            Some(ps) => (ps.remote_seen, ps.peer_epoch, ps.local_acked),
+            None => (0, 0, 0),
+        };
+        let msg = Message::PushPullDelta(PushPullDelta {
+            from: self.name.clone(),
+            epoch: self.epoch,
+            since_epoch,
+            since,
+            seq: self.membership.update_seq(),
+            reply: false,
+            entries: self.collect_changed(local_acked),
+        });
+        self.emit_stream(to, msg);
+    }
+
+    /// A [`PushPullDelta`] arrived on the stream transport.
+    ///
+    /// Watermark protocol: the peer's `since` (validated against our
+    /// `epoch`) tells us how much of *our* state it has merged, and
+    /// doubles as the ack that advances `local_acked`; its `seq` covers
+    /// the attached entries, advancing `remote_seen` once they are
+    /// merged. Replies snapshot their entry list *before* merging so
+    /// freshly accepted entries are not echoed straight back.
+    fn handle_push_pull_delta(&mut self, from_addr: NodeAddr, d: PushPullDelta, now: Time) {
+        if d.from == self.name {
+            return; // a delta "from ourselves" is a routing error
+        }
+        // `since = 0` asks to be served from scratch and is always
+        // honoured; a non-zero watermark must match this instance.
+        let servable = self.config.delta_sync
+            && (d.since == 0
+                || (d.since_epoch == self.epoch && d.since <= self.membership.update_seq()));
+        if !servable {
+            // The remote's watermark refers to a version we cannot
+            // serve (we restarted, or delta sync is disabled here).
+            // Its entries are still ordinary membership facts — merge
+            // them — then fall back to a full exchange. `reply: false`
+            // solicits the peer's full state in return, so both sides
+            // resync from scratch and fresh watermarks re-form on the
+            // next delta round.
+            self.peer_sync.remove(&d.from);
+            self.merge_remote_state(&d.entries, now);
+            if !d.reply {
+                self.emit_full_push_pull(from_addr);
+            }
+            return;
+        }
+        let entry = self
+            .peer_sync
+            .entry(d.from.clone())
+            .or_insert_with(|| PeerSync {
+                peer_epoch: d.epoch,
+                remote_seen: 0,
+                local_acked: 0,
+                last_exchange: now,
+            });
+        if entry.peer_epoch != d.epoch {
+            // The peer restarted: every watermark for its previous
+            // instance is void.
+            *entry = PeerSync {
+                peer_epoch: d.epoch,
+                remote_seen: 0,
+                local_acked: 0,
+                last_exchange: now,
+            };
+        }
+        if d.since == 0 {
+            // An explicit serve-from-scratch request overrides any
+            // stored ack: the peer is telling us it has merged nothing
+            // of ours, and its claim must win even if epoch detection
+            // failed to notice a restart (re-sending is always safe;
+            // trusting a stale ack never is).
+            entry.local_acked = 0;
+        } else {
+            entry.local_acked = entry.local_acked.max(d.since);
+        }
+        entry.last_exchange = now;
+        let local_acked = entry.local_acked;
+        let reply = (!d.reply).then(|| {
+            Message::PushPullDelta(PushPullDelta {
+                from: self.name.clone(),
+                epoch: self.epoch,
+                since_epoch: d.epoch,
+                since: d.seq,
+                seq: self.membership.update_seq(),
+                reply: true,
+                entries: self.collect_changed(local_acked),
+            })
+        });
+        self.merge_remote_state(&d.entries, now);
+        let entry = self.peer_sync.get_mut(&d.from).expect("entry just touched");
+        entry.remote_seen = entry.remote_seen.max(d.seq);
+        if let Some(msg) = reply {
+            self.emit_stream(from_addr, msg);
+        }
+    }
+
+    /// Members changed after `since` in push-pull wire form, newest
+    /// first. O(changed) via the membership change log.
+    fn collect_changed(&self, since: u64) -> Vec<lifeguard_proto::PushNodeState> {
+        self.membership
+            .changed_since(since)
+            .map(Member::to_push_state)
+            .collect()
+    }
+
+    /// Queues a full-state push-pull request to `to` — the join path,
+    /// the reconnect path, and every delta-sync fallback.
+    fn emit_full_push_pull(&mut self, to: NodeAddr) {
         let states = self.membership.iter().map(Member::to_push_state).collect();
         self.emit_stream(
             to,
@@ -1463,7 +1706,9 @@ impl SwimNode {
 
     /// One Serf-style reconnect attempt: push-pull with a random member
     /// believed dead, so partitioned sub-groups re-merge automatically
-    /// once connectivity is restored.
+    /// once connectivity is restored. Always a full exchange: whatever
+    /// watermarks existed before the partition are exactly the ones a
+    /// resurrecting peer cannot be trusted to still honour.
     fn reconnect_once(&mut self) {
         let mut peer = None;
         {
@@ -1477,15 +1722,7 @@ impl SwimNode {
             );
         }
         let Some(to) = peer else { return };
-        let states = self.membership.iter().map(Member::to_push_state).collect();
-        self.emit_stream(
-            to,
-            Message::PushPull(PushPull {
-                join: false,
-                reply: false,
-                states,
-            }),
-        );
+        self.emit_full_push_pull(to);
     }
 
     /// Merges a remote membership table (push-pull). Remote `dead` claims
@@ -2353,6 +2590,385 @@ mod tests {
             Time::from_secs(3),
         );
         assert_eq!(n.member(&"p".into()).unwrap().meta.as_ref(), b"role=web");
+    }
+
+    /// Registers a real peer node in `n`'s table at the incarnation the
+    /// peer actually holds (0), so cross-node table comparisons line up.
+    fn add_real_peer(n: &mut SwimNode, name: &str, i: u8, now: Time) {
+        feed(
+            n,
+            addr(i),
+            Message::Alive(Alive {
+                incarnation: Incarnation::ZERO,
+                node: name.into(),
+                addr: addr(i),
+                meta: Bytes::new(),
+            }),
+            now,
+        );
+    }
+
+    fn stream_msgs(outputs: &[OwnedOutput]) -> Vec<(NodeAddr, Message)> {
+        outputs
+            .iter()
+            .filter_map(|o| match o {
+                OwnedOutput::Stream { to, msg } => Some((*to, msg.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `(name, addr, incarnation, state, meta)` of every member, sorted —
+    /// the comparable essence of a membership table.
+    fn table_of(n: &SwimNode) -> Vec<(String, String, u64, u8, Vec<u8>)> {
+        let mut rows: Vec<_> = n
+            .members()
+            .map(|m| {
+                (
+                    m.name.as_str().to_owned(),
+                    format!("{:?}", m.addr),
+                    m.incarnation.0,
+                    m.state.as_u8(),
+                    m.meta.as_ref().to_vec(),
+                )
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    /// Regression (stream-path guard): before `start`, stream messages
+    /// must be dropped exactly like datagrams — no replies, no state.
+    #[test]
+    fn pre_start_stream_messages_are_dropped() {
+        let mut n = SwimNode::new("local".into(), addr(1), Config::lan(), 1);
+        let states = vec![lifeguard_proto::PushNodeState {
+            name: "ghost".into(),
+            addr: addr(7),
+            incarnation: Incarnation(1),
+            state: MemberState::Alive,
+            meta: Bytes::new(),
+        }];
+        n.handle_input(
+            Input::Stream {
+                from: addr(9),
+                msg: Message::PushPull(PushPull {
+                    join: true,
+                    reply: false,
+                    states,
+                }),
+            },
+            Time::ZERO,
+        )
+        .unwrap();
+        n.handle_input(
+            Input::Stream {
+                from: addr(9),
+                msg: Message::Ping(Ping {
+                    seq: SeqNo(3),
+                    target: "local".into(),
+                    source: "peer".into(),
+                    source_addr: addr(9),
+                }),
+            },
+            Time::ZERO,
+        )
+        .unwrap();
+        assert!(drain(&mut n).is_empty(), "pre-start stream must produce nothing");
+        assert!(n.member(&"ghost".into()).is_none(), "pre-start merge must not happen");
+        assert_eq!(n.members().count(), 0);
+    }
+
+    /// Regression (stream-path guard): after a graceful leave, stream
+    /// messages are dropped too — no acks, no anti-entropy answers.
+    #[test]
+    fn post_leave_stream_messages_are_dropped() {
+        let mut n = node(Config::lan());
+        add_peer(&mut n, "p", 2, Time::from_secs(1));
+        n.handle_input(Input::Leave, Time::from_secs(2)).unwrap();
+        drain(&mut n);
+        let out = feed_stream(
+            &mut n,
+            addr(2),
+            Message::Ping(Ping {
+                seq: SeqNo(5),
+                target: "local".into(),
+                source: "p".into(),
+                source_addr: addr(2),
+            }),
+            Time::from_secs(3),
+        );
+        assert!(out.is_empty(), "a left node must not ack stream probes");
+        let out = feed_stream(
+            &mut n,
+            addr(2),
+            Message::PushPull(PushPull {
+                join: false,
+                reply: false,
+                states: vec![lifeguard_proto::PushNodeState {
+                    name: "ghost".into(),
+                    addr: addr(7),
+                    incarnation: Incarnation(1),
+                    state: MemberState::Alive,
+                    meta: Bytes::new(),
+                }],
+            }),
+            Time::from_secs(3),
+        );
+        assert!(out.is_empty(), "a left node must not answer push-pull");
+        assert!(n.member(&"ghost".into()).is_none());
+    }
+
+    /// Regression: a remote `Left` entry about a member we never knew
+    /// must be dropped, not resurrected through the learn-then-apply
+    /// path `Suspect`/`Dead` entries use.
+    #[test]
+    fn remote_left_entry_for_unknown_member_is_not_resurrected() {
+        let mut n = node(Config::lan());
+        let out = feed_stream(
+            &mut n,
+            addr(9),
+            Message::PushPull(PushPull {
+                join: false,
+                reply: true, // response half: no counter-reply expected
+                states: vec![lifeguard_proto::PushNodeState {
+                    name: "ghost".into(),
+                    addr: addr(7),
+                    incarnation: Incarnation(5),
+                    state: MemberState::Left,
+                    meta: Bytes::new(),
+                }],
+            }),
+            Time::from_secs(1),
+        );
+        assert!(out.is_empty(), "a left-unknown entry must produce no effects");
+        assert!(n.member(&"ghost".into()).is_none(), "member must not be learned");
+        assert!(
+            n.queued_broadcast_for(&"ghost".into()).is_none(),
+            "nothing about the ghost may be gossiped"
+        );
+        // Contrast: a Suspect entry for an unknown member *is* learned
+        // (memberlist behaviour), pinning that the two paths differ.
+        feed_stream(
+            &mut n,
+            addr(9),
+            Message::PushPull(PushPull {
+                join: false,
+                reply: true,
+                states: vec![lifeguard_proto::PushNodeState {
+                    name: "sus".into(),
+                    addr: addr(8),
+                    incarnation: Incarnation(1),
+                    state: MemberState::Suspect,
+                    meta: Bytes::new(),
+                }],
+            }),
+            Time::from_secs(1),
+        );
+        assert_eq!(n.member(&"sus".into()).unwrap().state, MemberState::Suspect);
+    }
+
+    /// A delta arriving by datagram is dropped like a full push-pull.
+    #[test]
+    fn push_pull_delta_by_datagram_is_dropped() {
+        let mut n = node(Config::lan());
+        let out = feed(
+            &mut n,
+            addr(9),
+            Message::PushPullDelta(PushPullDelta {
+                from: "peer".into(),
+                epoch: 7,
+                since_epoch: 0,
+                since: 0,
+                seq: 3,
+                reply: false,
+                entries: vec![lifeguard_proto::PushNodeState {
+                    name: "ghost".into(),
+                    addr: addr(7),
+                    incarnation: Incarnation(1),
+                    state: MemberState::Alive,
+                    meta: Bytes::new(),
+                }],
+            }),
+            Time::from_secs(1),
+        );
+        assert!(out.is_empty());
+        assert!(n.member(&"ghost".into()).is_none());
+    }
+
+    /// End-to-end delta exchange between two real nodes: the first
+    /// exchange bootstraps (full-equivalent), the second carries only
+    /// the churn, and a dropped reply is retransmitted — never lost.
+    #[test]
+    fn delta_exchange_converges_and_second_round_is_incremental() {
+        let now = Time::from_secs(1);
+        let mut a = node(Config::lan()); // "local" at addr(1)
+        let mut b = SwimNode::new("remote".into(), addr(2), Config::lan(), 2);
+        b.start(Time::ZERO);
+        for (i, p) in ["p1", "p2", "p3"].iter().enumerate() {
+            add_peer(&mut a, p, 10 + i as u8, now);
+        }
+        add_real_peer(&mut a, "remote", 2, now);
+
+        // Round 1: cold watermarks → the delta is full-equivalent.
+        a.handle_input(Input::Sync { with: "remote".into() }, now).unwrap();
+        let req = stream_msgs(&drain(&mut a));
+        assert_eq!(req.len(), 1);
+        assert_eq!(req[0].0, addr(2));
+        let Message::PushPullDelta(d) = &req[0].1 else {
+            panic!("expected delta, got {:?}", req[0].1)
+        };
+        assert_eq!(d.since, 0, "first exchange starts from scratch");
+        assert_eq!(d.entries.len(), 5, "cold delta carries the full table");
+        let reply = stream_msgs(&feed_stream(&mut b, addr(1), req[0].1.clone(), now));
+        assert_eq!(reply.len(), 1);
+        assert!(
+            matches!(&reply[0].1, Message::PushPullDelta(r) if r.reply && r.since > 0),
+            "reply must ack the initiator's seq"
+        );
+        feed_stream(&mut a, addr(2), reply[0].1.clone(), now);
+        assert_eq!(table_of(&a), table_of(&b), "one exchange must converge both tables");
+
+        // Churn one member on A only.
+        add_peer(&mut a, "p9", 99, now + Duration::from_secs(1));
+
+        // Round 2: only the churned entry travels.
+        let t2 = now + Duration::from_secs(2);
+        a.handle_input(Input::Sync { with: "remote".into() }, t2).unwrap();
+        let req2 = stream_msgs(&drain(&mut a));
+        let Message::PushPullDelta(d2) = &req2[0].1 else { panic!() };
+        assert!(d2.since > 0, "watermark must be warm now");
+        assert_eq!(d2.entries.len(), 1, "delta must carry only the churn");
+        assert_eq!(d2.entries[0].name.as_str(), "p9");
+        // Drop B's reply: A must not advance its ack watermark…
+        let reply2 = stream_msgs(&feed_stream(&mut b, addr(1), req2[0].1.clone(), t2));
+        assert_eq!(reply2.len(), 1);
+        assert_eq!(table_of(&a), table_of(&b), "request half alone already syncs A→B");
+
+        // …so round 3 retransmits the unacked churn entry.
+        let t3 = t2 + Duration::from_secs(1);
+        a.handle_input(Input::Sync { with: "remote".into() }, t3).unwrap();
+        let req3 = stream_msgs(&drain(&mut a));
+        let Message::PushPullDelta(d3) = &req3[0].1 else { panic!() };
+        assert_eq!(
+            d3.entries.len(),
+            1,
+            "an unacked entry must be resent after a dropped reply"
+        );
+        assert_eq!(d3.entries[0].name.as_str(), "p9");
+
+        // Deliver the round-3 pair fully: the ack finally lands and
+        // round 4 is empty.
+        let reply3 = stream_msgs(&feed_stream(&mut b, addr(1), req3[0].1.clone(), t3));
+        feed_stream(&mut a, addr(2), reply3[0].1.clone(), t3);
+        let t4 = t3 + Duration::from_secs(1);
+        a.handle_input(Input::Sync { with: "remote".into() }, t4).unwrap();
+        let req4 = stream_msgs(&drain(&mut a));
+        let Message::PushPullDelta(d4) = &req4[0].1 else { panic!() };
+        assert_eq!(d4.entries.len(), 0, "steady state sends an empty delta");
+        assert_eq!(table_of(&a), table_of(&b));
+    }
+
+    /// A peer that restarted (new epoch) answers a stale-watermark delta
+    /// with a full exchange, and both sides converge from scratch.
+    #[test]
+    fn delta_to_restarted_peer_falls_back_to_full_sync() {
+        let now = Time::from_secs(1);
+        let mut a = node(Config::lan());
+        let mut b = SwimNode::new("remote".into(), addr(2), Config::lan(), 2);
+        b.start(Time::ZERO);
+        add_real_peer(&mut a, "remote", 2, now);
+        add_peer(&mut a, "p1", 11, now);
+
+        // Warm the pairing.
+        a.handle_input(Input::Sync { with: "remote".into() }, now).unwrap();
+        let req = stream_msgs(&drain(&mut a));
+        let reply = stream_msgs(&feed_stream(&mut b, addr(1), req[0].1.clone(), now));
+        feed_stream(&mut a, addr(2), reply[0].1.clone(), now);
+
+        // "Restart" B: same name and address, new seed → new epoch.
+        let mut b2 = SwimNode::new("remote".into(), addr(2), Config::lan(), 777);
+        b2.start(Time::ZERO);
+
+        // A's next delta carries a watermark the new instance can't
+        // serve: B2 answers with a full push-pull request, and A's full
+        // reply completes the bidirectional resync.
+        let t2 = now + Duration::from_secs(1);
+        a.handle_input(Input::Sync { with: "remote".into() }, t2).unwrap();
+        let req2 = stream_msgs(&drain(&mut a));
+        assert!(
+            matches!(&req2[0].1, Message::PushPullDelta(d) if d.since > 0),
+            "warm watermark expected"
+        );
+        let fallback = stream_msgs(&feed_stream(&mut b2, addr(1), req2[0].1.clone(), t2));
+        assert!(
+            matches!(&fallback[0].1, Message::PushPull(pp) if !pp.reply),
+            "unservable watermark must trigger a full exchange, got {:?}",
+            fallback[0].1
+        );
+        let full_reply = stream_msgs(&feed_stream(&mut a, addr(2), fallback[0].1.clone(), t2));
+        assert!(matches!(&full_reply[0].1, Message::PushPull(pp) if pp.reply));
+        feed_stream(&mut b2, addr(1), full_reply[0].1.clone(), t2);
+        assert_eq!(table_of(&a), table_of(&b2), "full fallback must converge");
+    }
+
+    /// Even when epoch detection cannot notice a restart (the peer
+    /// came back with the same seed and thus the same epoch), an
+    /// explicit `since = 0` request overrides the stored ack and is
+    /// served from scratch — the stale watermark may cost re-sending,
+    /// never missed entries.
+    #[test]
+    fn since_zero_overrides_stale_ack_after_same_epoch_restart() {
+        let now = Time::from_secs(1);
+        let mut a = node(Config::lan());
+        let mut b = SwimNode::new("remote".into(), addr(2), Config::lan(), 2);
+        b.start(Time::ZERO);
+        add_real_peer(&mut a, "remote", 2, now);
+        add_peer(&mut a, "p1", 11, now);
+
+        // Warm exchange: A ends up holding local_acked > 0 for B.
+        a.handle_input(Input::Sync { with: "remote".into() }, now).unwrap();
+        let req = stream_msgs(&drain(&mut a));
+        let reply = stream_msgs(&feed_stream(&mut b, addr(1), req[0].1.clone(), now));
+        feed_stream(&mut a, addr(2), reply[0].1.clone(), now);
+
+        // "Restart" B with the SAME seed: identical epoch, empty table.
+        let mut b2 = SwimNode::new("remote".into(), addr(2), Config::lan(), 2);
+        b2.start(Time::ZERO);
+        add_real_peer(&mut b2, "local", 1, now);
+
+        // B2's cold request (since = 0) must be answered with A's full
+        // table, not just the entries after A's stale ack for old-B.
+        let t2 = now + Duration::from_secs(1);
+        b2.handle_input(Input::Sync { with: "local".into() }, t2).unwrap();
+        let req2 = stream_msgs(&drain(&mut b2));
+        let Message::PushPullDelta(d) = &req2[0].1 else { panic!() };
+        assert_eq!(d.since, 0);
+        let reply2 = stream_msgs(&feed_stream(&mut a, addr(2), req2[0].1.clone(), t2));
+        let Message::PushPullDelta(r) = &reply2[0].1 else {
+            panic!("expected delta reply, got {:?}", reply2[0].1)
+        };
+        assert_eq!(
+            r.entries.len(),
+            a.members().count(),
+            "a since = 0 request must be served from scratch"
+        );
+        feed_stream(&mut b2, addr(1), reply2[0].1.clone(), t2);
+        assert_eq!(table_of(&a), table_of(&b2));
+    }
+
+    /// With delta sync disabled the periodic exchange is the classic
+    /// full push-pull.
+    #[test]
+    fn sync_with_delta_disabled_sends_full_push_pull() {
+        let mut cfg = Config::lan();
+        cfg.delta_sync = false;
+        let mut n = node(cfg);
+        add_peer(&mut n, "p", 2, Time::from_secs(1));
+        n.handle_input(Input::Sync { with: "p".into() }, Time::from_secs(2))
+            .unwrap();
+        let out = stream_msgs(&drain(&mut n));
+        assert!(matches!(&out[0].1, Message::PushPull(pp) if !pp.reply && !pp.join));
     }
 
     #[test]

@@ -67,7 +67,13 @@ pub struct AgentConfig {
     pub bind: SocketAddr,
     /// Protocol configuration.
     pub protocol: Config,
-    /// RNG seed for the protocol core.
+    /// RNG seed for the protocol core. `0` (the default) means
+    /// *unseeded*: [`Agent::start`] derives a fresh per-instance seed
+    /// from system entropy, so a restarted agent never reuses the
+    /// delta-sync epoch of its previous life (stale peer watermarks
+    /// must be detected, not honoured). Set a nonzero seed for
+    /// reproducible runs — and never reuse it across restarts of the
+    /// same logical node.
     pub seed: u64,
 }
 
@@ -201,13 +207,27 @@ impl Agent {
         tcp.set_nonblocking(true)?;
 
         let advertised = NodeAddr::from(addr);
+        let seed = if config.seed == 0 {
+            // Unseeded: derive per-instance entropy. The protocol
+            // core's delta-sync epoch is a pure function of the seed,
+            // so a process that restarts with the same seed would keep
+            // its epoch and peers would trust watermarks from its
+            // previous life.
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            nanos ^ ((std::process::id() as u64) << 32) ^ (addr.port() as u64)
+        } else {
+            config.seed
+        };
         let (events_tx, events_rx) = unbounded();
         let (stream_tx, stream_rx) = unbounded::<StreamJob>();
         let node = SwimNode::new(
             NodeName::from(config.name),
             advertised,
             config.protocol,
-            config.seed,
+            seed,
         );
         let inner = Arc::new(Inner {
             driver: Mutex::new(Driver::new(node)),

@@ -13,7 +13,8 @@ use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
 
 use crate::error::DecodeError;
 use crate::messages::{
-    Ack, Alive, Dead, IndirectPing, Message, Nack, Ping, PushNodeState, PushPull, Suspect,
+    Ack, Alive, Dead, IndirectPing, Message, Nack, Ping, PushNodeState, PushPull, PushPullDelta,
+    Suspect,
 };
 use crate::types::{Incarnation, MemberState, NodeAddr, NodeName, SeqNo};
 
@@ -27,6 +28,7 @@ pub(crate) const TAG_SUSPECT: u8 = 4;
 pub(crate) const TAG_ALIVE: u8 = 5;
 pub(crate) const TAG_DEAD: u8 = 6;
 pub(crate) const TAG_PUSH_PULL: u8 = 7;
+pub(crate) const TAG_PUSH_PULL_DELTA: u8 = 8;
 /// Tag marking a compound packet.
 pub const COMPOUND_TAG: u8 = 255;
 
@@ -107,14 +109,17 @@ pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
             buf.put_u8(TAG_PUSH_PULL);
             let flags = (pp.join as u8) | ((pp.reply as u8) << 1);
             buf.put_u8(flags);
-            buf.put_u32(pp.states.len() as u32);
-            for st in &pp.states {
-                put_name(buf, &st.name);
-                put_addr(buf, st.addr);
-                buf.put_u64(st.incarnation.0);
-                buf.put_u8(st.state.as_u8());
-                put_blob(buf, &st.meta);
-            }
+            put_states(buf, &pp.states);
+        }
+        Message::PushPullDelta(d) => {
+            buf.put_u8(TAG_PUSH_PULL_DELTA);
+            buf.put_u8(d.reply as u8);
+            put_name(buf, &d.from);
+            buf.put_u64(d.epoch);
+            buf.put_u64(d.since_epoch);
+            buf.put_u64(d.since);
+            buf.put_u64(d.seq);
+            put_states(buf, &d.entries);
         }
     }
 }
@@ -126,6 +131,7 @@ pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
 fn size_hint(msg: &Message) -> usize {
     match msg {
         Message::PushPull(pp) => 1 + 1 + 4 + pp.states.len() * 64,
+        Message::PushPullDelta(d) => 1 + 1 + name_len(&d.from) + 32 + 4 + d.entries.len() * 64,
         other => encoded_len(other),
     }
 }
@@ -149,14 +155,26 @@ pub fn encoded_len(msg: &Message) -> usize {
         Message::Suspect(s) => 1 + 8 + name_len(&s.node) + name_len(&s.from),
         Message::Alive(a) => 1 + 8 + name_len(&a.node) + addr_len(a.addr) + 2 + a.meta.len(),
         Message::Dead(d) => 1 + 8 + name_len(&d.node) + name_len(&d.from),
-        Message::PushPull(pp) => {
-            1 + 1
-                + 4
-                + pp.states
-                    .iter()
-                    .map(|st| name_len(&st.name) + addr_len(st.addr) + 8 + 1 + 2 + st.meta.len())
-                    .sum::<usize>()
-        }
+        Message::PushPull(pp) => 1 + 1 + states_len(&pp.states),
+        Message::PushPullDelta(d) => 1 + 1 + name_len(&d.from) + 32 + states_len(&d.entries),
+    }
+}
+
+fn states_len(states: &[PushNodeState]) -> usize {
+    4 + states
+        .iter()
+        .map(|st| name_len(&st.name) + addr_len(st.addr) + 8 + 1 + 2 + st.meta.len())
+        .sum::<usize>()
+}
+
+fn put_states(buf: &mut BytesMut, states: &[PushNodeState]) {
+    buf.put_u32(states.len() as u32);
+    for st in states {
+        put_name(buf, &st.name);
+        put_addr(buf, st.addr);
+        buf.put_u64(st.incarnation.0);
+        buf.put_u8(st.state.as_u8());
+        put_blob(buf, &st.meta);
     }
 }
 
@@ -233,28 +251,45 @@ pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<Message, DecodeError> {
         })),
         TAG_PUSH_PULL => {
             let flags = r.get_u8()?;
-            let count = r.get_u32()? as usize;
-            let mut states = Vec::with_capacity(count.min(4096));
-            for _ in 0..count {
-                states.push(PushNodeState {
-                    name: r.get_name()?,
-                    addr: r.get_addr()?,
-                    incarnation: Incarnation(r.get_u64()?),
-                    state: {
-                        let b = r.get_u8()?;
-                        MemberState::from_u8(b).ok_or(DecodeError::UnknownState(b))?
-                    },
-                    meta: r.get_blob()?,
-                });
-            }
+            let states = get_states(r)?;
             Ok(Message::PushPull(PushPull {
                 join: flags & 1 != 0,
                 reply: flags & 2 != 0,
                 states,
             }))
         }
+        TAG_PUSH_PULL_DELTA => {
+            let reply = r.get_u8()? != 0;
+            Ok(Message::PushPullDelta(PushPullDelta {
+                reply,
+                from: r.get_name()?,
+                epoch: r.get_u64()?,
+                since_epoch: r.get_u64()?,
+                since: r.get_u64()?,
+                seq: r.get_u64()?,
+                entries: get_states(r)?,
+            }))
+        }
         other => Err(DecodeError::UnknownTag(other)),
     }
+}
+
+fn get_states(r: &mut Reader<'_>) -> Result<Vec<PushNodeState>, DecodeError> {
+    let count = r.get_u32()? as usize;
+    let mut states = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        states.push(PushNodeState {
+            name: r.get_name()?,
+            addr: r.get_addr()?,
+            incarnation: Incarnation(r.get_u64()?),
+            state: {
+                let b = r.get_u8()?;
+                MemberState::from_u8(b).ok_or(DecodeError::UnknownState(b))?
+            },
+            meta: r.get_blob()?,
+        });
+    }
+    Ok(states)
 }
 
 fn name_len(n: &NodeName) -> usize {
@@ -444,6 +479,21 @@ mod tests {
                     meta: Bytes::new(),
                 }],
             }),
+            Message::PushPullDelta(PushPullDelta {
+                from: "a".into(),
+                epoch: 0xDEAD_BEEF,
+                since_epoch: 0xFEED_FACE,
+                since: 41,
+                seq: 99,
+                reply: true,
+                entries: vec![PushNodeState {
+                    name: "b".into(),
+                    addr: b,
+                    incarnation: Incarnation(7),
+                    state: MemberState::Suspect,
+                    meta: Bytes::from_static(b"m"),
+                }],
+            }),
         ]
     }
 
@@ -526,6 +576,39 @@ mod tests {
         buf.put_u8(99); // invalid state
         buf.put_u16(0);
         assert_eq!(decode_message(&buf), Err(DecodeError::UnknownState(99)));
+    }
+
+    /// The delta codec round-trip gated by CI: every field of
+    /// `PushPullDelta` (watermarks, epochs, reply flag, entry list)
+    /// survives encode → decode, with and without entries, and the
+    /// exact-length invariant the compound packer relies on holds.
+    #[test]
+    fn push_pull_delta_roundtrip() {
+        let entries: Vec<PushNodeState> = (0..5)
+            .map(|i| PushNodeState {
+                name: format!("node-{i}").into(),
+                addr: NodeAddr::new([10, 0, 0, i as u8], 7946),
+                incarnation: Incarnation(i),
+                state: MemberState::from_u8((i % 4) as u8).unwrap(),
+                meta: Bytes::from(vec![i as u8; i as usize]),
+            })
+            .collect();
+        for reply in [false, true] {
+            for entries in [vec![], entries.clone()] {
+                let msg = Message::PushPullDelta(PushPullDelta {
+                    from: "sender".into(),
+                    epoch: u64::MAX,
+                    since_epoch: 1,
+                    since: u64::MAX - 1,
+                    seq: 123_456_789,
+                    reply,
+                    entries,
+                });
+                let bytes = encode_message(&msg);
+                assert_eq!(bytes.len(), encoded_len(&msg));
+                assert_eq!(decode_message(&bytes).unwrap(), msg);
+            }
+        }
     }
 
     #[test]

@@ -106,10 +106,16 @@ impl CompoundBuilder {
         if self.lens.len() >= MAX_COMPOUND_PARTS {
             return false;
         }
+        // The per-part length word is a u16: a longer part cannot be
+        // framed and must be refused, not silently truncated to
+        // `len % 65536` (which would corrupt every following part).
+        // This bounds even the oversized-first-message allowance.
+        if encoded.len() > u16::MAX as usize {
+            return false;
+        }
         if !self.lens.is_empty() && encoded.len() > self.remaining() {
             return false;
         }
-        debug_assert!(encoded.len() <= u16::MAX as usize);
         self.payload.extend_from_slice(encoded);
         self.lens.push(encoded.len() as u16);
         true
@@ -125,11 +131,12 @@ impl CompoundBuilder {
         let budget = self.remaining();
         let start = self.payload.len();
         let written = codec::encode_message_into(msg, &mut self.payload);
-        if !self.lens.is_empty() && written > budget {
+        // Same u16 length-word bound as `try_add_bytes`: an unframeable
+        // part is rolled back, never length-truncated.
+        if written > u16::MAX as usize || (!self.lens.is_empty() && written > budget) {
             self.payload.truncate(start);
             return false;
         }
-        debug_assert!(written <= u16::MAX as usize);
         self.lens.push(written as u16);
         true
     }
@@ -197,7 +204,9 @@ impl CompoundBuilder {
 }
 
 /// Packs pre-encoded messages into as few packets as possible, each within
-/// `budget` bytes. Never drops a message; order is preserved.
+/// `budget` bytes. Never drops a framable message; order is preserved.
+/// Messages longer than `u16::MAX` bytes cannot be represented by the
+/// compound length word and are skipped (debug builds assert).
 pub fn pack_all(encoded: impl IntoIterator<Item = Bytes>, budget: usize) -> Vec<Bytes> {
     let mut packets = Vec::new();
     let mut builder = CompoundBuilder::new(budget);
@@ -208,7 +217,7 @@ pub fn pack_all(encoded: impl IntoIterator<Item = Bytes>, budget: usize) -> Vec<
                 packets.push(p);
             }
             let added = builder.try_add_bytes(&msg);
-            debug_assert!(added, "first message always fits");
+            debug_assert!(added, "first framable message always fits");
         }
     }
     if let Some(p) = builder.finish() {
@@ -426,6 +435,52 @@ mod tests {
         let before = scratch.len();
         assert!(b.finish_into(&mut scratch).is_none());
         assert_eq!(scratch.len(), before);
+    }
+
+    /// The u16 length-word boundary: a part of exactly `u16::MAX` bytes
+    /// is framable, one byte more must be refused (previously the length
+    /// was truncated modulo 65536, corrupting the packet).
+    #[test]
+    fn part_longer_than_u16_max_is_refused_not_truncated() {
+        // Raw-bytes path, exactly at the boundary.
+        let at_limit = vec![0u8; u16::MAX as usize];
+        let mut b = CompoundBuilder::new(usize::MAX);
+        assert!(b.try_add_bytes(&at_limit));
+        assert_eq!(b.len(), 1);
+
+        // One byte over: refused even as the (oversized-allowed) first
+        // part, and refused as a follow-up part.
+        let over = vec![0u8; u16::MAX as usize + 1];
+        let mut b = CompoundBuilder::new(usize::MAX);
+        assert!(!b.try_add_bytes(&over));
+        assert!(b.is_empty());
+        assert!(b.try_add_bytes(&at_limit));
+        assert!(!b.try_add_bytes(&over));
+        assert_eq!(b.len(), 1);
+
+        // Message path: a push-pull whose encoding exceeds u16::MAX is
+        // rolled back without corrupting the builder.
+        let big_states: Vec<_> = (0..3000)
+            .map(|i| crate::messages::PushNodeState {
+                name: format!("node-{i:05}").into(),
+                addr: NodeAddr::new([10, 0, 0, 1], 1),
+                incarnation: Incarnation(i),
+                state: crate::types::MemberState::Alive,
+                meta: Bytes::from_static(b"0123456789"),
+            })
+            .collect();
+        let big = Message::PushPull(crate::messages::PushPull {
+            join: false,
+            reply: false,
+            states: big_states,
+        });
+        assert!(codec::encoded_len(&big) > u16::MAX as usize);
+        let mut b = CompoundBuilder::new(usize::MAX);
+        assert!(!b.try_add_msg(&big));
+        assert!(b.is_empty());
+        assert!(b.try_add_msg(&ack(1)), "builder stays usable after a refusal");
+        let packet = b.finish().unwrap();
+        assert_eq!(decode_packet(&packet).unwrap(), vec![ack(1)]);
     }
 
     #[test]

@@ -38,7 +38,7 @@ mod types;
 pub use error::DecodeError;
 pub use messages::{
     Ack, Alive, Dead, IndirectPing, Message, MessageKind, Nack, Ping, PushNodeState, PushPull,
-    Suspect,
+    PushPullDelta, Suspect,
 };
 pub use types::{Incarnation, MemberState, NodeAddr, NodeName, SeqNo};
 

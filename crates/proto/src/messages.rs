@@ -127,6 +127,41 @@ pub struct PushPull {
     pub states: Vec<PushNodeState>,
 }
 
+/// Incremental state exchange (delta anti-entropy, over the stream
+/// transport).
+///
+/// Instead of the full membership table, the sender ships only the
+/// members whose record changed since the watermark the receiver last
+/// confirmed. Watermarks are expressed in the *producing node's* private
+/// update-sequence space and are only meaningful for one instance of
+/// that node, identified by `epoch`: a receiver that cannot honour
+/// `since` (it restarted, or delta sync is disabled) falls back to a
+/// full [`PushPull`] exchange.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PushPullDelta {
+    /// Name of the sending node (watermark bookkeeping is per peer).
+    pub from: NodeName,
+    /// Instance id of the sender; its `seq` values are scoped to it.
+    pub epoch: u64,
+    /// Instance id of the *receiver* that `since` refers to. The
+    /// receiver must answer with a full exchange if this is not its
+    /// current epoch.
+    pub since_epoch: u64,
+    /// Highest receiver update-seq the sender has already merged: "I
+    /// have your state through `since`; send me what changed after it."
+    /// Doubles as the acknowledgement that lets the receiver advance its
+    /// own sent-state watermark for the sender.
+    pub since: u64,
+    /// The sender's current update-seq; `entries` bring the receiver's
+    /// knowledge of the sender up to this point.
+    pub seq: u64,
+    /// Whether this message is the response half of the exchange.
+    pub reply: bool,
+    /// Members whose record changed after the sender's sent-state
+    /// watermark for the receiver.
+    pub entries: Vec<PushNodeState>,
+}
+
 /// Any protocol message.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Message {
@@ -146,6 +181,8 @@ pub enum Message {
     Dead(Dead),
     /// Anti-entropy state sync.
     PushPull(PushPull),
+    /// Incremental anti-entropy state sync.
+    PushPullDelta(PushPullDelta),
 }
 
 /// Discriminant of a [`Message`], used for telemetry and wire tags.
@@ -167,11 +204,13 @@ pub enum MessageKind {
     Dead,
     /// [`PushPull`]
     PushPull,
+    /// [`PushPullDelta`]
+    PushPullDelta,
 }
 
 impl MessageKind {
     /// All message kinds, in wire-tag order.
-    pub const ALL: [MessageKind; 8] = [
+    pub const ALL: [MessageKind; 9] = [
         MessageKind::Ping,
         MessageKind::IndirectPing,
         MessageKind::Ack,
@@ -180,6 +219,7 @@ impl MessageKind {
         MessageKind::Alive,
         MessageKind::Dead,
         MessageKind::PushPull,
+        MessageKind::PushPullDelta,
     ];
 
     /// Stable index (= wire tag) of the kind.
@@ -198,6 +238,7 @@ impl MessageKind {
             MessageKind::Alive => "alive",
             MessageKind::Dead => "dead",
             MessageKind::PushPull => "push-pull",
+            MessageKind::PushPullDelta => "push-pull-delta",
         }
     }
 }
@@ -214,6 +255,7 @@ impl Message {
             Message::Alive(_) => MessageKind::Alive,
             Message::Dead(_) => MessageKind::Dead,
             Message::PushPull(_) => MessageKind::PushPull,
+            Message::PushPullDelta(_) => MessageKind::PushPullDelta,
         }
     }
 

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use lifeguard_proto::compound::{decode_packet, pack_all, CompoundBuilder};
 use lifeguard_proto::{
     codec, Ack, Alive, Dead, IndirectPing, Incarnation, MemberState, Message, Nack, NodeAddr,
-    NodeName, Ping, PushNodeState, PushPull, SeqNo, Suspect,
+    NodeName, Ping, PushNodeState, PushPull, PushPullDelta, SeqNo, Suspect,
 };
 
 fn name_strategy() -> impl Strategy<Value = NodeName> {
@@ -117,6 +117,24 @@ fn message_strategy() -> impl Strategy<Value = Message> {
                 reply,
                 states
             })),
+        (
+            name_strategy(),
+            any::<u64>(),
+            any::<u64>(),
+            (any::<u64>(), any::<u64>(), any::<bool>()),
+            proptest::collection::vec(push_state_strategy(), 0..8)
+        )
+            .prop_map(|(from, epoch, since_epoch, (since, seq, reply), entries)| {
+                Message::PushPullDelta(PushPullDelta {
+                    from,
+                    epoch,
+                    since_epoch,
+                    since,
+                    seq,
+                    reply,
+                    entries,
+                })
+            }),
     ]
 }
 

@@ -46,6 +46,15 @@ pub enum SimAction {
         /// Index of the leaving node.
         node: usize,
     },
+    /// Replace a node's application metadata (controlled membership
+    /// churn: bumps the incarnation and gossips the change, without the
+    /// failure-detector side effects of a pause or crash).
+    UpdateMeta {
+        /// Index of the node whose metadata changes.
+        node: usize,
+        /// The new metadata blob.
+        meta: Bytes,
+    },
     /// Sever connectivity between two nodes (both directions).
     Partition {
         /// One side.
@@ -409,6 +418,15 @@ impl Cluster {
             SimAction::Leave { node } => {
                 let now = self.now;
                 self.with_sink(node, |driver, sink| driver.leave(now, sink));
+                self.ensure_wake(node);
+            }
+            SimAction::UpdateMeta { node, meta } => {
+                let now = self.now;
+                self.with_sink(node, |driver, sink| {
+                    driver
+                        .handle(Input::UpdateMeta { meta }, now, sink)
+                        .expect("update-meta input is infallible");
+                });
                 self.ensure_wake(node);
             }
             SimAction::Partition { a, b } => {

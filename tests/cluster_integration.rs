@@ -271,3 +271,61 @@ fn leave_amid_anomalies_is_not_a_failure() {
         .count(|e| matches!(&e.event, Event::MemberLeft { name } if name.as_str() == "node-5"));
     assert!(leaves >= 9, "leave must disseminate (saw {leaves})");
 }
+
+/// Steady-state anti-entropy wire cost: under ≤ 1% membership churn per
+/// push-pull round, delta sync must ship no more than 10% of the stream
+/// bytes full-state sync ships per round, while the cluster stays fully
+/// converged. (The 5k-node version of this comparison runs in the
+/// `push_pull` bench group; the model-agreement property suite pins that
+/// the *content* both modes converge to is byte-identical.)
+#[test]
+fn delta_push_pull_cuts_steady_state_sync_bytes_by_10x() {
+    use bytes::Bytes;
+
+    const N: usize = 512;
+    const ROUND: Duration = Duration::from_secs(2);
+
+    let bytes_per_round = |delta: bool| -> u64 {
+        let mut cfg = Config::lan().lifeguard();
+        cfg.push_pull_interval = Some(ROUND);
+        cfg.delta_sync = delta;
+        let mut cluster = ClusterBuilder::new(N)
+            .config(cfg)
+            .seed(42)
+            .full_mesh(true)
+            .build();
+        // Warm-up: several push-pull rounds, enough for every node to
+        // accumulate its warm delta partners.
+        cluster.run_for(Duration::from_secs(10));
+        let rounds = 3u64;
+        let start = cluster.telemetry().total().stream_bytes;
+        for r in 0..rounds {
+            // ≤ 1% churn per round: metadata updates bump incarnations
+            // and gossip real membership changes without killing anyone.
+            for k in 0..N / 100 {
+                let node = (r as usize * 131 + k * 37) % N;
+                cluster.apply(SimAction::UpdateMeta {
+                    node,
+                    meta: Bytes::from(format!("gen-{r}-{k}").into_bytes()),
+                });
+            }
+            cluster.run_for(ROUND);
+        }
+        let spent = cluster.telemetry().total().stream_bytes - start;
+        assert!(
+            cluster.converged(),
+            "cluster must stay converged (delta = {delta})"
+        );
+        spent / rounds
+    };
+
+    let full = bytes_per_round(false);
+    let delta = bytes_per_round(true);
+    assert!(full > 0 && delta > 0);
+    assert!(
+        delta * 10 <= full,
+        "delta sync must cut per-round stream bytes to ≤ 10% of full-state sync \
+         (delta {delta} B/round vs full {full} B/round = {:.1}%)",
+        delta as f64 / full as f64 * 100.0
+    );
+}
