@@ -1,0 +1,184 @@
+//! `reactor/*`: loopback probe round-trip latency of the two net
+//! runtimes, plus poll-syscalls per probe cycle for the reactor.
+//!
+//! The workload is the failure detector's hottest wire interaction: a
+//! peer sends a direct `Ping` to a running [`Agent`]'s UDP port and
+//! waits for the `Ack`. On the threaded runtime the reader thread
+//! blocks on the socket (arrival-driven); on the reactor the single
+//! event loop is woken by poll readiness. Neither path may quantise
+//! the round trip — the reactor must be at least as fast with **one**
+//! protocol thread instead of four.
+//!
+//! Two hard asserts ride every run (including CI's `--test` smoke
+//! mode):
+//!
+//! * the reactor's median RTT stays within `1.5× + 200 µs` of the
+//!   threaded runtime's (slack for scheduler noise on shared CI
+//!   hardware — the recorded numbers in `docs/PERFORMANCE.md` §7 show
+//!   it comfortably *below* threaded);
+//! * the reactor's median RTT is far below the threaded runtime's old
+//!   5 ms accept-backoff quantum, proving fixed sleeps are gone from
+//!   the probe path.
+//!
+//! Results are recorded in `docs/PERFORMANCE.md` §7.
+
+use std::net::UdpSocket;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lifeguard_core::config::Config;
+use lifeguard_net::agent::{Agent, AgentConfig, Runtime};
+use lifeguard_proto::{codec, Message, NodeAddr, Ping, SeqNo};
+
+/// Probe timing fast enough that the agent's own timers stay busy
+/// during the measurement (the realistic case: RTTs are measured on a
+/// node that is concurrently probing and gossiping).
+fn bench_config() -> Config {
+    let mut cfg = Config::lan()
+        .lifeguard()
+        .with_probe_timing(Duration::from_millis(200), Duration::from_millis(100));
+    cfg.gossip_interval = Duration::from_millis(50);
+    cfg
+}
+
+struct ProbeHarness {
+    agent: Agent,
+    peer: UdpSocket,
+    peer_addr: NodeAddr,
+    buf: Vec<u8>,
+    seq: u32,
+}
+
+impl ProbeHarness {
+    fn start(runtime: Runtime) -> ProbeHarness {
+        let agent = Agent::start(
+            AgentConfig::local("target")
+                .protocol(bench_config())
+                .seed(1)
+                .runtime(runtime),
+        )
+        .expect("start agent");
+        let peer = UdpSocket::bind("127.0.0.1:0").expect("bind peer");
+        peer.set_read_timeout(Some(Duration::from_secs(2)))
+            .expect("timeout");
+        let peer_addr = NodeAddr::from(peer.local_addr().expect("peer addr"));
+        ProbeHarness {
+            agent,
+            peer,
+            peer_addr,
+            buf: vec![0u8; 65536],
+            seq: 0,
+        }
+    }
+
+    /// One probe round trip: send `Ping`, block until the matching
+    /// `Ack` comes back. Panics if the agent never answers.
+    fn round_trip(&mut self) -> Duration {
+        self.seq += 1;
+        let ping = Message::Ping(Ping {
+            seq: SeqNo(self.seq),
+            target: self.agent.name(),
+            source: "bench-peer".into(),
+            source_addr: self.peer_addr,
+        });
+        let encoded = codec::encode_message(&ping);
+        let start = Instant::now();
+        self.peer
+            .send_to(&encoded, self.agent.addr())
+            .expect("send ping");
+        loop {
+            let (len, _) = self.peer.recv_from(&mut self.buf).expect("ack within 2s");
+            if let Ok(Message::Ack(ack)) = codec::decode_message(&self.buf[..len]) {
+                if ack.seq == SeqNo(self.seq) {
+                    return start.elapsed();
+                }
+            }
+        }
+    }
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn reactor_group(c: &mut Criterion) {
+    // Explicit pre-measurement for the asserts and the syscall count:
+    // criterion's own timing loops run afterwards for the reported
+    // numbers.
+    const WARMUP: usize = 20;
+    const SAMPLES: usize = 200;
+
+    let mut threaded = ProbeHarness::start(Runtime::Threaded);
+    for _ in 0..WARMUP {
+        threaded.round_trip();
+    }
+    let mut threaded_samples: Vec<Duration> = (0..SAMPLES).map(|_| threaded.round_trip()).collect();
+    let threaded_median = median(&mut threaded_samples);
+
+    let mut reactor = ProbeHarness::start(Runtime::Reactor);
+    for _ in 0..WARMUP {
+        reactor.round_trip();
+    }
+    let polls_before = polling::stats::polls();
+    let syscalls_before = polling::stats::syscalls();
+    let mut reactor_samples: Vec<Duration> = (0..SAMPLES).map(|_| reactor.round_trip()).collect();
+    let polls = polling::stats::polls() - polls_before;
+    let syscalls = polling::stats::syscalls() - syscalls_before;
+    let reactor_median = median(&mut reactor_samples);
+
+    eprintln!(
+        "reactor/rtt: threaded median {threaded_median:?}, reactor median {reactor_median:?}, \
+         reactor poll syscalls/probe {:.2} (total shim syscalls/probe {:.2})",
+        polls as f64 / SAMPLES as f64,
+        syscalls as f64 / SAMPLES as f64,
+    );
+
+    // The headline latency gate: one reactor thread must not be slower
+    // than four threaded ones (modulo CI scheduler noise).
+    assert!(
+        reactor_median <= threaded_median.mul_f64(1.5) + Duration::from_micros(200),
+        "reactor probe RTT regressed: reactor {reactor_median:?} vs threaded {threaded_median:?}"
+    );
+    // And nothing on the probe path may sleep-quantise: the old accept
+    // backoff was 5 ms, the ticker floor 1 ms — a readiness wakeup is
+    // orders of magnitude below either.
+    assert!(
+        reactor_median < Duration::from_millis(1),
+        "reactor probe RTT {reactor_median:?} suggests a fixed-interval sleep on the wire path"
+    );
+    // The loop must wake a bounded number of times per probe (readiness
+    // + its own timers), not busy-poll.
+    assert!(
+        (polls as f64 / SAMPLES as f64) < 16.0,
+        "reactor issued {polls} polls over {SAMPLES} probes — busy loop?"
+    );
+
+    let mut group = c.benchmark_group("reactor");
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("probe_rtt_threaded", |b| b.iter(|| threaded.round_trip()));
+    group.bench_function("probe_rtt_reactor", |b| b.iter(|| reactor.round_trip()));
+    group.finish();
+
+    // Idle wakeups: with the threaded agent gone, the only poller left
+    // is the reactor's — its wakeup rate is exactly the protocol timer
+    // rate (the threaded layout burns ~350 wakeups/s across its four
+    // loops' shutdown-poll timeouts regardless of protocol activity).
+    threaded.agent.shutdown();
+    let idle_window = Duration::from_millis(500);
+    let polls_before = polling::stats::polls();
+    std::thread::sleep(idle_window);
+    let idle_polls = polling::stats::polls() - polls_before;
+    let idle_rate = idle_polls as f64 / idle_window.as_secs_f64();
+    eprintln!("reactor/idle: {idle_rate:.0} poll wakeups/s (timer-driven only)");
+    assert!(
+        idle_rate < 200.0,
+        "idle reactor woke {idle_rate:.0}×/s — it must sleep to the next deadline, not spin"
+    );
+
+    reactor.agent.shutdown();
+}
+
+criterion_group!(benches, reactor_group);
+criterion_main!(benches);

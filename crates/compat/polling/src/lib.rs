@@ -1,0 +1,445 @@
+//! Offline shim for the `polling` crate: portable readiness polling
+//! over `poll(2)` through minimal `extern "C"` declarations (the build
+//! environment has no crates.io access, so the real crate cannot be
+//! pulled; this mirrors the subset of its API the workspace uses, so
+//! swapping in the upstream crate is a manifest-only change).
+//!
+//! Covered surface:
+//!
+//! * [`Poller`] — `new`, `add`, `modify`, `delete`, `wait`, `notify`;
+//! * [`Event`] — `readable` / `writable` / `all` / `none` constructors
+//!   plus the `key` / `readable` / `writable` fields;
+//! * [`Events`] — the reusable buffer `wait` fills.
+//!
+//! Semantics follow upstream `polling`:
+//!
+//! * **Oneshot**: once an event for a source is delivered, that
+//!   source's interest is cleared; re-arm it with [`Poller::modify`]
+//!   before the next [`Poller::wait`]. The OS-level mechanism is
+//!   level-triggered `poll(2)`, so a source that became ready while
+//!   disarmed is still reported as soon as it is re-armed — readiness
+//!   is never lost, only masked.
+//! * **Spurious wakeups are allowed**: `wait` may return zero events
+//!   (a [`Poller::notify`], a signal interrupting the syscall, or a
+//!   source deleted between snapshot and report). Callers must treat
+//!   readiness as a hint and be prepared for `WouldBlock`.
+//! * **Error conditions** (`POLLERR`/`POLLHUP`/`POLLNVAL`) are
+//!   reported as readable-and/or-writable per the registered interest,
+//!   so a caller discovers the condition by attempting the I/O.
+//!
+//! Extension over upstream (used by the benchmark suite): the
+//! [`stats`] module counts the syscalls the shim issues, so a
+//! readiness-driven runtime can report syscalls per protocol cycle.
+
+#![deny(missing_docs)]
+#![cfg(unix)]
+
+use std::collections::BTreeMap;
+use std::io;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Shim-global syscall counters (extension over upstream `polling`).
+pub mod stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub(crate) static POLLS: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static NOTIFIES: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static DRAINS: AtomicU64 = AtomicU64::new(0);
+
+    /// Number of `poll(2)` syscalls issued by every [`crate::Poller`]
+    /// in this process since start.
+    pub fn polls() -> u64 {
+        POLLS.load(Ordering::Relaxed)
+    }
+
+    /// Total syscalls issued by the shim itself: `poll(2)` waits plus
+    /// notify-pipe writes and drains. Socket I/O performed by the
+    /// *caller* on ready sources is not counted.
+    pub fn syscalls() -> u64 {
+        POLLS.load(Ordering::Relaxed)
+            + NOTIFIES.load(Ordering::Relaxed)
+            + DRAINS.load(Ordering::Relaxed)
+    }
+}
+
+/// The raw libc surface the shim stands on. Kept to the minimum the
+/// implementation needs; all constants are Linux generic-ABI values
+/// (`O_NONBLOCK` in particular differs on the BSDs), so refuse to
+/// build anywhere else rather than misbehave silently.
+mod sys {
+    #[cfg(not(target_os = "linux"))]
+    compile_error!("the polling shim's FFI constants assume the Linux ABI");
+    use std::os::raw::{c_int, c_short, c_ulong, c_void};
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+    pub const POLLNVAL: c_short = 0x020;
+
+    pub const F_SETFD: c_int = 2;
+    pub const F_GETFL: c_int = 3;
+    pub const F_SETFL: c_int = 4;
+    pub const FD_CLOEXEC: c_int = 1;
+    pub const O_NONBLOCK: c_int = 0o4000;
+    pub const EINTR: i32 = 4;
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        pub fn pipe(fds: *mut c_int) -> c_int;
+        pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+/// Interest in (or readiness of) a registered source, tagged with the
+/// caller-chosen `key` that [`Poller::wait`] reports back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// The key the source was registered under.
+    pub key: usize,
+    /// Interest in (or presence of) read readiness.
+    pub readable: bool,
+    /// Interest in (or presence of) write readiness.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Interest in both read and write readiness.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest (the source stays registered but disarmed).
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// A reusable buffer of events delivered by one [`Poller::wait`].
+#[derive(Debug, Default)]
+pub struct Events {
+    inner: Vec<Event>,
+}
+
+impl Events {
+    /// An empty buffer.
+    pub fn new() -> Events {
+        Events { inner: Vec::new() }
+    }
+
+    /// Iterates over the events of the last [`Poller::wait`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.inner.iter().copied()
+    }
+
+    /// Drops all buffered events ([`Poller::wait`] does this itself).
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the last wait delivered no events.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Interest {
+    key: usize,
+    readable: bool,
+    writable: bool,
+}
+
+/// A readiness poller over `poll(2)` with a self-pipe for wakeups.
+///
+/// Registration is keyed by file descriptor; `wait` snapshots the
+/// interest set, issues one `poll(2)`, and reports ready sources as
+/// [`Event`]s (clearing their interest — oneshot). [`Poller::notify`]
+/// wakes a concurrent or future `wait` from any thread.
+#[derive(Debug)]
+pub struct Poller {
+    interest: Mutex<BTreeMap<RawFd, Interest>>,
+    notify_read: RawFd,
+    notify_write: RawFd,
+}
+
+// The pipe fds are owned by the poller and the interest map is locked;
+// the poller is usable from any thread, like upstream.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+fn set_nonblocking_cloexec(fd: RawFd) -> io::Result<()> {
+    unsafe {
+        if sys::fcntl(fd, sys::F_SETFD, sys::FD_CLOEXEC) < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let flags = sys::fcntl(fd, sys::F_GETFL, 0);
+        if flags < 0 || sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) < 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+impl Poller {
+    /// Creates a poller (allocates the notification pipe).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pipe cannot be created or configured.
+    pub fn new() -> io::Result<Poller> {
+        let mut fds = [0i32; 2];
+        if unsafe { sys::pipe(fds.as_mut_ptr()) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let [read_end, write_end] = fds;
+        for fd in [read_end, write_end] {
+            if let Err(e) = set_nonblocking_cloexec(fd) {
+                unsafe {
+                    sys::close(read_end);
+                    sys::close(write_end);
+                }
+                return Err(e);
+            }
+        }
+        Ok(Poller {
+            interest: Mutex::new(BTreeMap::new()),
+            notify_read: read_end,
+            notify_write: write_end,
+        })
+    }
+
+    /// Registers a source with an initial interest.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::AlreadyExists`] if the source is
+    /// already registered.
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut map = self.interest.lock().expect("poller lock poisoned");
+        if map.contains_key(&fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "source already registered",
+            ));
+        }
+        map.insert(
+            fd,
+            Interest {
+                key: interest.key,
+                readable: interest.readable,
+                writable: interest.writable,
+            },
+        );
+        Ok(())
+    }
+
+    /// Replaces a registered source's interest (the oneshot re-arm).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::NotFound`] if the source was never
+    /// added or was deleted.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut map = self.interest.lock().expect("poller lock poisoned");
+        match map.get_mut(&fd) {
+            Some(entry) => {
+                *entry = Interest {
+                    key: interest.key,
+                    readable: interest.readable,
+                    writable: interest.writable,
+                };
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "source not registered",
+            )),
+        }
+    }
+
+    /// Deregisters a source. Events for it are no longer delivered
+    /// (even ones pending inside a concurrent `wait`).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::NotFound`] if the source was never
+    /// added or was already deleted.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut map = self.interest.lock().expect("poller lock poisoned");
+        match map.remove(&fd) {
+            Some(_) => Ok(()),
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "source not registered",
+            )),
+        }
+    }
+
+    /// Blocks until at least one armed source is ready, a
+    /// [`Poller::notify`] arrives, or `timeout` expires (`None` waits
+    /// indefinitely). Fills `events` with ready sources and clears
+    /// their interest (oneshot). Returns the number of events; `0`
+    /// means timeout or spurious wakeup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `poll(2)` failures other than `EINTR` (which is
+    /// reported as a spurious zero-event wakeup).
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let mut fds: Vec<sys::PollFd> = Vec::with_capacity(8);
+        fds.push(sys::PollFd {
+            fd: self.notify_read,
+            events: sys::POLLIN,
+            revents: 0,
+        });
+        {
+            let map = self.interest.lock().expect("poller lock poisoned");
+            for (&fd, interest) in map.iter() {
+                let mut mask = 0;
+                if interest.readable {
+                    mask |= sys::POLLIN;
+                }
+                if interest.writable {
+                    mask |= sys::POLLOUT;
+                }
+                if mask != 0 {
+                    fds.push(sys::PollFd {
+                        fd,
+                        events: mask,
+                        revents: 0,
+                    });
+                }
+            }
+        }
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => d.as_micros().div_ceil(1000).min(i32::MAX as u128) as i32,
+        };
+        let rc = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as _, timeout_ms) };
+        stats::POLLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.raw_os_error() == Some(sys::EINTR) {
+                return Ok(0); // signal: a legal spurious wakeup
+            }
+            return Err(err);
+        }
+        if fds[0].revents != 0 {
+            self.drain_notifications();
+        }
+        let mut map = self.interest.lock().expect("poller lock poisoned");
+        for pfd in &fds[1..] {
+            if pfd.revents == 0 {
+                continue;
+            }
+            // A source deleted (or re-registered) while poll ran is
+            // simply not reported / reported against its current
+            // interest; level-triggered poll re-reports real readiness
+            // on the next wait, so nothing is lost.
+            let Some(interest) = map.get_mut(&pfd.fd) else {
+                continue;
+            };
+            let failed = pfd.revents & (sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0;
+            let readable = interest.readable && (pfd.revents & sys::POLLIN != 0 || failed);
+            let writable = interest.writable && (pfd.revents & sys::POLLOUT != 0 || failed);
+            if readable || writable {
+                events.inner.push(Event {
+                    key: interest.key,
+                    readable,
+                    writable,
+                });
+                interest.readable = false; // oneshot: disarm until modify
+                interest.writable = false;
+            }
+        }
+        Ok(events.len())
+    }
+
+    /// Wakes one concurrent or future [`Poller::wait`] from any thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipe write failures (a full pipe is *not* a failure:
+    /// a wakeup is already pending).
+    pub fn notify(&self) -> io::Result<()> {
+        let byte = [1u8];
+        stats::NOTIFIES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let rc = unsafe { sys::write(self.notify_write, byte.as_ptr().cast(), 1) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::WouldBlock {
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+
+    fn drain_notifications(&self) {
+        let mut sink = [0u8; 64];
+        loop {
+            stats::DRAINS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let rc = unsafe { sys::read(self.notify_read, sink.as_mut_ptr().cast(), sink.len()) };
+            if rc <= 0 || (rc as usize) < sink.len() {
+                break; // empty (EAGAIN), closed, or fully drained
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.notify_read);
+            sys::close(self.notify_write);
+        }
+    }
+}

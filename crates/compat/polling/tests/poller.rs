@@ -1,0 +1,249 @@
+//! Pins the poller shim's FFI surface independent of the net agent:
+//! readable/writable readiness, timeout expiry, deregistration, oneshot
+//! re-arming and spurious-wakeup tolerance all hold on real sockets.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream, UdpSocket};
+use std::time::{Duration, Instant};
+
+use polling::{Event, Events, Poller};
+
+fn udp_pair() -> (UdpSocket, UdpSocket) {
+    let a = UdpSocket::bind("127.0.0.1:0").expect("bind a");
+    let b = UdpSocket::bind("127.0.0.1:0").expect("bind b");
+    (a, b)
+}
+
+#[test]
+fn readable_readiness_is_reported_with_the_registered_key() {
+    let (a, b) = udp_pair();
+    let poller = Poller::new().expect("poller");
+    poller.add(&a, Event::readable(7)).expect("add");
+    let mut events = Events::new();
+
+    // Nothing pending: a bounded wait times out with zero events.
+    let n = poller
+        .wait(&mut events, Some(Duration::from_millis(10)))
+        .expect("wait");
+    assert_eq!(n, 0);
+
+    b.send_to(b"ping", a.local_addr().unwrap()).expect("send");
+    let n = poller
+        .wait(&mut events, Some(Duration::from_secs(5)))
+        .expect("wait");
+    assert_eq!(n, 1);
+    let event = events.iter().next().expect("one event");
+    assert_eq!(event.key, 7);
+    assert!(event.readable);
+    assert!(!event.writable);
+}
+
+#[test]
+fn writable_readiness_is_immediate_on_a_fresh_socket() {
+    let (a, _b) = udp_pair();
+    let poller = Poller::new().expect("poller");
+    poller.add(&a, Event::writable(3)).expect("add");
+    let mut events = Events::new();
+    let n = poller
+        .wait(&mut events, Some(Duration::from_secs(5)))
+        .expect("wait");
+    assert_eq!(n, 1);
+    let event = events.iter().next().expect("one event");
+    assert_eq!(event.key, 3);
+    assert!(event.writable);
+}
+
+#[test]
+fn timeout_expires_when_nothing_is_ready() {
+    let (a, _b) = udp_pair();
+    let poller = Poller::new().expect("poller");
+    poller.add(&a, Event::readable(0)).expect("add");
+    let mut events = Events::new();
+    let start = Instant::now();
+    let n = poller
+        .wait(&mut events, Some(Duration::from_millis(60)))
+        .expect("wait");
+    assert_eq!(n, 0);
+    assert!(events.is_empty());
+    assert!(
+        start.elapsed() >= Duration::from_millis(40),
+        "wait returned {:?} before the timeout",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn deregistered_source_is_silent_even_when_ready() {
+    let (a, b) = udp_pair();
+    let poller = Poller::new().expect("poller");
+    poller.add(&a, Event::readable(1)).expect("add");
+    b.send_to(b"ping", a.local_addr().unwrap()).expect("send");
+    poller.delete(&a).expect("delete");
+    let mut events = Events::new();
+    let n = poller
+        .wait(&mut events, Some(Duration::from_millis(30)))
+        .expect("wait");
+    assert_eq!(n, 0, "a deleted source must not report readiness");
+    // Deleting again (or modifying) is an error, not UB.
+    assert_eq!(
+        poller.delete(&a).unwrap_err().kind(),
+        std::io::ErrorKind::NotFound
+    );
+    assert_eq!(
+        poller.modify(&a, Event::readable(1)).unwrap_err().kind(),
+        std::io::ErrorKind::NotFound
+    );
+}
+
+#[test]
+fn oneshot_interest_clears_until_rearmed() {
+    let (a, b) = udp_pair();
+    let poller = Poller::new().expect("poller");
+    poller.add(&a, Event::readable(9)).expect("add");
+    b.send_to(b"one", a.local_addr().unwrap()).expect("send");
+    let mut events = Events::new();
+    assert_eq!(
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait"),
+        1
+    );
+    // The datagram is still unread, but interest was consumed.
+    assert_eq!(
+        poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .expect("wait"),
+        0,
+        "oneshot interest must not re-report without a modify"
+    );
+    poller.modify(&a, Event::readable(9)).expect("rearm");
+    assert_eq!(
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait"),
+        1,
+        "level-triggered readiness must resurface after re-arming"
+    );
+}
+
+#[test]
+fn notify_wakes_a_future_wait_as_a_zero_event_spurious_wakeup() {
+    let (a, _b) = udp_pair();
+    let poller = Poller::new().expect("poller");
+    poller.add(&a, Event::readable(0)).expect("add");
+    poller.notify().expect("notify");
+    let mut events = Events::new();
+    let start = Instant::now();
+    // Wakes promptly (well inside the 5 s bound) with zero events.
+    let n = poller.wait(&mut events, Some(Duration::from_secs(5))).expect("wait");
+    assert_eq!(n, 0);
+    assert!(
+        start.elapsed() < Duration::from_secs(1),
+        "notify must preempt the timeout"
+    );
+    // The wakeup is consumed: the next wait honours its timeout again.
+    let start = Instant::now();
+    let n = poller
+        .wait(&mut events, Some(Duration::from_millis(60)))
+        .expect("wait");
+    assert_eq!(n, 0);
+    assert!(start.elapsed() >= Duration::from_millis(40));
+}
+
+#[test]
+fn notify_wakes_a_concurrent_wait_from_another_thread() {
+    let (a, _b) = udp_pair();
+    let poller = std::sync::Arc::new(Poller::new().expect("poller"));
+    poller.add(&a, Event::readable(0)).expect("add");
+    let waker = std::sync::Arc::clone(&poller);
+    let waiter = std::thread::spawn(move || {
+        let mut events = Events::new();
+        let start = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .expect("wait");
+        (n, start.elapsed())
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    waker.notify().expect("notify");
+    let (n, elapsed) = waiter.join().expect("join");
+    assert_eq!(n, 0);
+    assert!(elapsed < Duration::from_secs(5), "blocked wait never woke");
+}
+
+#[test]
+fn duplicate_registration_is_rejected() {
+    let (a, _b) = udp_pair();
+    let poller = Poller::new().expect("poller");
+    poller.add(&a, Event::readable(0)).expect("add");
+    assert_eq!(
+        poller.add(&a, Event::readable(1)).unwrap_err().kind(),
+        std::io::ErrorKind::AlreadyExists
+    );
+}
+
+#[test]
+fn tcp_accept_and_connect_readiness() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    listener.set_nonblocking(true).expect("nonblocking");
+    let poller = Poller::new().expect("poller");
+    poller.add(&listener, Event::readable(42)).expect("add");
+    let mut events = Events::new();
+
+    // No pending connection yet.
+    assert_eq!(
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait"),
+        0
+    );
+
+    let mut client = TcpStream::connect(listener.local_addr().unwrap()).expect("connect");
+    assert_eq!(
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait"),
+        1,
+        "pending connection must mark the listener readable"
+    );
+    assert_eq!(events.iter().next().unwrap().key, 42);
+    let (server, _) = listener.accept().expect("accept");
+    server.set_nonblocking(true).expect("nonblocking");
+
+    // The accepted socket becomes readable once the client writes.
+    poller.add(&server, Event::readable(43)).expect("add conn");
+    client.write_all(b"hello").expect("write");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut seen = false;
+    while Instant::now() < deadline && !seen {
+        poller
+            .wait(&mut events, Some(Duration::from_millis(100)))
+            .expect("wait");
+        seen = events.iter().any(|e| e.key == 43 && e.readable);
+    }
+    assert!(seen, "accepted connection never became readable");
+}
+
+#[test]
+fn disarmed_interest_reports_nothing() {
+    let (a, b) = udp_pair();
+    let poller = Poller::new().expect("poller");
+    poller.add(&a, Event::none(5)).expect("add disarmed");
+    b.send_to(b"ping", a.local_addr().unwrap()).expect("send");
+    let mut events = Events::new();
+    assert_eq!(
+        poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .expect("wait"),
+        0,
+        "Event::none must keep the source registered but silent"
+    );
+    poller.modify(&a, Event::all(5)).expect("arm");
+    let n = poller
+        .wait(&mut events, Some(Duration::from_secs(5)))
+        .expect("wait");
+    assert!(n >= 1);
+    let event = events.iter().next().unwrap();
+    assert_eq!(event.key, 5);
+    assert!(event.readable && event.writable);
+}

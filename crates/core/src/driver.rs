@@ -176,6 +176,14 @@ impl Driver {
         self.node.next_wake()
     }
 
+    /// The wrapped node's exact next timer deadline (see
+    /// [`SwimNode::next_deadline`]): what a readiness-driven runtime
+    /// passes to its poller as the sleep bound, so timers fire on time
+    /// without a fixed-interval tick thread.
+    pub fn next_deadline(&self) -> Option<Time> {
+        self.node.next_deadline()
+    }
+
     /// Read access to the wrapped node.
     pub fn node(&self) -> &SwimNode {
         &self.node

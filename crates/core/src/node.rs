@@ -575,6 +575,14 @@ impl SwimNode {
         self.timers.next_deadline()
     }
 
+    /// The timer wheel's exact next deadline — identical to
+    /// [`SwimNode::next_wake`], under the name a readiness-driven
+    /// runtime expects: the reactor sleeps in `poll` for precisely
+    /// `next_deadline() - now` instead of ticking on a fixed interval.
+    pub fn next_deadline(&self) -> Option<Time> {
+        self.timers.next_deadline()
+    }
+
     /// Feeds one unit of work into the state machine. Effects are queued
     /// internally; drain them with [`SwimNode::poll_output`] before the
     /// next `handle_input` if packet payload validity matters (inputs

@@ -4,19 +4,18 @@
 //! [`Driver`] harness from `lifeguard-core` — the same harness the
 //! deterministic simulator uses, so the protocol logic running here is
 //! *identical* to the simulated one. [`Agent::start`] binds one UDP
-//! socket and one TCP listener on the same port and spawns four
-//! background threads:
+//! socket and one TCP listener on the same port and hands them to one
+//! of two runtimes (see [`Runtime`]):
 //!
-//! * the **datagram loop** receives UDP packets and feeds them to the
-//!   driver as [`Input::Datagram`]s;
-//! * the **stream loop** accepts TCP connections carrying framed
-//!   push-pull / fallback-probe messages ([`Input::Stream`]);
-//! * the **ticker** feeds [`Input::Tick`] at the driver's deadlines;
-//! * a small fixed **stream-writer pool** drains outbound stream
-//!   messages (encoding them off the protocol thread) over short-lived
-//!   TCP connections, so blocking connects never happen on a protocol
-//!   thread, no thread is spawned per send, and one unreachable peer
-//!   cannot head-of-line-block the healthy ones.
+//! * **[`Runtime::Reactor`]** (the default): a single readiness-driven
+//!   event-loop thread over the [`polling`] poller — nonblocking
+//!   accept/read/write state machines for TCP, exact-deadline timer
+//!   wakeups off the core's timer wheel, no fixed-interval sleeps
+//!   anywhere (`crates/net/src/reactor.rs`).
+//! * **[`Runtime::Threaded`]**: the legacy four-thread layout (UDP
+//!   reader blocking with a read timeout, poll-gated accept loop,
+//!   deadline-chasing ticker, fixed stream-writer pool), kept during
+//!   the migration and as a behavioural cross-check.
 //!
 //! UDP transmits happen inline from the driver's sink with zero copies:
 //! the packet payload is borrowed straight from the protocol core's
@@ -45,7 +44,9 @@ use lifeguard_core::node::{Input, SwimNode};
 use lifeguard_core::time::Time;
 use lifeguard_proto::{Message, NodeAddr, NodeName};
 use parking_lot::Mutex;
+use polling::{Event as PollEvent, Events, Poller};
 
+use crate::reactor::{self, Reactor};
 use crate::transport;
 
 /// A timestamped membership event from a running agent.
@@ -55,6 +56,21 @@ pub struct AgentEvent {
     pub at: Time,
     /// The conclusion.
     pub event: Event,
+}
+
+/// Which I/O runtime drives the protocol core.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Runtime {
+    /// One readiness-driven event-loop thread (nonblocking sockets,
+    /// poll-based wakeups, exact timer deadlines). The default.
+    #[default]
+    Reactor,
+    /// The legacy blocking-thread layout: UDP reader, accept loop,
+    /// ticker, and a fixed stream-writer pool. Kept for migration and
+    /// as a cross-check; probe handling is readiness-gated too (no
+    /// sleep-backoff quantisation), but tick precision is bounded by
+    /// the ticker's 1 ms floor.
+    Threaded,
 }
 
 /// Configuration for [`Agent::start`].
@@ -75,6 +91,12 @@ pub struct AgentConfig {
     /// reproducible runs — and never reuse it across restarts of the
     /// same logical node.
     pub seed: u64,
+    /// The I/O runtime (defaults to [`Runtime::Reactor`]).
+    pub runtime: Runtime,
+    /// Largest accepted inbound stream frame body, in bytes (defaults
+    /// to [`transport::MAX_STREAM_FRAME`]). Oversized length prefixes
+    /// are rejected before any buffer is allocated for them.
+    pub max_stream_frame: usize,
 }
 
 impl AgentConfig {
@@ -85,6 +107,8 @@ impl AgentConfig {
             bind: "127.0.0.1:0".parse().expect("valid literal"),
             protocol: Config::lan().lifeguard(),
             seed: 0,
+            runtime: Runtime::default(),
+            max_stream_frame: transport::MAX_STREAM_FRAME,
         }
     }
 
@@ -99,22 +123,41 @@ impl AgentConfig {
         self.seed = seed;
         self
     }
+
+    /// Selects the I/O runtime.
+    pub fn runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Sets the largest accepted inbound stream frame body, in bytes.
+    pub fn max_stream_frame(mut self, bytes: usize) -> Self {
+        self.max_stream_frame = bytes;
+        self
+    }
 }
 
-/// An outbound stream message for the writer pool: destination plus
-/// the not-yet-encoded message (framing happens on a writer thread, so
-/// a large push-pull never serialises while the driver lock is held).
-type StreamJob = (SocketAddr, Message);
+/// An outbound stream message: destination plus the not-yet-encoded
+/// message (framing happens off the driver lock — on a writer thread
+/// in the threaded runtime, on the reactor loop in the reactor
+/// runtime, in both cases never while a large push-pull would hold the
+/// protocol core hostage).
+pub(crate) type StreamJob = (SocketAddr, Message);
 
-/// Writer threads in the stream pool. Bounds the damage of blocking
-/// connects to unreachable peers (each can stall one writer for up to
-/// [`transport::STREAM_TIMEOUT`]) without reverting to the seed's
-/// thread-spawn-per-send.
+/// Writer threads in the threaded runtime's stream pool. Bounds the
+/// damage of blocking connects to unreachable peers (each can stall one
+/// writer for up to [`transport::STREAM_TIMEOUT`]) without reverting to
+/// the seed's thread-spawn-per-send.
 const STREAM_WRITERS: usize = 4;
+
+/// How long the threaded runtime's loops sleep at most before
+/// re-checking the shutdown flag.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(20);
 
 /// The agent's [`Sink`]: UDP transmits go straight to the socket
 /// (borrowing the core's scratch buffer — no copy), stream messages are
-/// handed to the writer pool, events go to the subscriber channel.
+/// queued for the stream writer (pool or reactor), events go to the
+/// subscriber channel.
 struct NetSink<'a> {
     udp: &'a UdpSocket,
     stream_tx: &'a Sender<StreamJob>,
@@ -124,14 +167,19 @@ struct NetSink<'a> {
 
 impl Sink for NetSink<'_> {
     fn transmit(&mut self, to: NodeAddr, payload: &[u8]) {
+        // Send errors — including `WouldBlock` from a full send buffer
+        // on the reactor's nonblocking socket — drop the datagram.
+        // That is the UDP contract the protocol is built for: SWIM
+        // treats every datagram as droppable, and a full local buffer
+        // is indistinguishable from loss in the network.
         let _ = self.udp.send_to(payload, to.socket_addr());
     }
 
     fn stream(&mut self, to: NodeAddr, msg: Message) {
         // Hand the message over untouched: a push-pull carries the
         // whole membership table, and both its encoding and the
-        // blocking connect/write belong on a writer thread, not here
-        // (the driver lock is held while the sink runs).
+        // connect/write belong off the protocol path (the driver lock
+        // is held while the sink runs).
         let _ = self.stream_tx.send((to.socket_addr(), msg));
     }
 
@@ -143,33 +191,48 @@ impl Sink for NetSink<'_> {
     }
 }
 
-struct Inner {
-    driver: Mutex<Driver>,
-    udp: UdpSocket,
-    advertised: NodeAddr,
+pub(crate) struct Inner {
+    pub(crate) driver: Mutex<Driver>,
+    pub(crate) udp: UdpSocket,
+    pub(crate) advertised: NodeAddr,
+    pub(crate) max_stream_frame: usize,
     start: Instant,
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
     events_tx: Sender<AgentEvent>,
     stream_tx: Sender<StreamJob>,
+    /// The reactor runtime's poller (None under [`Runtime::Threaded`]):
+    /// drives from API threads notify it so the event loop re-reads the
+    /// next deadline and picks up queued stream jobs.
+    poller: Option<Arc<Poller>>,
 }
 
 impl Inner {
-    fn now(&self) -> Time {
+    pub(crate) fn now(&self) -> Time {
         Time::from_micros(self.start.elapsed().as_micros() as u64)
     }
 
     /// Feeds one input through the shared driver harness; the sink
     /// executes every effect against the real network before the driver
     /// lock is released.
-    fn drive(&self, input: Input, now: Time) {
-        let mut driver = self.driver.lock();
-        let mut sink = NetSink {
-            udp: &self.udp,
-            stream_tx: &self.stream_tx,
-            events_tx: &self.events_tx,
-            now,
-        };
-        let _ = driver.handle(input, now, &mut sink);
+    pub(crate) fn drive(&self, input: Input, now: Time) {
+        {
+            let mut driver = self.driver.lock();
+            let mut sink = NetSink {
+                udp: &self.udp,
+                stream_tx: &self.stream_tx,
+                events_tx: &self.events_tx,
+                now,
+            };
+            let _ = driver.handle(input, now, &mut sink);
+        }
+        // The drive may have armed an earlier timer or queued a stream
+        // job; wake the reactor so it re-plans. The reactor's own
+        // drives skip this — its loop re-computes before every wait.
+        if let Some(poller) = &self.poller {
+            if !reactor::on_reactor_thread() {
+                let _ = poller.notify();
+            }
+        }
     }
 }
 
@@ -185,14 +248,16 @@ pub struct Agent {
 }
 
 impl Agent {
-    /// Binds sockets, starts the protocol core and spawns the driver
-    /// threads.
+    /// Binds sockets, starts the protocol core and spawns the runtime
+    /// (one reactor thread, or the legacy thread set — see
+    /// [`AgentConfig::runtime`]).
     ///
     /// # Errors
     ///
     /// Fails if the protocol configuration is invalid
-    /// ([`io::ErrorKind::InvalidInput`]) or the UDP socket and TCP
-    /// listener cannot be bound to the same address.
+    /// ([`io::ErrorKind::InvalidInput`]), the UDP socket and TCP
+    /// listener cannot be bound to the same address, or the poller
+    /// cannot be created.
     pub fn start(config: AgentConfig) -> io::Result<Agent> {
         // Reject nonsense configs before touching the network.
         config
@@ -203,8 +268,16 @@ impl Agent {
         let tcp = TcpListener::bind(config.bind)?;
         let addr = tcp.local_addr()?;
         let udp = UdpSocket::bind(addr)?;
-        udp.set_read_timeout(Some(Duration::from_millis(20)))?;
         tcp.set_nonblocking(true)?;
+        match config.runtime {
+            // The reactor reads the socket only when poll reports it
+            // readable; recv must never block the loop.
+            Runtime::Reactor => udp.set_nonblocking(true)?,
+            // The threaded reader blocks *on the socket* — woken by
+            // arrival, no sleep backoff — with a timeout only to
+            // observe the shutdown flag.
+            Runtime::Threaded => udp.set_read_timeout(Some(SHUTDOWN_POLL))?,
+        }
 
         let advertised = NodeAddr::from(addr);
         let seed = if config.seed == 0 {
@@ -221,6 +294,10 @@ impl Agent {
         } else {
             config.seed
         };
+        let poller = match config.runtime {
+            Runtime::Reactor => Some(Arc::new(Poller::new()?)),
+            Runtime::Threaded => None,
+        };
         let (events_tx, events_rx) = unbounded();
         let (stream_tx, stream_rx) = unbounded::<StreamJob>();
         let node = SwimNode::new(
@@ -233,10 +310,12 @@ impl Agent {
             driver: Mutex::new(Driver::new(node)),
             udp,
             advertised,
+            max_stream_frame: config.max_stream_frame,
             start: Instant::now(),
             shutdown: AtomicBool::new(false),
             events_tx,
             stream_tx,
+            poller,
         });
         {
             let mut driver = inner.driver.lock();
@@ -249,10 +328,46 @@ impl Agent {
             driver.start(Time::ZERO, &mut sink);
         }
 
+        let threads = match config.runtime {
+            Runtime::Reactor => {
+                let poller = inner
+                    .poller
+                    .clone()
+                    .expect("reactor runtime constructed its poller above");
+                // Registration happens in `new`, before the thread
+                // spawns: a failure here returns Err instead of a
+                // running-but-deaf agent.
+                let reactor = Reactor::new(Arc::clone(&inner), poller, tcp, stream_rx)?;
+                vec![std::thread::spawn(move || reactor.run())]
+            }
+            Runtime::Threaded => Self::spawn_threaded(&inner, tcp, stream_rx)?,
+        };
+
+        Ok(Agent {
+            inner,
+            threads: Mutex::new(threads),
+            events_rx,
+        })
+    }
+
+    /// The legacy runtime: UDP reader, accept loop, ticker and stream
+    /// writer pool as separate blocking threads.
+    fn spawn_threaded(
+        inner: &Arc<Inner>,
+        tcp: TcpListener,
+        stream_rx: Receiver<StreamJob>,
+    ) -> io::Result<Vec<JoinHandle<()>>> {
+        // Everything fallible happens before the first spawn, so an
+        // error cannot leak already-running threads out of a failed
+        // `Agent::start`.
+        let accept_poller = Poller::new()?;
+        accept_poller.add(&tcp, PollEvent::readable(0))?;
         let mut threads = Vec::new();
-        // Datagram loop.
+        // Datagram loop: blocks on the socket itself (no sleep backoff,
+        // so probe handling latency is arrival-driven, not quantised);
+        // the read timeout exists only to observe the shutdown flag.
         {
-            let inner = Arc::clone(&inner);
+            let inner = Arc::clone(inner);
             threads.push(std::thread::spawn(move || {
                 let mut buf = vec![0u8; 65536];
                 while !inner.shutdown.load(Ordering::Relaxed) {
@@ -270,35 +385,52 @@ impl Agent {
                         Err(ref e)
                             if e.kind() == io::ErrorKind::WouldBlock
                                 || e.kind() == io::ErrorKind::TimedOut => {}
-                        Err(_) => break,
+                        // Queued socket errors (ICMP port-unreachable
+                        // from a dead peer) must not kill the reader —
+                        // but a persistently erroring socket must not
+                        // spin it either, so unexpected errors pay a
+                        // short throttle.
+                        Err(_) => std::thread::sleep(Duration::from_millis(1)),
                     }
                 }
             }));
         }
-        // Stream loop.
+        // Stream loop: the nonblocking accept is gated on real
+        // listener readiness through the poller (the former fixed
+        // 5 ms sleep backoff quantised TCP fallback-probe and
+        // push-pull latency; a readiness wait does not).
         {
-            let inner = Arc::clone(&inner);
+            let inner = Arc::clone(inner);
             threads.push(std::thread::spawn(move || {
+                let mut events = Events::new();
                 while !inner.shutdown.load(Ordering::Relaxed) {
                     match tcp.accept() {
                         Ok((mut stream, _)) => {
                             let _ = stream.set_read_timeout(Some(transport::STREAM_TIMEOUT));
-                            if let Ok((from, msg)) = transport::read_frame(&mut stream) {
+                            if let Ok((from, msg)) = transport::read_frame_with_limit(
+                                &mut stream,
+                                inner.max_stream_frame,
+                            ) {
                                 let now = inner.now();
                                 inner.drive(Input::Stream { from, msg }, now);
                             }
                         }
                         Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(5));
+                            let _ = accept_poller.modify(&tcp, PollEvent::readable(0));
+                            let _ = accept_poller.wait(&mut events, Some(SHUTDOWN_POLL));
                         }
-                        Err(_) => break,
+                        // Transient accept failures (ECONNABORTED on a
+                        // reset backlog entry, EMFILE under fd
+                        // pressure) must not kill the stream thread for
+                        // the agent's lifetime — throttle and retry.
+                        Err(_) => std::thread::sleep(Duration::from_millis(1)),
                     }
                 }
             }));
         }
         // Ticker.
         {
-            let inner = Arc::clone(&inner);
+            let inner = Arc::clone(inner);
             threads.push(std::thread::spawn(move || {
                 while !inner.shutdown.load(Ordering::Relaxed) {
                     let now = inner.now();
@@ -312,8 +444,8 @@ impl Agent {
                     let next = inner.driver.lock().next_wake();
                     let sleep = next
                         .map(|w| w.saturating_since(inner.now()))
-                        .unwrap_or(Duration::from_millis(20))
-                        .min(Duration::from_millis(20))
+                        .unwrap_or(SHUTDOWN_POLL)
+                        .min(SHUTDOWN_POLL)
                         .max(Duration::from_millis(1));
                     std::thread::sleep(sleep);
                 }
@@ -325,23 +457,18 @@ impl Agent {
         // destination stalls at most one writer for one stream timeout
         // while the others keep draining.
         for _ in 0..STREAM_WRITERS {
-            let inner = Arc::clone(&inner);
+            let inner = Arc::clone(inner);
             let stream_rx = stream_rx.clone();
             threads.push(std::thread::spawn(move || {
                 while !inner.shutdown.load(Ordering::Relaxed) {
                     // A timeout (or disconnect) just re-checks shutdown.
-                    if let Ok((to, msg)) = stream_rx.recv_timeout(Duration::from_millis(20)) {
+                    if let Ok((to, msg)) = stream_rx.recv_timeout(SHUTDOWN_POLL) {
                         let _ = transport::send_stream(to, inner.advertised, &msg);
                     }
                 }
             }));
         }
-
-        Ok(Agent {
-            inner,
-            threads: Mutex::new(threads),
-            events_rx,
-        })
+        Ok(threads)
     }
 
     /// The agent's advertised address (bound UDP/TCP port).
@@ -400,6 +527,9 @@ impl Agent {
     /// one [`Drop`] performs) are no-ops.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Relaxed);
+        if let Some(poller) = &self.inner.poller {
+            let _ = poller.notify();
+        }
         let handles: Vec<JoinHandle<()>> = self.threads.lock().drain(..).collect();
         for t in handles {
             let _ = t.join();
@@ -409,11 +539,12 @@ impl Agent {
 
 impl Drop for Agent {
     fn drop(&mut self) {
-        // Threads observe the flag within one poll interval; joining
-        // here guarantees a dropped agent never leaks its driver
-        // threads. The bound: an idle agent drops in ~tens of
-        // milliseconds, while a writer mid-send to an unreachable peer
-        // can hold its join for up to one connect + write timeout
+        // Threads observe the flag within one poll interval (the
+        // reactor is notified instantly); joining here guarantees a
+        // dropped agent never leaks its driver threads. The bound: an
+        // idle agent drops in at most tens of milliseconds, while a
+        // threaded-runtime writer mid-send to an unreachable peer can
+        // hold its join for up to one connect + write timeout
         // (2 × [`transport::STREAM_TIMEOUT`]) — a deliberate trade of
         // a bounded block for leak-freedom.
         self.shutdown();
@@ -457,18 +588,35 @@ mod tests {
         false
     }
 
-    #[test]
-    fn three_agents_converge_over_localhost() {
-        let a = Agent::start(AgentConfig::local("a").protocol(fast()).seed(1)).unwrap();
-        let b = Agent::start(AgentConfig::local("b").protocol(fast()).seed(2)).unwrap();
-        let c = Agent::start(AgentConfig::local("c").protocol(fast()).seed(3)).unwrap();
+    fn converge_three(runtime: Runtime, seed_base: u64) {
+        let a = Agent::start(
+            AgentConfig::local("a")
+                .protocol(fast())
+                .seed(seed_base)
+                .runtime(runtime),
+        )
+        .unwrap();
+        let b = Agent::start(
+            AgentConfig::local("b")
+                .protocol(fast())
+                .seed(seed_base + 1)
+                .runtime(runtime),
+        )
+        .unwrap();
+        let c = Agent::start(
+            AgentConfig::local("c")
+                .protocol(fast())
+                .seed(seed_base + 2)
+                .runtime(runtime),
+        )
+        .unwrap();
         b.join(&[a.addr()]);
         c.join(&[a.addr()]);
         assert!(
             wait_for(Duration::from_secs(10), || {
                 a.num_alive() == 3 && b.num_alive() == 3 && c.num_alive() == 3
             }),
-            "agents failed to converge: a={} b={} c={}",
+            "{runtime:?} agents failed to converge: a={} b={} c={}",
             a.num_alive(),
             b.num_alive(),
             c.num_alive()
@@ -476,6 +624,44 @@ mod tests {
         a.shutdown();
         b.shutdown();
         c.shutdown();
+    }
+
+    #[test]
+    fn three_agents_converge_over_localhost_reactor() {
+        converge_three(Runtime::Reactor, 1);
+    }
+
+    #[test]
+    fn three_agents_converge_over_localhost_threaded() {
+        converge_three(Runtime::Threaded, 11);
+    }
+
+    #[test]
+    fn mixed_runtimes_interoperate() {
+        // The runtime is an I/O detail: a reactor agent and a threaded
+        // agent speak the same protocol on the same wire.
+        let a = Agent::start(
+            AgentConfig::local("a")
+                .protocol(fast())
+                .seed(21)
+                .runtime(Runtime::Reactor),
+        )
+        .unwrap();
+        let b = Agent::start(
+            AgentConfig::local("b")
+                .protocol(fast())
+                .seed(22)
+                .runtime(Runtime::Threaded),
+        )
+        .unwrap();
+        b.join(&[a.addr()]);
+        assert!(
+            wait_for(Duration::from_secs(10), || a.num_alive() == 2
+                && b.num_alive() == 2),
+            "mixed-runtime pair failed to converge"
+        );
+        a.shutdown();
+        b.shutdown();
     }
 
     #[test]
@@ -530,19 +716,70 @@ mod tests {
 
     #[test]
     fn shutdown_is_idempotent_and_drop_joins_threads() {
-        let a = Agent::start(AgentConfig::local("solo").protocol(fast()).seed(8)).unwrap();
-        a.shutdown();
-        a.shutdown(); // second call is a no-op
-        assert!(a.threads.lock().is_empty());
-        drop(a); // drop after shutdown is fine too
+        for runtime in [Runtime::Reactor, Runtime::Threaded] {
+            let a = Agent::start(
+                AgentConfig::local("solo")
+                    .protocol(fast())
+                    .seed(8)
+                    .runtime(runtime),
+            )
+            .unwrap();
+            a.shutdown();
+            a.shutdown(); // second call is a no-op
+            assert!(a.threads.lock().is_empty());
+            drop(a); // drop after shutdown is fine too
 
-        // Dropping without shutdown joins the threads (no leak, no hang).
-        let b = Agent::start(AgentConfig::local("solo2").protocol(fast()).seed(9)).unwrap();
-        let start = Instant::now();
-        drop(b);
+            // Dropping without shutdown joins the threads (no leak, no
+            // hang).
+            let b = Agent::start(
+                AgentConfig::local("solo2")
+                    .protocol(fast())
+                    .seed(9)
+                    .runtime(runtime),
+            )
+            .unwrap();
+            let start = Instant::now();
+            drop(b);
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "{runtime:?} drop must join promptly"
+            );
+        }
+    }
+
+    /// An attacker-sized length prefix is rejected without allocating:
+    /// the agent stays healthy and still converges afterwards.
+    #[test]
+    fn oversized_stream_frame_is_rejected_not_buffered() {
+        let a = Agent::start(
+            AgentConfig::local("a")
+                .protocol(fast())
+                .seed(31)
+                .max_stream_frame(64 * 1024),
+        )
+        .unwrap();
+        // A hand-built frame header claiming a 1 GiB body.
+        let mut frame = Vec::new();
+        frame.push(4u8);
+        frame.extend_from_slice(&[127, 0, 0, 1]);
+        frame.extend_from_slice(&9u16.to_be_bytes());
+        frame.extend_from_slice(&(1u32 << 30).to_be_bytes());
+        {
+            use std::io::Write;
+            let mut stream = std::net::TcpStream::connect(a.addr()).unwrap();
+            stream.write_all(&frame).unwrap();
+            // Keep the connection open briefly; the agent must drop it.
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        // The agent is still alive and functional.
+        let b = Agent::start(AgentConfig::local("b").protocol(fast()).seed(32)).unwrap();
+        b.join(&[a.addr()]);
         assert!(
-            start.elapsed() < Duration::from_secs(10),
-            "drop must join promptly"
+            wait_for(Duration::from_secs(10), || a.num_alive() == 2
+                && b.num_alive() == 2),
+            "agent did not survive the oversized frame"
         );
+        a.shutdown();
+        b.shutdown();
     }
 }

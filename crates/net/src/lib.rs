@@ -18,7 +18,8 @@
 
 pub mod agent;
 pub mod local_cluster;
+pub(crate) mod reactor;
 pub mod transport;
 
-pub use agent::{Agent, AgentConfig, AgentEvent};
+pub use agent::{Agent, AgentConfig, AgentEvent, Runtime};
 pub use local_cluster::LocalCluster;

@@ -1,0 +1,658 @@
+//! The readiness-driven reactor runtime: one thread, zero sleeps.
+//!
+//! [`Reactor::run`] replaces the threaded agent's four blocking threads
+//! (UDP reader, accept loop, ticker, stream-writer pool) with a single
+//! event loop over a [`polling::Poller`]:
+//!
+//! * the UDP socket and TCP listener are nonblocking and registered for
+//!   read readiness;
+//! * inbound TCP connections are nonblocking state machines — each owns
+//!   a [`FrameDecoder`] accumulating its partial frame, so a slow
+//!   sender stalls nothing;
+//! * outbound stream messages are nonblocking connect-then-write state
+//!   machines (`connect(2)` returns `EINPROGRESS`, write readiness
+//!   completes the handshake, partial writes keep their cursor), so an
+//!   unreachable peer consumes a connection-table slot, never a thread;
+//! * the poll timeout is **exactly** the protocol core's
+//!   [`next_deadline`](lifeguard_core::driver::Driver::next_deadline)
+//!   (bounded by the earliest connection deadline), so timers fire on
+//!   time instead of on a tick-thread's fixed cadence.
+//!
+//! Wakeup flow: API threads (`join`, `leave`, …) drive the shared
+//! [`Driver`](lifeguard_core::driver::Driver) under its lock exactly as
+//! in the threaded runtime, then [`notify`](polling::Poller::notify)
+//! the reactor so it re-reads the (possibly earlier) next deadline and
+//! picks up any outbound stream jobs the drive queued. Drives performed
+//! *by* the reactor thread skip the notify — the loop re-computes its
+//! sleep bound before every wait anyway.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::FromRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+use lifeguard_core::node::Input;
+use lifeguard_proto::NodeAddr;
+use polling::{Event, Events, Poller};
+
+use crate::agent::{Inner, StreamJob};
+use crate::transport::{self, FrameDecoder};
+
+/// Registration key of the agent's UDP socket.
+const KEY_UDP: usize = 0;
+/// Registration key of the agent's TCP listener.
+const KEY_LISTENER: usize = 1;
+/// First key handed to a TCP connection (inbound or outbound).
+const FIRST_CONN_KEY: usize = 2;
+
+/// Most datagrams (or queued socket errors) drained per readiness
+/// event before yielding back to the loop; `poll` is level-triggered,
+/// so anything left is re-reported immediately.
+const MAX_DATAGRAM_BURST: usize = 1024;
+
+/// Upper bound on tracked TCP connections (inbound + outbound). At the
+/// cap the listener is disarmed — pending connections wait in the OS
+/// backlog (or time out) instead of exhausting the process fd table,
+/// and accepting resumes as soon as a slot frees. The threaded layout
+/// bounded this implicitly (1 inbound + 4 writers); the reactor bounds
+/// it explicitly.
+const MAX_CONNS: usize = 1024;
+
+thread_local! {
+    static ON_REACTOR_THREAD: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the calling thread is a reactor loop. Drives from a reactor
+/// thread skip the poller notify: the loop recomputes its sleep bound
+/// before every wait, so the wakeup would only burn a syscall.
+pub(crate) fn on_reactor_thread() -> bool {
+    ON_REACTOR_THREAD.with(Cell::get)
+}
+
+/// One TCP connection the reactor is advancing.
+enum Conn {
+    /// An accepted connection delivering one inbound framed message.
+    Inbound {
+        stream: TcpStream,
+        decoder: FrameDecoder,
+        /// Wall-clock instant after which the connection is abandoned.
+        deadline: Instant,
+    },
+    /// An in-progress outbound send: nonblocking connect, then the
+    /// frame written as write readiness allows.
+    Outbound {
+        stream: TcpStream,
+        frame: Vec<u8>,
+        written: usize,
+        /// Whether the nonblocking connect has completed.
+        connected: bool,
+        /// Wall-clock instant after which the connection is abandoned.
+        deadline: Instant,
+    },
+}
+
+impl Conn {
+    fn stream(&self) -> &TcpStream {
+        match self {
+            Conn::Inbound { stream, .. } | Conn::Outbound { stream, .. } => stream,
+        }
+    }
+
+    fn deadline(&self) -> Instant {
+        match self {
+            Conn::Inbound { deadline, .. } | Conn::Outbound { deadline, .. } => *deadline,
+        }
+    }
+}
+
+/// What to do with a connection after advancing its state machine.
+enum Advance {
+    /// Keep the connection registered with the given interest.
+    Keep(Event),
+    /// The connection is finished (or failed): deregister and drop.
+    Done,
+}
+
+/// The single-threaded readiness loop behind
+/// [`Runtime::Reactor`](crate::agent::Runtime::Reactor).
+pub(crate) struct Reactor {
+    inner: Arc<Inner>,
+    poller: Arc<Poller>,
+    listener: TcpListener,
+    stream_rx: Receiver<StreamJob>,
+    conns: BTreeMap<usize, Conn>,
+    next_key: usize,
+    udp_buf: Vec<u8>,
+    /// Whether the listener currently has read interest armed. It is
+    /// disarmed at [`MAX_CONNS`] (backpressure) and after an accept
+    /// failure like `EMFILE` (throttle: re-armed on the next loop pass
+    /// instead of letting level-triggered readiness spin the loop).
+    listener_armed: bool,
+}
+
+impl Reactor {
+    /// Builds the reactor and registers the agent's long-lived sources
+    /// with the poller — registration failures surface here, *before*
+    /// the loop thread spawns, so [`Agent::start`](crate::Agent::start)
+    /// can refuse to hand out a deaf agent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates poller registration failures.
+    pub(crate) fn new(
+        inner: Arc<Inner>,
+        poller: Arc<Poller>,
+        listener: TcpListener,
+        stream_rx: Receiver<StreamJob>,
+    ) -> io::Result<Reactor> {
+        poller.add(&inner.udp, Event::readable(KEY_UDP))?;
+        if let Err(e) = poller.add(&listener, Event::readable(KEY_LISTENER)) {
+            let _ = poller.delete(&inner.udp);
+            return Err(e);
+        }
+        Ok(Reactor {
+            inner,
+            poller,
+            listener,
+            stream_rx,
+            conns: BTreeMap::new(),
+            next_key: FIRST_CONN_KEY,
+            udp_buf: vec![0u8; 65536],
+            listener_armed: true,
+        })
+    }
+
+    /// Runs the event loop until the agent's shutdown flag is raised.
+    pub(crate) fn run(mut self) {
+        ON_REACTOR_THREAD.with(|flag| flag.set(true));
+        let mut events = Events::new();
+        loop {
+            // 1. Fire due protocol timers (exact-deadline ticking).
+            let now = self.inner.now();
+            let due = {
+                let driver = self.inner.driver.lock();
+                matches!(driver.next_deadline(), Some(at) if at <= now)
+            };
+            if due {
+                self.inner.drive(Input::Tick, now);
+            }
+            // 2. Start outbound connections for queued stream jobs —
+            //    including ones the tick above just produced.
+            while let Ok((to, msg)) = self.stream_rx.try_recv() {
+                let frame = transport::encode_frame(self.inner.advertised, &msg);
+                self.start_outbound(to, frame);
+            }
+            // 3. Abandon connections past their I/O deadline, then
+            //    (re-)arm the listener if there is capacity for more.
+            let wall = Instant::now();
+            self.expire(wall);
+            if !self.listener_armed && self.conns.len() < MAX_CONNS {
+                self.listener_armed = self
+                    .poller
+                    .modify(&self.listener, Event::readable(KEY_LISTENER))
+                    .is_ok();
+            }
+            if self.inner.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            // 4. Sleep exactly until the next timer or connection
+            //    deadline; readiness or a notify ends the sleep early.
+            let timeout = self.sleep_budget(wall);
+            let _ = self.poller.wait(&mut events, timeout);
+            if self.inner.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            // 5. Dispatch readiness.
+            for event in events.iter() {
+                match event.key {
+                    KEY_UDP => self.drain_datagrams(),
+                    KEY_LISTENER => self.drain_accepts(),
+                    key => self.advance_conn(key),
+                }
+            }
+        }
+        let _ = self.poller.delete(&self.inner.udp);
+        let _ = self.poller.delete(&self.listener);
+        for (_, conn) in std::mem::take(&mut self.conns) {
+            let _ = self.poller.delete(conn.stream());
+        }
+    }
+
+    /// How long the poller may sleep: until the protocol core's next
+    /// timer deadline or the earliest connection deadline, whichever
+    /// comes first. `None` (sleep until readiness/notify) only when
+    /// neither exists.
+    fn sleep_budget(&self, wall: Instant) -> Option<Duration> {
+        let now = self.inner.now();
+        let timer = self
+            .inner
+            .driver
+            .lock()
+            .next_deadline()
+            .map(|at| at.saturating_since(now));
+        let conn = self
+            .conns
+            .values()
+            .map(Conn::deadline)
+            .min()
+            .map(|at| at.saturating_duration_since(wall));
+        match (timer, conn) {
+            (Some(t), Some(c)) => Some(t.min(c)),
+            (Some(t), None) => Some(t),
+            (None, Some(c)) => Some(c),
+            (None, None) => None,
+        }
+    }
+
+    /// Drains the UDP socket: every queued datagram is fed to the
+    /// driver; queued socket errors (e.g. ICMP port-unreachable from a
+    /// dead peer's address) are discarded without stalling the loop.
+    fn drain_datagrams(&mut self) {
+        for _ in 0..MAX_DATAGRAM_BURST {
+            match self.inner.udp.recv_from(&mut self.udp_buf) {
+                Ok((len, from)) => {
+                    let now = self.inner.now();
+                    let payload = Bytes::copy_from_slice(&self.udp_buf[..len]);
+                    self.inner.drive(
+                        Input::Datagram {
+                            from: NodeAddr::from(from),
+                            payload,
+                        },
+                        now,
+                    );
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                // A queued error was consumed; stop the burst here.
+                // Level-triggered poll re-reports remaining readiness,
+                // so a persistently erroring socket costs one recv per
+                // wakeup instead of a hot spin.
+                Err(_) => break,
+            }
+        }
+        let _ = self
+            .poller
+            .modify(&self.inner.udp, Event::readable(KEY_UDP));
+    }
+
+    /// Accepts pending connections (up to [`MAX_CONNS`] tracked) and
+    /// registers each as a nonblocking inbound frame reader. The
+    /// listener is left disarmed at capacity or after an accept
+    /// failure (e.g. fd exhaustion); the loop re-arms it once room
+    /// frees, so pressure parks connections in the OS backlog instead
+    /// of spinning the loop.
+    fn drain_accepts(&mut self) {
+        self.listener_armed = false;
+        let mut rearm = true;
+        loop {
+            if self.conns.len() >= MAX_CONNS {
+                rearm = false;
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let key = self.alloc_key();
+                    if self.poller.add(&stream, Event::readable(key)).is_ok() {
+                        self.conns.insert(
+                            key,
+                            Conn::Inbound {
+                                stream,
+                                decoder: FrameDecoder::with_limit(self.inner.max_stream_frame),
+                                deadline: Instant::now() + transport::STREAM_TIMEOUT,
+                            },
+                        );
+                    }
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    rearm = false;
+                    break;
+                }
+            }
+        }
+        if rearm {
+            self.listener_armed = self
+                .poller
+                .modify(&self.listener, Event::readable(KEY_LISTENER))
+                .is_ok();
+        }
+    }
+
+    /// Begins one outbound framed send: nonblocking connect, register
+    /// for write readiness. Connection failures are dropped silently —
+    /// stream messages are best-effort, exactly as in the threaded
+    /// writer pool — and so are jobs arriving while the connection
+    /// table is at [`MAX_CONNS`] (e.g. a partition leaving hundreds of
+    /// sends pending to unreachable peers must not exhaust the fd
+    /// table; the protocol re-sends on its own cadence).
+    fn start_outbound(&mut self, to: SocketAddr, frame: Vec<u8>) {
+        if self.conns.len() >= MAX_CONNS {
+            return;
+        }
+        let Ok((stream, connected)) = connect_nonblocking(to) else {
+            return;
+        };
+        if connected {
+            let _ = stream.set_nodelay(true);
+        }
+        let key = self.alloc_key();
+        if self.poller.add(&stream, Event::writable(key)).is_ok() {
+            self.conns.insert(
+                key,
+                Conn::Outbound {
+                    stream,
+                    frame,
+                    written: 0,
+                    connected,
+                    deadline: Instant::now() + transport::STREAM_TIMEOUT,
+                },
+            );
+        }
+    }
+
+    /// Advances one connection's state machine after a readiness (or
+    /// error) event on it.
+    fn advance_conn(&mut self, key: usize) {
+        let Some(mut conn) = self.conns.remove(&key) else {
+            return; // stale event for a closed connection
+        };
+        let advance = match &mut conn {
+            Conn::Inbound {
+                stream, decoder, ..
+            } => self.advance_inbound(key, stream, decoder),
+            Conn::Outbound {
+                stream,
+                frame,
+                written,
+                connected,
+                ..
+            } => advance_outbound(key, stream, frame, written, connected),
+        };
+        match advance {
+            Advance::Keep(interest) => {
+                let _ = self.poller.modify(conn.stream(), interest);
+                self.conns.insert(key, conn);
+            }
+            Advance::Done => {
+                let _ = self.poller.delete(conn.stream());
+            }
+        }
+    }
+
+    /// Reads as much as the socket will give; a completed frame is fed
+    /// to the driver and the connection closed (the protocol sends one
+    /// frame per connection; replies travel on a fresh connection, as
+    /// in the threaded runtime).
+    fn advance_inbound(
+        &self,
+        key: usize,
+        stream: &mut TcpStream,
+        decoder: &mut FrameDecoder,
+    ) -> Advance {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match decoder.decode() {
+                Ok(Some((from, msg))) => {
+                    let now = self.inner.now();
+                    self.inner.drive(Input::Stream { from, msg }, now);
+                    return Advance::Done;
+                }
+                Ok(None) => {}
+                Err(_) => return Advance::Done, // oversized or malformed
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return Advance::Done, // EOF mid-frame
+                Ok(n) => decoder.feed(&chunk[..n]),
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Advance::Keep(Event::readable(key));
+                }
+                Err(_) => return Advance::Done,
+            }
+        }
+    }
+
+    fn expire(&mut self, wall: Instant) {
+        let expired: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| conn.deadline() <= wall)
+            .map(|(&key, _)| key)
+            .collect();
+        for key in expired {
+            if let Some(conn) = self.conns.remove(&key) {
+                let _ = self.poller.delete(conn.stream());
+            }
+        }
+    }
+
+    fn alloc_key(&mut self) -> usize {
+        loop {
+            let key = self.next_key;
+            self.next_key = self.next_key.checked_add(1).unwrap_or(FIRST_CONN_KEY);
+            if !self.conns.contains_key(&key) {
+                return key;
+            }
+        }
+    }
+}
+
+/// Finishes the nonblocking connect if needed, then writes as much of
+/// the frame as the socket accepts.
+fn advance_outbound(
+    key: usize,
+    stream: &mut TcpStream,
+    frame: &[u8],
+    written: &mut usize,
+    connected: &mut bool,
+) -> Advance {
+    if !*connected {
+        // Write readiness after EINPROGRESS: the connect finished,
+        // successfully or not — SO_ERROR tells which.
+        match stream.take_error() {
+            Ok(None) => {
+                *connected = true;
+                let _ = stream.set_nodelay(true);
+            }
+            Ok(Some(_)) | Err(_) => return Advance::Done,
+        }
+    }
+    while *written < frame.len() {
+        match stream.write(&frame[*written..]) {
+            Ok(0) => return Advance::Done,
+            Ok(n) => *written += n,
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                return Advance::Keep(Event::writable(key));
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Advance::Done,
+        }
+    }
+    Advance::Done // frame fully written; drop closes the connection
+}
+
+/// The minimal libc surface for a nonblocking `connect(2)`. `poll`ing
+/// lives in the `polling` shim; only socket creation and connect
+/// initiation need raw calls (completion is `TcpStream::take_error`,
+/// i.e. `SO_ERROR`, which std exposes).
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    // The constants and sockaddr layouts below are the *Linux* ABI
+    // (AF_INET6, O_NONBLOCK, EINPROGRESS and struct layouts all differ
+    // on the BSDs); fail loudly rather than misbehave silently.
+    #[cfg(not(target_os = "linux"))]
+    compile_error!(
+        "lifeguard-net's reactor FFI assumes the Linux ABI; port the sys constants first"
+    );
+
+    pub const AF_INET: c_int = 2;
+    pub const AF_INET6: c_int = 10;
+    pub const SOCK_STREAM: c_int = 1;
+    pub const F_SETFD: c_int = 2;
+    pub const F_GETFL: c_int = 3;
+    pub const F_SETFL: c_int = 4;
+    pub const FD_CLOEXEC: c_int = 1;
+    pub const O_NONBLOCK: c_int = 0o4000;
+    pub const EINPROGRESS: i32 = 115;
+
+    /// `struct sockaddr_in` (Linux layout).
+    #[repr(C)]
+    pub struct SockAddrV4 {
+        pub family: u16,
+        /// Network byte order.
+        pub port: u16,
+        pub addr: [u8; 4],
+        pub zero: [u8; 8],
+    }
+
+    /// `struct sockaddr_in6` (Linux layout).
+    #[repr(C)]
+    pub struct SockAddrV6 {
+        pub family: u16,
+        /// Network byte order.
+        pub port: u16,
+        pub flowinfo: u32,
+        pub addr: [u8; 16],
+        pub scope_id: u32,
+    }
+
+    extern "C" {
+        pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        pub fn connect(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+        pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+/// Starts a nonblocking TCP connect. Returns the stream plus whether
+/// the connect already completed (loopback often does); if not, write
+/// readiness signals completion and [`TcpStream::take_error`] reports
+/// the outcome.
+fn connect_nonblocking(to: SocketAddr) -> io::Result<(TcpStream, bool)> {
+    let family = match to {
+        SocketAddr::V4(_) => sys::AF_INET,
+        SocketAddr::V6(_) => sys::AF_INET6,
+    };
+    let fd = unsafe { sys::socket(family, sys::SOCK_STREAM, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let configured = unsafe {
+        sys::fcntl(fd, sys::F_SETFD, sys::FD_CLOEXEC) >= 0 && {
+            let flags = sys::fcntl(fd, sys::F_GETFL, 0);
+            flags >= 0 && sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) >= 0
+        }
+    };
+    if !configured {
+        let err = io::Error::last_os_error();
+        unsafe { sys::close(fd) };
+        return Err(err);
+    }
+    let rc = match to {
+        SocketAddr::V4(a) => {
+            let sa = sys::SockAddrV4 {
+                family: sys::AF_INET as u16,
+                port: a.port().to_be(),
+                addr: a.ip().octets(),
+                zero: [0; 8],
+            };
+            unsafe {
+                sys::connect(
+                    fd,
+                    (&sa as *const sys::SockAddrV4).cast(),
+                    std::mem::size_of::<sys::SockAddrV4>() as u32,
+                )
+            }
+        }
+        SocketAddr::V6(a) => {
+            let sa = sys::SockAddrV6 {
+                family: sys::AF_INET6 as u16,
+                port: a.port().to_be(),
+                flowinfo: a.flowinfo(),
+                addr: a.ip().octets(),
+                scope_id: a.scope_id(),
+            };
+            unsafe {
+                sys::connect(
+                    fd,
+                    (&sa as *const sys::SockAddrV6).cast(),
+                    std::mem::size_of::<sys::SockAddrV6>() as u32,
+                )
+            }
+        }
+    };
+    let connected = if rc == 0 {
+        true
+    } else {
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() == Some(sys::EINPROGRESS) {
+            false
+        } else {
+            unsafe { sys::close(fd) };
+            return Err(err);
+        }
+    };
+    // Safety: `fd` is a freshly created, successfully configured socket
+    // owned by nobody else; the TcpStream takes ownership (and closes
+    // it on drop).
+    let stream = unsafe { TcpStream::from_raw_fd(fd) };
+    Ok((stream, connected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn nonblocking_connect_reaches_a_loopback_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let (stream, connected) = connect_nonblocking(addr).expect("connect starts");
+        // Whether it completed inline or is in progress, the listener
+        // must observe the connection.
+        let (_, peer) = listener.accept().expect("accept");
+        if !connected {
+            // Completion is observable as SO_ERROR == 0.
+            let poller = Poller::new().expect("poller");
+            poller.add(&stream, Event::writable(1)).expect("add");
+            let mut events = Events::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .expect("wait");
+            assert!(events.iter().any(|e| e.key == 1));
+        }
+        assert!(stream.take_error().expect("so_error").is_none());
+        assert_eq!(peer.ip(), addr.ip());
+    }
+
+    #[test]
+    fn nonblocking_connect_to_a_dead_port_reports_failure() {
+        // Bind-then-drop guarantees the port is unused.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        match connect_nonblocking(dead) {
+            Err(_) => {} // refused inline
+            Ok((stream, _)) => {
+                let poller = Poller::new().expect("poller");
+                poller.add(&stream, Event::writable(1)).expect("add");
+                let mut events = Events::new();
+                let _ = poller.wait(&mut events, Some(Duration::from_secs(5)));
+                assert!(
+                    stream.take_error().expect("so_error readable").is_some(),
+                    "connect to a closed loopback port must fail"
+                );
+            }
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! Wire transport over real sockets.
+//! Wire transport over real sockets: framing split from I/O.
 //!
 //! * Datagrams: one UDP socket, packets already compound-encoded by the
 //!   protocol core.
@@ -7,6 +7,15 @@
 //!   `[sender advertised addr][u32 length][encoded message]` so the
 //!   receiver can route replies to the sender's listener rather than the
 //!   ephemeral connection source.
+//!
+//! Framing is a pure, incremental state machine ([`FrameDecoder`]:
+//! feed bytes, poll for a frame) with **no I/O inside** — the
+//! readiness-driven reactor feeds it whatever a nonblocking read
+//! returned, while the blocking helpers ([`read_frame`],
+//! [`read_frame_with_limit`]) wrap the same decoder around a blocking
+//! `Read`. The length prefix is validated against a configurable
+//! maximum *before* any body buffer is grown, so an attacker-controlled
+//! length can never drive an allocation.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -15,8 +24,9 @@ use std::time::Duration;
 use bytes::{BufMut, BytesMut};
 use lifeguard_proto::{codec, DecodeError, Message, NodeAddr};
 
-/// Maximum accepted stream frame (a push-pull of a few thousand members
-/// fits comfortably).
+/// Default maximum accepted stream frame (a push-pull of a few thousand
+/// members fits comfortably). Override per agent with
+/// [`crate::agent::AgentConfig::max_stream_frame`].
 pub const MAX_STREAM_FRAME: usize = 16 * 1024 * 1024;
 
 /// I/O timeout for stream sends and reads.
@@ -29,7 +39,7 @@ pub enum StreamError {
     Io(io::Error),
     /// Malformed frame or message.
     Decode(DecodeError),
-    /// Frame length exceeded [`MAX_STREAM_FRAME`].
+    /// Frame length exceeded the decoder's maximum.
     Oversized(usize),
 }
 
@@ -85,40 +95,139 @@ pub fn encode_frame(sender: NodeAddr, msg: &Message) -> Vec<u8> {
     buf.to_vec()
 }
 
-/// Reads one frame from a stream.
+/// Incremental stream-frame decoder: push bytes in with
+/// [`FrameDecoder::feed`], pull at most one decoded frame out with
+/// [`FrameDecoder::decode`]. Partial frames are buffered between
+/// calls, so the caller can feed whatever a (possibly nonblocking)
+/// read returned.
+///
+/// The length prefix is checked against the configured maximum as soon
+/// as the 4-byte length word is available — an oversized frame is
+/// rejected before its body ever accumulates, provided the caller
+/// interleaves `decode` with bounded-size `feed`s (both the reactor
+/// and the blocking readers feed at most one ≤ 4 KiB chunk per
+/// `decode`).
+#[derive(Debug)]
+pub struct FrameDecoder {
+    max_frame: usize,
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing the default [`MAX_STREAM_FRAME`] limit.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::with_limit(MAX_STREAM_FRAME)
+    }
+
+    /// A decoder enforcing `max_frame` as the largest accepted message
+    /// body, in bytes.
+    pub fn with_limit(max_frame: usize) -> FrameDecoder {
+        FrameDecoder {
+            max_frame,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Appends raw bytes from the connection.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Tries to decode one complete frame from the buffered bytes.
+    /// Returns `Ok(None)` while the frame is still partial.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Oversized`] as soon as a length prefix above the
+    /// limit is seen; [`StreamError::Decode`] for malformed headers or
+    /// message bodies.
+    pub fn decode(&mut self) -> Result<Option<(NodeAddr, Message)>, StreamError> {
+        let buf = &self.buf;
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        let addr_len = match buf[0] {
+            4 => 4,
+            6 => 16,
+            other => return Err(StreamError::Decode(DecodeError::UnknownAddrFamily(other))),
+        };
+        // family + address + port + u32 length word.
+        let header_len = 1 + addr_len + 2 + 4;
+        if buf.len() < header_len {
+            return Ok(None);
+        }
+        let body_len = u32::from_be_bytes(
+            buf[header_len - 4..header_len]
+                .try_into()
+                .expect("slice is 4 bytes"),
+        ) as usize;
+        if body_len > self.max_frame {
+            return Err(StreamError::Oversized(body_len));
+        }
+        if buf.len() < header_len + body_len {
+            return Ok(None);
+        }
+        let ip: std::net::IpAddr = if addr_len == 4 {
+            let octets: [u8; 4] = buf[1..5].try_into().expect("slice is 4 bytes");
+            std::net::IpAddr::from(octets)
+        } else {
+            let octets: [u8; 16] = buf[1..17].try_into().expect("slice is 16 bytes");
+            std::net::IpAddr::from(octets)
+        };
+        let port = u16::from_be_bytes(
+            buf[1 + addr_len..1 + addr_len + 2]
+                .try_into()
+                .expect("slice is 2 bytes"),
+        );
+        let msg = codec::decode_message(&buf[header_len..header_len + body_len])?;
+        self.buf.drain(..header_len + body_len);
+        Ok(Some((NodeAddr::from(SocketAddr::new(ip, port)), msg)))
+    }
+}
+
+impl Default for FrameDecoder {
+    fn default() -> FrameDecoder {
+        FrameDecoder::new()
+    }
+}
+
+/// Reads one frame from a blocking stream, enforcing the default
+/// [`MAX_STREAM_FRAME`] limit.
 ///
 /// # Errors
 ///
-/// Fails on socket errors, oversized frames, or malformed messages.
+/// Fails on socket errors, truncated or oversized frames, or malformed
+/// messages.
 pub fn read_frame(stream: &mut impl Read) -> Result<(NodeAddr, Message), StreamError> {
-    let mut family = [0u8; 1];
-    stream.read_exact(&mut family)?;
-    let ip: std::net::IpAddr = match family[0] {
-        4 => {
-            let mut o = [0u8; 4];
-            stream.read_exact(&mut o)?;
-            std::net::IpAddr::from(o)
+    read_frame_with_limit(stream, MAX_STREAM_FRAME)
+}
+
+/// Reads one frame from a blocking stream with a caller-chosen maximum
+/// frame size.
+///
+/// # Errors
+///
+/// Fails on socket errors, truncated or oversized frames, or malformed
+/// messages.
+pub fn read_frame_with_limit(
+    stream: &mut impl Read,
+    max_frame: usize,
+) -> Result<(NodeAddr, Message), StreamError> {
+    let mut decoder = FrameDecoder::with_limit(max_frame);
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(frame) = decoder.decode()? {
+            return Ok(frame);
         }
-        6 => {
-            let mut o = [0u8; 16];
-            stream.read_exact(&mut o)?;
-            std::net::IpAddr::from(o)
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(StreamError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame",
+            )));
         }
-        other => return Err(StreamError::Decode(DecodeError::UnknownAddrFamily(other))),
-    };
-    let mut buf2 = [0u8; 2];
-    stream.read_exact(&mut buf2)?;
-    let port = u16::from_be_bytes(buf2);
-    let mut buf4 = [0u8; 4];
-    stream.read_exact(&mut buf4)?;
-    let len = u32::from_be_bytes(buf4) as usize;
-    if len > MAX_STREAM_FRAME {
-        return Err(StreamError::Oversized(len));
+        decoder.feed(&chunk[..n]);
     }
-    let mut body = vec![0u8; len];
-    stream.read_exact(&mut body)?;
-    let msg = codec::decode_message(&body)?;
-    Ok((NodeAddr::from(SocketAddr::new(ip, port)), msg))
 }
 
 /// Sends one framed message over a fresh TCP connection.
@@ -150,7 +259,8 @@ pub fn send_frame(to: SocketAddr, frame: &[u8]) -> Result<(), StreamError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lifeguard_proto::{Ack, SeqNo};
+    use bytes::Bytes;
+    use lifeguard_proto::{Ack, Alive, Incarnation, SeqNo};
     use std::io::Cursor;
 
     #[test]
@@ -182,6 +292,80 @@ mod tests {
         frame.extend_from_slice(&(u32::MAX).to_be_bytes());
         assert!(matches!(
             read_frame(&mut Cursor::new(frame)),
+            Err(StreamError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn decoder_assembles_frames_from_single_byte_feeds() {
+        let sender = NodeAddr::new([127, 0, 0, 1], 7001);
+        let msg = Message::Ack(Ack { seq: SeqNo(42) });
+        let frame = encode_frame(sender, &msg);
+        let mut decoder = FrameDecoder::new();
+        for (i, byte) in frame.iter().enumerate() {
+            assert!(
+                decoder.decode().expect("partial is not an error").is_none(),
+                "frame completed early at byte {i}"
+            );
+            decoder.feed(std::slice::from_ref(byte));
+        }
+        let (from, back) = decoder.decode().expect("valid").expect("complete");
+        assert_eq!(from, sender);
+        assert_eq!(back, msg);
+        assert!(decoder.decode().expect("drained").is_none());
+    }
+
+    #[test]
+    fn decoder_handles_ipv6_sender() {
+        let sender = NodeAddr::from(SocketAddr::new(
+            std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            9000,
+        ));
+        let msg = Message::Ack(Ack { seq: SeqNo(7) });
+        let frame = encode_frame(sender, &msg);
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&frame);
+        let (from, back) = decoder.decode().expect("valid").expect("complete");
+        assert_eq!(from, sender);
+        assert_eq!(back, msg);
+    }
+
+    /// The configurable limit is a boundary, not an approximation: a
+    /// body of exactly `limit` bytes decodes, `limit + 1` is rejected —
+    /// and the rejection happens from the length word alone, before any
+    /// body bytes are buffered.
+    #[test]
+    fn frame_size_limit_boundary() {
+        let sender = NodeAddr::new([127, 0, 0, 1], 7001);
+        let msg = Message::Alive(Alive {
+            incarnation: Incarnation(1),
+            node: "padded".into(),
+            addr: sender,
+            meta: Bytes::from(vec![0u8; 512]),
+        });
+        let frame = encode_frame(sender, &msg);
+        let body_len = frame.len() - (1 + 4 + 2 + 4);
+
+        // At the limit: accepted.
+        let mut at_limit = FrameDecoder::with_limit(body_len);
+        at_limit.feed(&frame);
+        let (_, back) = at_limit.decode().expect("at-limit is valid").expect("complete");
+        assert_eq!(back, msg);
+
+        // One past the limit (limit = body - 1): rejected with the
+        // offending length, before the body is needed — feed only the
+        // header.
+        let mut over = FrameDecoder::with_limit(body_len - 1);
+        over.feed(&frame[..1 + 4 + 2 + 4]);
+        assert!(matches!(
+            over.decode(),
+            Err(StreamError::Oversized(n)) if n == body_len
+        ));
+
+        // Same boundary through the blocking reader.
+        assert!(read_frame_with_limit(&mut Cursor::new(&frame), body_len).is_ok());
+        assert!(matches!(
+            read_frame_with_limit(&mut Cursor::new(&frame), body_len - 1),
             Err(StreamError::Oversized(_))
         ));
     }

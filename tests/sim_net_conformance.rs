@@ -1,17 +1,18 @@
 //! Sim-vs-net conformance: one scripted input trace — join, acked probe
 //! rounds, suspicion, refutation, peer leave, own leave — is driven
-//! through the shared sans-I/O `Driver` twice:
+//! through the shared sans-I/O `Driver` three times:
 //!
 //! * against the **simulator clock** (virtual time, a `Vec<OwnedOutput>`
-//!   sink, the test playing the scripted peer inline), and
-//! * against a **loopback `Agent`** (real UDP/TCP sockets, wall-clock
-//!   ticker threads, the test playing the scripted peer on real
-//!   sockets),
+//!   sink, the test playing the scripted peer inline),
+//! * against a **loopback `Agent` on the threaded runtime** (real
+//!   UDP/TCP sockets, wall-clock ticker threads), and
+//! * against a **loopback `Agent` on the reactor runtime** (the same
+//!   sockets driven by the single readiness-driven event loop),
 //!
-//! asserting both runs produce identical membership-state transitions
+//! asserting all runs produce identical membership-state transitions
 //! and the same `Event` sequence. This is the property the paper's
 //! methodology rests on: the protocol logic observed in simulation is
-//! the logic deployed on the network.
+//! the logic deployed on the network — on whichever runtime drives it.
 
 use std::net::{TcpListener, UdpSocket};
 use std::time::{Duration, Instant};
@@ -22,7 +23,7 @@ use lifeguard::core::driver::{Driver, OwnedOutput};
 use lifeguard::core::event::Event;
 use lifeguard::core::node::{Input, SwimNode};
 use lifeguard::core::time::Time;
-use lifeguard::net::agent::{Agent, AgentConfig};
+use lifeguard::net::agent::{Agent, AgentConfig, Runtime};
 use lifeguard::net::transport;
 use lifeguard::proto::{
     codec, compound, Ack, Alive, Dead, Incarnation, MemberState, Message, NodeAddr, PushPull,
@@ -274,10 +275,10 @@ fn run_sim_trace() -> Vec<Observed> {
     observed
 }
 
-/// Runs the same trace against a loopback [`Agent`]: real sockets, the
-/// agent's own wall-clock threads, the scripted peer bound to a real
-/// UDP socket + TCP listener on one port.
-fn run_net_trace() -> Vec<Observed> {
+/// Runs the same trace against a loopback [`Agent`] on the given I/O
+/// runtime: real sockets, the agent's own wall-clock scheduling, the
+/// scripted peer bound to a real UDP socket + TCP listener on one port.
+fn run_net_trace(runtime: Runtime) -> Vec<Observed> {
     // The peer binds TCP first and UDP on the same port, like an agent.
     let peer_tcp = TcpListener::bind("127.0.0.1:0").expect("bind peer tcp");
     let peer_sock = peer_tcp.local_addr().expect("peer addr");
@@ -291,7 +292,8 @@ fn run_net_trace() -> Vec<Observed> {
     let alpha = Agent::start(
         AgentConfig::local("alpha")
             .protocol(conformance_config())
-            .seed(7),
+            .seed(7)
+            .runtime(runtime),
     )
     .expect("start agent");
     let alpha_sock = alpha.addr();
@@ -362,8 +364,9 @@ fn run_net_trace() -> Vec<Observed> {
     observed
 }
 
-/// The headline conformance assertion: both runtimes, driving the same
-/// core through the same `Driver`, observe the identical trace.
+/// The headline conformance assertion: every runtime — simulator
+/// clock, threaded agent, reactor agent — driving the same core
+/// through the same `Driver`, observes the identical trace.
 #[test]
 fn sim_and_net_observe_identical_trace() {
     let sim = run_sim_trace();
@@ -372,11 +375,18 @@ fn sim_and_net_observe_identical_trace() {
         expected(),
         "simulator-clock run diverged from the scripted trace"
     );
-    let net = run_net_trace();
+    let threaded = run_net_trace(Runtime::Threaded);
     assert_eq!(
-        net,
+        threaded,
         expected(),
-        "loopback-agent run diverged from the scripted trace"
+        "threaded loopback-agent run diverged from the scripted trace"
     );
-    assert_eq!(sim, net, "sim and net traces must be identical");
+    let reactor = run_net_trace(Runtime::Reactor);
+    assert_eq!(
+        reactor,
+        expected(),
+        "reactor loopback-agent run diverged from the scripted trace"
+    );
+    assert_eq!(sim, threaded, "sim and threaded-net traces must match");
+    assert_eq!(sim, reactor, "sim and reactor-net traces must match");
 }
