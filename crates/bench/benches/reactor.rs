@@ -9,8 +9,7 @@
 //! the round trip — the reactor must be at least as fast with **one**
 //! protocol thread instead of four.
 //!
-//! Two hard asserts ride every run (including CI's `--test` smoke
-//! mode):
+//! Hard asserts ride every run (including CI's `--test` smoke mode):
 //!
 //! * the reactor's median RTT stays within `1.5× + 200 µs` of the
 //!   threaded runtime's (slack for scheduler noise on shared CI
@@ -18,18 +17,28 @@
 //!   it comfortably *below* threaded);
 //! * the reactor's median RTT is far below the threaded runtime's old
 //!   5 ms accept-backoff quantum, proving fixed sleeps are gone from
-//!   the probe path.
+//!   the probe path;
+//! * at a 1000-member loopback fan-out, the batched
+//!   (`sendmmsg`/`recvmmsg`) datapath issues at least **4× fewer** UDP
+//!   send syscalls per probe round than the single-shot datapath, with
+//!   the probe RTT median no worse.
 //!
-//! Results are recorded in `docs/PERFORMANCE.md` §7.
+//! Results are recorded in `docs/PERFORMANCE.md` §7–8, and every run
+//! writes the machine-readable summary to `target/BENCH_reactor.json`
+//! (CI's regression gate reads it).
 
 use std::net::UdpSocket;
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use lifeguard_core::config::Config;
-use lifeguard_net::agent::{Agent, AgentConfig, Runtime};
-use lifeguard_proto::{codec, Message, NodeAddr, Ping, SeqNo};
+use lifeguard_net::agent::{Agent, AgentConfig, IoBatchConfig, Runtime};
+use lifeguard_net::transport;
+use lifeguard_proto::{
+    codec, Incarnation, MemberState, Message, NodeAddr, Ping, PushNodeState, PushPull, SeqNo,
+};
 
 /// Probe timing fast enough that the agent's own timers stay busy
 /// during the measurement (the realistic case: RTTs are measured on a
@@ -59,6 +68,11 @@ impl ProbeHarness {
                 .runtime(runtime),
         )
         .expect("start agent");
+        ProbeHarness::attach(agent)
+    }
+
+    /// Wraps an already-running agent in the ping/ack measurement rig.
+    fn attach(agent: Agent) -> ProbeHarness {
         let peer = UdpSocket::bind("127.0.0.1:0").expect("bind peer");
         peer.set_read_timeout(Some(Duration::from_secs(2)))
             .expect("timeout");
@@ -101,6 +115,123 @@ impl ProbeHarness {
 fn median(samples: &mut [Duration]) -> Duration {
     samples.sort();
     samples[samples.len() / 2]
+}
+
+/// Fan-out members injected into the hub agent for the batching
+/// measurement (the paper-scale cluster the probe round addresses).
+const FANOUT_MEMBERS: usize = 1000;
+/// Loopback sockets the fake members' addresses map onto (real bound
+/// destinations, so sends exercise the full kernel path).
+const FANOUT_SINKS: usize = 8;
+/// Counter-sampling window for the syscalls-per-probe-round rate.
+const FANOUT_WINDOW: Duration = Duration::from_secs(2);
+/// Probe interval of [`fanout_config`], for the per-round conversion.
+const FANOUT_PROBE_INTERVAL: Duration = Duration::from_millis(200);
+
+/// The fan-out workload config: a wide gossip fan-out (32 targets per
+/// 50 ms gossip tick) over fast probe rounds, with the stream paths
+/// (push-pull, reconnect, TCP fallback probe) disabled so every wire
+/// interaction is a UDP datagram the batched datapath owns.
+fn fanout_config() -> Config {
+    let mut cfg = Config::lan()
+        .lifeguard()
+        .with_probe_timing(FANOUT_PROBE_INTERVAL, Duration::from_millis(100));
+    cfg.gossip_interval = Duration::from_millis(50);
+    cfg.gossip_nodes = 32;
+    cfg.push_pull_interval = None;
+    cfg.reconnect_interval = None;
+    cfg.stream_fallback_probe = false;
+    cfg
+}
+
+/// One fan-out run's measured rates.
+struct FanoutMeasure {
+    send_syscalls_per_round: f64,
+    packets_per_sec: f64,
+    datagrams_per_send_syscall: f64,
+    sendmmsg_batches: u64,
+    rtt_median: Duration,
+}
+
+/// Starts a hub agent with the given batching mode, injects
+/// [`FANOUT_MEMBERS`] members (addresses spread over real loopback
+/// sink sockets) through one push-pull reply, then samples the
+/// per-agent I/O counters over [`FANOUT_WINDOW`] and measures the
+/// probe RTT median under the same load.
+fn measure_fanout(io_batch: IoBatchConfig, sinks: &[UdpSocket]) -> FanoutMeasure {
+    let agent = Agent::start(
+        AgentConfig::local("hub")
+            .protocol(fanout_config())
+            .seed(99)
+            .runtime(Runtime::Reactor)
+            .io_batch(io_batch),
+    )
+    .expect("start hub agent");
+
+    // Inject the membership in one shot: a push-pull *reply* merges
+    // silently (no counter-reply), exactly as a join answer would.
+    let states: Vec<PushNodeState> = (0..FANOUT_MEMBERS)
+        .map(|i| PushNodeState {
+            name: format!("m{i:04}").into(),
+            addr: NodeAddr::from(sinks[i % sinks.len()].local_addr().expect("sink addr")),
+            incarnation: Incarnation(1),
+            state: MemberState::Alive,
+            meta: Bytes::new(),
+        })
+        .collect();
+    let from = NodeAddr::from(sinks[0].local_addr().expect("sink addr"));
+    transport::send_stream(
+        agent.addr(),
+        from,
+        &Message::PushPull(PushPull {
+            join: false,
+            reply: true,
+            states,
+        }),
+    )
+    .expect("inject fan-out membership");
+    let inject_deadline = Instant::now() + Duration::from_secs(10);
+    while agent.num_alive() < FANOUT_MEMBERS && Instant::now() < inject_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        agent.num_alive() >= FANOUT_MEMBERS,
+        "membership injection stalled at {} of {FANOUT_MEMBERS}",
+        agent.num_alive()
+    );
+
+    // Let the probe/gossip cadence reach steady state, then sample.
+    std::thread::sleep(Duration::from_millis(500));
+    let before = agent.stats();
+    let window_start = Instant::now();
+    std::thread::sleep(FANOUT_WINDOW);
+    let after = agent.stats();
+    let elapsed = window_start.elapsed();
+
+    let send_syscalls = after.send_syscalls - before.send_syscalls;
+    let datagrams = after.datagrams_sent - before.datagrams_sent;
+    let rounds = elapsed.as_secs_f64() / FANOUT_PROBE_INTERVAL.as_secs_f64();
+
+    // Probe RTT under the same fan-out load.
+    let mut harness = ProbeHarness::attach(agent);
+    for _ in 0..10 {
+        harness.round_trip();
+    }
+    let mut rtt: Vec<Duration> = (0..100).map(|_| harness.round_trip()).collect();
+    let rtt_median = median(&mut rtt);
+    harness.agent.shutdown();
+
+    FanoutMeasure {
+        send_syscalls_per_round: send_syscalls as f64 / rounds,
+        packets_per_sec: datagrams as f64 / elapsed.as_secs_f64(),
+        datagrams_per_send_syscall: if send_syscalls == 0 {
+            0.0
+        } else {
+            datagrams as f64 / send_syscalls as f64
+        },
+        sendmmsg_batches: after.sendmmsg_batches - before.sendmmsg_batches,
+        rtt_median,
+    }
 }
 
 fn reactor_group(c: &mut Criterion) {
@@ -155,6 +286,46 @@ fn reactor_group(c: &mut Criterion) {
         "reactor issued {polls} polls over {SAMPLES} probes — busy loop?"
     );
 
+    // The batching gate: a 1000-member fan-out drives wide gossip
+    // bursts through both datapaths; the sendmmsg one must collapse
+    // the per-packet syscalls by at least 4× without costing probe
+    // latency.
+    let sinks: Vec<UdpSocket> = (0..FANOUT_SINKS)
+        .map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind sink"))
+        .collect();
+    let unbatched = measure_fanout(IoBatchConfig::single_shot(), &sinks);
+    let batched = measure_fanout(IoBatchConfig::default(), &sinks);
+    let reduction = unbatched.send_syscalls_per_round / batched.send_syscalls_per_round.max(1e-9);
+    eprintln!(
+        "reactor/fanout ({FANOUT_MEMBERS} members): unbatched {:.1} send syscalls/round \
+         ({:.0} pkts/s), batched {:.1} send syscalls/round ({:.0} pkts/s, {:.1} datagrams/syscall) \
+         — {reduction:.1}× reduction; RTT median unbatched {:?} vs batched {:?}",
+        unbatched.send_syscalls_per_round,
+        unbatched.packets_per_sec,
+        batched.send_syscalls_per_round,
+        batched.packets_per_sec,
+        batched.datagrams_per_send_syscall,
+        unbatched.rtt_median,
+        batched.rtt_median,
+    );
+    assert!(
+        batched.sendmmsg_batches > 0,
+        "batched run never issued a multi-datagram sendmmsg — batching is not engaging"
+    );
+    assert!(
+        reduction >= 4.0,
+        "sendmmsg batching must cut UDP send syscalls per probe round by ≥4×: \
+         unbatched {:.1}/round vs batched {:.1}/round ({reduction:.1}×)",
+        unbatched.send_syscalls_per_round,
+        batched.send_syscalls_per_round,
+    );
+    assert!(
+        batched.rtt_median <= unbatched.rtt_median.mul_f64(1.5) + Duration::from_micros(200),
+        "batching must not cost probe latency: batched {:?} vs unbatched {:?}",
+        batched.rtt_median,
+        unbatched.rtt_median,
+    );
+
     let mut group = c.benchmark_group("reactor");
     group.measurement_time(Duration::from_secs(2));
     group.bench_function("probe_rtt_threaded", |b| b.iter(|| threaded.round_trip()));
@@ -178,6 +349,41 @@ fn reactor_group(c: &mut Criterion) {
     );
 
     reactor.agent.shutdown();
+
+    // Machine-readable summary for CI's regression gate and for
+    // `docs/PERFORMANCE.md`. Written into the workspace `target/` dir
+    // regardless of the bench binary's working directory.
+    let json = format!(
+        "{{\n  \"bench\": \"reactor\",\n  \"fanout_members\": {FANOUT_MEMBERS},\n  \
+         \"probe_interval_ms\": {},\n  \"window_secs\": {},\n  \"unbatched\": {{\n    \
+         \"send_syscalls_per_probe_round\": {:.2},\n    \"packets_per_sec\": {:.0},\n    \
+         \"datagrams_per_send_syscall\": {:.2},\n    \"rtt_median_us\": {:.1}\n  }},\n  \
+         \"batched\": {{\n    \"send_syscalls_per_probe_round\": {:.2},\n    \
+         \"packets_per_sec\": {:.0},\n    \"datagrams_per_send_syscall\": {:.2},\n    \
+         \"sendmmsg_batches\": {},\n    \"rtt_median_us\": {:.1}\n  }},\n  \
+         \"syscall_reduction_factor\": {:.2},\n  \"rtt_threaded_us\": {:.1},\n  \
+         \"rtt_reactor_us\": {:.1},\n  \"polls_per_probe\": {:.2},\n  \
+         \"idle_wakeups_per_sec\": {:.0}\n}}\n",
+        FANOUT_PROBE_INTERVAL.as_millis(),
+        FANOUT_WINDOW.as_secs(),
+        unbatched.send_syscalls_per_round,
+        unbatched.packets_per_sec,
+        unbatched.datagrams_per_send_syscall,
+        unbatched.rtt_median.as_secs_f64() * 1e6,
+        batched.send_syscalls_per_round,
+        batched.packets_per_sec,
+        batched.datagrams_per_send_syscall,
+        batched.sendmmsg_batches,
+        batched.rtt_median.as_secs_f64() * 1e6,
+        reduction,
+        threaded_median.as_secs_f64() * 1e6,
+        reactor_median.as_secs_f64() * 1e6,
+        polls as f64 / SAMPLES as f64,
+        idle_rate,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_reactor.json");
+    std::fs::write(out, json).expect("write BENCH_reactor.json");
+    eprintln!("reactor/json: wrote {out}");
 }
 
 criterion_group!(benches, reactor_group);

@@ -47,6 +47,8 @@ pub mod stats {
     pub(crate) static POLLS: AtomicU64 = AtomicU64::new(0);
     pub(crate) static NOTIFIES: AtomicU64 = AtomicU64::new(0);
     pub(crate) static DRAINS: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static SENDMMSGS: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static RECVMMSGS: AtomicU64 = AtomicU64::new(0);
 
     /// Number of `poll(2)` syscalls issued by every [`crate::Poller`]
     /// in this process since start.
@@ -54,13 +56,28 @@ pub mod stats {
         POLLS.load(Ordering::Relaxed)
     }
 
-    /// Total syscalls issued by the shim itself: `poll(2)` waits plus
-    /// notify-pipe writes and drains. Socket I/O performed by the
+    /// Number of `sendmmsg(2)` syscalls issued by every
+    /// [`crate::mmsg::SendBatch`] in this process since start.
+    pub fn sendmmsg_calls() -> u64 {
+        SENDMMSGS.load(Ordering::Relaxed)
+    }
+
+    /// Number of `recvmmsg(2)` syscalls issued by every
+    /// [`crate::mmsg::RecvRing`] in this process since start.
+    pub fn recvmmsg_calls() -> u64 {
+        RECVMMSGS.load(Ordering::Relaxed)
+    }
+
+    /// Total syscalls issued by the shim itself: `poll(2)` waits,
+    /// notify-pipe writes and drains, and batched datagram I/O
+    /// (`sendmmsg(2)` / `recvmmsg(2)`). Socket I/O performed by the
     /// *caller* on ready sources is not counted.
     pub fn syscalls() -> u64 {
         POLLS.load(Ordering::Relaxed)
             + NOTIFIES.load(Ordering::Relaxed)
             + DRAINS.load(Ordering::Relaxed)
+            + SENDMMSGS.load(Ordering::Relaxed)
+            + RECVMMSGS.load(Ordering::Relaxed)
     }
 }
 
@@ -71,7 +88,7 @@ pub mod stats {
 mod sys {
     #[cfg(not(target_os = "linux"))]
     compile_error!("the polling shim's FFI constants assume the Linux ABI");
-    use std::os::raw::{c_int, c_short, c_ulong, c_void};
+    use std::os::raw::{c_int, c_short, c_uint, c_ulong, c_void};
 
     #[repr(C)]
     #[derive(Clone, Copy)]
@@ -93,6 +110,44 @@ mod sys {
     pub const FD_CLOEXEC: c_int = 1;
     pub const O_NONBLOCK: c_int = 0o4000;
     pub const EINTR: i32 = 4;
+    pub const EAGAIN: i32 = 11;
+    pub const ENOSYS: i32 = 38;
+
+    pub const AF_INET: u16 = 2;
+    pub const AF_INET6: u16 = 10;
+    pub const MSG_TRUNC: c_int = 0x20;
+    pub const MSG_DONTWAIT: c_int = 0x40;
+
+    /// `struct iovec`: one gather/scatter segment.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct IoVec {
+        pub iov_base: *mut c_void,
+        pub iov_len: usize,
+    }
+
+    /// `struct msghdr` (Linux layout; `repr(C)` reproduces the padding
+    /// after `msg_namelen` and `msg_flags` on 64-bit targets).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct MsgHdr {
+        pub msg_name: *mut c_void,
+        pub msg_namelen: c_uint,
+        pub msg_iov: *mut IoVec,
+        pub msg_iovlen: usize,
+        pub msg_control: *mut c_void,
+        pub msg_controllen: usize,
+        pub msg_flags: c_int,
+    }
+
+    /// `struct mmsghdr`: one `msghdr` plus the kernel-reported byte
+    /// count of the transferred datagram.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct MmsgHdr {
+        pub msg_hdr: MsgHdr,
+        pub msg_len: c_uint,
+    }
 
     extern "C" {
         pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
@@ -101,6 +156,14 @@ mod sys {
         pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
         pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
         pub fn close(fd: c_int) -> c_int;
+        pub fn sendmmsg(fd: c_int, msgvec: *mut MmsgHdr, vlen: c_uint, flags: c_int) -> c_int;
+        pub fn recvmmsg(
+            fd: c_int,
+            msgvec: *mut MmsgHdr,
+            vlen: c_uint,
+            flags: c_int,
+            timeout: *mut c_void, // struct timespec *; always null here
+        ) -> c_int;
     }
 }
 
@@ -440,6 +503,326 @@ impl Drop for Poller {
         unsafe {
             sys::close(self.notify_read);
             sys::close(self.notify_write);
+        }
+    }
+}
+
+/// Batched UDP datagram I/O over `sendmmsg(2)` / `recvmmsg(2)`
+/// (extension over upstream `polling`).
+///
+/// Both types are reusable *batch tables*: preallocated `mmsghdr` /
+/// `iovec` / sockaddr arrays that one syscall transfers many datagrams
+/// through. The pointer tables are rebuilt from the current buffer
+/// addresses on every call, so the types are safe to move between
+/// construction and use (nothing is self-referential across calls).
+///
+/// Kernels without the syscalls (pre-3.0, or seccomp-filtered) surface
+/// `ENOSYS` as [`io::ErrorKind::Unsupported`]; callers are expected to
+/// fall back to single-shot `send_to` / `recv_from` on that error.
+pub mod mmsg {
+    use super::{stats, sys};
+    use std::io;
+    use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
+    use std::ops::Range;
+    use std::os::unix::io::RawFd;
+    use std::ptr;
+    use std::sync::atomic::Ordering;
+
+    /// Bytes of the largest sockaddr the shim handles
+    /// (`sockaddr_in6`, 28 bytes).
+    const SOCKADDR_MAX: usize = 28;
+
+    /// A raw sockaddr slot, aligned for in-place `sockaddr_in` /
+    /// `sockaddr_in6` access.
+    #[repr(C, align(8))]
+    #[derive(Clone, Copy)]
+    struct SockAddr {
+        data: [u8; SOCKADDR_MAX],
+        len: u32,
+    }
+
+    impl SockAddr {
+        const ZERO: SockAddr = SockAddr {
+            data: [0; SOCKADDR_MAX],
+            len: 0,
+        };
+
+        /// Encodes `addr` into Linux `sockaddr_in` / `sockaddr_in6`
+        /// wire layout (family native-endian, port big-endian).
+        fn encode(addr: SocketAddr) -> SockAddr {
+            let mut s = SockAddr::ZERO;
+            match addr {
+                SocketAddr::V4(v4) => {
+                    s.data[0..2].copy_from_slice(&sys::AF_INET.to_ne_bytes());
+                    s.data[2..4].copy_from_slice(&v4.port().to_be_bytes());
+                    s.data[4..8].copy_from_slice(&v4.ip().octets());
+                    s.len = 16;
+                }
+                SocketAddr::V6(v6) => {
+                    s.data[0..2].copy_from_slice(&sys::AF_INET6.to_ne_bytes());
+                    s.data[2..4].copy_from_slice(&v6.port().to_be_bytes());
+                    s.data[4..8].copy_from_slice(&v6.flowinfo().to_ne_bytes());
+                    s.data[8..24].copy_from_slice(&v6.ip().octets());
+                    s.data[24..28].copy_from_slice(&v6.scope_id().to_ne_bytes());
+                    s.len = 28;
+                }
+            }
+            s
+        }
+
+        /// Decodes a kernel-filled sockaddr; `None` for families the
+        /// shim does not speak (the caller drops the datagram).
+        fn decode(&self, namelen: u32) -> Option<SocketAddr> {
+            let family = u16::from_ne_bytes([self.data[0], self.data[1]]);
+            let port = u16::from_be_bytes([self.data[2], self.data[3]]);
+            if family == sys::AF_INET && namelen >= 8 {
+                let octets: [u8; 4] = self.data[4..8].try_into().ok()?;
+                Some(SocketAddr::new(IpAddr::V4(Ipv4Addr::from(octets)), port))
+            } else if family == sys::AF_INET6 && namelen >= 28 {
+                let octets: [u8; 16] = self.data[8..24].try_into().ok()?;
+                Some(SocketAddr::new(IpAddr::V6(Ipv6Addr::from(octets)), port))
+            } else {
+                None
+            }
+        }
+    }
+
+    fn map_errno(err: io::Error) -> io::Error {
+        match err.raw_os_error() {
+            Some(sys::EAGAIN) => io::Error::new(io::ErrorKind::WouldBlock, err),
+            Some(sys::ENOSYS) => io::Error::new(io::ErrorKind::Unsupported, err),
+            _ => err,
+        }
+    }
+
+    /// A reusable `sendmmsg(2)` batch table: many datagrams, each a
+    /// contiguous slice of one caller-held arena, sent with one
+    /// syscall.
+    ///
+    /// The arena and the `(destination, byte-range)` entries are passed
+    /// per call; the table only holds the preallocated FFI arrays, so
+    /// one `SendBatch` serves every flush of a socket's lifetime.
+    pub struct SendBatch {
+        addrs: Vec<SockAddr>,
+        iovs: Vec<sys::IoVec>,
+        hdrs: Vec<sys::MmsgHdr>,
+        max: usize,
+    }
+
+    impl std::fmt::Debug for SendBatch {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("SendBatch").field("max", &self.max).finish()
+        }
+    }
+
+    // The pointer tables alias only the struct's own buffers and are
+    // rebuilt from scratch on every call, so moving the table between
+    // threads between calls is sound.
+    unsafe impl Send for SendBatch {}
+
+    impl SendBatch {
+        /// A table that sends at most `max` datagrams per syscall
+        /// (callers chunk longer batches).
+        pub fn new(max: usize) -> SendBatch {
+            let max = max.max(1);
+            SendBatch {
+                addrs: Vec::with_capacity(max),
+                iovs: Vec::with_capacity(max),
+                hdrs: Vec::with_capacity(max),
+                max,
+            }
+        }
+
+        /// Maximum datagrams one [`SendBatch::send`] transfers.
+        pub fn max_len(&self) -> usize {
+            self.max
+        }
+
+        /// Sends `pkts` (up to [`SendBatch::max_len`] of them) in one
+        /// `sendmmsg(2)`; each entry is a destination plus the byte
+        /// range of its payload inside `arena`. Returns how many
+        /// datagrams the kernel accepted — the *tail* (`pkts[n..]`)
+        /// remains unsent and should be retried or resubmitted.
+        ///
+        /// An empty `pkts` is a no-op returning `Ok(0)`.
+        ///
+        /// # Errors
+        ///
+        /// `WouldBlock` if the socket's send buffer is full before the
+        /// first datagram, [`io::ErrorKind::Unsupported`] if the kernel
+        /// lacks the syscall, otherwise the raw OS error. An error
+        /// always means *zero* datagrams of this call were sent.
+        ///
+        /// # Panics
+        ///
+        /// Panics if a range reaches outside `arena`.
+        pub fn send(
+            &mut self,
+            fd: RawFd,
+            arena: &[u8],
+            pkts: &[(SocketAddr, Range<usize>)],
+        ) -> io::Result<usize> {
+            if pkts.is_empty() {
+                return Ok(0);
+            }
+            let n = pkts.len().min(self.max);
+            self.addrs.clear();
+            self.iovs.clear();
+            self.hdrs.clear();
+            for (to, range) in &pkts[..n] {
+                self.addrs.push(SockAddr::encode(*to));
+                self.iovs.push(sys::IoVec {
+                    // sendmmsg never writes through iov_base; the cast
+                    // to *mut is an FFI-signature formality.
+                    iov_base: arena[range.clone()].as_ptr() as *mut _,
+                    iov_len: range.len(),
+                });
+            }
+            for i in 0..n {
+                self.hdrs.push(sys::MmsgHdr {
+                    msg_hdr: sys::MsgHdr {
+                        msg_name: self.addrs[i].data.as_ptr() as *mut _,
+                        msg_namelen: self.addrs[i].len,
+                        msg_iov: &mut self.iovs[i],
+                        msg_iovlen: 1,
+                        msg_control: ptr::null_mut(),
+                        msg_controllen: 0,
+                        msg_flags: 0,
+                    },
+                    msg_len: 0,
+                });
+            }
+            stats::SENDMMSGS.fetch_add(1, Ordering::Relaxed);
+            let rc = unsafe {
+                sys::sendmmsg(fd, self.hdrs.as_mut_ptr(), n as _, sys::MSG_DONTWAIT)
+            };
+            if rc < 0 {
+                return Err(map_errno(io::Error::last_os_error()));
+            }
+            Ok(rc as usize)
+        }
+    }
+
+    /// A reusable `recvmmsg(2)` receive ring: a preallocated block of
+    /// fixed-size buffers that one syscall fills with up to a burst of
+    /// datagrams, exposed afterwards as borrowed `(source, payload)`
+    /// slices — no per-datagram allocation or copy.
+    pub struct RecvRing {
+        bufs: Vec<u8>,
+        addrs: Vec<SockAddr>,
+        hdrs: Vec<sys::MmsgHdr>,
+        iovs: Vec<sys::IoVec>,
+        slots: usize,
+        slot_len: usize,
+        filled: usize,
+    }
+
+    impl std::fmt::Debug for RecvRing {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("RecvRing")
+                .field("slots", &self.slots)
+                .field("slot_len", &self.slot_len)
+                .field("filled", &self.filled)
+                .finish()
+        }
+    }
+
+    // Same argument as [`SendBatch`]: no pointer survives across calls.
+    unsafe impl Send for RecvRing {}
+
+    impl RecvRing {
+        /// A ring of `slots` buffers of `slot_len` bytes each (a
+        /// datagram longer than `slot_len` is truncated and flagged —
+        /// see [`RecvRing::truncated`]).
+        pub fn new(slots: usize, slot_len: usize) -> RecvRing {
+            let slots = slots.max(1);
+            let slot_len = slot_len.max(1);
+            RecvRing {
+                bufs: vec![0u8; slots * slot_len],
+                addrs: vec![SockAddr::ZERO; slots],
+                hdrs: Vec::with_capacity(slots),
+                iovs: Vec::with_capacity(slots),
+                slots,
+                slot_len,
+                filled: 0,
+            }
+        }
+
+        /// Number of buffer slots (the per-syscall burst bound).
+        pub fn slots(&self) -> usize {
+            self.slots
+        }
+
+        /// Receives up to [`RecvRing::slots`] datagrams in one
+        /// `recvmmsg(2)`, replacing the previous burst. Returns how
+        /// many slots were filled; read them back with
+        /// [`RecvRing::datagram`].
+        ///
+        /// # Errors
+        ///
+        /// `WouldBlock` when the socket is drained,
+        /// [`io::ErrorKind::Unsupported`] if the kernel lacks the
+        /// syscall, otherwise the raw OS error.
+        pub fn recv(&mut self, fd: RawFd) -> io::Result<usize> {
+            self.filled = 0;
+            self.hdrs.clear();
+            self.iovs.clear();
+            for i in 0..self.slots {
+                self.addrs[i] = SockAddr::ZERO;
+                self.iovs.push(sys::IoVec {
+                    iov_base: self.bufs[i * self.slot_len..].as_mut_ptr() as *mut _,
+                    iov_len: self.slot_len,
+                });
+            }
+            for i in 0..self.slots {
+                self.hdrs.push(sys::MmsgHdr {
+                    msg_hdr: sys::MsgHdr {
+                        msg_name: self.addrs[i].data.as_mut_ptr() as *mut _,
+                        msg_namelen: SOCKADDR_MAX as u32,
+                        msg_iov: &mut self.iovs[i],
+                        msg_iovlen: 1,
+                        msg_control: ptr::null_mut(),
+                        msg_controllen: 0,
+                        msg_flags: 0,
+                    },
+                    msg_len: 0,
+                });
+            }
+            stats::RECVMMSGS.fetch_add(1, Ordering::Relaxed);
+            let rc = unsafe {
+                sys::recvmmsg(
+                    fd,
+                    self.hdrs.as_mut_ptr(),
+                    self.slots as _,
+                    sys::MSG_DONTWAIT,
+                    ptr::null_mut(),
+                )
+            };
+            if rc < 0 {
+                return Err(map_errno(io::Error::last_os_error()));
+            }
+            self.filled = rc as usize;
+            Ok(self.filled)
+        }
+
+        /// The `i`-th datagram of the last burst as a borrowed payload
+        /// slice plus its source address. `None` past the filled count
+        /// or for a source family the shim does not speak.
+        pub fn datagram(&self, i: usize) -> Option<(SocketAddr, &[u8])> {
+            if i >= self.filled {
+                return None;
+            }
+            let hdr = &self.hdrs[i];
+            let from = self.addrs[i].decode(hdr.msg_hdr.msg_namelen)?;
+            let len = (hdr.msg_len as usize).min(self.slot_len);
+            let start = i * self.slot_len;
+            Some((from, &self.bufs[start..start + len]))
+        }
+
+        /// Whether the `i`-th datagram of the last burst was longer
+        /// than a slot and lost its tail (`MSG_TRUNC`).
+        pub fn truncated(&self, i: usize) -> bool {
+            i < self.filled && self.hdrs[i].msg_hdr.msg_flags & sys::MSG_TRUNC != 0
         }
     }
 }

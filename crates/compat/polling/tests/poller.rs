@@ -247,3 +247,150 @@ fn disarmed_interest_reports_nothing() {
     assert_eq!(event.key, 5);
     assert!(event.readable && event.writable);
 }
+
+// ---------------------------------------------------------------------
+// Batched datagram I/O (the `mmsg` extension)
+// ---------------------------------------------------------------------
+
+use polling::mmsg::{RecvRing, SendBatch};
+use std::os::unix::io::AsRawFd;
+
+#[test]
+fn sendmmsg_batch_delivers_every_datagram() {
+    let (a, b) = udp_pair();
+    let to = b.local_addr().unwrap();
+    b.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    // One arena, three payloads of different lengths.
+    let arena: Vec<u8> = (0u8..32).collect();
+    let pkts = vec![(to, 0..4), (to, 4..5), (to, 5..32)];
+    let mut batch = SendBatch::new(16);
+    let sent = batch.send(a.as_raw_fd(), &arena, &pkts).expect("sendmmsg");
+    assert_eq!(sent, 3);
+
+    let mut buf = [0u8; 64];
+    for range in [0..4, 4..5, 5..32] {
+        let (n, from) = b.recv_from(&mut buf).expect("recv");
+        assert_eq!(&buf[..n], &arena[range]);
+        assert_eq!(from, a.local_addr().unwrap());
+    }
+}
+
+#[test]
+fn sendmmsg_batch_of_one_and_empty_batch() {
+    let (a, b) = udp_pair();
+    let to = b.local_addr().unwrap();
+    b.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut batch = SendBatch::new(4);
+
+    assert_eq!(batch.send(a.as_raw_fd(), b"xy", &[]).expect("empty"), 0);
+    let sent = batch
+        .send(a.as_raw_fd(), b"xy", &[(to, 0..2)])
+        .expect("single");
+    assert_eq!(sent, 1);
+    let mut buf = [0u8; 8];
+    let (n, _) = b.recv_from(&mut buf).expect("recv");
+    assert_eq!(&buf[..n], b"xy");
+}
+
+#[test]
+fn sendmmsg_caps_at_table_size_and_reports_the_tail() {
+    let (a, b) = udp_pair();
+    let to = b.local_addr().unwrap();
+    b.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let arena = [7u8; 6];
+    let pkts: Vec<_> = (0..6).map(|i| (to, i..i + 1)).collect();
+    let mut batch = SendBatch::new(4);
+    assert_eq!(batch.max_len(), 4);
+    // Only the first max_len entries go out; the caller resubmits the rest.
+    let sent = batch.send(a.as_raw_fd(), &arena, &pkts).expect("send");
+    assert_eq!(sent, 4);
+    let sent = batch
+        .send(a.as_raw_fd(), &arena, &pkts[4..])
+        .expect("send tail");
+    assert_eq!(sent, 2);
+    let mut buf = [0u8; 8];
+    for _ in 0..6 {
+        b.recv_from(&mut buf).expect("recv");
+    }
+}
+
+#[test]
+fn recvmmsg_burst_fills_ring_with_sources_and_payloads() {
+    let (a, b) = udp_pair();
+    let dst = a.local_addr().unwrap();
+    for i in 0u8..5 {
+        b.send_to(&[i; 3], dst).expect("send");
+    }
+    // Loopback delivery is asynchronous; poll until all five arrived.
+    let mut ring = RecvRing::new(8, 64);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut n = 0;
+    while n < 5 {
+        assert!(Instant::now() < deadline, "datagrams never arrived");
+        match ring.recv(a.as_raw_fd()) {
+            Ok(k) if k > 0 => n = k, // one burst: all or a prefix
+            Ok(_) | Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    assert_eq!(n, 5);
+    for i in 0..5 {
+        let (from, payload) = ring.datagram(i).expect("datagram");
+        assert_eq!(from, b.local_addr().unwrap());
+        assert_eq!(payload, &[i as u8; 3]);
+        assert!(!ring.truncated(i));
+    }
+    assert!(ring.datagram(5).is_none(), "past the filled count");
+}
+
+#[test]
+fn recvmmsg_on_drained_socket_is_would_block() {
+    let (a, _b) = udp_pair();
+    a.set_nonblocking(true).unwrap();
+    let mut ring = RecvRing::new(4, 64);
+    let err = ring.recv(a.as_raw_fd()).expect_err("empty socket");
+    assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+}
+
+#[test]
+fn recvmmsg_flags_truncated_datagrams() {
+    let (a, b) = udp_pair();
+    let dst = a.local_addr().unwrap();
+    b.send_to(&[9u8; 40], dst).expect("send long");
+    let mut ring = RecvRing::new(2, 8); // slot shorter than the datagram
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        assert!(Instant::now() < deadline, "datagram never arrived");
+        match ring.recv(a.as_raw_fd()) {
+            Ok(n) if n > 0 => break,
+            _ => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    assert!(ring.truncated(0));
+    let (_, payload) = ring.datagram(0).expect("head still readable");
+    assert_eq!(payload, &[9u8; 8]);
+}
+
+#[test]
+fn mmsg_syscalls_feed_the_stats_counters() {
+    let (a, b) = udp_pair();
+    let send0 = polling::stats::sendmmsg_calls();
+    let recv0 = polling::stats::recvmmsg_calls();
+    let total0 = polling::stats::syscalls();
+    let mut batch = SendBatch::new(4);
+    batch
+        .send(a.as_raw_fd(), b"z", &[(b.local_addr().unwrap(), 0..1)])
+        .expect("send");
+    let mut ring = RecvRing::new(2, 16);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        assert!(Instant::now() < deadline, "datagram never arrived");
+        match ring.recv(b.as_raw_fd()) {
+            Ok(n) if n > 0 => break,
+            _ => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    assert!(polling::stats::sendmmsg_calls() > send0);
+    assert!(polling::stats::recvmmsg_calls() > recv0);
+    assert!(polling::stats::syscalls() > total0);
+}

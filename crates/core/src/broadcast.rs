@@ -165,6 +165,26 @@ impl BroadcastQueue {
         transmit_limit: u32,
         exclude: Option<&NodeName>,
     ) {
+        self.fill_fanout(builder, transmit_limit, exclude, 1);
+    }
+
+    /// [`BroadcastQueue::fill`] for a packet that will be sent to
+    /// `copies` destinations at once (the batched gossip fan-out: one
+    /// encode pass, one packet, N recipients). Each selected broadcast
+    /// is charged `copies` transmissions — the same aggregate
+    /// accounting as `copies` separate fills — so the
+    /// `λ·⌈log10(n + 1)⌉` dissemination bound is preserved. A broadcast
+    /// within `copies` of the limit still goes to all `copies`
+    /// recipients and is then retired, overshooting its bound by at
+    /// most `copies − 1` sends on its final fan-out.
+    pub fn fill_fanout(
+        &mut self,
+        builder: &mut CompoundBuilder,
+        transmit_limit: u32,
+        exclude: Option<&NodeName>,
+        copies: u32,
+    ) {
+        let copies = copies.max(1);
         if transmit_limit < self.last_limit {
             // O(n), but only on the rare downward log10(n) boundary
             // crossing; over-limit entries popped during normal fills
@@ -212,7 +232,7 @@ impl BroadcastQueue {
                 continue;
             }
             if builder.try_add_bytes(&entry.encoded) {
-                let after = transmits + 1;
+                let after = transmits + copies;
                 if after >= transmit_limit {
                     self.retire(id);
                 } else {
@@ -270,6 +290,37 @@ mod tests {
             addr: NodeAddr::new([10, 0, 0, 1], 1),
             meta: Bytes::new(),
         })
+    }
+
+    #[test]
+    fn fill_fanout_charges_copies_per_selection() {
+        let mut q = BroadcastQueue::new();
+        q.enqueue(alive("n", 1));
+        // Limit 6, 4 copies: the first fan-out leaves the broadcast at
+        // 4 transmits; the second reaches 8 ≥ 6 and retires it.
+        let mut b = CompoundBuilder::new(1400);
+        q.fill_fanout(&mut b, 6, None, 4);
+        assert!(b.finish().is_some());
+        assert_eq!(q.len(), 1);
+        let mut b = CompoundBuilder::new(1400);
+        q.fill_fanout(&mut b, 6, None, 4);
+        assert!(b.finish().is_some());
+        assert!(q.is_empty(), "retired once the aggregate count hit the limit");
+    }
+
+    #[test]
+    fn fill_is_fill_fanout_of_one_copy() {
+        let (mut a, mut b) = (BroadcastQueue::new(), BroadcastQueue::new());
+        a.enqueue(suspect("s", "from", 1));
+        b.enqueue(suspect("s", "from", 1));
+        for _ in 0..3 {
+            let mut ba = CompoundBuilder::new(1400);
+            let mut bb = CompoundBuilder::new(1400);
+            a.fill(&mut ba, 3, None);
+            b.fill_fanout(&mut bb, 3, None, 1);
+            assert_eq!(ba.finish(), bb.finish());
+        }
+        assert!(a.is_empty() && b.is_empty());
     }
 
     fn drain(q: &mut BroadcastQueue, limit: u32) -> Vec<Message> {

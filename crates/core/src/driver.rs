@@ -52,6 +52,18 @@ pub trait Sink {
     fn stream(&mut self, to: NodeAddr, msg: Message);
     /// Deliver one membership conclusion to the application.
     fn event(&mut self, event: Event);
+
+    /// Send many datagrams whose payloads are byte ranges of one
+    /// arena — the flush of the driver's deferred-packet batch (see
+    /// [`Driver::flush_deferred`]). A runtime with a gather-send
+    /// (`sendmmsg(2)`) overrides this to transfer the whole batch in
+    /// one syscall; the default preserves single-shot behaviour by
+    /// forwarding each entry to [`Sink::transmit`] in order.
+    fn transmit_batch(&mut self, arena: &[u8], packets: &[(NodeAddr, std::ops::Range<usize>)]) {
+        for (to, range) in packets {
+            self.transmit(*to, &arena[range.clone()]);
+        }
+    }
 }
 
 /// An owned copy of an [`Output`], for sinks that must hold effects past
@@ -115,12 +127,19 @@ impl Sink for Vec<OwnedOutput> {
 #[derive(Debug)]
 pub struct Driver {
     node: SwimNode,
+    /// Packets deferred by the batching entry points
+    /// ([`Driver::handle_deferring`]), as ranges into the node's
+    /// scratch arena, awaiting [`Driver::flush_deferred`].
+    deferred: Vec<(NodeAddr, std::ops::Range<usize>)>,
 }
 
 impl Driver {
     /// Wraps a node (started or not) in a driver.
     pub fn new(node: SwimNode) -> Driver {
-        Driver { node }
+        Driver {
+            node,
+            deferred: Vec::new(),
+        }
     }
 
     /// Boots the node (see [`SwimNode::start`]) and drains any outputs.
@@ -171,6 +190,66 @@ impl Driver {
             .expect("leave is infallible");
     }
 
+    /// [`Driver::handle`] for a *batching* runtime: stream and event
+    /// effects still dispatch to `sink` immediately and in order, but
+    /// packet sends accumulate in the driver's deferred batch (byte
+    /// ranges into the node's scratch arena, which is held — kept
+    /// valid — across further deferring inputs). The runtime flushes
+    /// the accumulated burst with [`Driver::flush_deferred`], turning
+    /// many per-packet sends into one gather-send.
+    ///
+    /// # Errors
+    ///
+    /// As [`Driver::handle`].
+    pub fn handle_deferring(
+        &mut self,
+        input: Input,
+        now: Time,
+        sink: &mut impl Sink,
+    ) -> Result<(), DecodeError> {
+        let res = self.node.handle_input(input, now);
+        self.drain_deferring(sink);
+        res
+    }
+
+    /// [`Driver::handle_deferring`] of one received datagram handed in
+    /// as a borrowed slice (see [`SwimNode::handle_datagram_slice`]):
+    /// the batched receive path, where payloads live in the runtime's
+    /// receive ring and are never copied into an owned buffer.
+    ///
+    /// # Errors
+    ///
+    /// As [`Driver::handle`].
+    pub fn handle_datagram_slice_deferring(
+        &mut self,
+        from: NodeAddr,
+        payload: &[u8],
+        now: Time,
+        sink: &mut impl Sink,
+    ) -> Result<(), DecodeError> {
+        let res = self.node.handle_datagram_slice(from, payload, now);
+        self.drain_deferring(sink);
+        res
+    }
+
+    /// Number of packets currently deferred (the runtime flushes when
+    /// this reaches its batch size, bounding arena growth mid-burst).
+    pub fn deferred_packets(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Hands the deferred batch to [`Sink::transmit_batch`] and
+    /// releases the arena hold. Always safe to call; a flush with
+    /// nothing deferred just releases the hold so the node can reclaim
+    /// its scratch space.
+    pub fn flush_deferred(&mut self, sink: &mut impl Sink) {
+        if !self.deferred.is_empty() {
+            sink.transmit_batch(self.node.packet_arena(), &self.deferred);
+            self.deferred.clear();
+        }
+        self.node.release_arena();
+    }
+
     /// When the runtime must next call [`Driver::tick`].
     pub fn next_wake(&self) -> Option<Time> {
         self.node.next_wake()
@@ -208,6 +287,14 @@ impl Driver {
                 Output::Event(e) => sink.event(e),
             }
         }
+    }
+
+    fn drain_deferring(&mut self, sink: &mut impl Sink) {
+        self.node.drain_split(&mut self.deferred, |output| match output {
+            Output::Stream { to, msg } => sink.stream(to, msg),
+            Output::Event(e) => sink.event(e),
+            Output::Packet { .. } => unreachable!("drain_split routes packets to the batch"),
+        });
     }
 }
 
@@ -269,6 +356,144 @@ mod tests {
         sink.clear();
         d.leave(Time::from_secs(1), &mut sink);
         assert!(d.node().has_left());
+    }
+
+    /// A sink that records how flushes arrive: which packets came
+    /// through `transmit_batch` (and in what groups) vs single-shot
+    /// `transmit`.
+    #[derive(Default)]
+    struct BatchRecorder {
+        effects: Vec<OwnedOutput>,
+        batches: Vec<usize>,
+        singles: usize,
+    }
+
+    impl Sink for BatchRecorder {
+        fn transmit(&mut self, to: NodeAddr, payload: &[u8]) {
+            self.singles += 1;
+            self.effects.push(OwnedOutput::Packet {
+                to,
+                payload: Bytes::copy_from_slice(payload),
+            });
+        }
+
+        fn stream(&mut self, to: NodeAddr, msg: Message) {
+            self.effects.push(OwnedOutput::Stream { to, msg });
+        }
+
+        fn event(&mut self, event: Event) {
+            self.effects.push(OwnedOutput::Event(event));
+        }
+
+        fn transmit_batch(&mut self, arena: &[u8], packets: &[(NodeAddr, std::ops::Range<usize>)]) {
+            self.batches.push(packets.len());
+            for (to, range) in packets {
+                self.effects.push(OwnedOutput::Packet {
+                    to: *to,
+                    payload: Bytes::copy_from_slice(&arena[range.clone()]),
+                });
+            }
+        }
+    }
+
+    fn alive_datagram(name: &str, i: u8) -> Input {
+        Input::Datagram {
+            from: addr(i),
+            payload: codec::encode_message(&Message::Alive(Alive {
+                incarnation: Incarnation(1),
+                node: name.into(),
+                addr: addr(i),
+                meta: Bytes::new(),
+            })),
+        }
+    }
+
+    /// Drives a node to the point where a tick produces packets: two
+    /// live peers, then enough time for a probe round.
+    fn packet_producing_driver() -> Driver {
+        let mut d = driver();
+        let mut sink: Vec<OwnedOutput> = Vec::new();
+        d.start(Time::ZERO, &mut sink);
+        d.handle(alive_datagram("p1", 2), Time::from_millis(10), &mut sink)
+            .unwrap();
+        d.handle(alive_datagram("p2", 3), Time::from_millis(20), &mut sink)
+            .unwrap();
+        d
+    }
+
+    #[test]
+    fn deferring_handle_batches_packets_and_flush_matches_single_shot() {
+        // Two identical drivers; one drained single-shot, one deferred.
+        let mut plain = packet_producing_driver();
+        let mut batched = packet_producing_driver();
+
+        let mut plain_sink = BatchRecorder::default();
+        let mut batch_sink = BatchRecorder::default();
+        let t = Time::from_secs(2);
+        plain.tick(t, &mut plain_sink);
+        batched
+            .handle_deferring(Input::Tick, t, &mut batch_sink)
+            .unwrap();
+        assert!(plain_sink.singles > 0, "the tick must produce packets");
+        assert_eq!(batch_sink.singles, 0, "nothing sent before the flush");
+        assert_eq!(
+            batched.deferred_packets(),
+            plain_sink.singles,
+            "every packet of the burst is deferred"
+        );
+
+        batched.flush_deferred(&mut batch_sink);
+        assert_eq!(batched.deferred_packets(), 0);
+        assert_eq!(batch_sink.batches.iter().sum::<usize>(), plain_sink.singles);
+
+        // Payload-for-payload identical effects, order preserved.
+        let payloads = |s: &BatchRecorder| -> Vec<(NodeAddr, Bytes)> {
+            s.effects
+                .iter()
+                .filter_map(|o| match o {
+                    OwnedOutput::Packet { to, payload } => Some((*to, payload.clone())),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(payloads(&plain_sink), payloads(&batch_sink));
+    }
+
+    #[test]
+    fn deferred_ranges_survive_inputs_between_drive_and_flush() {
+        let mut d = packet_producing_driver();
+        let mut sink = BatchRecorder::default();
+        d.handle_deferring(Input::Tick, Time::from_secs(2), &mut sink)
+            .unwrap();
+        let first_burst = d.deferred_packets();
+        assert!(first_burst > 0);
+        // More inputs while the batch is held: the arena accumulates
+        // instead of being reclaimed, so earlier ranges stay valid.
+        d.handle_deferring(alive_datagram("p3", 4), Time::from_secs(2), &mut sink)
+            .unwrap();
+        d.handle_deferring(Input::Tick, Time::from_secs(4), &mut sink)
+            .unwrap();
+        assert!(d.deferred_packets() >= first_burst);
+        d.flush_deferred(&mut sink);
+        for o in &sink.effects {
+            if let OwnedOutput::Packet { payload, .. } = o {
+                assert!(!payload.is_empty(), "no range may dangle or go stale");
+            }
+        }
+        // After the flush released the hold, the next drained input
+        // reclaims the arena.
+        d.handle(Input::Tick, Time::from_secs(6), &mut sink).unwrap();
+        assert!(!d.node().has_pending_output());
+    }
+
+    #[test]
+    fn flush_with_nothing_deferred_is_a_no_op_release() {
+        let mut d = driver();
+        let mut sink = BatchRecorder::default();
+        d.start(Time::ZERO, &mut sink);
+        d.flush_deferred(&mut sink);
+        assert!(sink.batches.is_empty());
+        assert_eq!(sink.singles, 0);
     }
 
     #[test]

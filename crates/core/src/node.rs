@@ -307,6 +307,11 @@ pub struct SwimNode {
     /// Arena for queued packet payloads; cleared whenever the queue
     /// drains, so it stabilises at the high-water packet burst size.
     scratch: Vec<u8>,
+    /// When set (by [`SwimNode::drain_split`]), the arena keeps
+    /// accumulating across inputs instead of being reclaimed on drain:
+    /// a batching runtime holds ranges into it until its flush, and
+    /// releases the hold with [`SwimNode::release_arena`].
+    arena_held: bool,
     /// Reusable packet assembler (capacity persists across packets).
     builder: CompoundBuilder,
     /// Reusable target-address buffer for gossip/probe fan-out.
@@ -384,6 +389,7 @@ impl SwimNode {
             stats: NodeStats::default(),
             pending: VecDeque::new(),
             scratch: Vec::new(),
+            arena_held: false,
             builder: CompoundBuilder::new(packet_budget),
             addr_scratch: Vec::new(),
         })
@@ -596,7 +602,7 @@ impl SwimNode {
     /// deployment just drops such packets). Every other input is
     /// infallible.
     pub fn handle_input(&mut self, input: Input, now: Time) -> Result<(), DecodeError> {
-        if self.pending.is_empty() {
+        if self.pending.is_empty() && !self.arena_held {
             self.scratch.clear();
         }
         match input {
@@ -634,6 +640,76 @@ impl SwimNode {
     /// Whether [`SwimNode::poll_output`] has queued effects.
     pub fn has_pending_output(&self) -> bool {
         !self.pending.is_empty()
+    }
+
+    /// [`SwimNode::handle_input`] of a datagram handed in as a borrowed
+    /// slice — the batched receive path, where payloads live in a
+    /// runtime-owned receive ring rather than an owned [`Bytes`]. Only
+    /// the decoded messages' blob fields (names, metadata) are copied
+    /// out; the datagram itself is never duplicated. Observably
+    /// identical to feeding the same bytes as [`Input::Datagram`].
+    ///
+    /// # Errors
+    ///
+    /// The [`DecodeError`] of a malformed packet; state is unchanged.
+    pub fn handle_datagram_slice(
+        &mut self,
+        from: NodeAddr,
+        payload: &[u8],
+        now: Time,
+    ) -> Result<(), DecodeError> {
+        if self.pending.is_empty() && !self.arena_held {
+            self.scratch.clear();
+        }
+        for msg in compound::decode_packet(payload)? {
+            self.handle_message(from, msg, now);
+        }
+        Ok(())
+    }
+
+    /// Drains the whole effect queue for a *batching* runtime: stream
+    /// and event effects are dispatched through `other` immediately and
+    /// in queue order, while packets are appended to `packets` as
+    /// `(destination, byte-range)` entries referencing the scratch
+    /// arena (see [`SwimNode::packet_arena`]).
+    ///
+    /// Calling this puts the arena on *hold*: it keeps growing across
+    /// subsequent inputs instead of being reclaimed, so every recorded
+    /// range stays valid — ranges are indices, immune to the arena
+    /// reallocating as it grows — until the runtime flushes the batch
+    /// and calls [`SwimNode::release_arena`].
+    pub fn drain_split(
+        &mut self,
+        packets: &mut Vec<(NodeAddr, Range<usize>)>,
+        mut other: impl FnMut(Output<'static>),
+    ) {
+        self.arena_held = true;
+        while let Some(q) = self.pending.pop_front() {
+            match q {
+                Queued::Packet { to, range } => packets.push((to, range)),
+                Queued::Stream { to, msg } => other(Output::Stream { to, msg }),
+                Queued::Event(e) => other(Output::Event(e)),
+            }
+        }
+    }
+
+    /// The scratch arena that ranges recorded by
+    /// [`SwimNode::drain_split`] index into. Borrow it at flush time —
+    /// not before — since the arena may reallocate while the hold
+    /// accumulates.
+    pub fn packet_arena(&self) -> &[u8] {
+        &self.scratch
+    }
+
+    /// Releases the hold taken by [`SwimNode::drain_split`]: previously
+    /// recorded ranges are invalidated and the arena is reclaimed (if
+    /// nothing else is queued). The runtime calls this right after
+    /// flushing its batch.
+    pub fn release_arena(&mut self) {
+        self.arena_held = false;
+        if self.pending.is_empty() {
+            self.scratch.clear();
+        }
     }
 
     /// [`Input::IoBlocked`]: marks the node's message I/O as blocked or
@@ -1503,15 +1579,22 @@ impl SwimNode {
                 |m| scratch.push(m.addr),
             );
         }
-        let limit = self.config.retransmit_limit(self.membership.live_count());
-        for i in 0..self.addr_scratch.len() {
-            let to = self.addr_scratch[i];
-            self.builder.reset(self.config.packet_budget);
-            self.broadcasts.fill(&mut self.builder, limit, None);
-            if let Some(range) = self.builder.finish_into(&mut self.scratch) {
-                self.pending.push_back(Queued::Packet { to, range });
-            }
+        if self.addr_scratch.is_empty() {
+            return;
         }
+        let limit = self.config.retransmit_limit(self.membership.live_count());
+        // One encode pass for the whole fan-out: every target gets the
+        // same packet (one arena slice, N queue entries referencing
+        // it), and the broadcast queue charges N transmissions in one
+        // fill — the shape a gather-send flushes as a single syscall.
+        self.builder.reset(self.config.packet_budget);
+        self.broadcasts
+            .fill_fanout(&mut self.builder, limit, None, self.addr_scratch.len() as u32);
+        let pending = &mut self.pending;
+        self.builder
+            .finish_into_fanout(&mut self.scratch, &self.addr_scratch, |to, range| {
+                pending.push_back(Queued::Packet { to, range });
+            });
     }
 
     /// One periodic anti-entropy exchange.

@@ -29,7 +29,7 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -73,6 +73,154 @@ pub enum Runtime {
     Threaded,
 }
 
+/// Largest per-syscall batch the kernel accepts (`UIO_MAXIOV`): both
+/// the sendmmsg flush size and the recvmmsg ring are capped here.
+pub const MAX_IO_BATCH: usize = 1024;
+
+/// Default sendmmsg flush size: packets deferred per burst before the
+/// batch is handed to the kernel in one syscall.
+pub const DEFAULT_SEND_BATCH: usize = 64;
+
+/// Default recvmmsg ring slots: datagrams received per syscall.
+pub const DEFAULT_RECV_BURST: usize = 16;
+
+/// Default bound on datagrams drained per readiness event before the
+/// reactor yields back to its loop (level-triggered readiness
+/// re-reports anything left).
+pub const DEFAULT_DATAGRAM_BURST: usize = 1024;
+
+/// An invalid [`AgentConfig`] field, reported by
+/// [`AgentConfig::validate`] (and by [`Agent::start`], wrapped in
+/// [`io::ErrorKind::InvalidInput`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AgentConfigError {
+    /// `io_batch.batch_size` is zero — a flush could never send.
+    ZeroSendBatch,
+    /// `io_batch.batch_size` exceeds [`MAX_IO_BATCH`] (`UIO_MAXIOV`:
+    /// the kernel would truncate the batch).
+    SendBatchTooLarge {
+        /// The rejected value.
+        got: usize,
+    },
+    /// `io_batch.recv_burst` is zero — a receive ring with no slots.
+    ZeroRecvBurst,
+    /// `io_batch.recv_burst` exceeds [`MAX_IO_BATCH`].
+    RecvBurstTooLarge {
+        /// The rejected value.
+        got: usize,
+    },
+    /// `io_batch.max_burst` is zero — the reactor could never drain a
+    /// readable socket.
+    ZeroDatagramBurst,
+}
+
+impl std::fmt::Display for AgentConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AgentConfigError::ZeroSendBatch => write!(f, "io_batch.batch_size must be at least 1"),
+            AgentConfigError::SendBatchTooLarge { got } => write!(
+                f,
+                "io_batch.batch_size {got} exceeds the kernel bound {MAX_IO_BATCH} (UIO_MAXIOV)"
+            ),
+            AgentConfigError::ZeroRecvBurst => write!(f, "io_batch.recv_burst must be at least 1"),
+            AgentConfigError::RecvBurstTooLarge { got } => write!(
+                f,
+                "io_batch.recv_burst {got} exceeds the kernel bound {MAX_IO_BATCH} (UIO_MAXIOV)"
+            ),
+            AgentConfigError::ZeroDatagramBurst => {
+                write!(f, "io_batch.max_burst must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AgentConfigError {}
+
+/// Batched-I/O tuning for the reactor runtime's UDP datapath.
+///
+/// With `batching` on (the default), the reactor defers the packets
+/// each drive produces and flushes a whole burst with one
+/// `sendmmsg(2)`, and drains inbound readiness through a preallocated
+/// `recvmmsg(2)` ring instead of one `recv_from` (plus one payload
+/// copy) per datagram. The wire behaviour is identical — batching
+/// changes syscall counts, never packet contents or order.
+///
+/// [`Runtime::Threaded`] ignores everything except `max_burst`
+/// (its blocking reader has no burst concept to bound); the flag
+/// exists so the same config can A/B the two datapaths on the reactor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoBatchConfig {
+    /// Use `sendmmsg`/`recvmmsg` on the reactor (default `true`).
+    /// Kernels without the syscalls fall back to single-shot I/O
+    /// automatically; this flag forces the fallback for comparison.
+    pub batching: bool,
+    /// Packets accumulated per send flush, in `1..=`[`MAX_IO_BATCH`]
+    /// (default [`DEFAULT_SEND_BATCH`]). A burst larger than this is
+    /// split across several syscalls; a batch of one degenerates to
+    /// plain `send_to`.
+    pub batch_size: usize,
+    /// Receive-ring slots filled per `recvmmsg`, in
+    /// `1..=`[`MAX_IO_BATCH`] (default [`DEFAULT_RECV_BURST`]). Each
+    /// slot holds a full 64 KiB datagram, so memory is
+    /// `recv_burst × 64 KiB` per agent.
+    pub recv_burst: usize,
+    /// Most datagrams drained per readiness event before the reactor
+    /// yields back to its loop (default [`DEFAULT_DATAGRAM_BURST`];
+    /// formerly the hardcoded `MAX_DATAGRAM_BURST`).
+    pub max_burst: usize,
+}
+
+impl Default for IoBatchConfig {
+    fn default() -> Self {
+        IoBatchConfig {
+            batching: true,
+            batch_size: DEFAULT_SEND_BATCH,
+            recv_burst: DEFAULT_RECV_BURST,
+            max_burst: DEFAULT_DATAGRAM_BURST,
+        }
+    }
+}
+
+impl IoBatchConfig {
+    /// Single-shot I/O (`batching: false`) with default bounds — the
+    /// pre-batching datapath, kept addressable for A/B runs.
+    pub fn single_shot() -> Self {
+        IoBatchConfig {
+            batching: false,
+            ..IoBatchConfig::default()
+        }
+    }
+
+    /// Checks every field against its documented range.
+    ///
+    /// # Errors
+    ///
+    /// The first violated bound, as a typed [`AgentConfigError`].
+    pub fn validate(&self) -> Result<(), AgentConfigError> {
+        if self.batch_size == 0 {
+            return Err(AgentConfigError::ZeroSendBatch);
+        }
+        if self.batch_size > MAX_IO_BATCH {
+            return Err(AgentConfigError::SendBatchTooLarge {
+                got: self.batch_size,
+            });
+        }
+        if self.recv_burst == 0 {
+            return Err(AgentConfigError::ZeroRecvBurst);
+        }
+        if self.recv_burst > MAX_IO_BATCH {
+            return Err(AgentConfigError::RecvBurstTooLarge {
+                got: self.recv_burst,
+            });
+        }
+        if self.max_burst == 0 {
+            return Err(AgentConfigError::ZeroDatagramBurst);
+        }
+        Ok(())
+    }
+}
+
 /// Configuration for [`Agent::start`].
 #[derive(Clone, Debug)]
 pub struct AgentConfig {
@@ -97,6 +245,9 @@ pub struct AgentConfig {
     /// to [`transport::MAX_STREAM_FRAME`]). Oversized length prefixes
     /// are rejected before any buffer is allocated for them.
     pub max_stream_frame: usize,
+    /// Batched-I/O tuning for the reactor's UDP datapath (see
+    /// [`IoBatchConfig`]; defaults to batching on).
+    pub io_batch: IoBatchConfig,
 }
 
 impl AgentConfig {
@@ -109,6 +260,7 @@ impl AgentConfig {
             seed: 0,
             runtime: Runtime::default(),
             max_stream_frame: transport::MAX_STREAM_FRAME,
+            io_batch: IoBatchConfig::default(),
         }
     }
 
@@ -135,6 +287,22 @@ impl AgentConfig {
         self.max_stream_frame = bytes;
         self
     }
+
+    /// Replaces the batched-I/O tuning.
+    pub fn io_batch(mut self, io_batch: IoBatchConfig) -> Self {
+        self.io_batch = io_batch;
+        self
+    }
+
+    /// Checks the agent-level fields (the protocol [`Config`] has its
+    /// own [`Config::validate`], which [`Agent::start`] also runs).
+    ///
+    /// # Errors
+    ///
+    /// The first violated bound, as a typed [`AgentConfigError`].
+    pub fn validate(&self) -> Result<(), AgentConfigError> {
+        self.io_batch.validate()
+    }
 }
 
 /// An outbound stream message: destination plus the not-yet-encoded
@@ -154,25 +322,116 @@ const STREAM_WRITERS: usize = 4;
 /// re-checking the shutdown flag.
 const SHUTDOWN_POLL: Duration = Duration::from_millis(20);
 
+/// Per-agent datagram I/O counters (lock-free; written by the sink and
+/// runtime threads, snapshotted by [`Agent::stats`]). Dropped sends in
+/// particular are *counted*, not just discarded: SWIM treats every
+/// datagram as droppable, but an operator debugging a silent cluster
+/// needs to see whether the drops happen locally or in the network.
+#[derive(Debug, Default)]
+pub(crate) struct IoCounters {
+    /// Send syscalls issued (`send_to` and `sendmmsg` each count 1).
+    pub(crate) send_syscalls: AtomicU64,
+    /// `sendmmsg` flushes that transferred more than one datagram.
+    pub(crate) sendmmsg_batches: AtomicU64,
+    /// Datagrams the kernel accepted for sending.
+    pub(crate) datagrams_sent: AtomicU64,
+    /// Datagrams dropped on a send error other than `WouldBlock`.
+    pub(crate) send_errors: AtomicU64,
+    /// Datagrams dropped because the socket's send buffer was full.
+    pub(crate) would_block_drops: AtomicU64,
+    /// Receive syscalls issued (`recv_from` and `recvmmsg` each
+    /// count 1, including ones that return `WouldBlock`).
+    pub(crate) recv_syscalls: AtomicU64,
+    /// Datagrams received.
+    pub(crate) datagrams_received: AtomicU64,
+    /// Received datagrams dropped because they overflowed a
+    /// receive-ring slot (`MSG_TRUNC`).
+    pub(crate) recv_truncations: AtomicU64,
+}
+
+impl IoCounters {
+    fn snapshot(&self) -> IoStats {
+        IoStats {
+            send_syscalls: self.send_syscalls.load(Ordering::Relaxed),
+            sendmmsg_batches: self.sendmmsg_batches.load(Ordering::Relaxed),
+            datagrams_sent: self.datagrams_sent.load(Ordering::Relaxed),
+            send_errors: self.send_errors.load(Ordering::Relaxed),
+            would_block_drops: self.would_block_drops.load(Ordering::Relaxed),
+            recv_syscalls: self.recv_syscalls.load(Ordering::Relaxed),
+            datagrams_received: self.datagrams_received.load(Ordering::Relaxed),
+            recv_truncations: self.recv_truncations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of one agent's datagram I/O counters ([`Agent::stats`]).
+///
+/// `datagrams_sent / send_syscalls` is the send-side batching factor;
+/// the three drop counters (`send_errors`, `would_block_drops`,
+/// `recv_truncations`) expose datagrams that earlier versions discarded
+/// silently.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Send syscalls issued (`send_to` and `sendmmsg` each count 1).
+    pub send_syscalls: u64,
+    /// `sendmmsg` flushes that transferred more than one datagram.
+    pub sendmmsg_batches: u64,
+    /// Datagrams the kernel accepted for sending.
+    pub datagrams_sent: u64,
+    /// Datagrams dropped on a send error other than `WouldBlock`.
+    pub send_errors: u64,
+    /// Datagrams dropped because the socket's send buffer was full.
+    pub would_block_drops: u64,
+    /// Receive syscalls issued (including `WouldBlock` probes).
+    pub recv_syscalls: u64,
+    /// Datagrams received.
+    pub datagrams_received: u64,
+    /// Received datagrams dropped as truncated (`MSG_TRUNC`).
+    pub recv_truncations: u64,
+}
+
 /// The agent's [`Sink`]: UDP transmits go straight to the socket
 /// (borrowing the core's scratch buffer — no copy), stream messages are
 /// queued for the stream writer (pool or reactor), events go to the
 /// subscriber channel.
-struct NetSink<'a> {
-    udp: &'a UdpSocket,
+pub(crate) struct NetSink<'a> {
+    pub(crate) udp: &'a UdpSocket,
+    pub(crate) counters: &'a IoCounters,
     stream_tx: &'a Sender<StreamJob>,
     events_tx: &'a Sender<AgentEvent>,
     now: Time,
 }
 
+/// One counted `send_to`. Send errors — including `WouldBlock` from a
+/// full send buffer on the reactor's nonblocking socket — drop the
+/// datagram. That is the UDP contract the protocol is built for: SWIM
+/// treats every datagram as droppable, and a full local buffer is
+/// indistinguishable from loss in the network. The counters make the
+/// drops observable. Shared between [`NetSink::transmit`] and the
+/// reactor's batch-flush fallback paths.
+pub(crate) fn send_counted(
+    udp: &UdpSocket,
+    counters: &IoCounters,
+    to: SocketAddr,
+    payload: &[u8],
+) {
+    counters.send_syscalls.fetch_add(1, Ordering::Relaxed);
+    match udp.send_to(payload, to) {
+        Ok(_) => {
+            counters.datagrams_sent.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+            counters.would_block_drops.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(_) => {
+            counters.send_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 impl Sink for NetSink<'_> {
     fn transmit(&mut self, to: NodeAddr, payload: &[u8]) {
-        // Send errors — including `WouldBlock` from a full send buffer
-        // on the reactor's nonblocking socket — drop the datagram.
-        // That is the UDP contract the protocol is built for: SWIM
-        // treats every datagram as droppable, and a full local buffer
-        // is indistinguishable from loss in the network.
-        let _ = self.udp.send_to(payload, to.socket_addr());
+        send_counted(self.udp, self.counters, to.socket_addr(), payload);
     }
 
     fn stream(&mut self, to: NodeAddr, msg: Message) {
@@ -204,11 +463,26 @@ pub(crate) struct Inner {
     /// drives from API threads notify it so the event loop re-reads the
     /// next deadline and picks up queued stream jobs.
     poller: Option<Arc<Poller>>,
+    /// Datagram batching knobs, frozen at start ([`AgentConfig::io_batch`]).
+    pub(crate) io_batch: IoBatchConfig,
+    pub(crate) counters: IoCounters,
 }
 
 impl Inner {
     pub(crate) fn now(&self) -> Time {
         Time::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    /// Builds the agent's [`Sink`] over its socket, channels and
+    /// counters for one drive.
+    pub(crate) fn sink(&self, now: Time) -> NetSink<'_> {
+        NetSink {
+            udp: &self.udp,
+            counters: &self.counters,
+            stream_tx: &self.stream_tx,
+            events_tx: &self.events_tx,
+            now,
+        }
     }
 
     /// Feeds one input through the shared driver harness; the sink
@@ -217,12 +491,7 @@ impl Inner {
     pub(crate) fn drive(&self, input: Input, now: Time) {
         {
             let mut driver = self.driver.lock();
-            let mut sink = NetSink {
-                udp: &self.udp,
-                stream_tx: &self.stream_tx,
-                events_tx: &self.events_tx,
-                now,
-            };
+            let mut sink = self.sink(now);
             let _ = driver.handle(input, now, &mut sink);
         }
         // The drive may have armed an earlier timer or queued a stream
@@ -262,6 +531,9 @@ impl Agent {
         // Reject nonsense configs before touching the network.
         config
             .protocol
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        config
             .validate()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         // Bind TCP first (possibly port 0), then UDP on the same port.
@@ -316,15 +588,12 @@ impl Agent {
             events_tx,
             stream_tx,
             poller,
+            io_batch: config.io_batch,
+            counters: IoCounters::default(),
         });
         {
             let mut driver = inner.driver.lock();
-            let mut sink = NetSink {
-                udp: &inner.udp,
-                stream_tx: &inner.stream_tx,
-                events_tx: &inner.events_tx,
-                now: Time::ZERO,
-            };
+            let mut sink = inner.sink(Time::ZERO);
             driver.start(Time::ZERO, &mut sink);
         }
 
@@ -371,8 +640,17 @@ impl Agent {
             threads.push(std::thread::spawn(move || {
                 let mut buf = vec![0u8; 65536];
                 while !inner.shutdown.load(Ordering::Relaxed) {
-                    match inner.udp.recv_from(&mut buf) {
+                    let recv = inner.udp.recv_from(&mut buf);
+                    inner
+                        .counters
+                        .recv_syscalls
+                        .fetch_add(1, Ordering::Relaxed);
+                    match recv {
                         Ok((len, from)) => {
+                            inner
+                                .counters
+                                .datagrams_received
+                                .fetch_add(1, Ordering::Relaxed);
                             let now = inner.now();
                             inner.drive(
                                 Input::Datagram {
@@ -515,6 +793,13 @@ impl Agent {
     /// Current Local Health Multiplier score.
     pub fn local_health(&self) -> u32 {
         self.inner.driver.lock().node().local_health()
+    }
+
+    /// A snapshot of the agent's datagram I/O counters: syscalls,
+    /// batching, and the three drop classes (send errors, full-buffer
+    /// drops, receive truncations).
+    pub fn stats(&self) -> IoStats {
+        self.inner.counters.snapshot()
     }
 
     /// The membership event channel.
@@ -712,6 +997,118 @@ mod tests {
         bad.gossip_nodes = 0;
         let err = Agent::start(AgentConfig::local("x").protocol(bad)).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn io_batch_bounds_are_validated_with_typed_errors() {
+        let cases = [
+            (
+                IoBatchConfig {
+                    batch_size: 0,
+                    ..IoBatchConfig::default()
+                },
+                AgentConfigError::ZeroSendBatch,
+            ),
+            (
+                IoBatchConfig {
+                    batch_size: MAX_IO_BATCH + 1,
+                    ..IoBatchConfig::default()
+                },
+                AgentConfigError::SendBatchTooLarge {
+                    got: MAX_IO_BATCH + 1,
+                },
+            ),
+            (
+                IoBatchConfig {
+                    recv_burst: 0,
+                    ..IoBatchConfig::default()
+                },
+                AgentConfigError::ZeroRecvBurst,
+            ),
+            (
+                IoBatchConfig {
+                    recv_burst: MAX_IO_BATCH + 1,
+                    ..IoBatchConfig::default()
+                },
+                AgentConfigError::RecvBurstTooLarge {
+                    got: MAX_IO_BATCH + 1,
+                },
+            ),
+            (
+                IoBatchConfig {
+                    max_burst: 0,
+                    ..IoBatchConfig::default()
+                },
+                AgentConfigError::ZeroDatagramBurst,
+            ),
+        ];
+        for (io_batch, want) in cases {
+            let cfg = AgentConfig::local("x").protocol(fast()).io_batch(io_batch);
+            assert_eq!(cfg.validate(), Err(want), "{io_batch:?}");
+            // And Agent::start refuses before binding anything.
+            let err = Agent::start(cfg).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "{io_batch:?}");
+        }
+        assert_eq!(IoBatchConfig::default().validate(), Ok(()));
+        assert_eq!(IoBatchConfig::single_shot().validate(), Ok(()));
+    }
+
+    #[test]
+    fn send_failures_are_counted_not_silent() {
+        let (events_tx, _events_rx) = unbounded();
+        let (stream_tx, _stream_rx) = unbounded();
+        let udp = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let counters = IoCounters::default();
+        let mut sink = NetSink {
+            udp: &udp,
+            counters: &counters,
+            stream_tx: &stream_tx,
+            events_tx: &events_tx,
+            now: Time::ZERO,
+        };
+        // Port 0 is never a valid destination: the kernel rejects the
+        // send with EINVAL, which must land in `send_errors`.
+        sink.transmit(NodeAddr::new([127, 0, 0, 1], 0), b"doomed");
+        let stats = counters.snapshot();
+        assert_eq!(stats.send_syscalls, 1);
+        assert_eq!(stats.send_errors, 1);
+        assert_eq!(stats.datagrams_sent, 0);
+    }
+
+    #[test]
+    fn converged_pair_reports_io_activity_in_stats() {
+        for runtime in [Runtime::Reactor, Runtime::Threaded] {
+            let a = Agent::start(
+                AgentConfig::local("a")
+                    .protocol(fast())
+                    .seed(41)
+                    .runtime(runtime),
+            )
+            .unwrap();
+            let b = Agent::start(
+                AgentConfig::local("b")
+                    .protocol(fast())
+                    .seed(42)
+                    .runtime(runtime),
+            )
+            .unwrap();
+            b.join(&[a.addr()]);
+            assert!(
+                wait_for(Duration::from_secs(10), || a.num_alive() == 2
+                    && b.num_alive() == 2),
+                "{runtime:?} pair failed to converge"
+            );
+            for agent in [&a, &b] {
+                let stats = agent.stats();
+                assert!(stats.send_syscalls > 0, "{runtime:?}: {stats:?}");
+                assert!(stats.datagrams_sent > 0, "{runtime:?}: {stats:?}");
+                assert!(stats.recv_syscalls > 0, "{runtime:?}: {stats:?}");
+                assert!(stats.datagrams_received > 0, "{runtime:?}: {stats:?}");
+                assert_eq!(stats.recv_truncations, 0, "{runtime:?}: {stats:?}");
+            }
+            a.shutdown();
+            b.shutdown();
+        }
     }
 
     #[test]

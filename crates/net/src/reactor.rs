@@ -25,23 +25,49 @@
 //! picks up any outbound stream jobs the drive queued. Drives performed
 //! *by* the reactor thread skip the notify — the loop re-computes its
 //! sleep bound before every wait anyway.
+//!
+//! # Batched datagram I/O
+//!
+//! With [`IoBatchConfig::batching`](crate::agent::IoBatchConfig) on
+//! (the default), the reactor's UDP datapath batches both directions:
+//!
+//! * **send** — drives go through the driver's *deferring* path: the
+//!   packets one input produces stay as byte ranges into the core's
+//!   scratch arena (held across the burst) and are flushed as one
+//!   `sendmmsg(2)` per [`batch_size`](crate::agent::IoBatchConfig::batch_size)
+//!   chunk, so a probe round's whole fan-out costs one syscall instead
+//!   of one per peer;
+//! * **receive** — readiness drains through a preallocated
+//!   `recvmmsg(2)` ring; each filled slot is handed to the core as a
+//!   borrowed slice (no per-datagram allocation), and the replies the
+//!   burst produces are themselves deferred and batch-flushed.
+//!
+//! Kernels without the syscalls (`ENOSYS`) degrade to the single-shot
+//! path permanently and silently; wire behaviour is identical either
+//! way — batching changes syscall counts, never packet contents or
+//! order.
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::os::unix::io::FromRawFd;
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::ops::Range;
+use std::os::unix::io::{AsRawFd, FromRawFd};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
+use lifeguard_core::driver::Sink;
+use lifeguard_core::event::Event as ProtoEvent;
 use lifeguard_core::node::Input;
-use lifeguard_proto::NodeAddr;
+use lifeguard_core::time::Time;
+use lifeguard_proto::{Message, NodeAddr};
+use polling::mmsg::{RecvRing, SendBatch};
 use polling::{Event, Events, Poller};
 
-use crate::agent::{Inner, StreamJob};
+use crate::agent::{send_counted, Inner, IoCounters, NetSink, StreamJob};
 use crate::transport::{self, FrameDecoder};
 
 /// Registration key of the agent's UDP socket.
@@ -51,10 +77,9 @@ const KEY_LISTENER: usize = 1;
 /// First key handed to a TCP connection (inbound or outbound).
 const FIRST_CONN_KEY: usize = 2;
 
-/// Most datagrams (or queued socket errors) drained per readiness
-/// event before yielding back to the loop; `poll` is level-triggered,
-/// so anything left is re-reported immediately.
-const MAX_DATAGRAM_BURST: usize = 1024;
+/// Bytes per receive-ring slot: the largest possible UDP datagram, so
+/// `MSG_TRUNC` marks a malformed sender, never a short buffer.
+const RECV_SLOT_LEN: usize = 65536;
 
 /// Upper bound on tracked TCP connections (inbound + outbound). At the
 /// cap the listener is disarmed — pending connections wait in the OS
@@ -73,6 +98,130 @@ thread_local! {
 /// before every wait, so the wakeup would only burn a syscall.
 pub(crate) fn on_reactor_thread() -> bool {
     ON_REACTOR_THREAD.with(Cell::get)
+}
+
+/// The reactor's sendmmsg state: the FFI pointer tables plus the
+/// staged `SocketAddr` batch, reused across flushes so the steady
+/// state allocates nothing.
+struct SendIo {
+    table: SendBatch,
+    /// Destination/range pairs staged for the current flush
+    /// ([`NodeAddr`]s resolved to socket addresses once, up front).
+    stage: Vec<(SocketAddr, Range<usize>)>,
+    batch_size: usize,
+    /// Cleared permanently the first time `sendmmsg` reports `ENOSYS`;
+    /// every later flush takes the single-shot path.
+    supported: bool,
+}
+
+impl SendIo {
+    fn new(batch_size: usize) -> SendIo {
+        SendIo {
+            table: SendBatch::new(batch_size),
+            stage: Vec::new(),
+            batch_size,
+            supported: true,
+        }
+    }
+
+    /// Sends one deferred burst: `batch_size` packets per `sendmmsg`,
+    /// degenerating to plain counted `send_to` for a batch of one or
+    /// on a kernel without the syscall. Payloads are byte ranges into
+    /// `arena` (the core's held scratch buffer) — this is the gather
+    /// step, no copies happen on the way to the kernel.
+    fn flush(
+        &mut self,
+        udp: &UdpSocket,
+        counters: &IoCounters,
+        arena: &[u8],
+        packets: &[(NodeAddr, Range<usize>)],
+    ) {
+        if !self.supported || packets.len() < 2 {
+            for (to, range) in packets {
+                send_counted(udp, counters, to.socket_addr(), &arena[range.clone()]);
+            }
+            return;
+        }
+        self.stage.clear();
+        self.stage.extend(
+            packets
+                .iter()
+                .map(|(to, range)| (to.socket_addr(), range.clone())),
+        );
+        let fd = udp.as_raw_fd();
+        let mut sent = 0;
+        while sent < self.stage.len() {
+            let end = (sent + self.batch_size).min(self.stage.len());
+            match self.table.send(fd, arena, &self.stage[sent..end]) {
+                // Defensive: a nonempty batch reports an error, never
+                // zero sends.
+                Ok(0) => break,
+                Ok(n) => {
+                    counters.send_syscalls.fetch_add(1, Ordering::Relaxed);
+                    counters.datagrams_sent.fetch_add(n as u64, Ordering::Relaxed);
+                    if n > 1 {
+                        counters.sendmmsg_batches.fetch_add(1, Ordering::Relaxed);
+                    }
+                    sent += n;
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // Full send buffer: drop the whole remainder,
+                    // exactly as per-packet `send_to` would drop each
+                    // (SWIM treats every datagram as droppable).
+                    counters.send_syscalls.fetch_add(1, Ordering::Relaxed);
+                    counters
+                        .would_block_drops
+                        .fetch_add((self.stage.len() - sent) as u64, Ordering::Relaxed);
+                    break;
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::Unsupported => {
+                    // ENOSYS: single-shot the remainder and never try
+                    // sendmmsg again on this socket.
+                    self.supported = false;
+                    for (to, range) in &self.stage[sent..] {
+                        send_counted(udp, counters, *to, &arena[range.clone()]);
+                    }
+                    return;
+                }
+                Err(_) => {
+                    // sendmmsg reports an error only when the *first*
+                    // datagram of the batch fails; count and skip that
+                    // head, retry the rest.
+                    counters.send_syscalls.fetch_add(1, Ordering::Relaxed);
+                    counters.send_errors.fetch_add(1, Ordering::Relaxed);
+                    sent += 1;
+                }
+            }
+        }
+    }
+}
+
+/// The reactor's batching [`Sink`]: everything behaves as the plain
+/// [`NetSink`] except [`Sink::transmit_batch`], which gathers the
+/// deferred burst into `sendmmsg` flushes. Built per drive while the
+/// driver lock is held.
+struct BatchSink<'a> {
+    net: NetSink<'a>,
+    io: &'a mut SendIo,
+}
+
+impl Sink for BatchSink<'_> {
+    fn transmit(&mut self, to: NodeAddr, payload: &[u8]) {
+        self.net.transmit(to, payload);
+    }
+
+    fn transmit_batch(&mut self, arena: &[u8], packets: &[(NodeAddr, Range<usize>)]) {
+        self.io
+            .flush(self.net.udp, self.net.counters, arena, packets);
+    }
+
+    fn stream(&mut self, to: NodeAddr, msg: Message) {
+        self.net.stream(to, msg);
+    }
+
+    fn event(&mut self, event: ProtoEvent) {
+        self.net.event(event);
+    }
 }
 
 /// One TCP connection the reactor is advancing.
@@ -134,6 +283,12 @@ pub(crate) struct Reactor {
     /// failure like `EMFILE` (throttle: re-armed on the next loop pass
     /// instead of letting level-triggered readiness spin the loop).
     listener_armed: bool,
+    /// sendmmsg flush state; `None` when batching is configured off
+    /// (drives then go through the unbatched [`Inner::drive`]).
+    send_io: Option<SendIo>,
+    /// recvmmsg ring; `None` when batching is configured off, and
+    /// reset to `None` permanently if the kernel reports `ENOSYS`.
+    recv_ring: Option<RecvRing>,
 }
 
 impl Reactor {
@@ -156,6 +311,14 @@ impl Reactor {
             let _ = poller.delete(&inner.udp);
             return Err(e);
         }
+        let (send_io, recv_ring) = if inner.io_batch.batching {
+            (
+                Some(SendIo::new(inner.io_batch.batch_size)),
+                Some(RecvRing::new(inner.io_batch.recv_burst, RECV_SLOT_LEN)),
+            )
+        } else {
+            (None, None)
+        };
         Ok(Reactor {
             inner,
             poller,
@@ -163,9 +326,30 @@ impl Reactor {
             stream_rx,
             conns: BTreeMap::new(),
             next_key: FIRST_CONN_KEY,
-            udp_buf: vec![0u8; 65536],
+            udp_buf: vec![0u8; RECV_SLOT_LEN],
             listener_armed: true,
+            send_io,
+            recv_ring,
         })
+    }
+
+    /// Feeds one input through the driver with packet sends deferred
+    /// and flushed as a batch before the driver lock is released, so a
+    /// fan-out (probe round, gossip burst) costs one `sendmmsg` per
+    /// [`SendIo::batch_size`] packets. Falls back to the unbatched
+    /// [`Inner::drive`] when batching is off.
+    fn drive_reactor(&mut self, input: Input, now: Time) {
+        let Some(io) = self.send_io.as_mut() else {
+            self.inner.drive(input, now);
+            return;
+        };
+        let mut driver = self.inner.driver.lock();
+        let mut sink = BatchSink {
+            net: self.inner.sink(now),
+            io,
+        };
+        let _ = driver.handle_deferring(input, now, &mut sink);
+        driver.flush_deferred(&mut sink);
     }
 
     /// Runs the event loop until the agent's shutdown flag is raised.
@@ -180,7 +364,7 @@ impl Reactor {
                 matches!(driver.next_deadline(), Some(at) if at <= now)
             };
             if due {
-                self.inner.drive(Input::Tick, now);
+                self.drive_reactor(Input::Tick, now);
             }
             // 2. Start outbound connections for queued stream jobs —
             //    including ones the tick above just produced.
@@ -253,10 +437,37 @@ impl Reactor {
     /// Drains the UDP socket: every queued datagram is fed to the
     /// driver; queued socket errors (e.g. ICMP port-unreachable from a
     /// dead peer's address) are discarded without stalling the loop.
+    /// The drain is bounded by the configured
+    /// [`max_burst`](crate::agent::IoBatchConfig::max_burst) before
+    /// yielding back to the loop; `poll` is level-triggered, so
+    /// anything left is re-reported immediately.
     fn drain_datagrams(&mut self) {
-        for _ in 0..MAX_DATAGRAM_BURST {
-            match self.inner.udp.recv_from(&mut self.udp_buf) {
+        let max_burst = self.inner.io_batch.max_burst;
+        if self.recv_ring.is_some() {
+            self.drain_datagrams_batched(max_burst);
+        } else {
+            self.drain_datagrams_single(max_burst);
+        }
+        let _ = self
+            .poller
+            .modify(&self.inner.udp, Event::readable(KEY_UDP));
+    }
+
+    /// The single-shot drain: one `recv_from` plus one payload copy
+    /// per datagram, one unbatched drive each.
+    fn drain_datagrams_single(&mut self, max_burst: usize) {
+        for _ in 0..max_burst {
+            let recv = self.inner.udp.recv_from(&mut self.udp_buf);
+            self.inner
+                .counters
+                .recv_syscalls
+                .fetch_add(1, Ordering::Relaxed);
+            match recv {
                 Ok((len, from)) => {
+                    self.inner
+                        .counters
+                        .datagrams_received
+                        .fetch_add(1, Ordering::Relaxed);
                     let now = self.inner.now();
                     let payload = Bytes::copy_from_slice(&self.udp_buf[..len]);
                     self.inner.drive(
@@ -275,9 +486,90 @@ impl Reactor {
                 Err(_) => break,
             }
         }
-        let _ = self
-            .poller
-            .modify(&self.inner.udp, Event::readable(KEY_UDP));
+    }
+
+    /// The batched drain: fill the `recvmmsg` ring, hand each slot to
+    /// the core as a borrowed slice (zero-copy — only blob fields are
+    /// copied out during decode), defer the packets the burst produces
+    /// and flush them as `sendmmsg` batches. The driver lock is taken
+    /// once per ring fill, not once per datagram.
+    fn drain_datagrams_batched(&mut self, max_burst: usize) {
+        let fd = self.inner.udp.as_raw_fd();
+        let mut drained = 0usize;
+        while drained < max_burst {
+            let res = self
+                .recv_ring
+                .as_mut()
+                .expect("caller checked the ring exists")
+                .recv(fd);
+            self.inner
+                .counters
+                .recv_syscalls
+                .fetch_add(1, Ordering::Relaxed);
+            let n = match res {
+                Ok(n) => n,
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Unsupported => {
+                    // ENOSYS: this kernel has no recvmmsg. Drop the
+                    // ring for good and finish the drain single-shot.
+                    self.recv_ring = None;
+                    self.drain_datagrams_single(max_burst - drained);
+                    return;
+                }
+                // A queued socket error was consumed; yield to the
+                // loop (level-triggered readiness re-reports the rest).
+                Err(_) => break,
+            };
+            if n == 0 {
+                break;
+            }
+            drained += n;
+            let now = self.inner.now();
+            let socket_drained;
+            {
+                let ring = self.recv_ring.as_ref().expect("ring survives the recv");
+                socket_drained = n < ring.slots();
+                let io = self
+                    .send_io
+                    .as_mut()
+                    .expect("batching constructs ring and send state together");
+                let batch_size = io.batch_size;
+                let counters = &self.inner.counters;
+                let mut driver = self.inner.driver.lock();
+                let mut sink = BatchSink {
+                    net: self.inner.sink(now),
+                    io,
+                };
+                for i in 0..n {
+                    if ring.truncated(i) {
+                        // Bigger than a ring slot — only possible for
+                        // a malformed sender (slots hold 64 KiB, the
+                        // UDP maximum); count the drop and move on.
+                        counters.recv_truncations.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let Some((from, payload)) = ring.datagram(i) else {
+                        continue;
+                    };
+                    counters.datagrams_received.fetch_add(1, Ordering::Relaxed);
+                    let _ = driver.handle_datagram_slice_deferring(
+                        NodeAddr::from(from),
+                        payload,
+                        now,
+                        &mut sink,
+                    );
+                    // Mid-burst flush: bound the arena and the
+                    // deferred table while replies keep accumulating.
+                    if driver.deferred_packets() >= batch_size {
+                        driver.flush_deferred(&mut sink);
+                    }
+                }
+                driver.flush_deferred(&mut sink);
+            }
+            if socket_drained {
+                break;
+            }
+        }
     }
 
     /// Accepts pending connections (up to [`MAX_CONNS`] tracked) and
@@ -392,7 +684,7 @@ impl Reactor {
     /// frame per connection; replies travel on a fresh connection, as
     /// in the threaded runtime).
     fn advance_inbound(
-        &self,
+        &mut self,
         key: usize,
         stream: &mut TcpStream,
         decoder: &mut FrameDecoder,
@@ -402,7 +694,7 @@ impl Reactor {
             match decoder.decode() {
                 Ok(Some((from, msg))) => {
                     let now = self.inner.now();
-                    self.inner.drive(Input::Stream { from, msg }, now);
+                    self.drive_reactor(Input::Stream { from, msg }, now);
                     return Advance::Done;
                 }
                 Ok(None) => {}
@@ -611,6 +903,77 @@ fn connect_nonblocking(to: SocketAddr) -> io::Result<(TcpStream, bool)> {
 mod tests {
     use super::*;
     use std::net::TcpListener;
+
+    /// A bound sender/receiver pair plus fresh counters for flush tests.
+    fn flush_fixture() -> (UdpSocket, UdpSocket, IoCounters) {
+        let udp = UdpSocket::bind("127.0.0.1:0").expect("bind sender");
+        let peer = UdpSocket::bind("127.0.0.1:0").expect("bind peer");
+        peer.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        (udp, peer, IoCounters::default())
+    }
+
+    /// Receives `n` datagrams and returns their payloads, sorted (UDP
+    /// order is not guaranteed even on loopback).
+    fn recv_all(peer: &UdpSocket, n: usize) -> Vec<Vec<u8>> {
+        let mut buf = [0u8; 256];
+        let mut got: Vec<Vec<u8>> = (0..n)
+            .map(|_| {
+                let (len, _) = peer.recv_from(&mut buf).expect("datagram arrives");
+                buf[..len].to_vec()
+            })
+            .collect();
+        got.sort();
+        got
+    }
+
+    #[test]
+    fn flush_of_one_packet_takes_the_single_shot_path() {
+        let (udp, peer, counters) = flush_fixture();
+        let mut io = SendIo::new(4);
+        let arena = b"solo".to_vec();
+        let to = NodeAddr::from(peer.local_addr().expect("addr"));
+        io.flush(&udp, &counters, &arena, &[(to, 0..4)]);
+        assert_eq!(recv_all(&peer, 1), vec![b"solo".to_vec()]);
+        assert_eq!(counters.send_syscalls.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.sendmmsg_batches.load(Ordering::Relaxed), 0);
+        assert_eq!(counters.datagrams_sent.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn flush_of_exactly_one_batch_is_one_syscall() {
+        let (udp, peer, counters) = flush_fixture();
+        let mut io = SendIo::new(4);
+        let arena: Vec<u8> = (0u8..4).collect();
+        let to = NodeAddr::from(peer.local_addr().expect("addr"));
+        let packets: Vec<_> = (0usize..4).map(|i| (to, i..i + 1)).collect();
+        io.flush(&udp, &counters, &arena, &packets);
+        assert_eq!(
+            recv_all(&peer, 4),
+            vec![vec![0u8], vec![1], vec![2], vec![3]]
+        );
+        assert_eq!(counters.send_syscalls.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.sendmmsg_batches.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.datagrams_sent.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn flush_overflowing_the_batch_spills_into_a_second_syscall() {
+        let (udp, peer, counters) = flush_fixture();
+        let mut io = SendIo::new(4);
+        let arena: Vec<u8> = (0u8..5).collect();
+        let to = NodeAddr::from(peer.local_addr().expect("addr"));
+        let packets: Vec<_> = (0usize..5).map(|i| (to, i..i + 1)).collect();
+        io.flush(&udp, &counters, &arena, &packets);
+        assert_eq!(
+            recv_all(&peer, 5),
+            vec![vec![0u8], vec![1], vec![2], vec![3], vec![4]]
+        );
+        // One full sendmmsg of 4, then the single-packet tail.
+        assert_eq!(counters.send_syscalls.load(Ordering::Relaxed), 2);
+        assert_eq!(counters.sendmmsg_batches.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.datagrams_sent.load(Ordering::Relaxed), 5);
+    }
 
     #[test]
     fn nonblocking_connect_reaches_a_loopback_listener() {

@@ -23,7 +23,7 @@ use lifeguard::core::driver::{Driver, OwnedOutput};
 use lifeguard::core::event::Event;
 use lifeguard::core::node::{Input, SwimNode};
 use lifeguard::core::time::Time;
-use lifeguard::net::agent::{Agent, AgentConfig, Runtime};
+use lifeguard::net::agent::{Agent, AgentConfig, IoBatchConfig, Runtime};
 use lifeguard::net::transport;
 use lifeguard::proto::{
     codec, compound, Ack, Alive, Dead, Incarnation, MemberState, Message, NodeAddr, PushPull,
@@ -279,6 +279,10 @@ fn run_sim_trace() -> Vec<Observed> {
 /// runtime: real sockets, the agent's own wall-clock scheduling, the
 /// scripted peer bound to a real UDP socket + TCP listener on one port.
 fn run_net_trace(runtime: Runtime) -> Vec<Observed> {
+    run_net_trace_with(runtime, IoBatchConfig::default())
+}
+
+fn run_net_trace_with(runtime: Runtime, io_batch: IoBatchConfig) -> Vec<Observed> {
     // The peer binds TCP first and UDP on the same port, like an agent.
     let peer_tcp = TcpListener::bind("127.0.0.1:0").expect("bind peer tcp");
     let peer_sock = peer_tcp.local_addr().expect("peer addr");
@@ -293,7 +297,8 @@ fn run_net_trace(runtime: Runtime) -> Vec<Observed> {
         AgentConfig::local("alpha")
             .protocol(conformance_config())
             .seed(7)
-            .runtime(runtime),
+            .runtime(runtime)
+            .io_batch(io_batch),
     )
     .expect("start agent");
     let alpha_sock = alpha.addr();
@@ -389,4 +394,40 @@ fn sim_and_net_observe_identical_trace() {
     );
     assert_eq!(sim, threaded, "sim and threaded-net traces must match");
     assert_eq!(sim, reactor, "sim and reactor-net traces must match");
+}
+
+/// Batching is a syscall-count optimisation, never a protocol change:
+/// the reactor with sendmmsg/recvmmsg batching on (the default) and
+/// with batching forced off observe the identical trace — which is
+/// also the sim's trace. A deliberately tiny send batch exercises the
+/// mid-burst flush boundary on the same wire run.
+#[test]
+fn batched_and_unbatched_reactors_observe_identical_trace() {
+    let batched = run_net_trace_with(Runtime::Reactor, IoBatchConfig::default());
+    assert_eq!(
+        batched,
+        expected(),
+        "batched reactor run diverged from the scripted trace"
+    );
+    let unbatched = run_net_trace_with(Runtime::Reactor, IoBatchConfig::single_shot());
+    assert_eq!(
+        unbatched,
+        expected(),
+        "single-shot reactor run diverged from the scripted trace"
+    );
+    let tiny_batches = run_net_trace_with(
+        Runtime::Reactor,
+        IoBatchConfig {
+            batch_size: 2,
+            recv_burst: 2,
+            ..IoBatchConfig::default()
+        },
+    );
+    assert_eq!(
+        tiny_batches,
+        expected(),
+        "tiny-batch reactor run diverged from the scripted trace"
+    );
+    assert_eq!(batched, unbatched, "batching must not change the trace");
+    assert_eq!(batched, tiny_batches, "batch size must not change the trace");
 }
