@@ -36,30 +36,40 @@ struct CountingAlloc;
 static COUNTING: AtomicBool = AtomicBool::new(false);
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to `System` plus atomic counter bumps —
+// the layout/pointer contracts `GlobalAlloc` requires are delegated
+// unchanged to an allocator that upholds them.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
-        System.alloc(layout)
+        // SAFETY: `layout` is forwarded verbatim from our caller, who
+        // upholds GlobalAlloc's contract.
+        unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
-        System.alloc_zeroed(layout)
+        // SAFETY: as in `alloc` — arguments forwarded verbatim.
+        unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: `ptr` came from this allocator (a System pointer)
+        // and `layout`/`new_size` are forwarded verbatim.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: `ptr` was allocated by this allocator with `layout`,
+        // i.e. by `System`, which is what frees it.
+        unsafe { System.dealloc(ptr, layout) }
     }
 }
 

@@ -28,7 +28,7 @@
 //! its driver threads.
 
 use std::io;
-use std::net::{SocketAddr, TcpListener, UdpSocket};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -255,7 +255,7 @@ impl AgentConfig {
     pub fn local(name: impl Into<String>) -> Self {
         AgentConfig {
             name: name.into(),
-            bind: "127.0.0.1:0".parse().expect("valid literal"),
+            bind: SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0),
             protocol: Config::lan().lifeguard(),
             seed: 0,
             runtime: Runtime::default(),
@@ -566,9 +566,14 @@ impl Agent {
         } else {
             config.seed
         };
-        let poller = match config.runtime {
-            Runtime::Reactor => Some(Arc::new(Poller::new()?)),
-            Runtime::Threaded => None,
+        // Built once, referenced twice: the clone below seeds the
+        // reactor thread, the original lands in `Inner` for wakeups.
+        let (poller, reactor_poller) = match config.runtime {
+            Runtime::Reactor => {
+                let p = Arc::new(Poller::new()?);
+                (Some(Arc::clone(&p)), Some(p))
+            }
+            Runtime::Threaded => (None, None),
         };
         let (events_tx, events_rx) = unbounded();
         let (stream_tx, stream_rx) = unbounded::<StreamJob>();
@@ -597,19 +602,14 @@ impl Agent {
             driver.start(Time::ZERO, &mut sink);
         }
 
-        let threads = match config.runtime {
-            Runtime::Reactor => {
-                let poller = inner
-                    .poller
-                    .clone()
-                    .expect("reactor runtime constructed its poller above");
-                // Registration happens in `new`, before the thread
-                // spawns: a failure here returns Err instead of a
-                // running-but-deaf agent.
-                let reactor = Reactor::new(Arc::clone(&inner), poller, tcp, stream_rx)?;
-                vec![std::thread::spawn(move || reactor.run())]
-            }
-            Runtime::Threaded => Self::spawn_threaded(&inner, tcp, stream_rx)?,
+        let threads = if let Some(poller) = reactor_poller {
+            // Registration happens in `new`, before the thread
+            // spawns: a failure here returns Err instead of a
+            // running-but-deaf agent.
+            let reactor = Reactor::new(Arc::clone(&inner), poller, tcp, stream_rx)?;
+            vec![std::thread::spawn(move || reactor.run())]
+        } else {
+            Self::spawn_threaded(&inner, tcp, stream_rx)?
         };
 
         Ok(Agent {
@@ -1093,17 +1093,27 @@ mod tests {
             )
             .unwrap();
             b.join(&[a.addr()]);
+            // Membership can converge over the TCP push-pull before
+            // the first UDP probe fires, so wait for the datagram
+            // counters too, not just `num_alive`.
+            let saw_udp = |agent: &Agent| {
+                let s = agent.stats();
+                s.send_syscalls > 0
+                    && s.datagrams_sent > 0
+                    && s.recv_syscalls > 0
+                    && s.datagrams_received > 0
+            };
             assert!(
                 wait_for(Duration::from_secs(10), || a.num_alive() == 2
-                    && b.num_alive() == 2),
-                "{runtime:?} pair failed to converge"
+                    && b.num_alive() == 2
+                    && saw_udp(&a)
+                    && saw_udp(&b)),
+                "{runtime:?} pair failed to converge with UDP activity: a={:?} b={:?}",
+                a.stats(),
+                b.stats()
             );
             for agent in [&a, &b] {
                 let stats = agent.stats();
-                assert!(stats.send_syscalls > 0, "{runtime:?}: {stats:?}");
-                assert!(stats.datagrams_sent > 0, "{runtime:?}: {stats:?}");
-                assert!(stats.recv_syscalls > 0, "{runtime:?}: {stats:?}");
-                assert!(stats.datagrams_received > 0, "{runtime:?}: {stats:?}");
                 assert_eq!(stats.recv_truncations, 0, "{runtime:?}: {stats:?}");
             }
             a.shutdown();

@@ -52,7 +52,7 @@ use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::ops::Range;
-use std::os::unix::io::{AsRawFd, FromRawFd};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -496,12 +496,15 @@ impl Reactor {
     fn drain_datagrams_batched(&mut self, max_burst: usize) {
         let fd = self.inner.udp.as_raw_fd();
         let mut drained = 0usize;
+        let mut enosys = false;
+        // Both batching halves are constructed together; if either is
+        // missing this runtime is in single-shot mode.
+        let (Some(ring), Some(io)) = (self.recv_ring.as_mut(), self.send_io.as_mut()) else {
+            self.drain_datagrams_single(max_burst);
+            return;
+        };
         while drained < max_burst {
-            let res = self
-                .recv_ring
-                .as_mut()
-                .expect("caller checked the ring exists")
-                .recv(fd);
+            let res = ring.recv(fd);
             self.inner
                 .counters
                 .recv_syscalls
@@ -511,10 +514,10 @@ impl Reactor {
                 Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(ref e) if e.kind() == io::ErrorKind::Unsupported => {
                     // ENOSYS: this kernel has no recvmmsg. Drop the
-                    // ring for good and finish the drain single-shot.
-                    self.recv_ring = None;
-                    self.drain_datagrams_single(max_burst - drained);
-                    return;
+                    // ring for good (below, once its borrow ends) and
+                    // finish the drain single-shot.
+                    enosys = true;
+                    break;
                 }
                 // A queued socket error was consumed; yield to the
                 // loop (level-triggered readiness re-reports the rest).
@@ -527,18 +530,13 @@ impl Reactor {
             let now = self.inner.now();
             let socket_drained;
             {
-                let ring = self.recv_ring.as_ref().expect("ring survives the recv");
                 socket_drained = n < ring.slots();
-                let io = self
-                    .send_io
-                    .as_mut()
-                    .expect("batching constructs ring and send state together");
                 let batch_size = io.batch_size;
                 let counters = &self.inner.counters;
                 let mut driver = self.inner.driver.lock();
                 let mut sink = BatchSink {
                     net: self.inner.sink(now),
-                    io,
+                    io: &mut *io,
                 };
                 for i in 0..n {
                     if ring.truncated(i) {
@@ -569,6 +567,10 @@ impl Reactor {
             if socket_drained {
                 break;
             }
+        }
+        if enosys {
+            self.recv_ring = None;
+            self.drain_datagrams_single(max_burst - drained);
         }
     }
 
@@ -629,7 +631,7 @@ impl Reactor {
         if self.conns.len() >= MAX_CONNS {
             return;
         }
-        let Ok((stream, connected)) = connect_nonblocking(to) else {
+        let Ok((stream, connected)) = polling::sock::connect_stream(to) else {
             return;
         };
         if connected {
@@ -770,135 +772,6 @@ fn advance_outbound(
     Advance::Done // frame fully written; drop closes the connection
 }
 
-/// The minimal libc surface for a nonblocking `connect(2)`. `poll`ing
-/// lives in the `polling` shim; only socket creation and connect
-/// initiation need raw calls (completion is `TcpStream::take_error`,
-/// i.e. `SO_ERROR`, which std exposes).
-mod sys {
-    use std::os::raw::{c_int, c_void};
-
-    // The constants and sockaddr layouts below are the *Linux* ABI
-    // (AF_INET6, O_NONBLOCK, EINPROGRESS and struct layouts all differ
-    // on the BSDs); fail loudly rather than misbehave silently.
-    #[cfg(not(target_os = "linux"))]
-    compile_error!(
-        "lifeguard-net's reactor FFI assumes the Linux ABI; port the sys constants first"
-    );
-
-    pub const AF_INET: c_int = 2;
-    pub const AF_INET6: c_int = 10;
-    pub const SOCK_STREAM: c_int = 1;
-    pub const F_SETFD: c_int = 2;
-    pub const F_GETFL: c_int = 3;
-    pub const F_SETFL: c_int = 4;
-    pub const FD_CLOEXEC: c_int = 1;
-    pub const O_NONBLOCK: c_int = 0o4000;
-    pub const EINPROGRESS: i32 = 115;
-
-    /// `struct sockaddr_in` (Linux layout).
-    #[repr(C)]
-    pub struct SockAddrV4 {
-        pub family: u16,
-        /// Network byte order.
-        pub port: u16,
-        pub addr: [u8; 4],
-        pub zero: [u8; 8],
-    }
-
-    /// `struct sockaddr_in6` (Linux layout).
-    #[repr(C)]
-    pub struct SockAddrV6 {
-        pub family: u16,
-        /// Network byte order.
-        pub port: u16,
-        pub flowinfo: u32,
-        pub addr: [u8; 16],
-        pub scope_id: u32,
-    }
-
-    extern "C" {
-        pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
-        pub fn connect(fd: c_int, addr: *const c_void, len: u32) -> c_int;
-        pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
-        pub fn close(fd: c_int) -> c_int;
-    }
-}
-
-/// Starts a nonblocking TCP connect. Returns the stream plus whether
-/// the connect already completed (loopback often does); if not, write
-/// readiness signals completion and [`TcpStream::take_error`] reports
-/// the outcome.
-fn connect_nonblocking(to: SocketAddr) -> io::Result<(TcpStream, bool)> {
-    let family = match to {
-        SocketAddr::V4(_) => sys::AF_INET,
-        SocketAddr::V6(_) => sys::AF_INET6,
-    };
-    let fd = unsafe { sys::socket(family, sys::SOCK_STREAM, 0) };
-    if fd < 0 {
-        return Err(io::Error::last_os_error());
-    }
-    let configured = unsafe {
-        sys::fcntl(fd, sys::F_SETFD, sys::FD_CLOEXEC) >= 0 && {
-            let flags = sys::fcntl(fd, sys::F_GETFL, 0);
-            flags >= 0 && sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) >= 0
-        }
-    };
-    if !configured {
-        let err = io::Error::last_os_error();
-        unsafe { sys::close(fd) };
-        return Err(err);
-    }
-    let rc = match to {
-        SocketAddr::V4(a) => {
-            let sa = sys::SockAddrV4 {
-                family: sys::AF_INET as u16,
-                port: a.port().to_be(),
-                addr: a.ip().octets(),
-                zero: [0; 8],
-            };
-            unsafe {
-                sys::connect(
-                    fd,
-                    (&sa as *const sys::SockAddrV4).cast(),
-                    std::mem::size_of::<sys::SockAddrV4>() as u32,
-                )
-            }
-        }
-        SocketAddr::V6(a) => {
-            let sa = sys::SockAddrV6 {
-                family: sys::AF_INET6 as u16,
-                port: a.port().to_be(),
-                flowinfo: a.flowinfo(),
-                addr: a.ip().octets(),
-                scope_id: a.scope_id(),
-            };
-            unsafe {
-                sys::connect(
-                    fd,
-                    (&sa as *const sys::SockAddrV6).cast(),
-                    std::mem::size_of::<sys::SockAddrV6>() as u32,
-                )
-            }
-        }
-    };
-    let connected = if rc == 0 {
-        true
-    } else {
-        let err = io::Error::last_os_error();
-        if err.raw_os_error() == Some(sys::EINPROGRESS) {
-            false
-        } else {
-            unsafe { sys::close(fd) };
-            return Err(err);
-        }
-    };
-    // Safety: `fd` is a freshly created, successfully configured socket
-    // owned by nobody else; the TcpStream takes ownership (and closes
-    // it on drop).
-    let stream = unsafe { TcpStream::from_raw_fd(fd) };
-    Ok((stream, connected))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -979,7 +852,7 @@ mod tests {
     fn nonblocking_connect_reaches_a_loopback_listener() {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
-        let (stream, connected) = connect_nonblocking(addr).expect("connect starts");
+        let (stream, connected) = polling::sock::connect_stream(addr).expect("connect starts");
         // Whether it completed inline or is in progress, the listener
         // must observe the connection.
         let (_, peer) = listener.accept().expect("accept");
@@ -1004,7 +877,7 @@ mod tests {
             let l = TcpListener::bind("127.0.0.1:0").expect("bind");
             l.local_addr().expect("addr")
         };
-        match connect_nonblocking(dead) {
+        match polling::sock::connect_stream(dead) {
             Err(_) => {} // refused inline
             Ok((stream, _)) => {
                 let poller = Poller::new().expect("poller");

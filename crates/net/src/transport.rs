@@ -90,6 +90,8 @@ pub fn encode_frame(sender: NodeAddr, msg: &Message) -> Vec<u8> {
         }
     }
     buf.put_u16(sender.port());
+    debug_assert!(body.len() <= MAX_STREAM_FRAME, "frame exceeds stream limit");
+    // lint: allow(lossy_cast) — peers reject frames over MAX_STREAM_FRAME (16 MiB < u32::MAX)
     buf.put_u32(body.len() as u32);
     buf.put_slice(&body);
     buf.to_vec()
@@ -156,11 +158,14 @@ impl FrameDecoder {
         if buf.len() < header_len {
             return Ok(None);
         }
-        let body_len = u32::from_be_bytes(
-            buf[header_len - 4..header_len]
-                .try_into()
-                .expect("slice is 4 bytes"),
-        ) as usize;
+        // The range arithmetic above guarantees each slice's length,
+        // but this is a wire path: surface a decode error rather than
+        // carry a panicking conversion.
+        fn take<const N: usize>(b: &[u8]) -> Result<[u8; N], StreamError> {
+            b.try_into()
+                .map_err(|_| StreamError::Decode(DecodeError::UnexpectedEof))
+        }
+        let body_len = u32::from_be_bytes(take(&buf[header_len - 4..header_len])?) as usize;
         if body_len > self.max_frame {
             return Err(StreamError::Oversized(body_len));
         }
@@ -168,17 +173,11 @@ impl FrameDecoder {
             return Ok(None);
         }
         let ip: std::net::IpAddr = if addr_len == 4 {
-            let octets: [u8; 4] = buf[1..5].try_into().expect("slice is 4 bytes");
-            std::net::IpAddr::from(octets)
+            std::net::IpAddr::from(take::<4>(&buf[1..5])?)
         } else {
-            let octets: [u8; 16] = buf[1..17].try_into().expect("slice is 16 bytes");
-            std::net::IpAddr::from(octets)
+            std::net::IpAddr::from(take::<16>(&buf[1..17])?)
         };
-        let port = u16::from_be_bytes(
-            buf[1 + addr_len..1 + addr_len + 2]
-                .try_into()
-                .expect("slice is 2 bytes"),
-        );
+        let port = u16::from_be_bytes(take(&buf[1 + addr_len..1 + addr_len + 2])?);
         let msg = codec::decode_message(&buf[header_len..header_len + body_len])?;
         self.buf.drain(..header_len + body_len);
         Ok(Some((NodeAddr::from(SocketAddr::new(ip, port)), msg)))

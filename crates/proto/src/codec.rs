@@ -74,7 +74,7 @@ pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
             buf.put_u32(p.seq.0);
             put_name(buf, &p.target);
             put_addr(buf, p.target_addr);
-            buf.put_u8(p.nack as u8);
+            buf.put_u8(u8::from(p.nack));
             put_name(buf, &p.source);
             put_addr(buf, p.source_addr);
         }
@@ -107,13 +107,13 @@ pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
         }
         Message::PushPull(pp) => {
             buf.put_u8(TAG_PUSH_PULL);
-            let flags = (pp.join as u8) | ((pp.reply as u8) << 1);
+            let flags = u8::from(pp.join) | (u8::from(pp.reply) << 1);
             buf.put_u8(flags);
             put_states(buf, &pp.states);
         }
         Message::PushPullDelta(d) => {
             buf.put_u8(TAG_PUSH_PULL_DELTA);
-            buf.put_u8(d.reply as u8);
+            buf.put_u8(u8::from(d.reply));
             put_name(buf, &d.from);
             buf.put_u64(d.epoch);
             buf.put_u64(d.since_epoch);
@@ -168,6 +168,8 @@ fn states_len(states: &[PushNodeState]) -> usize {
 }
 
 fn put_states(buf: &mut BytesMut, states: &[PushNodeState]) {
+    debug_assert!(states.len() <= u32::MAX as usize, "state list too long");
+    // lint: allow(lossy_cast) — membership lists are nowhere near 2^32 entries
     buf.put_u32(states.len() as u32);
     for st in states {
         put_name(buf, &st.name);
@@ -305,12 +307,14 @@ fn addr_len(a: NodeAddr) -> usize {
 
 fn put_name(buf: &mut BytesMut, n: &NodeName) {
     debug_assert!(n.len() <= u16::MAX as usize, "node name too long");
+    // lint: allow(lossy_cast) — names are length-checked at construction (NodeName::new)
     buf.put_u16(n.len() as u16);
     buf.put_slice(n.as_str().as_bytes());
 }
 
 fn put_blob(buf: &mut BytesMut, b: &[u8]) {
     debug_assert!(b.len() <= u16::MAX as usize, "metadata blob too long");
+    // lint: allow(lossy_cast) — blobs are budget-checked before encode
     buf.put_u16(b.len() as u16);
     buf.put_slice(b);
 }

@@ -117,6 +117,7 @@ impl CompoundBuilder {
             return false;
         }
         self.payload.extend_from_slice(encoded);
+        // lint: allow(lossy_cast) — bounded by the u16::MAX check above
         self.lens.push(encoded.len() as u16);
         true
     }
@@ -137,6 +138,7 @@ impl CompoundBuilder {
             self.payload.truncate(start);
             return false;
         }
+        // lint: allow(lossy_cast) — bounded by the u16::MAX rollback check above
         self.lens.push(written as u16);
         true
     }
@@ -171,6 +173,7 @@ impl CompoundBuilder {
             }
             n => {
                 out.push(COMPOUND_TAG);
+                // lint: allow(lossy_cast) — n ≤ MAX_COMPOUND_PARTS (255), enforced at add time
                 out.push(n as u8);
                 for &len in &self.lens {
                     out.extend_from_slice(&len.to_be_bytes());
@@ -220,6 +223,7 @@ impl CompoundBuilder {
             n => {
                 let mut buf = BytesMut::with_capacity(2 + 2 * n + self.payload.len());
                 buf.put_u8(COMPOUND_TAG);
+                // lint: allow(lossy_cast) — n ≤ MAX_COMPOUND_PARTS (255), enforced at add time
                 buf.put_u8(n as u8);
                 for &len in &self.lens {
                     buf.put_u16(len);

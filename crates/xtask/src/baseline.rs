@@ -1,0 +1,132 @@
+//! The ratcheted panic baseline: `analysis/baseline.toml`.
+//!
+//! The panic rule is the one rule with grandfathered violations (the
+//! protocol core carries internal-invariant `expect`s that are not
+//! wire-reachable). Instead of waiving them one by one, their per-crate
+//! counts are pinned here and only allowed to *decrease*: a PR that
+//! adds a site fails immediately, a PR that removes one fails until it
+//! also tightens the baseline (`cargo run -p xtask -- lint
+//! --update-baseline` rewrites the file), so the recorded count is
+//! always exact and the burn-down is visible in the diff history.
+//!
+//! The file is a flat TOML table parsed by hand — the analyzer is
+//! dependency-free by design (it gates the build; nothing in the build
+//! may gate it).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Workspace-relative path of the baseline file.
+pub const BASELINE_PATH: &str = "analysis/baseline.toml";
+
+/// Per-crate grandfathered panic-site counts.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    pub panic: BTreeMap<String, u64>,
+}
+
+/// A baseline file that fails to parse (the gate must not silently
+/// treat a corrupt baseline as "everything is allowed").
+#[derive(Debug, PartialEq, Eq)]
+pub struct BaselineError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", BASELINE_PATH, self.line, self.message)
+    }
+}
+
+impl Baseline {
+    /// Parses the TOML subset the baseline uses: `# comments`,
+    /// `[section]` headers, and `key = <integer>` entries.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let mut out = Baseline::default();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = idx + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(BaselineError {
+                    line: lineno,
+                    message: format!("expected `key = count`, got `{line}`"),
+                });
+            };
+            let key = key.trim().trim_matches('"').to_string();
+            let value: u64 = value.trim().parse().map_err(|_| BaselineError {
+                line: lineno,
+                message: format!("count for `{key}` is not a non-negative integer"),
+            })?;
+            match section.as_str() {
+                "panic" => {
+                    out.panic.insert(key, value);
+                }
+                other => {
+                    return Err(BaselineError {
+                        line: lineno,
+                        message: format!("unknown baseline section `[{other}]`"),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Loads the baseline from `root`, treating a missing file as
+    /// empty (zero tolerance everywhere).
+    pub fn load(root: &Path) -> Result<Baseline, BaselineError> {
+        match std::fs::read_to_string(root.join(BASELINE_PATH)) {
+            Ok(text) => Baseline::parse(&text),
+            Err(_) => Ok(Baseline::default()),
+        }
+    }
+
+    /// Renders the file back out (used by `--update-baseline`).
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "# Ratcheted panic-site baseline — maintained by `cargo run -p xtask -- lint`.\n\
+             #\n\
+             # Counts of grandfathered `.unwrap()` / `.expect()` / `panic!` /\n\
+             # `unreachable!` sites in non-test code, per crate. The lint fails if a\n\
+             # count rises (new panic site) OR falls (run with --update-baseline to\n\
+             # ratchet it down), so these numbers are always exact. Wire-facing\n\
+             # crates (proto, net) are pinned at zero: untrusted bytes must never\n\
+             # panic an agent.\n\n[panic]\n",
+        );
+        for (k, v) in &self.panic {
+            let _ = writeln!(s, "{k} = {v}");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let b = Baseline::parse("# c\n[panic]\ncore = 20\nnet = 0\n").unwrap();
+        assert_eq!(b.panic.get("core"), Some(&20));
+        assert_eq!(b.panic.get("net"), Some(&0));
+        let again = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(again, b);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Baseline::parse("[panic]\ncore = many\n").is_err());
+        assert!(Baseline::parse("[mystery]\nx = 1\n").is_err());
+        assert!(Baseline::parse("[panic]\nnot a kv\n").is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! `swim-lint`: the workspace's custom static-analysis pass.
+//!
+//! Run as `cargo run -p xtask -- lint`. The pass machine-enforces the
+//! architectural invariants the repo otherwise only documents:
+//!
+//! 1. **Sans-I/O layering** (`layering`) — `crates/core`, `crates/proto`
+//!    and `crates/sim` may not touch sockets, threads, wall clocks, or
+//!    entropy-seeded RNG; time and I/O flow through `Input`/`Sink`,
+//!    randomness through the seeded shim.
+//! 2. **Panic-freedom on wire paths** (`panic`) — no `unwrap` /
+//!    `expect` / `panic!` / `unreachable!` in non-test code of
+//!    core/net/proto, ratcheted by `analysis/baseline.toml` (counts may
+//!    only go down; proto and net are pinned at zero).
+//! 3. **Unsafe hygiene** (`unsafe_safety`) — every `unsafe` needs an
+//!    adjacent `// SAFETY:` comment.
+//! 4. **FFI confinement** (`ffi`) — `extern "C"` lives only in
+//!    `crates/compat/polling` and may only declare allowlisted symbols.
+//! 5. **Lossy casts** (`lossy_cast`) — narrowing `as` casts on
+//!    FFI/codec paths are flagged unless waived.
+//!
+//! Any rule finding can be waived inline with
+//! `// lint: allow(<rule>) — <reason>`; the reason is mandatory and
+//! stale waivers are reported. Results are printed as a table and
+//! written to `target/ANALYSIS.json` for trend tooling.
+//!
+//! See `docs/ANALYSIS.md` for the full rule catalog and how to add a
+//! rule.
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+use baseline::Baseline;
+use report::Report;
+use rules::RULE_PANIC;
+
+/// Directory names never descended into during the workspace walk.
+/// `fixtures` holds the analyzer's own known-violation test inputs.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "node_modules"];
+
+/// Walks `root` and analyzes every `.rs` file, in path order.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the walk or file reads.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(&path)?;
+        let (violations, unused) = rules::analyze_file(&rel, &src);
+        report.violations.extend(violations);
+        report.unused_waivers += unused;
+        report.files += 1;
+    }
+    Ok(report)
+}
+
+/// Everything `lint` decided, for the caller to print/exit on.
+#[derive(Debug)]
+pub struct LintOutcome {
+    pub report: Report,
+    /// Human-readable gate failures; empty means the lint passed.
+    pub failures: Vec<String>,
+    /// The JSON document that was (or would be) written.
+    pub json: String,
+}
+
+/// Runs the full lint over `root`: analyze, apply the panic ratchet,
+/// and render the JSON report. With `update_baseline`, a shrunken
+/// panic count rewrites `analysis/baseline.toml` instead of failing.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; a corrupt baseline file is a gate
+/// failure, not an error.
+pub fn run_lint(root: &Path, update_baseline: bool) -> std::io::Result<LintOutcome> {
+    let report = analyze_workspace(root)?;
+    let mut failures = Vec::new();
+
+    // Zero-tolerance rules: anything active fails.
+    for rule in rules::ALL_RULES {
+        if rule == RULE_PANIC {
+            continue;
+        }
+        let n = report.active(rule).count();
+        if n > 0 {
+            failures.push(format!("{n} active `{rule}` violation(s)"));
+        }
+    }
+
+    // The panic ratchet.
+    let baseline = match Baseline::load(root) {
+        Ok(b) => b,
+        Err(e) => {
+            failures.push(format!("baseline unreadable: {e}"));
+            Baseline::default()
+        }
+    };
+    let counts = report.panic_counts();
+    let baseline_exists = root.join(baseline::BASELINE_PATH).exists();
+    let mut ratcheted = baseline.clone();
+    let mut rewrite = false;
+    let mut crates: Vec<String> = baseline.panic.keys().chain(counts.keys()).cloned().collect();
+    crates.sort();
+    crates.dedup();
+    for name in crates {
+        let have = counts.get(&name).copied().unwrap_or(0);
+        let base = baseline.panic.get(&name).copied().unwrap_or(0);
+        if have > base {
+            // An increase is never update-able — that would defeat the
+            // ratchet — except at bootstrap, when no baseline exists
+            // yet and `--update-baseline` seeds the grandfathered
+            // counts.
+            if update_baseline && !baseline_exists {
+                rewrite = true;
+                ratcheted.panic.insert(name.clone(), have);
+            } else {
+                failures.push(format!(
+                    "panic ratchet: crate `{name}` has {have} panic site(s), baseline allows \
+                     {base} — remove them or (for non-wire invariants) waive with a reason"
+                ));
+            }
+        } else if have < base {
+            rewrite = true;
+            ratcheted.panic.insert(name.clone(), have);
+            if !update_baseline {
+                failures.push(format!(
+                    "panic ratchet: crate `{name}` is down to {have} site(s) but the baseline \
+                     says {base} — run `cargo run -p xtask -- lint --update-baseline` to ratchet"
+                ));
+            }
+        }
+    }
+    if update_baseline && rewrite {
+        std::fs::create_dir_all(root.join("analysis"))?;
+        std::fs::write(root.join(baseline::BASELINE_PATH), ratcheted.render())?;
+    }
+
+    let json = report.render_json(&baseline.panic, failures.is_empty());
+    Ok(LintOutcome {
+        report,
+        failures,
+        json,
+    })
+}

@@ -1,0 +1,459 @@
+//! The analyzer's rule engine: file classification, `#[cfg(test)]`
+//! exclusion, waiver parsing, and the five rules.
+//!
+//! Every rule works on the [`lexer`](crate::lexer) token stream, so
+//! comments, strings, and raw strings can never produce false
+//! positives, and waivers/`SAFETY:` audits are read from the comment
+//! side-channel the lexer preserves.
+
+use crate::lexer::{lex, Comment, LexedFile, Tok};
+
+/// Rule identifiers, used in waivers (`// lint: allow(<rule>) — why`),
+/// the baseline file, and the JSON report.
+pub const RULE_LAYERING: &str = "layering";
+pub const RULE_PANIC: &str = "panic";
+pub const RULE_UNSAFE: &str = "unsafe_safety";
+pub const RULE_FFI: &str = "ffi";
+pub const RULE_LOSSY_CAST: &str = "lossy_cast";
+pub const RULE_WAIVER: &str = "waiver";
+
+/// All rules, for reports and waiver validation.
+pub const ALL_RULES: [&str; 6] = [
+    RULE_LAYERING,
+    RULE_PANIC,
+    RULE_UNSAFE,
+    RULE_FFI,
+    RULE_LOSSY_CAST,
+    RULE_WAIVER,
+];
+
+/// `extern "C"` symbols the FFI rule accepts, all of them confined to
+/// `crates/compat/polling` (the one place raw syscall declarations are
+/// allowed to live). Anything else — a new symbol or a new location —
+/// fails the lint until this list and `docs/ANALYSIS.md` are updated.
+pub const FFI_ALLOWLIST: [&str; 10] = [
+    "close", "connect", "fcntl", "pipe", "poll", "read", "recvmmsg", "sendmmsg", "socket", "write",
+];
+
+/// Crate (group) that may declare `extern "C"` symbols.
+pub const FFI_HOME: &str = "compat/polling";
+
+/// One finding. `file` is workspace-relative with `/` separators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+    /// `Some(reason)` when an inline waiver covered this finding.
+    pub waived: Option<String>,
+}
+
+/// How a file participates in the analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileClass {
+    /// Crate group: `core`, `proto`, `net`, `sim`, `bench`,
+    /// `experiments`, `xtask`, `compat/<name>`, or `root`.
+    pub crate_name: String,
+    /// Whether the file is a test/bench/example target (under a
+    /// `tests/`, `benches/`, or `examples/` directory).
+    pub test_target: bool,
+}
+
+/// Classifies a workspace-relative path.
+pub fn classify(rel: &str) -> FileClass {
+    let rel = rel.strip_prefix("./").unwrap_or(rel);
+    let parts: Vec<&str> = rel.split('/').collect();
+    let crate_name = if parts.first() == Some(&"crates") {
+        if parts.get(1) == Some(&"compat") {
+            format!("compat/{}", parts.get(2).unwrap_or(&"?"))
+        } else {
+            (*parts.get(1).unwrap_or(&"?")).to_string()
+        }
+    } else {
+        "root".to_string()
+    };
+    let test_target = parts
+        .iter()
+        .any(|p| *p == "tests" || *p == "benches" || *p == "examples");
+    FileClass {
+        crate_name,
+        test_target,
+    }
+}
+
+/// A parsed inline waiver.
+#[derive(Debug, Clone)]
+struct Waiver {
+    rule: String,
+    reason: String,
+    /// Lines the waiver covers: its comment's own span plus the first
+    /// code line after it.
+    line_start: u32,
+    line_end: u32,
+    used: std::cell::Cell<bool>,
+}
+
+/// Parses `lint: allow(<rule>) <sep> <reason>` out of a comment.
+/// Malformed waivers (unknown rule, missing reason) are violations of
+/// the `waiver` rule — a waiver that silently fails to parse would
+/// otherwise *look* like coverage.
+fn parse_waivers(comments: &[Comment], file: &str, bad: &mut Vec<Violation>) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(pos) = c.text.find("lint: allow(") else {
+            continue;
+        };
+        let rest = &c.text[pos + "lint: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            bad.push(Violation {
+                rule: RULE_WAIVER,
+                file: file.to_string(),
+                line: c.line_start,
+                message: "unterminated waiver: missing `)`".into(),
+                waived: None,
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !ALL_RULES.contains(&rule.as_str()) {
+            bad.push(Violation {
+                rule: RULE_WAIVER,
+                file: file.to_string(),
+                line: c.line_start,
+                message: format!("waiver names unknown rule `{rule}`"),
+                waived: None,
+            });
+            continue;
+        }
+        let reason = rest[close + 1..]
+            .trim_start_matches([' ', '\t', '—', '-', ':', '–'])
+            .trim()
+            .to_string();
+        if reason.is_empty() {
+            bad.push(Violation {
+                rule: RULE_WAIVER,
+                file: file.to_string(),
+                line: c.line_start,
+                message: format!("waiver for `{rule}` has no reason — say why"),
+                waived: None,
+            });
+            continue;
+        }
+        out.push(Waiver {
+            rule,
+            reason,
+            line_start: c.line_start,
+            line_end: c.line_end + 1,
+            used: std::cell::Cell::new(false),
+        });
+    }
+    out
+}
+
+/// Line ranges occupied by `#[cfg(test)]` / `#[test]`-attributed items
+/// (the item body is skipped by test-scoped rules).
+fn test_ranges(lexed: &LexedFile) -> Vec<(u32, u32)> {
+    let toks = &lexed.tokens;
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].tok != Tok::Punct('#') {
+            i += 1;
+            continue;
+        }
+        // Attribute: `#[ ... ]` (with nested brackets).
+        let Some(open) = toks.get(i + 1) else { break };
+        if open.tok != Tok::Punct('[') {
+            i += 1;
+            continue;
+        }
+        let attr_line = toks[i].line;
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut idents: Vec<&str> = Vec::new();
+        while j < toks.len() {
+            match &toks[j].tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(s) => idents.push(s),
+                _ => {}
+            }
+            j += 1;
+        }
+        let is_test_attr = match idents.first().copied() {
+            // `#[cfg(test)]`, `#[cfg(any(test, ...))]` — but not
+            // `#[cfg(not(test))]` (that marks *production* code).
+            Some("cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+            // `#[test]`, `#[tokio::test]`, `#[bench]`.
+            Some("test") | Some("bench") => true,
+            Some(_) if idents.last().copied() == Some("test") => true,
+            _ => false,
+        };
+        if !is_test_attr {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes, then the item header, up to the
+        // item's body `{ ... }` (or a `;` for bodiless items).
+        let mut k = j + 1;
+        let mut body_depth = 0usize;
+        let mut end_line = attr_line;
+        while k < toks.len() {
+            match &toks[k].tok {
+                Tok::Punct('{') => body_depth += 1,
+                Tok::Punct('}') => {
+                    body_depth = body_depth.saturating_sub(1);
+                    if body_depth == 0 {
+                        end_line = toks[k].line;
+                        break;
+                    }
+                }
+                Tok::Punct(';') if body_depth == 0 => {
+                    end_line = toks[k].line;
+                    break;
+                }
+                _ => {}
+            }
+            end_line = toks[k].line;
+            k += 1;
+        }
+        ranges.push((attr_line, end_line));
+        i = k + 1;
+    }
+    ranges
+}
+
+/// True when the `unsafe` on `line` carries a `SAFETY` audit: either a
+/// comment on the line itself, or a contiguous run of comment lines
+/// directly above it (no code-only gap) in which any line mentions
+/// `SAFETY`.
+fn safety_adjacent(comments: &[Comment], line: u32) -> bool {
+    let on = |l: u32| comments.iter().find(|c| c.line_start <= l && l <= c.line_end);
+    if on(line).is_some_and(|c| c.text.contains("SAFETY")) {
+        return true;
+    }
+    let mut cur = line.saturating_sub(1);
+    while let Some(c) = on(cur) {
+        if c.text.contains("SAFETY") {
+            return true;
+        }
+        if c.line_start == 0 {
+            break;
+        }
+        cur = c.line_start - 1;
+    }
+    false
+}
+
+fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(a, b)| a <= line && line <= b)
+}
+
+/// Analyzes one file's source, returning all findings (waived findings
+/// carry their reason) plus the count of declared-but-unused waivers.
+pub fn analyze_file(rel_path: &str, src: &str) -> (Vec<Violation>, usize) {
+    let class = classify(rel_path);
+    let lexed = lex(src);
+    let mut violations: Vec<Violation> = Vec::new();
+    // The analyzer's own sources document the waiver syntax in prose;
+    // don't parse those mentions as (malformed) waivers. No rule is
+    // scoped to `xtask` anyway, so a real waiver there is meaningless.
+    let waivers = if class.crate_name == "xtask" {
+        Vec::new()
+    } else {
+        parse_waivers(&lexed.comments, rel_path, &mut violations)
+    };
+    let excluded = test_ranges(&lexed);
+
+    let mut push = |rule: &'static str, line: u32, message: String| {
+        let waived = waivers
+            .iter()
+            .find(|w| w.rule == rule && w.line_start <= line && line <= w.line_end)
+            .map(|w| {
+                w.used.set(true);
+                w.reason.clone()
+            });
+        violations.push(Violation {
+            rule,
+            file: rel_path.to_string(),
+            line,
+            message,
+            waived,
+        });
+    };
+
+    let toks = &lexed.tokens;
+    let in_test = |line: u32| in_ranges(&excluded, line);
+
+    // --- Rule: panic-freedom on wire-facing crates -------------------
+    let panic_scope = !class.test_target && matches!(class.crate_name.as_str(), "core" | "proto" | "net");
+    // --- Rule: sans-I/O layering -------------------------------------
+    let layering_scope =
+        !class.test_target && matches!(class.crate_name.as_str(), "core" | "proto" | "sim");
+    // --- Rule: lossy casts on FFI/codec paths ------------------------
+    let cast_scope = !class.test_target
+        && matches!(class.crate_name.as_str(), "proto" | "net" | "compat/polling");
+
+    const LOSSY_TARGETS: [&str; 11] = [
+        "u8", "u16", "u32", "i8", "i16", "i32", "c_short", "c_ushort", "c_int", "c_uint", "_",
+    ];
+    const IO_TYPES: [&str; 3] = ["UdpSocket", "TcpStream", "TcpListener"];
+    const CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
+    const ENTROPY: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "from_os_rng"];
+
+    for (i, t) in toks.iter().enumerate() {
+        let line = t.line;
+        let Tok::Ident(word) = &t.tok else {
+            // `extern "C"` is Ident + Literal; handled from the ident.
+            continue;
+        };
+        let word = word.as_str();
+
+        if panic_scope && !in_test(line) {
+            let prev_is_dot = i > 0 && toks[i - 1].tok == Tok::Punct('.');
+            let next_is_bang = toks.get(i + 1).map(|n| n.tok == Tok::Punct('!')) == Some(true);
+            if prev_is_dot && (word == "unwrap" || word == "expect") {
+                push(
+                    RULE_PANIC,
+                    line,
+                    format!(".{word}() can panic on untrusted input paths"),
+                );
+            } else if next_is_bang
+                && matches!(word, "panic" | "unreachable" | "todo" | "unimplemented")
+            {
+                push(RULE_PANIC, line, format!("{word}! in non-test code"));
+            }
+        }
+
+        if layering_scope && !in_test(line) {
+            if IO_TYPES.contains(&word) {
+                push(
+                    RULE_LAYERING,
+                    line,
+                    format!("{word}: socket I/O is confined to crates/net (sans-I/O layering)"),
+                );
+            } else if CLOCK_TYPES.contains(&word) {
+                push(
+                    RULE_LAYERING,
+                    line,
+                    format!("{word}: wall-clock time must flow through `Time`/`Input::Tick`"),
+                );
+            } else if ENTROPY.contains(&word) {
+                push(
+                    RULE_LAYERING,
+                    line,
+                    format!("{word}: randomness must come from the seeded RNG shim"),
+                );
+            } else if word == "std"
+                && toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+                && toks.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+                && toks.get(i + 3).map(|t| &t.tok) == Some(&Tok::Ident("thread".into()))
+            {
+                push(
+                    RULE_LAYERING,
+                    line,
+                    "std::thread: threads are an I/O-runtime concern, not a core one".into(),
+                );
+            }
+        }
+
+        if word == "unsafe" {
+            // `unsafe fn` declares a contract, not a discharge of one:
+            // its body is a safe context (`unsafe_op_in_unsafe_fn` is
+            // denied workspace-wide), so the inner `unsafe {}` blocks
+            // carry the audits and the fn signature itself is exempt.
+            let declares_fn = toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Ident("fn".into()));
+            if !declares_fn && !safety_adjacent(&lexed.comments, line) {
+                push(
+                    RULE_UNSAFE,
+                    line,
+                    "unsafe without an adjacent `// SAFETY:` comment".into(),
+                );
+            }
+        }
+
+        if word == "extern" {
+            if let Some(Tok::Literal(Some(abi))) = toks.get(i + 1).map(|t| &t.tok) {
+                if class.crate_name != FFI_HOME {
+                    push(
+                        RULE_FFI,
+                        line,
+                        format!(
+                            "extern \"{abi}\" outside {FFI_HOME}: FFI is confined to the polling shim"
+                        ),
+                    );
+                } else if toks.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct('{')) {
+                    // Walk the foreign block, checking declared symbols.
+                    let mut depth = 0usize;
+                    let mut k = i + 2;
+                    while k < toks.len() {
+                        match &toks[k].tok {
+                            Tok::Punct('{') => depth += 1,
+                            Tok::Punct('}') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            Tok::Ident(f) if f == "fn" => {
+                                if let Some(Tok::Ident(name)) = toks.get(k + 1).map(|t| &t.tok) {
+                                    if !FFI_ALLOWLIST.contains(&name.as_str()) {
+                                        push(
+                                            RULE_FFI,
+                                            toks[k + 1].line,
+                                            format!(
+                                                "extern symbol `{name}` is not on the FFI allowlist"
+                                            ),
+                                        );
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+            }
+        }
+
+        if cast_scope && !in_test(line) && word == "as" {
+            if let Some(Tok::Ident(target)) = toks.get(i + 1).map(|t| &t.tok) {
+                if LOSSY_TARGETS.contains(&target.as_str()) {
+                    let shown = if target == "_" { "`as _`" } else { target.as_str() };
+                    push(
+                        RULE_LOSSY_CAST,
+                        line,
+                        format!("potentially lossy cast to {shown} on an FFI/codec path"),
+                    );
+                }
+            }
+        }
+    }
+
+    let unused_waivers = waivers.iter().filter(|w| !w.used.get()).count();
+    (violations, unused_waivers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify("crates/core/src/node.rs").crate_name, "core");
+        assert_eq!(
+            classify("crates/compat/polling/src/lib.rs").crate_name,
+            "compat/polling"
+        );
+        assert_eq!(classify("src/lib.rs").crate_name, "root");
+        assert!(classify("crates/core/tests/prop_core.rs").test_target);
+        assert!(classify("crates/bench/benches/micro.rs").test_target);
+        assert!(!classify("crates/bench/src/naive.rs").test_target);
+    }
+}

@@ -1,0 +1,16 @@
+fn encode_len(len: usize) -> u32 {
+    len as u32
+}
+
+fn widen(n: u16) -> u64 {
+    n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_casts_are_free() {
+        let n = 300usize;
+        let _ = n as u8;
+    }
+}

@@ -1,0 +1,8 @@
+extern "C" {
+    fn close(fd: i32) -> i32;
+}
+
+fn shut(fd: i32) -> i32 {
+    // SAFETY: close(2) takes no pointers.
+    unsafe { close(fd) }
+}

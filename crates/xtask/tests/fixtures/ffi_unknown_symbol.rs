@@ -1,0 +1,4 @@
+extern "C" {
+    fn close(fd: i32) -> i32;
+    fn execve(path: *const u8, argv: *const *const u8, envp: *const *const u8) -> i32;
+}

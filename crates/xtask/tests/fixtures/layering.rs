@@ -1,0 +1,22 @@
+use std::net::UdpSocket;
+use std::time::Instant;
+
+fn bad() {
+    let _sock = UdpSocket::bind("127.0.0.1:0");
+    let _now = Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn strings_and_comments_do_not_trip() {
+    let _s = "UdpSocket::bind inside a string";
+    // UdpSocket mentioned in a comment is fine.
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_use_io() {
+        let _sock = std::net::UdpSocket::bind("127.0.0.1:0");
+        let _t = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,21 @@
+fn wire_path(bytes: &[u8]) -> u8 {
+    let first = bytes.first().unwrap();
+    let second = bytes.get(1).expect("has two bytes");
+    if *first == 0 {
+        panic!("zero tag");
+    }
+    match second {
+        0 => unreachable!("checked above"),
+        n => *n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u8> = Some(1);
+        let _ = v.unwrap();
+        let _ = v.expect("present");
+    }
+}

@@ -1,0 +1,12 @@
+fn no_false_positives() -> &'static str {
+    let in_string = "x.unwrap() and panic! and UdpSocket live here";
+    // A comment may say .unwrap() or extern "C" without tripping rules.
+    /* Block comments too: Instant::now(), std::thread::spawn,
+    even nested /* .expect("inner") */ stay invisible. */
+    let raw = r#"raw strings hide "quotes" and .unwrap() calls"#;
+    let byte = b"panic! bytes";
+    let _lifetime: &'static str = "lifetimes are not char literals";
+    let _ch = '"';
+    let _ = (in_string, raw, byte);
+    "ok"
+}

@@ -1,0 +1,38 @@
+fn documented_same_line(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: caller guarantees p is valid
+}
+
+fn documented_above(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid.
+    unsafe { *p }
+}
+
+fn documented_multiline(p: *const u8) -> u8 {
+    // SAFETY: the audit sentence starts here and continues on a
+    // second line; the run of comments ends directly above.
+    unsafe { *p }
+}
+
+fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+fn stale_comment_with_code_gap(p: *const u8) -> u8 {
+    // SAFETY: a code line below breaks adjacency, so this does not count.
+    let _unrelated = 1;
+    unsafe { *p }
+}
+
+struct Wrapper(*const u8);
+
+// SAFETY: the pointer is never dereferenced off-thread.
+unsafe impl Send for Wrapper {}
+
+struct Undocumented(*const u8);
+
+unsafe impl Send for Undocumented {}
+
+pub unsafe fn contract_fn(p: *const u8) -> u8 {
+    // SAFETY: contract_fn's caller guarantees p is valid.
+    unsafe { *p }
+}

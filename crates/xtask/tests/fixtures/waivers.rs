@@ -1,0 +1,19 @@
+fn guarded(len: usize) -> u16 {
+    // lint: allow(lossy_cast) — callers bound len to the packet budget
+    len as u16
+}
+
+fn unguarded(len: usize) -> u16 {
+    len as u16
+}
+
+// lint: allow(lossy_cast)
+fn missing_reason(len: usize) -> u32 {
+    len as u32
+}
+
+// lint: allow(no_such_rule) — the rule name is validated
+fn unknown_rule() {}
+
+// lint: allow(lossy_cast) — this waiver matches nothing below
+fn stale() {}
