@@ -150,6 +150,10 @@ fn drain_poll(node: &mut SwimNode) -> usize {
 /// Proof obligation for the acceptance criteria: after warm-up, a full
 /// output drain performs zero allocations, while the seed baseline
 /// allocates per packet (fresh `Vec` growth + one owned `Bytes` each).
+///
+/// The metrics plane is always on — every cycle records into the
+/// core's counters and fixed-size histograms — so this assertion also
+/// proves that instrumentation costs zero allocations per poll.
 fn assert_poll_is_allocation_free() {
     let mut node = steady_state_node();
     let mut now = Time::ZERO;
@@ -160,6 +164,7 @@ fn assert_poll_is_allocation_free() {
         advance_cycle(&mut node, &mut now, &mut inc);
         drain_poll(&mut node);
     }
+    let before = node.metrics();
     let mut packets = 0usize;
     let mut poll_allocs = 0u64;
     for _ in 0..200 {
@@ -175,6 +180,20 @@ fn assert_poll_is_allocation_free() {
     assert_eq!(
         poll_allocs, 0,
         "poll_output drain must be allocation-free in steady state"
+    );
+    // The counted region was not a dead zone for observability: the
+    // metrics kept moving while allocations stayed at zero. (Unacked
+    // probes drive probes_sent/failed and push the LHM up; the gossip
+    // arrivals keep the broadcast queue hot.)
+    let after = node.metrics();
+    assert!(
+        after.probes_sent > before.probes_sent,
+        "steady-state cycles must keep probing"
+    );
+    assert!(after.lhm_peak > 0, "unacked probes must move the LHM");
+    assert!(
+        after.broadcast_queue_peak > 0,
+        "gossip arrivals must register queue depth"
     );
 
     // The seed-shaped baseline on the same workload allocates at least

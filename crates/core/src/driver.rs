@@ -268,6 +268,14 @@ impl Driver {
         &self.node
     }
 
+    /// The wrapped node's metrics snapshot (see [`SwimNode::metrics`]):
+    /// the protocol half of the observability plane, which runtimes
+    /// combine with their own transport counters into a full
+    /// `lifeguard_metrics::Snapshot`.
+    pub fn metrics(&self) -> lifeguard_metrics::CoreSnapshot {
+        self.node.metrics()
+    }
+
     /// Mutable access to the wrapped node, for non-driving calls
     /// (e.g. [`SwimNode::bootstrap_peers`]).
     pub fn node_mut(&mut self) -> &mut SwimNode {

@@ -29,6 +29,7 @@ use std::collections::{HashMap, VecDeque};
 use std::ops::Range;
 
 use bytes::Bytes;
+use lifeguard_metrics::{CoreSnapshot, Histogram};
 use lifeguard_proto::compound::CompoundBuilder;
 use lifeguard_proto::{
     compound, Ack, Alive, Dead, DecodeError, IndirectPing, Incarnation, MemberState, Message,
@@ -175,6 +176,8 @@ struct ProbeState {
     target_addr: NodeAddr,
     expected_nacks: u32,
     nacks_received: u32,
+    /// When the direct ping left, for the probe-RTT histogram.
+    started: Time,
     round_end: Time,
     /// Handle of the armed `ProbeTimeout`; cancelled when an ack
     /// completes the round, so the timer cannot fire stale.
@@ -200,6 +203,33 @@ pub struct NodeStats {
     pub refutations: u64,
     /// Failures this node declared from its own suspicion timeouts.
     pub failures_declared: u64,
+}
+
+/// Observability state the counters in [`NodeStats`] do not cover:
+/// latency/lifetime histograms, flap and anti-entropy volume counters,
+/// and peaks of the health/queue gauges. All fixed-size — recording is
+/// allocation-free, preserving the zero-alloc poll guarantee — and fed
+/// only from `handle_input`, so the whole plane is deterministic under
+/// the sim clock. Exported through [`SwimNode::metrics`].
+#[derive(Clone, Debug, Default)]
+struct CoreMetrics {
+    /// Probe round-trip times (timely acks only), microseconds.
+    probe_rtt: Histogram,
+    /// Suspicion raise→resolution lifetimes, microseconds.
+    suspicion_lifetime: Histogram,
+    /// Peers seen Suspect/Dead and then Alive again.
+    flaps: u64,
+    /// Highest LHM score ever reached.
+    lhm_peak: u64,
+    /// Highest broadcast-queue depth seen at a gossip tick.
+    broadcast_queue_peak: u64,
+    /// Incremental push-pull messages sent (requests + replies).
+    delta_syncs: u64,
+    /// Encoded bytes of those incremental push-pull messages.
+    delta_sync_bytes: u64,
+    /// Full-state push-pull exchanges queued (fallbacks, horizon
+    /// resyncs, reconnects, joins).
+    full_syncs: u64,
 }
 
 /// State kept while relaying an indirect probe for another node.
@@ -302,6 +332,7 @@ pub struct SwimNode {
     /// in original due order.
     deferred_timers: Vec<DeferredTimer>,
     stats: NodeStats,
+    metrics: CoreMetrics,
     /// Effects awaiting [`SwimNode::poll_output`].
     pending: VecDeque<Queued>,
     /// Arena for queued packet payloads; cleared whenever the queue
@@ -387,6 +418,7 @@ impl SwimNode {
             stuck_reconnect: false,
             deferred_timers: Vec::new(),
             stats: NodeStats::default(),
+            metrics: CoreMetrics::default(),
             pending: VecDeque::new(),
             scratch: Vec::new(),
             arena_held: false,
@@ -457,6 +489,50 @@ impl SwimNode {
     /// Protocol activity counters.
     pub fn stats(&self) -> NodeStats {
         self.stats
+    }
+
+    /// Point-in-time metrics snapshot of the protocol plane: the
+    /// [`NodeStats`] counters, the probe-RTT and suspicion-lifetime
+    /// histograms, health/queue gauges and anti-entropy volume, in the
+    /// runtime-independent [`CoreSnapshot`] shape. Everything here is
+    /// recorded on the deterministic `handle_input` path, so for the
+    /// same input trace every runtime reports the same snapshot.
+    pub fn metrics(&self) -> CoreSnapshot {
+        let depth = self.broadcasts.len() as u64;
+        CoreSnapshot {
+            lhm: u64::from(self.awareness.score()),
+            lhm_peak: self.metrics.lhm_peak.max(u64::from(self.awareness.score())),
+            lhm_max: u64::from(self.awareness.max()),
+            probes_sent: self.stats.probes_sent,
+            probes_failed: self.stats.probes_failed,
+            indirect_probes_sent: self.stats.indirect_probes_sent,
+            suspicions_raised: self.stats.suspicions_raised,
+            refutations: self.stats.refutations,
+            failures_declared: self.stats.failures_declared,
+            flaps: self.metrics.flaps,
+            broadcast_queue_depth: depth,
+            broadcast_queue_peak: self.metrics.broadcast_queue_peak.max(depth),
+            delta_syncs: self.metrics.delta_syncs,
+            delta_sync_bytes: self.metrics.delta_sync_bytes,
+            full_sync_fallbacks: self.metrics.full_syncs,
+            probe_rtt: self.metrics.probe_rtt.clone(),
+            suspicion_lifetime: self.metrics.suspicion_lifetime.clone(),
+        }
+    }
+
+    /// Applies an LHM delta and keeps the peak gauge current — every
+    /// awareness change must route through here, not
+    /// `awareness.apply_delta` directly.
+    fn apply_awareness_delta(&mut self, delta: i32) {
+        let score = self.awareness.apply_delta(delta);
+        self.metrics.lhm_peak = self.metrics.lhm_peak.max(u64::from(score));
+    }
+
+    /// Records the end of a suspicion's life, however it resolved.
+    fn record_suspicion_end(&mut self, sus: &Suspicion, now: Time) {
+        self.metrics
+            .suspicion_lifetime
+            .record_duration(now.saturating_since(sus.started_at()));
     }
 
     /// [`Input::UpdateMeta`]: the incarnation is bumped so the new
@@ -907,9 +983,11 @@ impl SwimNode {
                     // are unscheduled, not left to fire stale.
                     self.timers.cancel(p.timeout_timer);
                     self.timers.cancel(p.round_end_timer);
+                    self.metrics
+                        .probe_rtt
+                        .record_duration(now.saturating_since(p.started));
                     // Successful probe: LHM −1 (paper §IV-A).
-                    self.awareness
-                        .apply_delta(self.config.awareness_deltas.probe_success);
+                    self.apply_awareness_delta(self.config.awareness_deltas.probe_success);
                 }
                 return;
             }
@@ -1077,6 +1155,7 @@ impl SwimNode {
                 if let Some(active) = self.suspicions.remove(&name) {
                     // Refuted: the pending expiry is truly cancelled.
                     self.timers.cancel(active.timer);
+                    self.record_suspicion_end(&active.sus, now);
                 }
                 self.broadcasts.enqueue(Message::Alive(Alive {
                     incarnation,
@@ -1086,6 +1165,7 @@ impl SwimNode {
                 }));
                 match old_state {
                     MemberState::Suspect | MemberState::Dead => {
+                        self.metrics.flaps += 1;
                         self.emit_event(Event::MemberRecovered { name });
                     }
                     MemberState::Left => {
@@ -1128,6 +1208,7 @@ impl SwimNode {
         debug_assert!(updated.is_some(), "member present");
         if let Some(active) = self.suspicions.remove(&d.node) {
             self.timers.cancel(active.timer);
+            self.record_suspicion_end(&active.sus, now);
         }
         self.broadcasts.enqueue(Message::Dead(d.clone()));
         if is_leave {
@@ -1329,6 +1410,7 @@ impl SwimNode {
             target_addr,
             expected_nacks: 0,
             nacks_received: 0,
+            started: now,
             round_end: now + interval,
             timeout_timer,
             round_end_timer,
@@ -1414,11 +1496,9 @@ impl SwimNode {
         // otherwise the failed probe itself counts (+1).
         if p.expected_nacks > 0 {
             let missed = p.expected_nacks.saturating_sub(p.nacks_received);
-            self.awareness
-                .apply_delta(missed as i32 * self.config.awareness_deltas.missed_nack);
+            self.apply_awareness_delta(missed as i32 * self.config.awareness_deltas.missed_nack);
         } else {
-            self.awareness
-                .apply_delta(self.config.awareness_deltas.probe_failed);
+            self.apply_awareness_delta(self.config.awareness_deltas.probe_failed);
         }
         let incarnation = self
             .membership
@@ -1443,6 +1523,7 @@ impl SwimNode {
             debug_assert!(false, "stale suspicion timer reached its handler");
             return;
         };
+        self.record_suspicion_end(&active.sus, now);
         debug_assert!(
             now >= active.sus.deadline(),
             "suspicion timer fired before its deadline"
@@ -1536,8 +1617,7 @@ impl SwimNode {
             me.set_state(MemberState::Alive, now);
         });
         self.stats.refutations += 1;
-        self.awareness
-            .apply_delta(self.config.awareness_deltas.refute);
+        self.apply_awareness_delta(self.config.awareness_deltas.refute);
         self.broadcasts.enqueue(Message::Alive(Alive {
             incarnation: self.incarnation,
             node: self.name.clone(),
@@ -1561,6 +1641,12 @@ impl SwimNode {
         if self.broadcasts.is_empty() {
             return;
         }
+        // The queue is at its fullest right before a drain: fold the
+        // level into the peak gauge here, once per gossip tick.
+        self.metrics.broadcast_queue_peak = self
+            .metrics
+            .broadcast_queue_peak
+            .max(self.broadcasts.len() as u64);
         self.addr_scratch.clear();
         {
             let me = &self.name;
@@ -1687,7 +1773,17 @@ impl SwimNode {
             reply: false,
             entries: self.collect_changed(local_acked),
         });
+        self.record_delta_sync(&msg);
         self.emit_stream(to, msg);
+    }
+
+    /// Counts one outgoing incremental push-pull and its wire size.
+    fn record_delta_sync(&mut self, msg: &Message) {
+        self.metrics.delta_syncs += 1;
+        self.metrics.delta_sync_bytes = self
+            .metrics
+            .delta_sync_bytes
+            .saturating_add(lifeguard_proto::codec::encoded_len(msg) as u64);
     }
 
     /// A [`PushPullDelta`] arrived on the stream transport.
@@ -1768,6 +1864,7 @@ impl SwimNode {
         let entry = self.peer_sync.get_mut(&d.from).expect("entry just touched");
         entry.remote_seen = entry.remote_seen.max(d.seq);
         if let Some(msg) = reply {
+            self.record_delta_sync(&msg);
             self.emit_stream(from_addr, msg);
         }
     }
@@ -1784,6 +1881,7 @@ impl SwimNode {
     /// Queues a full-state push-pull request to `to` — the join path,
     /// the reconnect path, and every delta-sync fallback.
     fn emit_full_push_pull(&mut self, to: NodeAddr) {
+        self.metrics.full_syncs += 1;
         let states = self.membership.iter().map(Member::to_push_state).collect();
         self.emit_stream(
             to,

@@ -15,7 +15,10 @@
 //!   fp       table4 + fig2 + fig3 + table6 from one Interval suite
 //!   ablate-k Sweep LHA-Suspicion's confirmation count K (extension)
 //!   ablate-s Sweep the LHM saturation limit S (extension)
-//!   all      Everything above
+//!   smoke    SLO smoke sweep: detection-latency + false-positive curves,
+//!            gated on checked-in thresholds; writes target/METRICS.json
+//!            and per-node snapshots under target/metrics/
+//!   all      Everything above (except smoke)
 //! ```
 
 use std::io::Write as _;
@@ -23,7 +26,7 @@ use std::process::ExitCode;
 
 use lifeguard_experiments::report::Table;
 use lifeguard_experiments::scenario::Scale;
-use lifeguard_experiments::tables;
+use lifeguard_experiments::{slo, tables};
 
 struct Args {
     artifact: String,
@@ -78,12 +81,25 @@ fn emit(table: &Table, slug: &str, csv_dir: Option<&str>) {
     }
 }
 
+/// Writes the machine-readable smoke artifacts: the gated SLO report
+/// as `target/METRICS.json` and each node's binary snapshot under
+/// `target/metrics/` (the input format of the `swim-metrics`
+/// aggregator, so the whole export path is exercised end to end).
+fn write_smoke_artifacts(report: &slo::SmokeReport) -> std::io::Result<()> {
+    std::fs::create_dir_all("target/metrics")?;
+    std::fs::write("target/METRICS.json", report.to_json())?;
+    for (name, snap) in report.aggregate.nodes() {
+        std::fs::write(format!("target/metrics/{name}.snap"), snap.encode())?;
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: lifeguard-repro <fig1|table4|fig2|fig3|table5|table6|table7|fp|ablate-k|ablate-s|all> [--scale quick|default|paper] [--seed N] [--csv-dir DIR] [--quiet]");
+            eprintln!("usage: lifeguard-repro <fig1|table4|fig2|fig3|table5|table6|table7|fp|ablate-k|ablate-s|smoke|all> [--scale quick|default|paper] [--seed N] [--csv-dir DIR] [--quiet]");
             return ExitCode::FAILURE;
         }
     };
@@ -172,6 +188,20 @@ fn main() -> ExitCode {
                 "ablate_k",
                 csv,
             );
+        }
+        "smoke" => {
+            eprintln!("running SLO smoke sweep (seed {})...", args.seed);
+            let report = slo::run_smoke(args.seed, &mut progress);
+            println!("{}", report.render());
+            if let Err(e) = write_smoke_artifacts(&report) {
+                eprintln!("error: could not write metrics artifacts: {e}");
+                return ExitCode::FAILURE;
+            }
+            if !report.pass() {
+                eprintln!("SLO gate FAILED ({} violation(s))", report.violations.len());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("SLO gate passed; wrote target/METRICS.json");
         }
         "ablate-s" => {
             eprintln!("running S ablation (scale {:?})...", args.scale);

@@ -5,7 +5,10 @@
 //!   the parameter grids of Tables II & III.
 //! * [`tables`] — drivers that run the grids and render Tables IV–VII and
 //!   Figures 1–3.
-//! * [`metrics`] — percentile/summary statistics.
+//! * [`metrics`] — percentile/summary statistics (shared quantile rule
+//!   re-exported from `lifeguard-metrics`).
+//! * [`slo`] — the smoke sweep whose detection-latency and
+//!   false-positive curves CI gates on (`target/METRICS.json`).
 //! * [`report`] — plain-text and CSV table rendering.
 //!
 //! The `lifeguard-repro` binary wraps all of this:
@@ -18,6 +21,7 @@
 pub mod metrics;
 pub mod report;
 pub mod scenario;
+pub mod slo;
 pub mod tables;
 
 pub use report::Table;

@@ -1,40 +1,23 @@
 //! Statistics helpers for the experiment tables.
+//!
+//! The quantile machinery lives in `lifeguard-metrics` (the shared
+//! observability crate) so the experiments, the protocol core and the
+//! `swim-metrics` aggregator all use one rank rule. This module
+//! re-exports [`percentile`] and builds the paper's latency summaries
+//! on the shared log-bucket [`Histogram`].
 
 use std::time::Duration;
 
-/// Percentile by linear interpolation between closest ranks.
-///
-/// `p` is in `[0, 100]`. Returns `None` for an empty sample.
-///
-/// ```
-/// use lifeguard_experiments::metrics::percentile;
-/// let xs = vec![1.0, 2.0, 3.0, 4.0];
-/// assert_eq!(percentile(&xs, 50.0), Some(2.5));
-/// assert_eq!(percentile(&xs, 100.0), Some(4.0));
-/// assert_eq!(percentile(&[], 50.0), None);
-/// ```
-pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
-    if samples.is_empty() {
-        return None;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
-    let p = p.clamp(0.0, 100.0);
-    if sorted.len() == 1 {
-        return Some(sorted[0]);
-    }
-    let rank = p / 100.0 * (sorted.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
-    if lo == hi {
-        return Some(sorted[lo]);
-    }
-    let frac = rank - lo as f64;
-    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
-}
+use lifeguard_metrics::Histogram;
+pub use lifeguard_metrics::percentile;
 
 /// The latency summary the paper reports in Table V: median, 99th and
 /// 99.9th percentiles, in seconds.
+///
+/// Built from the shared [`Histogram`], so quantiles carry its bounded
+/// relative error (≤ ~3.2%) instead of being exact order statistics —
+/// well under the run-to-run noise the tables average over, and it
+/// keeps one quantile implementation in the workspace.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LatencySummary {
     /// Median (50th percentile), seconds.
@@ -50,15 +33,27 @@ pub struct LatencySummary {
 impl LatencySummary {
     /// Summarises a set of latency samples. Returns `None` if empty.
     pub fn from_durations(latencies: impl IntoIterator<Item = Duration>) -> Option<Self> {
-        let secs: Vec<f64> = latencies.into_iter().map(|d| d.as_secs_f64()).collect();
-        if secs.is_empty() {
-            return None;
+        let mut h = Histogram::new();
+        let mut samples = 0usize;
+        for d in latencies {
+            h.record_duration(d);
+            samples += 1;
         }
+        Self::from_histogram_us(&h).map(|mut s| {
+            s.samples = samples;
+            s
+        })
+    }
+
+    /// Summarises a microsecond histogram (the unit every metrics
+    /// histogram in the workspace records). Returns `None` if empty.
+    pub fn from_histogram_us(h: &Histogram) -> Option<Self> {
+        const US_PER_SEC: f64 = 1_000_000.0;
         Some(LatencySummary {
-            median: percentile(&secs, 50.0).expect("non-empty"),
-            p99: percentile(&secs, 99.0).expect("non-empty"),
-            p999: percentile(&secs, 99.9).expect("non-empty"),
-            samples: secs.len(),
+            median: h.quantile(50.0)? / US_PER_SEC,
+            p99: h.quantile(99.0)? / US_PER_SEC,
+            p999: h.quantile(99.9)? / US_PER_SEC,
+            samples: usize::try_from(h.count()).unwrap_or(usize::MAX),
         })
     }
 }
@@ -80,6 +75,12 @@ pub fn pct_of_baseline(value: f64, baseline: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Relative-error helper: the log-bucket histogram bounds quantile
+    /// error at half a sub-bucket (~3.2%).
+    fn close(actual: f64, expected: f64) -> bool {
+        (actual - expected).abs() <= expected * 0.033
+    }
 
     #[test]
     fn percentile_interpolates() {
@@ -105,6 +106,16 @@ mod tests {
     }
 
     #[test]
+    fn percentile_ignores_nan_samples() {
+        // The pre-unification implementation panicked on NaN input; the
+        // shared one drops NaN (no ordering information) and keeps the
+        // rest of the table usable.
+        assert_eq!(percentile(&[f64::NAN, 4.0, 2.0], 50.0), Some(3.0));
+        assert_eq!(percentile(&[f64::NAN], 50.0), None);
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
     fn latency_summary_basics() {
         let s = LatencySummary::from_durations(vec![
             Duration::from_secs(10),
@@ -112,10 +123,26 @@ mod tests {
             Duration::from_secs(14),
         ])
         .unwrap();
-        assert_eq!(s.median, 12.0);
+        assert!(close(s.median, 12.0), "median {}", s.median);
         assert_eq!(s.samples, 3);
-        assert!(s.p99 <= 14.0 && s.p99 > 13.0);
+        assert!(close(s.p99, 14.0), "p99 {}", s.p99);
+        assert!(s.p999 >= s.p99);
         assert!(LatencySummary::from_durations(vec![]).is_none());
+    }
+
+    #[test]
+    fn latency_summary_matches_histogram_path() {
+        // from_durations is just from_histogram_us over the recorded
+        // samples; the two constructors must agree.
+        let durs = [37_u64, 1_200, 85_000, 85_000, 2_000_000];
+        let mut h = Histogram::new();
+        for &ms in &durs {
+            h.record_duration(Duration::from_millis(ms));
+        }
+        let a = LatencySummary::from_durations(durs.iter().map(|&ms| Duration::from_millis(ms)))
+            .unwrap();
+        let b = LatencySummary::from_histogram_us(&h).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

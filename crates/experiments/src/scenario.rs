@@ -171,7 +171,7 @@ fn pick_anomalous(n: usize, c: usize, rng: &mut StdRng) -> Vec<usize> {
 }
 
 /// Extracts the paper's metrics from a finished cluster.
-fn extract(cluster: &Cluster, anomalous: &[usize], anomaly_start: SimTime) -> RunOutcome {
+pub(crate) fn extract(cluster: &Cluster, anomalous: &[usize], anomaly_start: SimTime) -> RunOutcome {
     let n = cluster.len();
     let is_anomalous = |i: usize| anomalous.binary_search(&i).is_ok();
     let healthy: Vec<usize> = (0..n).filter(|&i| !is_anomalous(i)).collect();
@@ -268,6 +268,18 @@ impl ThresholdScenario {
     /// [`Config::validate`] — a malformed grid point must not produce a
     /// silently wrong table row.
     pub fn run(&self) -> RunOutcome {
+        let (cluster, anomalous, start) = self.run_cluster();
+        extract(&cluster, &anomalous, start)
+    }
+
+    /// Executes the scenario and hands back the finished cluster with
+    /// the anomaly assignment, so callers (the SLO smoke harness) can
+    /// also pull per-node metrics snapshots before reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol configuration fails [`Config::validate`].
+    pub fn run_cluster(&self) -> (Cluster, Vec<usize>, SimTime) {
         self.config.validate().expect("scenario config must be valid");
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xD1CE);
         let anomalous = pick_anomalous(self.n, self.c, &mut rng);
@@ -287,7 +299,7 @@ impl ThresholdScenario {
         }
         let mut cluster = builder.build();
         cluster.run_until(SimTime::ZERO + self.run_len);
-        extract(&cluster, &anomalous, start)
+        (cluster, anomalous, start)
     }
 }
 

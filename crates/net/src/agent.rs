@@ -335,6 +335,8 @@ pub(crate) struct IoCounters {
     pub(crate) sendmmsg_batches: AtomicU64,
     /// Datagrams the kernel accepted for sending.
     pub(crate) datagrams_sent: AtomicU64,
+    /// Payload bytes of the datagrams the kernel accepted.
+    pub(crate) datagram_bytes: AtomicU64,
     /// Datagrams dropped on a send error other than `WouldBlock`.
     pub(crate) send_errors: AtomicU64,
     /// Datagrams dropped because the socket's send buffer was full.
@@ -347,20 +349,38 @@ pub(crate) struct IoCounters {
     /// Received datagrams dropped because they overflowed a
     /// receive-ring slot (`MSG_TRUNC`).
     pub(crate) recv_truncations: AtomicU64,
+    /// Stream messages handed to the stream transport.
+    pub(crate) streams_sent: AtomicU64,
+    /// Encoded message bytes of those stream sends (body, excluding
+    /// the fixed frame header — the unit the sim telemetry counts).
+    pub(crate) stream_bytes: AtomicU64,
+    /// Reactor event-loop wakeups (poll returns); zero under the
+    /// threaded runtime.
+    pub(crate) wakeups: AtomicU64,
 }
 
 impl IoCounters {
-    fn snapshot(&self) -> IoStats {
-        IoStats {
+    /// The counters in the metrics plane's runtime-agnostic shape;
+    /// [`IoStats`] is derived from this, not the other way round.
+    fn io_snapshot(&self) -> lifeguard_metrics::IoSnapshot {
+        lifeguard_metrics::IoSnapshot {
             send_syscalls: self.send_syscalls.load(Ordering::Relaxed),
             sendmmsg_batches: self.sendmmsg_batches.load(Ordering::Relaxed),
             datagrams_sent: self.datagrams_sent.load(Ordering::Relaxed),
+            datagram_bytes: self.datagram_bytes.load(Ordering::Relaxed),
             send_errors: self.send_errors.load(Ordering::Relaxed),
             would_block_drops: self.would_block_drops.load(Ordering::Relaxed),
             recv_syscalls: self.recv_syscalls.load(Ordering::Relaxed),
             datagrams_received: self.datagrams_received.load(Ordering::Relaxed),
             recv_truncations: self.recv_truncations.load(Ordering::Relaxed),
+            streams_sent: self.streams_sent.load(Ordering::Relaxed),
+            stream_bytes: self.stream_bytes.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
         }
+    }
+
+    fn snapshot(&self) -> IoStats {
+        IoStats::from(self.io_snapshot())
     }
 }
 
@@ -388,6 +408,21 @@ pub struct IoStats {
     pub datagrams_received: u64,
     /// Received datagrams dropped as truncated (`MSG_TRUNC`).
     pub recv_truncations: u64,
+}
+
+impl From<lifeguard_metrics::IoSnapshot> for IoStats {
+    fn from(s: lifeguard_metrics::IoSnapshot) -> IoStats {
+        IoStats {
+            send_syscalls: s.send_syscalls,
+            sendmmsg_batches: s.sendmmsg_batches,
+            datagrams_sent: s.datagrams_sent,
+            send_errors: s.send_errors,
+            would_block_drops: s.would_block_drops,
+            recv_syscalls: s.recv_syscalls,
+            datagrams_received: s.datagrams_received,
+            recv_truncations: s.recv_truncations,
+        }
+    }
 }
 
 /// The agent's [`Sink`]: UDP transmits go straight to the socket
@@ -419,6 +454,9 @@ pub(crate) fn send_counted(
     match udp.send_to(payload, to) {
         Ok(_) => {
             counters.datagrams_sent.fetch_add(1, Ordering::Relaxed);
+            counters
+                .datagram_bytes
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
         }
         Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
             counters.would_block_drops.fetch_add(1, Ordering::Relaxed);
@@ -438,7 +476,14 @@ impl Sink for NetSink<'_> {
         // Hand the message over untouched: a push-pull carries the
         // whole membership table, and both its encoding and the
         // connect/write belong off the protocol path (the driver lock
-        // is held while the sink runs).
+        // is held while the sink runs). Counted here — the one point
+        // both runtimes share — with the encoded body length, the same
+        // unit the sim's telemetry records.
+        self.counters.streams_sent.fetch_add(1, Ordering::Relaxed);
+        self.counters.stream_bytes.fetch_add(
+            lifeguard_proto::codec::encoded_len(&msg) as u64,
+            Ordering::Relaxed,
+        );
         let _ = self.stream_tx.send((to.socket_addr(), msg));
     }
 
@@ -797,9 +842,25 @@ impl Agent {
 
     /// A snapshot of the agent's datagram I/O counters: syscalls,
     /// batching, and the three drop classes (send errors, full-buffer
-    /// drops, receive truncations).
+    /// drops, receive truncations). A thin shim over the I/O half of
+    /// [`Agent::metrics`], kept for existing callers.
     pub fn stats(&self) -> IoStats {
         self.inner.counters.snapshot()
+    }
+
+    /// The agent's full metrics export in the runtime-independent
+    /// snapshot shape: the protocol core's deterministic metrics
+    /// (probe RTT, suspicion lifetimes, LHM, anti-entropy volume)
+    /// plus this runtime's transport counters — including reactor
+    /// wakeups under [`Runtime::Reactor`]. The same shape the sim's
+    /// `Cluster::metrics_snapshot` returns, so threaded, reactor and
+    /// simulated runs aggregate through one `swim-metrics` pipeline.
+    pub fn metrics(&self) -> lifeguard_metrics::Snapshot {
+        let core = self.inner.driver.lock().metrics();
+        lifeguard_metrics::Snapshot {
+            core,
+            io: self.inner.counters.io_snapshot(),
+        }
     }
 
     /// The membership event channel.

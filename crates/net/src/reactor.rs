@@ -159,6 +159,13 @@ impl SendIo {
                 Ok(n) => {
                     counters.send_syscalls.fetch_add(1, Ordering::Relaxed);
                     counters.datagrams_sent.fetch_add(n as u64, Ordering::Relaxed);
+                    let bytes: usize = self.stage[sent..sent + n]
+                        .iter()
+                        .map(|(_, r)| r.len())
+                        .sum();
+                    counters
+                        .datagram_bytes
+                        .fetch_add(bytes as u64, Ordering::Relaxed);
                     if n > 1 {
                         counters.sendmmsg_batches.fetch_add(1, Ordering::Relaxed);
                     }
@@ -389,6 +396,10 @@ impl Reactor {
             //    deadline; readiness or a notify ends the sleep early.
             let timeout = self.sleep_budget(wall);
             let _ = self.poller.wait(&mut events, timeout);
+            // Every poll return is one loop wakeup — the number the
+            // idle-efficiency story is gated on (timer-rate, not
+            // spinning), exported via `Agent::metrics()`.
+            self.inner.counters.wakeups.fetch_add(1, Ordering::Relaxed);
             if self.inner.shutdown.load(Ordering::Relaxed) {
                 break;
             }

@@ -366,6 +366,25 @@ impl Cluster {
         &self.telemetry
     }
 
+    /// Node `i`'s metrics export in the runtime-independent snapshot
+    /// shape: the core's deterministic protocol metrics plus the sim
+    /// network's transmit accounting folded into the I/O section —
+    /// the same struct the threaded and reactor agents return from
+    /// `Agent::metrics()`, so sim and real runs aggregate identically.
+    pub fn metrics_snapshot(&self, i: usize) -> lifeguard_metrics::Snapshot {
+        let t = self.telemetry.node(i);
+        lifeguard_metrics::Snapshot {
+            core: self.slots[i].driver.metrics(),
+            io: lifeguard_metrics::IoSnapshot {
+                datagrams_sent: t.datagrams_sent,
+                datagram_bytes: t.datagram_bytes,
+                streams_sent: t.streams_sent,
+                stream_bytes: t.stream_bytes,
+                ..Default::default()
+            },
+        }
+    }
+
     /// Whether node `i` is currently inside an anomaly window.
     pub fn is_paused(&self, i: usize) -> bool {
         self.slots[i].paused_until.is_some()

@@ -292,10 +292,15 @@ pub fn analyze_file(rel_path: &str, src: &str) -> (Vec<Violation>, usize) {
     let in_test = |line: u32| in_ranges(&excluded, line);
 
     // --- Rule: panic-freedom on wire-facing crates -------------------
-    let panic_scope = !class.test_target && matches!(class.crate_name.as_str(), "core" | "proto" | "net");
+    // `metrics` decodes snapshot bytes from disk/network, so it is held
+    // to the same standard as the wire crates.
+    let panic_scope = !class.test_target
+        && matches!(class.crate_name.as_str(), "core" | "proto" | "net" | "metrics");
     // --- Rule: sans-I/O layering -------------------------------------
-    let layering_scope =
-        !class.test_target && matches!(class.crate_name.as_str(), "core" | "proto" | "sim");
+    // `metrics` must stay sans-I/O and clock-free so the core can embed
+    // it and the simulator stays deterministic.
+    let layering_scope = !class.test_target
+        && matches!(class.crate_name.as_str(), "core" | "proto" | "sim" | "metrics");
     // --- Rule: lossy casts on FFI/codec paths ------------------------
     let cast_scope = !class.test_target
         && matches!(class.crate_name.as_str(), "proto" | "net" | "compat/polling");

@@ -13,6 +13,8 @@
 //! * [`sim`] — a deterministic discrete-event cluster simulator used by the
 //!   paper-reproduction experiments.
 //! * [`net`] — a real UDP/TCP runtime (memberlist-style agent).
+//! * [`metrics`] — the observability plane: allocation-free counters and
+//!   histograms the core records into, snapshot codec, aggregation.
 //! * [`experiments`] — the Threshold / Interval / stress experiment harness
 //!   that regenerates every table and figure of the paper.
 //!
@@ -38,6 +40,7 @@
 
 pub use lifeguard_core as core;
 pub use lifeguard_experiments as experiments;
+pub use lifeguard_metrics as metrics;
 pub use lifeguard_net as net;
 pub use lifeguard_proto as proto;
 pub use lifeguard_sim as sim;

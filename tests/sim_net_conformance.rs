@@ -13,6 +13,12 @@
 //! and the same `Event` sequence. This is the property the paper's
 //! methodology rests on: the protocol logic observed in simulation is
 //! the logic deployed on the network — on whichever runtime drives it.
+//!
+//! The observability plane conforms too: every run also captures the
+//! core's metrics snapshot, and the subset that does not depend on
+//! wall-clock scheduling (suspicion/refutation/failure/flap counts,
+//! anti-entropy message counts, the LHM ceiling) must be identical
+//! across all three runtimes.
 
 use std::net::{TcpListener, UdpSocket};
 use std::time::{Duration, Instant};
@@ -23,6 +29,7 @@ use lifeguard::core::driver::{Driver, OwnedOutput};
 use lifeguard::core::event::Event;
 use lifeguard::core::node::{Input, SwimNode};
 use lifeguard::core::time::Time;
+use lifeguard::metrics::{CoreSnapshot, Snapshot};
 use lifeguard::net::agent::{Agent, AgentConfig, IoBatchConfig, Runtime};
 use lifeguard::net::transport;
 use lifeguard::proto::{
@@ -161,10 +168,42 @@ impl PeerScript {
     }
 }
 
+/// The part of a core metrics snapshot that is a pure function of the
+/// scripted trace, independent of how fast wall-clock time moved:
+/// exactly one suspicion is raised and resolved by the peer's
+/// refutation (one flap), nothing is ever declared failed, no
+/// anti-entropy rounds run (push-pull and reconnect are disabled), and
+/// the LHM ceiling comes from the config. Probe and RTT counts are
+/// excluded — they scale with elapsed wall time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct DeterministicCore {
+    suspicions_raised: u64,
+    refutations: u64,
+    failures_declared: u64,
+    flaps: u64,
+    suspicion_lifetimes_recorded: u64,
+    delta_syncs: u64,
+    full_sync_fallbacks: u64,
+    lhm_max: u64,
+}
+
+fn deterministic_subset(c: &CoreSnapshot) -> DeterministicCore {
+    DeterministicCore {
+        suspicions_raised: c.suspicions_raised,
+        refutations: c.refutations,
+        failures_declared: c.failures_declared,
+        flaps: c.flaps,
+        suspicion_lifetimes_recorded: c.suspicion_lifetime.count(),
+        delta_syncs: c.delta_syncs,
+        full_sync_fallbacks: c.full_sync_fallbacks,
+        lhm_max: c.lhm_max,
+    }
+}
+
 /// Runs the trace against the simulator clock: the driver is ticked in
 /// virtual time and the scripted peer answers inline with a fixed 2 ms
 /// delivery delay.
-fn run_sim_trace() -> Vec<Observed> {
+fn run_sim_trace() -> (Vec<Observed>, CoreSnapshot) {
     let alpha_addr = NodeAddr::new([10, 0, 0, 1], 7946);
     let peer_addr = NodeAddr::new([10, 0, 0, 2], 7946);
     let mut driver = Driver::new(SwimNode::new(
@@ -269,20 +308,23 @@ fn run_sim_trace() -> Vec<Observed> {
         }
     }
 
+    // Snapshot before the leave so all runs capture at the same point
+    // in the scripted trace.
+    let snapshot = driver.metrics();
     // Final step of the trace: alpha leaves.
     driver.leave(now, &mut sink);
     assert!(driver.node().has_left());
-    observed
+    (observed, snapshot)
 }
 
 /// Runs the same trace against a loopback [`Agent`] on the given I/O
 /// runtime: real sockets, the agent's own wall-clock scheduling, the
 /// scripted peer bound to a real UDP socket + TCP listener on one port.
-fn run_net_trace(runtime: Runtime) -> Vec<Observed> {
+fn run_net_trace(runtime: Runtime) -> (Vec<Observed>, Snapshot) {
     run_net_trace_with(runtime, IoBatchConfig::default())
 }
 
-fn run_net_trace_with(runtime: Runtime, io_batch: IoBatchConfig) -> Vec<Observed> {
+fn run_net_trace_with(runtime: Runtime, io_batch: IoBatchConfig) -> (Vec<Observed>, Snapshot) {
     // The peer binds TCP first and UDP on the same port, like an agent.
     let peer_tcp = TcpListener::bind("127.0.0.1:0").expect("bind peer tcp");
     let peer_sock = peer_tcp.local_addr().expect("peer addr");
@@ -359,6 +401,8 @@ fn run_net_trace_with(runtime: Runtime, io_batch: IoBatchConfig) -> Vec<Observed
         }
     }
 
+    // Snapshot before the leave, matching the sim run's capture point.
+    let snapshot = alpha.metrics();
     alpha.leave();
     let left = alpha
         .members()
@@ -366,7 +410,7 @@ fn run_net_trace_with(runtime: Runtime, io_batch: IoBatchConfig) -> Vec<Observed
         .any(|m| m.name.as_str() == "alpha" && m.state == MemberState::Left);
     assert!(left, "agent must record its own leave");
     alpha.shutdown();
-    observed
+    (observed, snapshot)
 }
 
 /// The headline conformance assertion: every runtime — simulator
@@ -374,19 +418,19 @@ fn run_net_trace_with(runtime: Runtime, io_batch: IoBatchConfig) -> Vec<Observed
 /// through the same `Driver`, observes the identical trace.
 #[test]
 fn sim_and_net_observe_identical_trace() {
-    let sim = run_sim_trace();
+    let (sim, sim_core) = run_sim_trace();
     assert_eq!(
         sim,
         expected(),
         "simulator-clock run diverged from the scripted trace"
     );
-    let threaded = run_net_trace(Runtime::Threaded);
+    let (threaded, threaded_snap) = run_net_trace(Runtime::Threaded);
     assert_eq!(
         threaded,
         expected(),
         "threaded loopback-agent run diverged from the scripted trace"
     );
-    let reactor = run_net_trace(Runtime::Reactor);
+    let (reactor, reactor_snap) = run_net_trace(Runtime::Reactor);
     assert_eq!(
         reactor,
         expected(),
@@ -394,6 +438,49 @@ fn sim_and_net_observe_identical_trace() {
     );
     assert_eq!(sim, threaded, "sim and threaded-net traces must match");
     assert_eq!(sim, reactor, "sim and reactor-net traces must match");
+
+    // The metrics plane observed the identical protocol history: the
+    // schedule-independent core counters agree across all runtimes.
+    let want = DeterministicCore {
+        suspicions_raised: 1,
+        refutations: 0, // the *peer* refutes; alpha never refutes itself
+        failures_declared: 0,
+        flaps: 1,
+        suspicion_lifetimes_recorded: 1,
+        delta_syncs: 0,
+        full_sync_fallbacks: 0,
+        lhm_max: u64::from(conformance_config().effective_awareness_max()),
+    };
+    assert_eq!(deterministic_subset(&sim_core), want, "sim metrics");
+    assert_eq!(
+        deterministic_subset(&threaded_snap.core),
+        want,
+        "threaded metrics"
+    );
+    assert_eq!(
+        deterministic_subset(&reactor_snap.core),
+        want,
+        "reactor metrics"
+    );
+
+    // Wall-clock-dependent metrics are only sanity-checked: both
+    // agents probed the peer and recorded RTTs for the acked probes.
+    for (label, snap) in [("threaded", &threaded_snap), ("reactor", &reactor_snap)] {
+        assert!(snap.core.probes_sent > 0, "{label}: no probes recorded");
+        assert!(
+            snap.core.probe_rtt.count() >= ACKS_BEFORE_SILENCE as u64,
+            "{label}: acked probes must record RTTs"
+        );
+        assert!(snap.io.datagrams_sent > 0, "{label}: no datagrams counted");
+        assert!(
+            snap.io.datagram_bytes > snap.io.datagrams_sent,
+            "{label}: datagram bytes must exceed datagram count"
+        );
+        assert!(snap.io.streams_sent > 0, "{label}: the join stream counts");
+    }
+    // Only the reactor runtime counts poller wakeups.
+    assert_eq!(threaded_snap.io.wakeups, 0, "threaded agent has no poller");
+    assert!(reactor_snap.io.wakeups > 0, "reactor never woke");
 }
 
 /// Batching is a syscall-count optimisation, never a protocol change:
@@ -403,19 +490,20 @@ fn sim_and_net_observe_identical_trace() {
 /// mid-burst flush boundary on the same wire run.
 #[test]
 fn batched_and_unbatched_reactors_observe_identical_trace() {
-    let batched = run_net_trace_with(Runtime::Reactor, IoBatchConfig::default());
+    let (batched, batched_snap) = run_net_trace_with(Runtime::Reactor, IoBatchConfig::default());
     assert_eq!(
         batched,
         expected(),
         "batched reactor run diverged from the scripted trace"
     );
-    let unbatched = run_net_trace_with(Runtime::Reactor, IoBatchConfig::single_shot());
+    let (unbatched, unbatched_snap) =
+        run_net_trace_with(Runtime::Reactor, IoBatchConfig::single_shot());
     assert_eq!(
         unbatched,
         expected(),
         "single-shot reactor run diverged from the scripted trace"
     );
-    let tiny_batches = run_net_trace_with(
+    let (tiny_batches, _) = run_net_trace_with(
         Runtime::Reactor,
         IoBatchConfig {
             batch_size: 2,
@@ -430,4 +518,10 @@ fn batched_and_unbatched_reactors_observe_identical_trace() {
     );
     assert_eq!(batched, unbatched, "batching must not change the trace");
     assert_eq!(batched, tiny_batches, "batch size must not change the trace");
+    // Batching changes syscall counts, never the protocol metrics.
+    assert_eq!(
+        deterministic_subset(&batched_snap.core),
+        deterministic_subset(&unbatched_snap.core),
+        "batching must not change the core metrics"
+    );
 }
