@@ -61,6 +61,7 @@ impl Bytes {
     /// # Panics
     ///
     /// Panics if the range is out of bounds.
+    // lint: allow(panic_path) — documented contract mirroring `bytes::Bytes::slice`; every wire-path caller derives the range from a `remaining()` check first
     pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
         use std::ops::Bound;
         let lo = match range.start_bound() {

@@ -81,6 +81,7 @@ pub trait SampleRange<T> {
 }
 
 /// Uniform integer in `[0, span)` by rejection sampling (no modulo bias).
+// lint: allow(panic_path) — `% span` cannot divide by zero: every caller asserts its range non-empty, making span ≥ 1
 fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
     debug_assert!(span > 0);
     if span.is_power_of_two() {
@@ -98,6 +99,7 @@ fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
 macro_rules! impl_sample_range_uint {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for Range<$t> {
+            // lint: allow(panic_path) — documented contract mirroring `rand`: sampling an empty range is a caller bug; wire-path callers guard `n > 0` first
             fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let span = (self.end - self.start) as u64;
@@ -105,6 +107,7 @@ macro_rules! impl_sample_range_uint {
             }
         }
         impl SampleRange<$t> for RangeInclusive<$t> {
+            // lint: allow(panic_path) — documented contract mirroring `rand`: sampling an empty range is a caller bug; wire-path callers guard `n > 0` first
             fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample empty range");
@@ -122,6 +125,7 @@ impl_sample_range_uint!(u8, u16, u32, u64, usize);
 macro_rules! impl_sample_range_int {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for Range<$t> {
+            // lint: allow(panic_path) — documented contract mirroring `rand`: sampling an empty range is a caller bug; wire-path callers guard `n > 0` first
             fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
@@ -129,6 +133,7 @@ macro_rules! impl_sample_range_int {
             }
         }
         impl SampleRange<$t> for RangeInclusive<$t> {
+            // lint: allow(panic_path) — documented contract mirroring `rand`: sampling an empty range is a caller bug; wire-path callers guard `n > 0` first
             fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample empty range");
@@ -192,6 +197,7 @@ pub mod rngs {
     }
 
     impl Rng for StdRng {
+        // lint: allow(panic_path) — literal indices into the fixed `[u64; 4]` xoshiro state cannot go out of bounds
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
             let result = s[0]

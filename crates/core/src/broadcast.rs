@@ -65,10 +65,13 @@ pub struct BroadcastQueue {
     /// Live entries by id. An id missing here but still in the heap is a
     /// stale heap item (invalidated or re-prioritised) and is dropped
     /// when popped.
+    // bounded: one live entry per subject member — enqueueing about a known subject retires its predecessor, so |entries| ≤ cluster size
     entries: HashMap<u64, QueuedBroadcast>,
     /// The current broadcast id per subject (invalidation index).
+    // bounded: one key per subject member, unlinked on retire — ≤ cluster size
     by_subject: HashMap<NodeName, u64>,
     /// Selection order with lazy deletion.
+    // bounded: ≤ |entries| live items plus stale items, which every fill pops and drops; a subject re-broadcast adds at most one stale item
     heap: BinaryHeap<HeapItem>,
     /// Monotonic enqueue stamp; larger = newer.
     next_id: u64,
@@ -236,10 +239,10 @@ impl BroadcastQueue {
                 if after >= transmit_limit {
                     self.retire(id);
                 } else {
-                    self.entries
-                        .get_mut(&id)
-                        .expect("entry checked above")
-                        .transmits = after;
+                    debug_invariant!(self.entries.contains_key(&id), "entry checked above");
+                    if let Some(entry) = self.entries.get_mut(&id) {
+                        entry.transmits = after;
+                    }
                     requeue.push((Reverse(after), id));
                 }
             } else {

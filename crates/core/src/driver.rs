@@ -130,6 +130,7 @@ pub struct Driver {
     /// Packets deferred by the batching entry points
     /// ([`Driver::handle_deferring`]), as ranges into the node's
     /// scratch arena, awaiting [`Driver::flush_deferred`].
+    // bounded: the runtime flushes whenever `deferred_packets()` reaches its batch size, so the vec stabilises at one burst
     deferred: Vec<(NodeAddr, std::ops::Range<usize>)>,
 }
 
@@ -171,23 +172,23 @@ impl Driver {
     /// or before `now`. A no-op when nothing is due, so runtimes may
     /// call it on a coarse cadence.
     pub fn tick(&mut self, now: Time, sink: &mut impl Sink) {
-        self.handle(Input::Tick, now, sink)
-            .expect("tick is infallible");
+        let res = self.handle(Input::Tick, now, sink);
+        debug_invariant!(res.is_ok(), "tick is infallible");
     }
 
     /// [`Driver::handle`] of an [`Input::Join`]: the join sequence (a
     /// push-pull sync to each seed) goes out through `sink`.
     pub fn join(&mut self, seeds: Vec<NodeAddr>, now: Time, sink: &mut impl Sink) {
-        self.handle(Input::Join { seeds }, now, sink)
-            .expect("join is infallible");
+        let res = self.handle(Input::Join { seeds }, now, sink);
+        debug_invariant!(res.is_ok(), "join is infallible");
     }
 
     /// [`Driver::handle`] of an [`Input::Leave`]: the leave sequence (a
     /// self-signed `dead` flushed to a few peers) goes out through
     /// `sink`.
     pub fn leave(&mut self, now: Time, sink: &mut impl Sink) {
-        self.handle(Input::Leave, now, sink)
-            .expect("leave is infallible");
+        let res = self.handle(Input::Leave, now, sink);
+        debug_invariant!(res.is_ok(), "leave is infallible");
     }
 
     /// [`Driver::handle`] for a *batching* runtime: stream and event
@@ -301,7 +302,7 @@ impl Driver {
         self.node.drain_split(&mut self.deferred, |output| match output {
             Output::Stream { to, msg } => sink.stream(to, msg),
             Output::Event(e) => sink.event(e),
-            Output::Packet { .. } => unreachable!("drain_split routes packets to the batch"),
+            Output::Packet { .. } => debug_invariant!(false, "drain_split routes packets to the batch"),
         });
     }
 }

@@ -55,12 +55,17 @@ struct Slot {
 /// `n` counts include self.
 #[derive(Clone, Debug, Default)]
 pub struct Membership {
+    // bounded: one slot per known member (dead members are reaped after the retention horizon), freed slots are recycled via `free`
     slots: Vec<Option<Slot>>,
+    // bounded: ≤ |slots| — holds only currently-empty slot ids
     free: Vec<usize>,
+    // bounded: one key per known member, removed on reap
     index: HashMap<NodeName, usize>,
     /// Dense slot ids of alive | suspect members.
+    // bounded: ≤ cluster size — one id per live member
     live: Vec<usize>,
     /// Dense slot ids of dead | left members.
+    // bounded: ≤ cluster size — one id per retained dead/left member, drained by reaping
     gone: Vec<usize>,
     /// Number of members in state `Alive` exactly.
     alive: usize,
@@ -72,6 +77,7 @@ pub struct Membership {
     /// stale once its slot's record was re-stamped or removed; stale
     /// entries are skipped on read and dropped by amortised
     /// compaction). Keeps delta generation O(changed), not O(n).
+    // bounded: compaction in `stamp` keeps len ≤ max(64, 2 × member count)
     log: VecDeque<(u64, usize)>,
 }
 
@@ -106,7 +112,7 @@ impl Membership {
     /// Looks up a member by name. O(1).
     pub fn get(&self, name: &NodeName) -> Option<&Member> {
         let &id = self.index.get(name)?;
-        Some(&self.slot(id).member)
+        Some(&self.slot(id)?.member)
     }
 
     /// The table's current update sequence: the stamp of the most
@@ -130,7 +136,7 @@ impl Membership {
             .rev()
             .take_while(move |&&(seq, _)| seq > since)
             .filter_map(move |&(seq, id)| {
-                let slot = self.slots[id].as_ref()?;
+                let slot = self.slot(id)?;
                 (slot.member.updated_seq == seq).then_some(&slot.member)
             })
     }
@@ -146,7 +152,8 @@ impl Membership {
     /// [`Membership::remove`] + [`Membership::upsert`] to rename.
     pub fn update<T>(&mut self, name: &NodeName, f: impl FnOnce(&mut Member) -> T) -> Option<T> {
         let &id = self.index.get(name)?;
-        let slot = self.slots[id].as_mut().expect("indexed slot occupied");
+        debug_invariant!(self.slot(id).is_some(), "membership index points at an empty slot");
+        let slot = self.slot_mut(id)?;
         let before = slot.member.state;
         // Snapshot for change-stamping. The meta clone (a refcount
         // bump) keeps the old buffer alive across `f`, so an equal
@@ -165,9 +172,8 @@ impl Membership {
         let same_buffer = before_meta.len() == after_meta.len()
             && std::ptr::eq(before_meta.as_ref().as_ptr(), after_meta.as_ref().as_ptr());
         let meta_changed = !same_buffer && before_meta.as_ref() != after_meta.as_ref();
-        debug_assert_eq!(
-            &self.slots[id].as_ref().expect("indexed slot occupied").member.name,
-            name,
+        debug_assert!(
+            self.slot(id).is_some_and(|s| &s.member.name == name),
             "update() must not change the member's name (index key)"
         );
         self.reconcile(id, before, after);
@@ -187,17 +193,26 @@ impl Membership {
     /// Inserts or replaces a member record. Returns the previous record.
     /// Always counts as a record change for [`Membership::changed_since`].
     pub fn upsert(&mut self, member: Member) -> Option<Member> {
-        if let Some(&id) = self.index.get(&member.name) {
-            let slot = self.slots[id].as_mut().expect("indexed slot occupied");
-            let before = slot.member.state;
-            let after = member.state;
-            let prev = std::mem::replace(&mut slot.member, member);
-            self.reconcile(id, before, after);
-            self.stamp(id);
-            return Some(prev);
+        if let Some(id) = self.index.get(&member.name).copied() {
+            debug_invariant!(self.slot(id).is_some(), "membership index points at an empty slot");
+            if let Some(slot) = self.slot_mut(id) {
+                let before = slot.member.state;
+                let after = member.state;
+                let prev = std::mem::replace(&mut slot.member, member);
+                self.reconcile(id, before, after);
+                self.stamp(id);
+                return Some(prev);
+            }
+            // Index pointed at an empty slot (table bug, unreachable in
+            // debug builds): fall through to a fresh insert, which
+            // overwrites the stale index entry and heals the table.
         }
+        let name = member.name.clone();
+        let state = member.state;
         let id = match self.free.pop() {
             Some(id) => {
+                debug_invariant!(id < self.slots.len(), "free-list id out of bounds");
+                // lint: allow(panic_path) — free-list ids come from `remove`, which only ever pushes in-bounds slot ids
                 self.slots[id] = Some(Slot { member, pos: 0 });
                 id
             }
@@ -206,9 +221,7 @@ impl Membership {
                 self.slots.len() - 1
             }
         };
-        let name = self.slot(id).member.name.clone();
         self.index.insert(name, id);
-        let state = self.slot(id).member.state;
         self.pool_push(id, state);
         if state == MemberState::Alive {
             self.alive += 1;
@@ -220,12 +233,13 @@ impl Membership {
     /// Removes a member record entirely (dead-node reaping). O(1).
     pub fn remove(&mut self, name: &NodeName) -> Option<Member> {
         let id = self.index.remove(name)?;
-        let state = self.slot(id).member.state;
+        debug_invariant!(self.slot(id).is_some(), "membership index points at an empty slot");
+        let state = self.slot(id)?.member.state;
         self.pool_remove(id, state);
         if state == MemberState::Alive {
             self.alive -= 1;
         }
-        let slot = self.slots[id].take().expect("indexed slot occupied");
+        let slot = self.slots.get_mut(id)?.take()?;
         self.free.push(id);
         Some(slot.member)
     }
@@ -246,7 +260,7 @@ impl Membership {
     pub fn reapable(&self, reap_before: Time) -> impl Iterator<Item = &Member> {
         self.gone
             .iter()
-            .map(|&id| &self.slot(id).member)
+            .filter_map(|&id| self.slot(id).map(|s| &s.member))
             .filter(move |m| m.state_change < reap_before)
     }
 
@@ -317,10 +331,12 @@ impl Membership {
             let vj = moved.get(&j).copied().unwrap_or(j);
             let vi = moved.get(&i).copied().unwrap_or(i);
             moved.insert(j, vi);
-            let member = self.pool_member(pool, vj);
-            if filter(member) {
-                picked += 1;
-                visit(member);
+            debug_invariant!(self.pool_member(pool, vj).is_some(), "pool position out of bounds");
+            if let Some(member) = self.pool_member(pool, vj) {
+                if filter(member) {
+                    picked += 1;
+                    visit(member);
+                }
             }
             i += 1;
         }
@@ -330,8 +346,15 @@ impl Membership {
     // Internals
     // ------------------------------------------------------------------
 
-    fn slot(&self, id: usize) -> &Slot {
-        self.slots[id].as_ref().expect("indexed slot occupied")
+    /// The occupied slot at `id`. The name index and the pool vectors
+    /// only ever store ids of occupied slots, so a `None` here is a
+    /// table bug — `debug_invariant!`-checked at each use site.
+    fn slot(&self, id: usize) -> Option<&Slot> {
+        self.slots.get(id)?.as_ref()
+    }
+
+    fn slot_mut(&mut self, id: usize) -> Option<&mut Slot> {
+        self.slots.get_mut(id)?.as_mut()
     }
 
     /// Assigns the next update-seq to slot `id` and logs the change.
@@ -340,17 +363,18 @@ impl Membership {
     /// count, so the amortised cost per change stays O(1).
     fn stamp(&mut self, id: usize) {
         self.update_seq += 1;
-        self.slots[id]
-            .as_mut()
-            .expect("indexed slot occupied")
-            .member
-            .updated_seq = self.update_seq;
-        self.log.push_back((self.update_seq, id));
+        let seq = self.update_seq;
+        debug_invariant!(self.slot(id).is_some(), "stamp() on an empty slot");
+        if let Some(slot) = self.slot_mut(id) {
+            slot.member.updated_seq = seq;
+        }
+        self.log.push_back((seq, id));
         if self.log.len() > 64 && self.log.len() > 2 * self.index.len() {
             let slots = &self.slots;
             self.log.retain(|&(seq, id)| {
-                slots[id]
-                    .as_ref()
+                slots
+                    .get(id)
+                    .and_then(|s| s.as_ref())
                     .map(|s| s.member.updated_seq == seq)
                     .unwrap_or(false)
             });
@@ -358,20 +382,20 @@ impl Membership {
     }
 
     /// The member at virtual position `v` of a pool (All concatenates
-    /// live then gone).
-    fn pool_member(&self, pool: SamplePool, v: usize) -> &Member {
+    /// live then gone). `None` for an out-of-pool position.
+    fn pool_member(&self, pool: SamplePool, v: usize) -> Option<&Member> {
         let id = match pool {
-            SamplePool::Live => self.live[v],
-            SamplePool::Gone => self.gone[v],
+            SamplePool::Live => *self.live.get(v)?,
+            SamplePool::Gone => *self.gone.get(v)?,
             SamplePool::All => {
                 if v < self.live.len() {
-                    self.live[v]
+                    *self.live.get(v)?
                 } else {
-                    self.gone[v - self.live.len()]
+                    *self.gone.get(v - self.live.len())?
                 }
             }
         };
-        &self.slot(id).member
+        Some(&self.slot(id)?.member)
     }
 
     /// Moves `id` between pools / adjusts counters after its state
@@ -396,19 +420,31 @@ impl Membership {
         };
         pool.push(id);
         let pos = pool.len() - 1;
-        self.slots[id].as_mut().expect("indexed slot occupied").pos = pos;
+        debug_invariant!(self.slot(id).is_some(), "pool_push() on an empty slot");
+        if let Some(slot) = self.slot_mut(id) {
+            slot.pos = pos;
+        }
     }
 
     fn pool_remove(&mut self, id: usize, state: MemberState) {
-        let pos = self.slot(id).pos;
+        let Some(pos) = self.slot(id).map(|s| s.pos) else {
+            debug_invariant!(false, "pool_remove() on an empty slot");
+            return;
+        };
         let pool = if state.is_live() {
             &mut self.live
         } else {
             &mut self.gone
         };
-        pool.swap_remove(pos);
+        debug_invariant!(pool.get(pos) == Some(&id), "pool position out of sync");
+        if pos < pool.len() {
+            // lint: allow(panic_path) — `pos < pool.len()` checked on the line above
+            pool.swap_remove(pos);
+        }
         if let Some(&swapped) = pool.get(pos) {
-            self.slots[swapped].as_mut().expect("indexed slot occupied").pos = pos;
+            if let Some(slot) = self.slots.get_mut(swapped).and_then(|s| s.as_mut()) {
+                slot.pos = pos;
+            }
         }
     }
 
@@ -428,6 +464,8 @@ impl Membership {
         assert_eq!(self.index.len(), live_scan + gone_scan, "index out of sync");
         for (name, &id) in &self.index {
             let slot = self.slot(id);
+            assert!(slot.is_some(), "index points at an empty slot");
+            let Some(slot) = slot else { continue };
             assert_eq!(&slot.member.name, name, "index points at wrong slot");
             let pool = if slot.member.state.is_live() {
                 &self.live

@@ -306,8 +306,10 @@ pub struct SwimNode {
     probe_list: ProbeList,
     broadcasts: BroadcastQueue,
     awareness: Awareness,
+    // bounded: one active suspicion per suspect member, cleared on confirm/refute/death — ≤ cluster size
     suspicions: HashMap<NodeName, ActiveSuspicion>,
     probe: Option<ProbeState>,
+    // bounded: one entry per in-flight relayed indirect probe, each removed when its nack timer fires
     relays: HashMap<SeqNo, RelayState>,
     /// This instance's id for delta-sync watermarks: seq values this
     /// node hands out are only meaningful together with this epoch, so
@@ -316,6 +318,7 @@ pub struct SwimNode {
     epoch: u64,
     /// Per-peer delta-sync watermarks (pruned on reap and past the
     /// configured horizon).
+    // bounded: retained only for members still in the roster (pruned on reap), so ≤ cluster size
     peer_sync: HashMap<NodeName, PeerSync>,
     seq: SeqNo,
     timers: TimerWheel<Timer>,
@@ -330,13 +333,16 @@ pub struct SwimNode {
     stuck_reconnect: bool,
     /// Timers that came due while blocked and must re-fire on unblock,
     /// in original due order.
+    // bounded: ≤ the live timer count — each deferred entry consumed a scheduled timer, and loop timers defer at most once (stuck_* flags)
     deferred_timers: Vec<DeferredTimer>,
     stats: NodeStats,
     metrics: CoreMetrics,
     /// Effects awaiting [`SwimNode::poll_output`].
+    // bounded: the driver drains it fully after every input, so it holds at most one input's effects
     pending: VecDeque<Queued>,
     /// Arena for queued packet payloads; cleared whenever the queue
     /// drains, so it stabilises at the high-water packet burst size.
+    // bounded: cleared on drain/release, stabilises at the high-water burst size
     scratch: Vec<u8>,
     /// When set (by [`SwimNode::drain_split`]), the arena keeps
     /// accumulating across inputs instead of being reclaimed on drain:
@@ -346,6 +352,7 @@ pub struct SwimNode {
     /// Reusable packet assembler (capacity persists across packets).
     builder: CompoundBuilder,
     /// Reusable target-address buffer for gossip/probe fan-out.
+    // bounded: cleared before each use, filled with ≤ max(indirect_checks, gossip fan-out) addresses
     addr_scratch: Vec<NodeAddr>,
 }
 
@@ -363,6 +370,7 @@ impl SwimNode {
     /// gracefully.
     pub fn new(name: NodeName, addr: NodeAddr, config: Config, seed: u64) -> Self {
         Self::try_new(name, addr, config, seed)
+            // lint: allow(panic) — documented contract: `new` panics on an invalid config at construction time, never on wire input; `try_new` is the graceful path
             .unwrap_or_else(|e| panic!("invalid SwimNode config: {e}"))
     }
 
@@ -611,11 +619,11 @@ impl SwimNode {
     /// to each seed address over the stream transport.
     fn join(&mut self, seeds: &[NodeAddr], _now: Time) {
         debug_assert!(self.started, "join() before start()");
-        let states = vec![self
-            .membership
-            .get(&self.name)
-            .expect("self is registered")
-            .to_push_state()];
+        let Some(me) = self.membership.get(&self.name) else {
+            debug_invariant!(false, "self is registered by start()");
+            return;
+        };
+        let states = vec![me.to_push_state()];
         let me = self.addr;
         for &to in seeds.iter().filter(|a| **a != me) {
             self.emit_stream(
@@ -706,6 +714,7 @@ impl SwimNode {
         Some(match self.pending.pop_front()? {
             Queued::Packet { to, range } => Output::Packet {
                 to,
+                // lint: allow(panic_path) — `range` was produced by `queue_packet` as the extent of bytes it just wrote into `scratch`, and `scratch` only grows until `pending` drains
                 payload: &self.scratch[range],
             },
             Queued::Stream { to, msg } => Output::Stream { to, msg },
@@ -762,6 +771,7 @@ impl SwimNode {
         self.arena_held = true;
         while let Some(q) = self.pending.pop_front() {
             match q {
+                // lint: allow(alloc_free) — amortised: the runtime reuses `packets` across flushes, so its capacity stabilises at the high-water burst size (proven by the counting-allocator bench)
                 Queued::Packet { to, range } => packets.push((to, range)),
                 Queued::Stream { to, msg } => other(Output::Stream { to, msg }),
                 Queued::Event(e) => other(Output::Event(e)),
@@ -978,7 +988,7 @@ impl SwimNode {
         if let Some(p) = &self.probe {
             if p.seq == ack.seq {
                 if now <= p.round_end {
-                    let p = self.probe.take().expect("probe present");
+                    let Some(p) = self.probe.take() else { return };
                     // True cancellation: the round's remaining deadlines
                     // are unscheduled, not left to fire stale.
                     self.timers.cancel(p.timeout_timer);
@@ -1387,11 +1397,10 @@ impl SwimNode {
         }) else {
             return;
         };
-        let target_addr = self
-            .membership
-            .get(&target)
-            .expect("eligible member exists")
-            .addr;
+        let Some(target_addr) = self.membership.get(&target).map(|m| m.addr) else {
+            debug_invariant!(false, "probe target vanished between selection and lookup");
+            return;
+        };
         let seq = self.next_seq();
         let ping = Message::Ping(Ping {
             seq,
@@ -1451,6 +1460,7 @@ impl SwimNode {
         let sent = self.addr_scratch.len() as u32;
         self.stats.indirect_probes_sent += sent as u64;
         for i in 0..sent as usize {
+            // lint: allow(panic_path) — `sent` is `addr_scratch.len()` captured two lines above, and the loop body only appends to `pending`, never to `addr_scratch`
             let peer_addr = self.addr_scratch[i];
             let req = Message::IndirectPing(IndirectPing {
                 seq,
@@ -1480,12 +1490,11 @@ impl SwimNode {
 
     /// End of the protocol period: settle the probe result.
     fn probe_round_end(&mut self, seq: SeqNo, now: Time) {
-        let Some(p) = &self.probe else {
+        let Some(p) = self.probe.take() else {
             debug_assert!(false, "probe round end fired with no probe in flight");
             return;
         };
         debug_assert_eq!(p.seq, seq, "stale probe round end reached its handler");
-        let p = self.probe.take().expect("probe present");
         // Unschedule the timeout in case it has not fired yet (possible
         // only when the timeout is configured beyond the interval).
         self.timers.cancel(p.timeout_timer);
@@ -1703,10 +1712,11 @@ impl SwimNode {
                     (m.state == MemberState::Alive).then(|| (m.name.clone(), m.addr))
                 })
                 .collect();
-            if warm.len() >= self.config.delta_sync_partners {
+            if warm.len() >= self.config.delta_sync_partners.max(1) {
                 // HashMap iteration order is not deterministic; sort so
                 // the seeded draw below is reproducible.
                 warm.sort_by(|a, b| a.0.cmp(&b.0));
+                // lint: allow(panic_path) — the `.max(1)` guard above makes `warm` non-empty, so the range is non-empty and the sampled index is `< warm.len()`
                 let (name, to) = warm[self.rng.random_range(0..warm.len())].clone();
                 self.sync_with(&name, to, now);
                 return;
@@ -1848,6 +1858,10 @@ impl SwimNode {
             entry.local_acked = entry.local_acked.max(d.since);
         }
         entry.last_exchange = now;
+        // Record the remote watermark up front (the merge below never
+        // touches `peer_sync`), so the entry needs no re-lookup after
+        // the `&mut self` call.
+        entry.remote_seen = entry.remote_seen.max(d.seq);
         let local_acked = entry.local_acked;
         let reply = (!d.reply).then(|| {
             Message::PushPullDelta(PushPullDelta {
@@ -1861,8 +1875,6 @@ impl SwimNode {
             })
         });
         self.merge_remote_state(&d.entries, now);
-        let entry = self.peer_sync.get_mut(&d.from).expect("entry just touched");
-        entry.remote_seen = entry.remote_seen.max(d.seq);
         if let Some(msg) = reply {
             self.record_delta_sync(&msg);
             self.emit_stream(from_addr, msg);

@@ -14,6 +14,7 @@ use crate::membership::Membership;
 /// The local node's probe rotation.
 #[derive(Clone, Debug, Default)]
 pub struct ProbeList {
+    // bounded: ≤ cluster size live names plus stale ones, compacted lazily when stale entries are skipped during selection
     order: Vec<NodeName>,
     next: usize,
 }
@@ -63,6 +64,7 @@ impl ProbeList {
     /// longer in `membership`. Reshuffles at the end of each sweep.
     ///
     /// Returns `None` when no eligible member exists.
+    // lint: allow(panic_path) — `idx = self.next` is re-checked against `order.len()` at the top of every iteration, and `order.remove(idx)` / `order[idx]` only run on that validated index
     pub fn next_target<R: Rng>(
         &mut self,
         membership: &Membership,

@@ -25,6 +25,7 @@ pub struct Suspicion {
     incarnation: Incarnation,
     /// Distinct members whose suspicions we have processed (the original
     /// accuser counts as the first).
+    // bounded: `confirm` stops inserting once k+1 confirmers are recorded (further names no longer change the timeout)
     confirmers: HashSet<NodeName>,
     k: u32,
     min: Duration,

@@ -154,7 +154,9 @@ struct Earliest {
 
 /// A hierarchical timer wheel over payloads `T`. See the module docs.
 pub struct TimerWheel<T> {
+    // bounded: one slot per live timer (the node schedules O(1) timers per member and per in-flight probe), freed slots recycled via `free`
     slots: Vec<Slot<T>>,
+    // bounded: ≤ |slots| — holds only currently-free slot indices
     free: Vec<u32>,
     levels: Box<[Level; LEVELS]>,
     /// Per-level occupancy bitmaps (bit `s` set iff `live[s] > 0`),
@@ -164,10 +166,12 @@ pub struct TimerWheel<T> {
     /// the minimum is last). Invariant: every live pending entry orders
     /// `(deadline, seq)`-before every live bucketed entry, so the back
     /// of this vector is the global minimum whenever it is non-empty.
+    // bounded: holds one drained bucket at a time, ≤ live timer count
     pending: Vec<PendingEntry>,
     /// Timers farther out than the top level's span, in schedule order.
     /// Scanned exactly (it is almost always empty or tiny) and re-hashed
     /// wholesale once its minimum becomes the wheel's next timer.
+    // bounded: ≤ live timer count, compacted when stale entries outnumber live ones
     overflow: Vec<OverflowEntry>,
     /// Live (non-stale) entries in `overflow`.
     overflow_live: usize,
@@ -222,6 +226,7 @@ impl<T> TimerWheel<T> {
 
     /// Schedules `payload` to fire at `at` (which may already be in the
     /// past — it then fires on the next [`TimerWheel::pop_due`]). O(1).
+    // lint: allow(panic_path) — slab indices come from the wheel's own free list, chain links, or pending/overflow entries; `slots` never shrinks, so every stored index stays in bounds
     pub fn schedule(&mut self, at: Time, payload: T) -> TimerKey {
         let seq = self.seq;
         self.seq += 1;
@@ -257,6 +262,7 @@ impl<T> TimerWheel<T> {
     }
 
     /// Folds a just-linked timer into the memoized minimum.
+    // lint: allow(panic_path) — slab indices come from the wheel's own free list, chain links, or pending/overflow entries; `slots` never shrinks, so every stored index stays in bounds
     fn note_insert(&mut self, idx: u32) {
         let slot = &self.slots[idx as usize];
         let beats_cache = match &self.cached_min {
@@ -308,6 +314,7 @@ impl<T> TimerWheel<T> {
     /// fresh insertion sequence, so among timers sharing an exact
     /// deadline it fires as the newest. Returns `None` (and changes
     /// nothing) if the key is stale.
+    // lint: allow(panic_path) — slab indices come from the wheel's own free list, chain links, or pending/overflow entries; `slots` never shrinks, so every stored index stays in bounds
     pub fn reschedule(&mut self, key: TimerKey, at: Time) -> Option<TimerKey> {
         let seq = self.seq;
         let slot = self.slots.get_mut(key.idx as usize)?;
@@ -364,6 +371,7 @@ impl<T> TimerWheel<T> {
     /// Removes and returns the earliest timer with `deadline <= now`,
     /// advancing the wheel. Returns `None` once nothing (more) is due.
     /// Timers come out in `(deadline, insertion-seq)` order.
+    // lint: allow(panic_path) — slab indices come from the wheel's own free list, chain links, or pending/overflow entries; `slots` never shrinks, so every stored index stays in bounds
     pub fn pop_due(&mut self, now: Time) -> Option<(Time, T)> {
         // The memoized minimum makes the no-work case — most `tick`
         // calls of an idle node — a single comparison.
@@ -388,7 +396,13 @@ impl<T> TimerWheel<T> {
                 self.cursor = self.cursor.max(tick_of(p.deadline));
                 let slot = &mut self.slots[p.idx as usize];
                 slot.gen = slot.gen.wrapping_add(1);
-                let payload = slot.payload.take().expect("live timer has a payload");
+                let Some(payload) = slot.payload.take() else {
+                    // A matching generation with no payload would mean
+                    // the slot was freed without a gen bump; skip the
+                    // entry rather than double-freeing the slot.
+                    debug_invariant!(false, "live timer has a payload");
+                    continue;
+                };
                 self.free.push(p.idx);
                 self.len -= 1;
                 // Refresh the memoized minimum from the batch: skim off
@@ -476,6 +490,7 @@ impl<T> TimerWheel<T> {
 
     /// Re-hashes every entry of one bucket relative to the current
     /// cursor.
+    // lint: allow(panic_path) — slab indices come from the wheel's own free list, chain links, or pending/overflow entries; `slots` never shrinks, so every stored index stays in bounds
     fn cascade(&mut self, level: usize, slot: usize) {
         let mut idx = self.levels[level].heads[slot];
         self.levels[level].heads[slot] = NIL;
@@ -492,6 +507,7 @@ impl<T> TimerWheel<T> {
     /// level-0 bucket about to be drained. At most one bucket per level
     /// can qualify (anything entirely before `b` would hold entries
     /// below the cursor bound), so repeated cascading terminates.
+    // lint: allow(panic_path) — `level` iterates the fixed `LEVELS` range and bucket indices are `& SLOT_MASK`-masked, so the fixed-size level/occupied/heads arrays cannot be indexed out of bounds
     fn covering_bucket(&self, b: u64) -> Option<(usize, usize)> {
         for level in 1..LEVELS {
             let occupied = self.occupied[level];
@@ -517,6 +533,7 @@ impl<T> TimerWheel<T> {
     }
 
     /// Truly removes a bucketed entry from its chain in O(1).
+    // lint: allow(panic_path) — slab indices come from the wheel's own free list, chain links, or pending/overflow entries; `slots` never shrinks, so every stored index stays in bounds
     fn unlink_entry(&mut self, idx: u32) {
         let slot = &self.slots[idx as usize];
         let (level, bucket) = (slot.level as usize, slot.bucket as usize);
@@ -537,6 +554,7 @@ impl<T> TimerWheel<T> {
     /// Links slab slot `idx` wherever it belongs: into the sorted batch
     /// when it orders before the batch's maximum (preserving the pending
     /// invariant), into a wheel bucket otherwise.
+    // lint: allow(panic_path) — slab indices come from the wheel's own free list, chain links, or pending/overflow entries; `slots` never shrinks, so every stored index stays in bounds
     fn link(&mut self, idx: u32) {
         let slot = &self.slots[idx as usize];
         if let Some(p0) = self.pending.first() {
@@ -560,6 +578,7 @@ impl<T> TimerWheel<T> {
 
     /// Links slab slot `idx` into the bucket its deadline hashes to,
     /// relative to the current cursor.
+    // lint: allow(panic_path) — slab indices come from the wheel's own free list, chain links, or pending/overflow entries; `slots` never shrinks, so every stored index stays in bounds
     fn place(&mut self, idx: u32) {
         let slot = &self.slots[idx as usize];
         // A deadline already in the past hashes to the cursor's own
@@ -601,6 +620,7 @@ impl<T> TimerWheel<T> {
     /// reclaimed when only stale entries remain and compacted once they
     /// outnumber the live ones, so cancel-heavy far-future churn cannot
     /// grow it (or its scans) without bound.
+    // lint: allow(panic_path) — slab indices come from the wheel's own free list, chain links, or pending/overflow entries; `slots` never shrinks, so every stored index stays in bounds
     fn unlink_overflow(&mut self) {
         self.overflow_live -= 1;
         if self.overflow_live == 0 {
@@ -615,6 +635,7 @@ impl<T> TimerWheel<T> {
     /// Re-hashes every live overflow entry relative to the current
     /// cursor (the minimum lands in the wheel proper; still-far entries
     /// return to the overflow list).
+    // lint: allow(panic_path) — slab indices come from the wheel's own free list, chain links, or pending/overflow entries; `slots` never shrinks, so every stored index stays in bounds
     fn rehash_overflow(&mut self) {
         let entries = std::mem::take(&mut self.overflow);
         self.overflow_live = 0;
@@ -633,6 +654,7 @@ impl<T> TimerWheel<T> {
     /// one revolution ahead of the cursor at its level); the global
     /// minimum is the best of the per-level minima. O(levels + first
     /// bucket's length per level).
+    // lint: allow(panic_path) — slab indices come from the wheel's own free list, chain links, or pending/overflow entries; `slots` never shrinks, so every stored index stays in bounds
     fn earliest_bucket(&self) -> Option<Earliest> {
         let mut best: Option<Earliest> = None;
         for (level, lvl) in self.levels.iter().enumerate() {

@@ -142,6 +142,7 @@ impl<'a> Cursor<'a> {
         Some(s)
     }
 
+    // lint: allow(panic_path) — `s[0]` indexes the 1-byte slice `take(1)` just returned; `take` guarantees the exact length
     fn u8(&mut self) -> Option<u8> {
         self.take(1).map(|s| s[0])
     }
@@ -243,6 +244,7 @@ impl Snapshot {
     ///
     /// Returns [`DecodeError`] on a bad magic/version, truncation,
     /// trailing bytes, or inconsistent histogram bucket counts.
+    // lint: allow(panic_path) — every index is a literal into the fixed-size `core15`/`io12` local arrays; all reads from the untrusted buffer go through the bounds-checked `Cursor`
     pub fn decode(buf: &[u8]) -> Result<Snapshot, DecodeError> {
         let mut c = Cursor { buf, at: 0 };
         if c.take(4) != Some(&MAGIC) {

@@ -537,6 +537,7 @@ impl Inner {
         {
             let mut driver = self.driver.lock();
             let mut sink = self.sink(now);
+            // lint: allow(lock_discipline) — by design: effects are sent under the driver lock so network order matches protocol order; the UDP socket is non-blocking, so the send cannot park the lock holder
             let _ = driver.handle(input, now, &mut sink);
         }
         // The drive may have armed an earlier timer or queued a stream
@@ -557,6 +558,7 @@ impl Inner {
 /// [`Agent::leave`] first for a graceful departure.
 pub struct Agent {
     inner: Arc<Inner>,
+    // bounded: filled once at startup with the runtime's fixed thread set, drained on shutdown
     threads: Mutex<Vec<JoinHandle<()>>>,
     events_rx: Receiver<AgentEvent>,
 }
@@ -644,6 +646,7 @@ impl Agent {
         {
             let mut driver = inner.driver.lock();
             let mut sink = inner.sink(Time::ZERO);
+            // lint: allow(lock_discipline) — by design: startup effects flush under the lock before any thread can observe the agent; the socket is non-blocking
             driver.start(Time::ZERO, &mut sink);
         }
 

@@ -107,6 +107,7 @@ struct SendIo {
     table: SendBatch,
     /// Destination/range pairs staged for the current flush
     /// ([`NodeAddr`]s resolved to socket addresses once, up front).
+    // bounded: cleared every flush; holds at most one deferred burst (the driver flushes at `batch_size`)
     stage: Vec<(SocketAddr, Range<usize>)>,
     batch_size: usize,
     /// Cleared permanently the first time `sendmmsg` reports `ENOSYS`;
@@ -282,8 +283,10 @@ pub(crate) struct Reactor {
     poller: Arc<Poller>,
     listener: TcpListener,
     stream_rx: Receiver<StreamJob>,
+    // bounded: accepts are disarmed at MAX_CONNS, so the map never exceeds that cap plus in-flight outbound syncs
     conns: BTreeMap<usize, Conn>,
     next_key: usize,
+    // bounded: sized once at startup to the maximum datagram length, never grows
     udp_buf: Vec<u8>,
     /// Whether the listener currently has read interest armed. It is
     /// disarmed at [`MAX_CONNS`] (backpressure) and after an accept
@@ -355,7 +358,9 @@ impl Reactor {
             net: self.inner.sink(now),
             io,
         };
+        // lint: allow(lock_discipline) — by design: the deferred burst is gathered and flushed (sendmmsg on a non-blocking socket) before the lock releases, so packet order matches protocol order
         let _ = driver.handle_deferring(input, now, &mut sink);
+        // lint: allow(lock_discipline) — by design: see above; the flush must see the arena the lock protects
         driver.flush_deferred(&mut sink);
     }
 
@@ -561,6 +566,7 @@ impl Reactor {
                         continue;
                     };
                     counters.datagrams_received.fetch_add(1, Ordering::Relaxed);
+                    // lint: allow(lock_discipline) — by design: the receive burst is processed and its replies gather-sent under one lock hold; all sockets involved are non-blocking
                     let _ = driver.handle_datagram_slice_deferring(
                         NodeAddr::from(from),
                         payload,
@@ -570,9 +576,11 @@ impl Reactor {
                     // Mid-burst flush: bound the arena and the
                     // deferred table while replies keep accumulating.
                     if driver.deferred_packets() >= batch_size {
+                        // lint: allow(lock_discipline) — by design: mid-burst sendmmsg flush on a non-blocking socket; releasing the lock here would invalidate the arena ranges
                         driver.flush_deferred(&mut sink);
                     }
                 }
+                // lint: allow(lock_discipline) — by design: final flush of the burst while the arena the lock protects is still valid
                 driver.flush_deferred(&mut sink);
             }
             if socket_drained {

@@ -143,6 +143,7 @@ impl FrameDecoder {
     /// [`StreamError::Oversized`] as soon as a length prefix above the
     /// limit is seen; [`StreamError::Decode`] for malformed headers or
     /// message bodies.
+    // lint: allow(panic_path) — every slice range is derived from `header_len`/`body_len` immediately after the `buf.len() < …` early returns that bound them, and `buf[0]` follows the `is_empty` check
     pub fn decode(&mut self) -> Result<Option<(NodeAddr, Message)>, StreamError> {
         let buf = &self.buf;
         if buf.is_empty() {

@@ -364,21 +364,25 @@ impl<'a> Reader<'a> {
         self.buf.len() - self.pos
     }
 
+    // lint: allow(panic_path) — indexes a slice `take(1)` just returned, which is exactly 1 byte long
     pub(crate) fn get_u8(&mut self) -> Result<u8, DecodeError> {
         let s = self.take(1)?;
         Ok(s[0])
     }
 
+    // lint: allow(panic_path) — indexes a slice `take(2)` just returned, which is exactly 2 bytes long
     pub(crate) fn get_u16(&mut self) -> Result<u16, DecodeError> {
         let s = self.take(2)?;
         Ok(u16::from_be_bytes([s[0], s[1]]))
     }
 
+    // lint: allow(panic_path) — indexes a slice `take(4)` just returned, which is exactly 4 bytes long
     fn get_u32(&mut self) -> Result<u32, DecodeError> {
         let s = self.take(4)?;
         Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
     }
 
+    // lint: allow(panic_path) — copies from a slice `take(8)` just returned into a same-length array
     fn get_u64(&mut self) -> Result<u64, DecodeError> {
         let s = self.take(8)?;
         let mut b = [0u8; 8];
@@ -386,6 +390,7 @@ impl<'a> Reader<'a> {
         Ok(u64::from_be_bytes(b))
     }
 
+    // lint: allow(panic_path) — the slice range is validated by the `remaining() < n` early return on the line above it
     pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.remaining() < n {
             return Err(DecodeError::UnexpectedEof);
@@ -412,6 +417,7 @@ impl<'a> Reader<'a> {
         })
     }
 
+    // lint: allow(panic_path) — indexes/copies slices `take(4)`/`take(16)` just returned, with matching lengths
     fn get_addr(&mut self) -> Result<NodeAddr, DecodeError> {
         let family = self.get_u8()?;
         let ip = match family {

@@ -266,6 +266,7 @@ pub fn pack_all(encoded: impl IntoIterator<Item = Bytes>, budget: usize) -> Vec<
 /// Returns a [`DecodeError`] if the packet is malformed; a compound packet
 /// whose declared part lengths overrun the payload yields
 /// [`DecodeError::TruncatedCompound`].
+// lint: allow(panic_path) — part ranges come from `split_compound`, which rejects any `offset + len` beyond the payload with `TruncatedCompound`
 pub fn decode_packet(bytes: &[u8]) -> Result<Vec<Message>, DecodeError> {
     if bytes.first() == Some(&COMPOUND_TAG) {
         let mut msgs = Vec::new();
@@ -302,6 +303,7 @@ pub fn decode_packet_shared(bytes: &Bytes) -> Result<Vec<Message>, DecodeError> 
 /// Parses and validates a compound header, returning each part's
 /// `(offset, len)` within `bytes` — the single framing parser behind
 /// both the copying and zero-copy packet decoders.
+// lint: allow(panic_path) — `bytes[1..]` cannot panic: both callers enter only after `bytes.first()` matched the compound tag, so the length is ≥ 1
 fn split_compound(bytes: &[u8]) -> Result<Vec<(usize, usize)>, DecodeError> {
     let mut r = codec::Reader::new(&bytes[1..]);
     let count = r.get_u8()? as usize;

@@ -1,12 +1,18 @@
-//! The ratcheted panic baseline: `analysis/baseline.toml`.
+//! The ratcheted panic baselines: `analysis/baseline.toml`.
 //!
-//! The panic rule is the one rule with grandfathered violations (the
-//! protocol core carries internal-invariant `expect`s that are not
-//! wire-reachable). Instead of waiving them one by one, their per-crate
-//! counts are pinned here and only allowed to *decrease*: a PR that
-//! adds a site fails immediately, a PR that removes one fails until it
-//! also tightens the baseline (`cargo run -p xtask -- lint
-//! --update-baseline` rewrites the file), so the recorded count is
+//! Two sections, both down-only ratchets:
+//!
+//! - `[panic]` (legacy, per-crate) — grandfathered lexical panic-site
+//!   counts. After the PR 9 burn-down the checked-in file carries no
+//!   entries here; the section is still parsed so old baselines load.
+//! - `[panic_paths]` (per entry point) — the count of **unwaived**
+//!   panic sites transitively reachable from each declared entry point
+//!   of the `panic_path` call-graph rule. Wire entry points are pinned
+//!   at zero *regardless* of what this file says.
+//!
+//! A PR that adds a path fails immediately; a PR that removes one fails
+//! until it also tightens the baseline (`cargo run -p xtask -- lint
+//! --update-baseline` rewrites the file), so the recorded counts are
 //! always exact and the burn-down is visible in the diff history.
 //!
 //! The file is a flat TOML table parsed by hand — the analyzer is
@@ -20,10 +26,12 @@ use std::path::Path;
 /// Workspace-relative path of the baseline file.
 pub const BASELINE_PATH: &str = "analysis/baseline.toml";
 
-/// Per-crate grandfathered panic-site counts.
+/// Per-crate grandfathered panic-site counts (`[panic]`, legacy) and
+/// per-entry-point reachable-panic-path counts (`[panic_paths]`).
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Baseline {
     pub panic: BTreeMap<String, u64>,
+    pub panic_paths: BTreeMap<String, u64>,
 }
 
 /// A baseline file that fails to parse (the gate must not silently
@@ -71,6 +79,9 @@ impl Baseline {
                 "panic" => {
                     out.panic.insert(key, value);
                 }
+                "panic_paths" => {
+                    out.panic_paths.insert(key, value);
+                }
                 other => {
                     return Err(BaselineError {
                         line: lineno,
@@ -94,17 +105,28 @@ impl Baseline {
     /// Renders the file back out (used by `--update-baseline`).
     pub fn render(&self) -> String {
         let mut s = String::from(
-            "# Ratcheted panic-site baseline — maintained by `cargo run -p xtask -- lint`.\n\
+            "# Ratcheted panic baselines — maintained by `cargo run -p xtask -- lint`.\n\
              #\n\
-             # Counts of grandfathered `.unwrap()` / `.expect()` / `panic!` /\n\
-             # `unreachable!` sites in non-test code, per crate. The lint fails if a\n\
-             # count rises (new panic site) OR falls (run with --update-baseline to\n\
-             # ratchet it down), so these numbers are always exact. Wire-facing\n\
-             # crates (proto, net) are pinned at zero: untrusted bytes must never\n\
-             # panic an agent.\n\n[panic]\n",
+             # The lint fails if a count rises (new panic site/path) OR falls (run\n\
+             # with --update-baseline to ratchet it down), so these numbers are\n\
+             # always exact and the burn-down shows up in diff history.\n",
         );
-        for (k, v) in &self.panic {
-            let _ = writeln!(s, "{k} = {v}");
+        if !self.panic.is_empty() {
+            s.push_str(
+                "\n# Legacy per-crate lexical panic-site counts (grandfathered).\n[panic]\n",
+            );
+            for (k, v) in &self.panic {
+                let _ = writeln!(s, "{k} = {v}");
+            }
+        }
+        s.push_str(
+            "\n# Unwaived panic sites reachable from each declared entry point\n\
+             # (`panic_path` rule). Wire entries are pinned at zero regardless of\n\
+             # the values here: untrusted bytes must never panic an agent.\n\
+             [panic_paths]\n",
+        );
+        for (k, v) in &self.panic_paths {
+            let _ = writeln!(s, "\"{k}\" = {v}");
         }
         s
     }
@@ -116,11 +138,26 @@ mod tests {
 
     #[test]
     fn parse_roundtrip() {
-        let b = Baseline::parse("# c\n[panic]\ncore = 20\nnet = 0\n").unwrap();
+        let b = Baseline::parse(
+            "# c\n[panic]\ncore = 20\nnet = 0\n\
+             [panic_paths]\n\"SwimNode::handle_input\" = 3\n",
+        )
+        .unwrap();
         assert_eq!(b.panic.get("core"), Some(&20));
         assert_eq!(b.panic.get("net"), Some(&0));
+        assert_eq!(b.panic_paths.get("SwimNode::handle_input"), Some(&3));
         let again = Baseline::parse(&b.render()).unwrap();
         assert_eq!(again, b);
+    }
+
+    #[test]
+    fn empty_legacy_section_is_omitted_from_render() {
+        let mut b = Baseline::default();
+        b.panic_paths.insert("FrameDecoder::decode".into(), 0);
+        let text = b.render();
+        assert!(!text.contains("[panic]\n"), "{text}");
+        assert!(text.contains("[panic_paths]"));
+        assert_eq!(Baseline::parse(&text).unwrap(), b);
     }
 
     #[test]

@@ -1,0 +1,678 @@
+//! The workspace call graph and the four graph rules.
+//!
+//! Built from every parsed non-test function (see
+//! [`parser`](crate::parser)), the graph resolves calls **by name**,
+//! conservatively:
+//!
+//! - a method call `.foo(...)` links to *every* workspace function named
+//!   `foo` (the receiver's type is unknown — this over-approximates
+//!   trait objects and closures by construction);
+//! - a qualified call `Type::foo(...)` links to the matching
+//!   `impl`/`trait` methods when one exists; a qualified call through a
+//!   lowercase (module) path or `Self` falls back to name resolution;
+//! - a qualified call on a CamelCase type with no workspace `impl` is
+//!   external (`u32::from_le_bytes`, `Duration::from_secs`, ...) and
+//!   produces no edge — external callees contribute *sites*, not
+//!   edges (`.unwrap()` on the result is still seen at the call site).
+//!
+//! On that graph four rules run: **panic-reachability** per declared
+//! entry point, **static alloc-freedom** of the driver poll loop,
+//! **lock discipline** (no syscall-reaching call under the net driver
+//! lock), and **bounded growth** of collection fields in long-lived
+//! structs. See `docs/ANALYSIS.md` for semantics and soundness
+//! caveats.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use crate::lexer::Comment;
+use crate::parser::{FnDef, ParsedFile, SiteKind, StructDef, GROWABLE_TYPES};
+use crate::rules::{
+    FileClass, Violation, Waiver, RULE_ALLOC_FREE, RULE_BOUNDED_GROWTH, RULE_LOCK_DISCIPLINE,
+    RULE_PANIC, RULE_PANIC_PATH,
+};
+
+/// One declared panic-reachability entry point.
+#[derive(Debug, Clone)]
+pub struct EntrySpec {
+    /// Qualified function name (`SwimNode::handle_input`).
+    pub qname: String,
+    /// Wire entry points are pinned at **zero** reachable panic sites:
+    /// their baseline may never be raised above 0.
+    pub wire: bool,
+}
+
+/// Configuration of the graph rules: entry points, long-lived roots,
+/// and scopes. The workspace uses [`GraphConfig::workspace`]; fixture
+/// mini-workspaces construct their own.
+#[derive(Debug, Clone)]
+pub struct GraphConfig {
+    /// Crates whose functions and structs populate the graph. A name
+    /// ending in `/` is a prefix (`compat/` = every compat shim).
+    /// Harness crates (`bench`'s naive mirror, `sim`, `experiments`,
+    /// the criterion/proptest shims) are excluded: production code
+    /// cannot call into them — no production crate depends on them —
+    /// so their deliberately-API-mirroring names must not absorb
+    /// name-resolved edges.
+    pub graph_crates: Vec<String>,
+    /// Direct crate dependencies (`crate → [deps]`), mirroring the
+    /// workspace `Cargo.toml`s. Calls to *inherent*-looking method
+    /// names resolve only within the caller's dependency cone (its
+    /// crate plus the transitive closure of these edges); calls to
+    /// names declared as trait methods resolve workspace-wide, since
+    /// trait dispatch can genuinely cross layers in either direction
+    /// (core's `Sink` is implemented by `net`).
+    pub deps: Vec<(String, Vec<String>)>,
+    /// Panic-reachability entry points.
+    pub panic_entries: Vec<EntrySpec>,
+    /// Alloc-freedom entry points (the driver poll loop).
+    pub alloc_entries: Vec<String>,
+    /// Long-lived struct roots for the bounded-growth rule; the rule
+    /// closes over struct containment from these.
+    pub long_lived_roots: Vec<String>,
+    /// Crates whose structs the bounded-growth rule inspects.
+    pub bounded_crates: Vec<String>,
+    /// Crates whose lock regions the lock-discipline rule inspects.
+    pub lock_crates: Vec<String>,
+    /// The crate holding raw syscall declarations (the polling shim).
+    pub syscall_crate: String,
+    /// The raw syscall symbol names (the FFI allowlist).
+    pub syscall_symbols: Vec<String>,
+}
+
+impl GraphConfig {
+    /// The real workspace's configuration.
+    pub fn workspace() -> GraphConfig {
+        GraphConfig {
+            graph_crates: vec![
+                "core".into(),
+                "proto".into(),
+                "net".into(),
+                "metrics".into(),
+                "compat/bytes".into(),
+                "compat/rand".into(),
+                "compat/parking_lot".into(),
+                "compat/polling".into(),
+                "compat/crossbeam".into(),
+            ],
+            deps: vec![
+                ("proto".into(), vec!["compat/bytes".into()]),
+                (
+                    "core".into(),
+                    vec![
+                        "proto".into(),
+                        "metrics".into(),
+                        "compat/bytes".into(),
+                        "compat/rand".into(),
+                    ],
+                ),
+                (
+                    "net".into(),
+                    vec![
+                        "proto".into(),
+                        "metrics".into(),
+                        "core".into(),
+                        "compat/bytes".into(),
+                        "compat/crossbeam".into(),
+                        "compat/parking_lot".into(),
+                        "compat/polling".into(),
+                    ],
+                ),
+            ],
+            panic_entries: vec![
+                entry("SwimNode::handle_input", false),
+                entry("SwimNode::poll_output", false),
+                entry("SwimNode::handle_datagram_slice", true),
+                entry("FrameDecoder::decode", true),
+                entry("Snapshot::decode", true),
+            ],
+            alloc_entries: vec![
+                "SwimNode::poll_output".into(),
+                "SwimNode::drain_split".into(),
+            ],
+            long_lived_roots: vec![
+                "SwimNode".into(),
+                "Inner".into(),
+                "Agent".into(),
+                "Reactor".into(),
+            ],
+            bounded_crates: vec!["core".into(), "net".into()],
+            lock_crates: vec!["net".into()],
+            syscall_crate: "compat/polling".into(),
+            syscall_symbols: crate::rules::FFI_ALLOWLIST
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+        }
+    }
+}
+
+fn entry(qname: &str, wire: bool) -> EntrySpec {
+    EntrySpec {
+        qname: qname.into(),
+        wire,
+    }
+}
+
+impl GraphConfig {
+    /// Whether `crate_name` participates in the call graph.
+    fn in_graph(&self, crate_name: &str) -> bool {
+        self.graph_crates.iter().any(|g| {
+            if let Some(prefix) = g.strip_suffix('/') {
+                crate_name == prefix || crate_name.starts_with(g.as_str())
+            } else {
+                g == crate_name
+            }
+        })
+    }
+}
+
+/// Per-file inputs to the graph pass, produced by the workspace walk.
+#[derive(Debug)]
+pub struct FileData {
+    pub rel: String,
+    pub class: FileClass,
+    pub parsed: ParsedFile,
+    pub waivers: Vec<Waiver>,
+    pub comments: Vec<Comment>,
+}
+
+/// What the graph pass concluded.
+#[derive(Debug, Default)]
+pub struct GraphOutcome {
+    /// Findings from all four rules (waived ones carry their reason).
+    pub violations: Vec<Violation>,
+    /// Per-entry-point count of **unwaived** reachable panic sites
+    /// (the per-entry baseline/ratchet input).
+    pub entry_counts: BTreeMap<String, u64>,
+    /// Example call chain per entry point (one per reachable site is in
+    /// the violations; this is the summary shown in ANALYSIS.json).
+    pub entry_chains: BTreeMap<String, Vec<String>>,
+    /// Graph size, for the report.
+    pub functions: usize,
+    pub edges: usize,
+}
+
+/// The resolved workspace call graph.
+pub struct CallGraph<'a> {
+    fns: Vec<&'a FnDef>,
+    structs: Vec<&'a StructDef>,
+    by_name: HashMap<&'a str, Vec<usize>>,
+    by_qname: HashMap<&'a str, Vec<usize>>,
+    /// Adjacency: `edges[i]` = indices of functions `fns[i]` may call.
+    edges: Vec<Vec<usize>>,
+    files: &'a [FileData],
+    /// File index of each fn (into `files`).
+    fn_file: Vec<usize>,
+    /// Names declared as trait methods anywhere in the graph crates.
+    trait_methods: HashSet<String>,
+    /// Dependency cones: crate → the crates it can see (not including
+    /// itself).
+    cones: HashMap<String, HashSet<String>>,
+}
+
+impl<'a> CallGraph<'a> {
+    /// Builds the graph over every non-test function of the in-graph
+    /// crates in `files`.
+    pub fn build(files: &'a [FileData], config: &GraphConfig) -> CallGraph<'a> {
+        let mut fns = Vec::new();
+        let mut fn_file = Vec::new();
+        let mut structs = Vec::new();
+        for (fi, f) in files.iter().enumerate() {
+            if !config.in_graph(&f.class.crate_name) {
+                continue;
+            }
+            for d in &f.parsed.fns {
+                if !d.is_test {
+                    fns.push(d);
+                    fn_file.push(fi);
+                }
+            }
+            for s in &f.parsed.structs {
+                if !s.is_test {
+                    structs.push(s);
+                }
+            }
+        }
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut by_qname: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, d) in fns.iter().enumerate() {
+            by_name.entry(&d.name).or_default().push(i);
+            by_qname.entry(&d.qname).or_default().push(i);
+        }
+        let mut trait_methods: HashSet<String> = HashSet::new();
+        for f in files {
+            if config.in_graph(&f.class.crate_name) {
+                trait_methods.extend(f.parsed.trait_methods.iter().cloned());
+            }
+        }
+        // Transitive dependency closure.
+        let mut cones: HashMap<String, HashSet<String>> = HashMap::new();
+        let direct: HashMap<&str, &Vec<String>> =
+            config.deps.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        for (name, deps) in &config.deps {
+            let mut seen: HashSet<String> = HashSet::new();
+            let mut q: VecDeque<&str> = deps.iter().map(String::as_str).collect();
+            while let Some(d) = q.pop_front() {
+                if seen.insert(d.to_string()) {
+                    for dd in direct.get(d).map(|v| v.iter()).into_iter().flatten() {
+                        q.push_back(dd);
+                    }
+                }
+            }
+            cones.insert(name.clone(), seen);
+        }
+        let mut g = CallGraph {
+            fns,
+            structs,
+            by_name,
+            by_qname,
+            edges: Vec::new(),
+            files,
+            fn_file,
+            trait_methods,
+            cones,
+        };
+        let mut edges: Vec<Vec<usize>> = Vec::with_capacity(g.fns.len());
+        for d in &g.fns {
+            let mut out: Vec<usize> = Vec::new();
+            for c in &d.calls {
+                g.resolve(&d.crate_name, &c.path, c.method, &mut out);
+            }
+            out.sort_unstable();
+            out.dedup();
+            edges.push(out);
+        }
+        g.edges = edges;
+        g
+    }
+
+    /// Resolves one call from a function in `caller_crate` to graph
+    /// indices (see module docs for the name-resolution policy).
+    fn resolve(&self, caller_crate: &str, path: &[String], method: bool, out: &mut Vec<usize>) {
+        let Some(last) = path.last() else { return };
+        let trait_name = self.trait_methods.contains(last.as_str());
+        let in_cone = |i: &usize| -> bool {
+            if trait_name {
+                return true;
+            }
+            let c = self.fns[*i].crate_name.as_str();
+            c == caller_crate
+                || self
+                    .cones
+                    .get(caller_crate)
+                    .is_some_and(|s| s.contains(c))
+        };
+        if method || path.len() == 1 {
+            if let Some(v) = self.by_name.get(last.as_str()) {
+                out.extend(v.iter().filter(|i| in_cone(i)).copied());
+            }
+            return;
+        }
+        let head = &path[path.len() - 2];
+        let key = format!("{head}::{last}");
+        if let Some(v) = self.by_qname.get(key.as_str()) {
+            out.extend(v.iter().filter(|i| in_cone(i)).copied());
+            return;
+        }
+        let module_ish = head == "Self"
+            || head == "self"
+            || head == "crate"
+            || head == "super"
+            || head.chars().next().is_some_and(|c| c.is_lowercase());
+        if module_ish {
+            if let Some(v) = self.by_name.get(last.as_str()) {
+                out.extend(v.iter().filter(|i| in_cone(i)).copied());
+            }
+        }
+        // CamelCase head with no workspace impl: external, no edge.
+    }
+
+    /// Total resolved edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Function indices matching a (possibly qualified) entry name.
+    fn lookup(&self, qname: &str) -> Vec<usize> {
+        if let Some(v) = self.by_qname.get(qname) {
+            return v.clone();
+        }
+        self.by_name.get(qname).cloned().unwrap_or_default()
+    }
+
+    /// BFS from `starts`; returns, for every reachable fn, the index it
+    /// was first reached from (`usize::MAX` for the starts themselves).
+    fn reach_from(&self, starts: &[usize]) -> HashMap<usize, usize> {
+        let mut parent: HashMap<usize, usize> = HashMap::new();
+        let mut q: VecDeque<usize> = VecDeque::new();
+        for &s in starts {
+            if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(s) {
+                e.insert(usize::MAX);
+                q.push_back(s);
+            }
+        }
+        while let Some(i) = q.pop_front() {
+            for &t in &self.edges[i] {
+                if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(t) {
+                    e.insert(i);
+                    q.push_back(t);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The set of functions that can (transitively) reach any of
+    /// `targets` — a reverse BFS.
+    fn reaching_set(&self, targets: &HashSet<usize>) -> HashMap<usize, usize> {
+        // next[i] = the callee through which i reaches a target.
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); self.fns.len()];
+        for (i, outs) in self.edges.iter().enumerate() {
+            for &t in outs {
+                rev[t].push(i);
+            }
+        }
+        let mut next: HashMap<usize, usize> = HashMap::new();
+        let mut q: VecDeque<usize> = VecDeque::new();
+        for &t in targets {
+            next.insert(t, usize::MAX);
+            q.push_back(t);
+        }
+        while let Some(i) = q.pop_front() {
+            for &caller in &rev[i] {
+                if let std::collections::hash_map::Entry::Vacant(e) = next.entry(caller) {
+                    e.insert(i);
+                    q.push_back(caller);
+                }
+            }
+        }
+        next
+    }
+
+    /// Renders `entry → ... → fn` following BFS parents.
+    fn chain_to(&self, parent: &HashMap<usize, usize>, mut i: usize) -> String {
+        let mut names = vec![self.fns[i].qname.clone()];
+        while let Some(&p) = parent.get(&i) {
+            if p == usize::MAX {
+                break;
+            }
+            names.push(self.fns[p].qname.clone());
+            i = p;
+        }
+        names.reverse();
+        names.join(" → ")
+    }
+
+    /// Finds a waiver covering `line` in the file of fn `i`, for any of
+    /// `rules`; site-level first, then a fn-level waiver on the fn's
+    /// signature line. Marks the waiver used.
+    fn waived(&self, i: usize, line: u32, rules: &[&str]) -> Option<String> {
+        let f = &self.files[self.fn_file[i]];
+        let d = self.fns[i];
+        for w in &f.waivers {
+            if rules.contains(&w.rule.as_str()) && w.line_start <= line && line <= w.line_end {
+                w.used.set(true);
+                return Some(w.reason.clone());
+            }
+        }
+        // Fn-level: a waiver covering the `fn` signature line covers
+        // the whole body (lexical `panic` waivers stay site-level).
+        for w in &f.waivers {
+            if rules.contains(&w.rule.as_str())
+                && w.rule != RULE_PANIC
+                && w.line_start <= d.line
+                && d.line <= w.line_end
+            {
+                w.used.set(true);
+                return Some(w.reason.clone());
+            }
+        }
+        None
+    }
+}
+
+/// Runs all four graph rules.
+pub fn analyze(files: &[FileData], config: &GraphConfig) -> GraphOutcome {
+    let g = CallGraph::build(files, config);
+    let mut out = GraphOutcome {
+        functions: g.fns.len(),
+        edges: g.edge_count(),
+        ..GraphOutcome::default()
+    };
+    panic_reachability(&g, config, &mut out);
+    alloc_freedom(&g, config, &mut out);
+    lock_discipline(&g, config, &mut out);
+    bounded_growth(&g, config, &mut out);
+    out
+}
+
+/// Rule `panic_path`: every panic site transitively reachable from a
+/// declared entry point, with one example call chain.
+fn panic_reachability(g: &CallGraph<'_>, config: &GraphConfig, out: &mut GraphOutcome) {
+    for e in &config.panic_entries {
+        let starts = g.lookup(&e.qname);
+        let parent = g.reach_from(&starts);
+        let mut count = 0u64;
+        let mut chains: Vec<String> = Vec::new();
+        // Deterministic order: by function definition, then site line.
+        let mut reached: Vec<usize> = parent.keys().copied().collect();
+        reached.sort_unstable_by_key(|&i| (&g.fns[i].file, g.fns[i].line));
+        for i in reached {
+            let d = g.fns[i];
+            for s in &d.sites {
+                if !s.kind.is_panic() {
+                    continue;
+                }
+                let waived = g.waived(i, s.line, &[RULE_PANIC_PATH, RULE_PANIC]);
+                let chain = g.chain_to(&parent, i);
+                if waived.is_none() {
+                    count += 1;
+                    if chains.len() < 3 {
+                        chains.push(format!("{chain} → {} ({}:{})", s.what, d.file, s.line));
+                    }
+                }
+                out.violations.push(Violation {
+                    rule: RULE_PANIC_PATH,
+                    file: d.file.clone(),
+                    line: s.line,
+                    message: format!(
+                        "panic site {} reachable from entry `{}` via {}",
+                        s.what, e.qname, chain
+                    ),
+                    waived,
+                });
+            }
+        }
+        out.entry_counts.insert(e.qname.clone(), count);
+        out.entry_chains.insert(e.qname.clone(), chains);
+    }
+}
+
+/// Rule `alloc_free`: no allocating construct reachable from the driver
+/// poll loop, unless waived.
+fn alloc_freedom(g: &CallGraph<'_>, config: &GraphConfig, out: &mut GraphOutcome) {
+    for e in &config.alloc_entries {
+        let starts = g.lookup(e);
+        let parent = g.reach_from(&starts);
+        let mut reached: Vec<usize> = parent.keys().copied().collect();
+        reached.sort_unstable_by_key(|&i| (&g.fns[i].file, g.fns[i].line));
+        for i in reached {
+            let d = g.fns[i];
+            for s in &d.sites {
+                if s.kind != SiteKind::Alloc {
+                    continue;
+                }
+                let waived = g.waived(i, s.line, &[RULE_ALLOC_FREE]);
+                let chain = g.chain_to(&parent, i);
+                out.violations.push(Violation {
+                    rule: RULE_ALLOC_FREE,
+                    file: d.file.clone(),
+                    line: s.line,
+                    message: format!(
+                        "allocating construct {} reachable from poll entry `{e}` via {chain}",
+                        s.what
+                    ),
+                    waived,
+                });
+            }
+        }
+    }
+}
+
+/// Rule `lock_discipline`: no call that reaches a polling-shim syscall
+/// wrapper while the net driver lock is lexically held.
+fn lock_discipline(g: &CallGraph<'_>, config: &GraphConfig, out: &mut GraphOutcome) {
+    // Seeds: shim functions that invoke a raw syscall symbol directly.
+    let mut seeds: HashSet<usize> = HashSet::new();
+    for (i, d) in g.fns.iter().enumerate() {
+        if d.crate_name != config.syscall_crate {
+            continue;
+        }
+        for c in &d.calls {
+            if let Some(last) = c.path.last() {
+                if config.syscall_symbols.iter().any(|s| s == last) {
+                    seeds.insert(i);
+                    break;
+                }
+            }
+        }
+    }
+    let reaches_syscall = g.reaching_set(&seeds);
+    for (i, d) in g.fns.iter().enumerate() {
+        if !config.lock_crates.contains(&d.crate_name) {
+            continue;
+        }
+        for c in &d.calls {
+            if !c.in_lock {
+                continue;
+            }
+            let mut targets = Vec::new();
+            g.resolve(&d.crate_name, &c.path, c.method, &mut targets);
+            let Some(&hit) = targets.iter().find(|t| reaches_syscall.contains_key(t)) else {
+                continue;
+            };
+            // Chain from the called fn down to the syscall seed.
+            let mut chain = vec![g.fns[hit].qname.clone()];
+            let mut cur = hit;
+            while let Some(&n) = reaches_syscall.get(&cur) {
+                if n == usize::MAX {
+                    break;
+                }
+                chain.push(g.fns[n].qname.clone());
+                cur = n;
+            }
+            let waived = g.waived(i, c.line, &[RULE_LOCK_DISCIPLINE]);
+            out.violations.push(Violation {
+                rule: RULE_LOCK_DISCIPLINE,
+                file: d.file.clone(),
+                line: c.line,
+                message: format!(
+                    "call under the driver lock reaches a syscall wrapper: {} (in `{}`)",
+                    chain.join(" → "),
+                    d.qname
+                ),
+                waived,
+            });
+        }
+    }
+}
+
+/// Rule `bounded_growth`: growable collection fields in long-lived
+/// structs must carry a `// bounded: <how>` annotation (or a waiver).
+fn bounded_growth(g: &CallGraph<'_>, config: &GraphConfig, out: &mut GraphOutcome) {
+    // Containment closure from the roots, within the bounded crates.
+    let by_name: HashMap<&str, Vec<usize>> = {
+        let mut m: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, s) in g.structs.iter().enumerate() {
+            m.entry(s.name.as_str()).or_default().push(i);
+        }
+        m
+    };
+    let mut long_lived: HashSet<usize> = HashSet::new();
+    let mut q: VecDeque<usize> = VecDeque::new();
+    for root in &config.long_lived_roots {
+        for &i in by_name.get(root.as_str()).into_iter().flatten() {
+            if long_lived.insert(i) {
+                q.push_back(i);
+            }
+        }
+    }
+    while let Some(i) = q.pop_front() {
+        for f in &g.structs[i].fields {
+            for ty in &f.type_idents {
+                for &c in by_name.get(ty.as_str()).into_iter().flatten() {
+                    if long_lived.insert(c) {
+                        q.push_back(c);
+                    }
+                }
+            }
+        }
+    }
+    let mut ordered: Vec<usize> = long_lived.into_iter().collect();
+    ordered.sort_unstable_by_key(|&i| (&g.structs[i].file, g.structs[i].line));
+    for i in ordered {
+        let s = g.structs[i];
+        if !config.bounded_crates.contains(&s.crate_name) {
+            continue;
+        }
+        let Some(fd) = g
+            .files
+            .iter()
+            .find(|f| f.rel == s.file)
+        else {
+            continue;
+        };
+        for field in &s.fields {
+            if !field.type_idents.iter().any(|t| GROWABLE_TYPES.contains(&t.as_str())) {
+                continue;
+            }
+            if bounded_annotated(&fd.comments, field.line) {
+                continue;
+            }
+            let waived = fd
+                .waivers
+                .iter()
+                .find(|w| {
+                    w.rule == RULE_BOUNDED_GROWTH
+                        && w.line_start <= field.line
+                        && field.line <= w.line_end
+                })
+                .map(|w| {
+                    w.used.set(true);
+                    w.reason.clone()
+                });
+            out.violations.push(Violation {
+                rule: RULE_BOUNDED_GROWTH,
+                file: s.file.clone(),
+                line: field.line,
+                message: format!(
+                    "field `{}.{}` is a growable collection in a long-lived struct — \
+                     document its cap with `// bounded: <how>` or waive",
+                    s.name, field.name
+                ),
+                waived,
+            });
+        }
+    }
+}
+
+/// True when a `bounded:` annotation covers `line`: on the line itself
+/// or in the contiguous comment run directly above (same policy as
+/// `// SAFETY:` audits).
+fn bounded_annotated(comments: &[Comment], line: u32) -> bool {
+    let on = |l: u32| comments.iter().find(|c| c.line_start <= l && l <= c.line_end);
+    if on(line).is_some_and(|c| c.text.contains("bounded:")) {
+        return true;
+    }
+    let mut cur = line.saturating_sub(1);
+    while let Some(c) = on(cur) {
+        if c.text.contains("bounded:") {
+            return true;
+        }
+        if c.line_start == 0 {
+            break;
+        }
+        cur = c.line_start - 1;
+    }
+    false
+}

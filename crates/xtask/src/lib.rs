@@ -1,7 +1,9 @@
 //! `swim-lint`: the workspace's custom static-analysis pass.
 //!
 //! Run as `cargo run -p xtask -- lint`. The pass machine-enforces the
-//! architectural invariants the repo otherwise only documents:
+//! architectural invariants the repo otherwise only documents.
+//!
+//! **Lexical rules** (v1, token-stream level):
 //!
 //! 1. **Sans-I/O layering** (`layering`) — `crates/core`, `crates/proto`
 //!    and `crates/sim` may not touch sockets, threads, wall clocks, or
@@ -9,8 +11,7 @@
 //!    randomness through the seeded shim.
 //! 2. **Panic-freedom on wire paths** (`panic`) — no `unwrap` /
 //!    `expect` / `panic!` / `unreachable!` in non-test code of
-//!    core/net/proto, ratcheted by `analysis/baseline.toml` (counts may
-//!    only go down; proto and net are pinned at zero).
+//!    core/net/proto/metrics, ratcheted by `analysis/baseline.toml`.
 //! 3. **Unsafe hygiene** (`unsafe_safety`) — every `unsafe` needs an
 //!    adjacent `// SAFETY:` comment.
 //! 4. **FFI confinement** (`ffi`) — `extern "C"` lives only in
@@ -18,35 +19,47 @@
 //! 5. **Lossy casts** (`lossy_cast`) — narrowing `as` casts on
 //!    FFI/codec paths are flagged unless waived.
 //!
+//! **Call-graph rules** (v2, whole-workspace — see
+//! [`graph`] and `docs/ANALYSIS.md`):
+//!
+//! 6. **Panic reachability** (`panic_path`) — every transitive path
+//!    from a declared entry point to a panic site, with an example call
+//!    chain; ratcheted per entry point, wire entries pinned at zero.
+//! 7. **Static alloc-freedom** (`alloc_free`) — nothing reachable from
+//!    the driver poll loop may allocate.
+//! 8. **Lock discipline** (`lock_discipline`) — no call that reaches a
+//!    polling-shim syscall wrapper while the net driver lock is held.
+//! 9. **Bounded growth** (`bounded_growth`) — growable collection
+//!    fields of long-lived structs must document their cap.
+//!
 //! Any rule finding can be waived inline with
 //! `// lint: allow(<rule>) — <reason>`; the reason is mandatory and
 //! stale waivers are reported. Results are printed as a table and
-//! written to `target/ANALYSIS.json` for trend tooling.
-//!
-//! See `docs/ANALYSIS.md` for the full rule catalog and how to add a
-//! rule.
+//! written to `target/ANALYSIS.json` (schema 2) and
+//! `target/ANALYSIS.sarif` (SARIF 2.1.0) for trend tooling and
+//! code-scanning UIs.
 
 pub mod baseline;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 
 use std::path::{Path, PathBuf};
 
 use baseline::Baseline;
+use graph::{FileData, GraphConfig};
 use report::Report;
-use rules::RULE_PANIC;
+use rules::{RULE_PANIC, RULE_PANIC_PATH};
 
 /// Directory names never descended into during the workspace walk.
 /// `fixtures` holds the analyzer's own known-violation test inputs.
 const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "node_modules"];
 
-/// Walks `root` and analyzes every `.rs` file, in path order.
-///
-/// # Errors
-///
-/// Propagates filesystem errors from the walk or file reads.
-pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
+/// Walks `root` collecting every `.rs` file, in path order.
+fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files: Vec<PathBuf> = Vec::new();
     let mut stack = vec![root.to_path_buf()];
     while let Some(dir) = stack.pop() {
@@ -65,8 +78,7 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
         }
     }
     files.sort();
-
-    let mut report = Report::default();
+    let mut out = Vec::with_capacity(files.len());
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -76,12 +88,74 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
             .collect::<Vec<_>>()
             .join("/");
         let src = std::fs::read_to_string(&path)?;
-        let (violations, unused) = rules::analyze_file(&rel, &src);
-        report.violations.extend(violations);
-        report.unused_waivers += unused;
-        report.files += 1;
+        out.push((rel, src));
     }
-    Ok(report)
+    Ok(out)
+}
+
+/// Analyzes in-memory sources: lexical rules, then the whole-workspace
+/// call-graph pass. Stale waivers are counted only after **both**
+/// passes had a chance to use them. Exposed (rather than only the
+/// filesystem walk) so fixture tests can assemble mini-workspaces.
+pub fn analyze_sources(sources: &[(String, String)], config: &GraphConfig) -> Report {
+    let mut report = Report::default();
+    let mut data: Vec<FileData> = Vec::with_capacity(sources.len());
+    for (rel, src) in sources {
+        let lexed = lexer::lex(src);
+        let class = rules::classify(rel);
+        // The analyzer's own sources document the waiver syntax in
+        // prose and carry intentionally-panicking test fixtures in
+        // unit tests; it is not subject to the graph rules either.
+        let waivers = if class.crate_name == "xtask" {
+            let (violations, _) = rules::analyze_lexed(rel, &lexed);
+            report.violations.extend(violations);
+            report.files += 1;
+            continue;
+        } else {
+            let (violations, waivers) = rules::analyze_lexed(rel, &lexed);
+            report.violations.extend(violations);
+            report.files += 1;
+            waivers
+        };
+        let ranges = rules::test_ranges(&lexed);
+        let parsed = parser::parse(rel, &class, &lexed, &ranges);
+        data.push(FileData {
+            rel: rel.clone(),
+            class,
+            parsed,
+            waivers,
+            comments: lexed.comments,
+        });
+    }
+
+    let outcome = graph::analyze(&data, config);
+    report.violations.extend(outcome.violations);
+    report.graph_functions = outcome.functions;
+    report.graph_edges = outcome.edges;
+    report.entry_counts = outcome.entry_counts;
+    report.entry_chains = outcome.entry_chains;
+
+    // Stale-waiver accounting, after every pass marked what it used.
+    for f in &data {
+        for w in f.waivers.iter().filter(|w| !w.used.get()) {
+            report
+                .stale_waivers
+                .push((f.rel.clone(), w.line_start, w.rule.clone()));
+        }
+    }
+    report.unused_waivers = report.stale_waivers.len();
+    report
+}
+
+/// Walks `root` and analyzes every `.rs` file with the workspace
+/// configuration.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the walk or file reads.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
+    let sources = collect_sources(root)?;
+    Ok(analyze_sources(&sources, &GraphConfig::workspace()))
 }
 
 /// Everything `lint` decided, for the caller to print/exit on.
@@ -92,23 +166,30 @@ pub struct LintOutcome {
     pub failures: Vec<String>,
     /// The JSON document that was (or would be) written.
     pub json: String,
+    /// The SARIF 2.1.0 document that was (or would be) written.
+    pub sarif: String,
 }
 
-/// Runs the full lint over `root`: analyze, apply the panic ratchet,
-/// and render the JSON report. With `update_baseline`, a shrunken
-/// panic count rewrites `analysis/baseline.toml` instead of failing.
+/// Runs the full lint over `root`: analyze, apply both panic ratchets,
+/// and render the JSON/SARIF reports. With `update_baseline`, a
+/// shrunken count rewrites `analysis/baseline.toml` instead of
+/// failing.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors; a corrupt baseline file is a gate
 /// failure, not an error.
 pub fn run_lint(root: &Path, update_baseline: bool) -> std::io::Result<LintOutcome> {
-    let report = analyze_workspace(root)?;
+    let config = GraphConfig::workspace();
+    let sources = collect_sources(root)?;
+    let report = analyze_sources(&sources, &config);
     let mut failures = Vec::new();
 
-    // Zero-tolerance rules: anything active fails.
+    // Zero-tolerance rules: anything active fails. The two ratcheted
+    // rules (lexical `panic`, per-entry `panic_path`) are handled
+    // below.
     for rule in rules::ALL_RULES {
-        if rule == RULE_PANIC {
+        if rule == RULE_PANIC || rule == RULE_PANIC_PATH {
             continue;
         }
         let n = report.active(rule).count();
@@ -117,7 +198,6 @@ pub fn run_lint(root: &Path, update_baseline: bool) -> std::io::Result<LintOutco
         }
     }
 
-    // The panic ratchet.
     let baseline = match Baseline::load(root) {
         Ok(b) => b,
         Err(e) => {
@@ -125,10 +205,12 @@ pub fn run_lint(root: &Path, update_baseline: bool) -> std::io::Result<LintOutco
             Baseline::default()
         }
     };
-    let counts = report.panic_counts();
     let baseline_exists = root.join(baseline::BASELINE_PATH).exists();
     let mut ratcheted = baseline.clone();
     let mut rewrite = false;
+
+    // The legacy per-crate lexical panic ratchet.
+    let counts = report.panic_counts();
     let mut crates: Vec<String> = baseline.panic.keys().chain(counts.keys()).cloned().collect();
     crates.sort();
     crates.dedup();
@@ -151,7 +233,13 @@ pub fn run_lint(root: &Path, update_baseline: bool) -> std::io::Result<LintOutco
             }
         } else if have < base {
             rewrite = true;
-            ratcheted.panic.insert(name.clone(), have);
+            if have == 0 {
+                // A crate that reaches zero drops out of the legacy
+                // section entirely; zero is the default.
+                ratcheted.panic.remove(&name);
+            } else {
+                ratcheted.panic.insert(name.clone(), have);
+            }
             if !update_baseline {
                 failures.push(format!(
                     "panic ratchet: crate `{name}` is down to {have} site(s) but the baseline \
@@ -160,15 +248,63 @@ pub fn run_lint(root: &Path, update_baseline: bool) -> std::io::Result<LintOutco
             }
         }
     }
+
+    // The per-entry-point panic-path ratchet. Wire entries are pinned
+    // at zero no matter what the baseline says.
+    for entry in &config.panic_entries {
+        let have = report.entry_counts.get(&entry.qname).copied().unwrap_or(0);
+        let base = baseline.panic_paths.get(&entry.qname).copied().unwrap_or(0);
+        if entry.wire && have > 0 {
+            failures.push(format!(
+                "panic paths: wire entry `{}` reaches {have} unwaived panic site(s) — wire \
+                 entries are pinned at zero; untrusted bytes must never panic an agent",
+                entry.qname
+            ));
+            continue;
+        }
+        let known = baseline.panic_paths.contains_key(&entry.qname);
+        if have > base {
+            // Bootstrap: `--update-baseline` may seed a *missing*
+            // (non-wire) entry key, but never raise a recorded one.
+            if update_baseline && !known && !entry.wire {
+                rewrite = true;
+                ratcheted.panic_paths.insert(entry.qname.clone(), have);
+            } else {
+                failures.push(format!(
+                    "panic paths: entry `{}` reaches {have} unwaived panic site(s), baseline \
+                     allows {base} — break the path, or waive the site with a reason",
+                    entry.qname
+                ));
+            }
+        } else if have < base {
+            rewrite = true;
+            ratcheted.panic_paths.insert(entry.qname.clone(), have);
+            if !update_baseline {
+                failures.push(format!(
+                    "panic paths: entry `{}` is down to {have} reachable site(s) but the \
+                     baseline says {base} — run `cargo run -p xtask -- lint --update-baseline`",
+                    entry.qname
+                ));
+            }
+        } else if !known && update_baseline {
+            // Record the (stable) count so the trend tooling has an
+            // explicit per-entry row to diff against.
+            rewrite = true;
+            ratcheted.panic_paths.insert(entry.qname.clone(), have);
+        }
+    }
+
     if update_baseline && rewrite {
         std::fs::create_dir_all(root.join("analysis"))?;
         std::fs::write(root.join(baseline::BASELINE_PATH), ratcheted.render())?;
     }
 
-    let json = report.render_json(&baseline.panic, failures.is_empty());
+    let json = report.render_json(&baseline, failures.is_empty());
+    let sarif = sarif::render_sarif(&report);
     Ok(LintOutcome {
         report,
         failures,
         json,
+        sarif,
     })
 }

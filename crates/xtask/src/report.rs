@@ -15,6 +15,18 @@ pub struct Report {
     /// Waivers that matched nothing (stale — surfaced so they get
     /// deleted instead of rotting).
     pub unused_waivers: usize,
+    /// Location and rule of each stale waiver, so the warning is
+    /// actionable: `(file, line, rule)`.
+    pub stale_waivers: Vec<(String, u32, String)>,
+    /// Call-graph size: non-test functions in the symbol table.
+    pub graph_functions: usize,
+    /// Call-graph size: resolved call edges.
+    pub graph_edges: usize,
+    /// Per-entry-point count of unwaived reachable panic sites (the
+    /// `panic_path` ratchet input).
+    pub entry_counts: BTreeMap<String, u64>,
+    /// Example call chains per entry point (up to three each).
+    pub entry_chains: BTreeMap<String, Vec<String>>,
 }
 
 impl Report {
@@ -45,16 +57,29 @@ impl Report {
     /// The per-rule summary table plus a listing of active violations.
     pub fn render_table(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "swim-lint: {} files analyzed", self.files);
-        let _ = writeln!(s, "{:<14} {:>8} {:>8}", "rule", "active", "waived");
-        let _ = writeln!(s, "{:-<14} {:->8} {:->8}", "", "", "");
+        let _ = writeln!(
+            s,
+            "swim-lint: {} files analyzed, call graph: {} fns / {} edges",
+            self.files, self.graph_functions, self.graph_edges
+        );
+        let _ = writeln!(s, "{:<16} {:>8} {:>8}", "rule", "active", "waived");
+        let _ = writeln!(s, "{:-<16} {:->8} {:->8}", "", "", "");
         for rule in ALL_RULES {
             let active = self.active(rule).count();
             let waived = self.waived(rule).count();
-            let _ = writeln!(s, "{rule:<14} {active:>8} {waived:>8}");
+            let _ = writeln!(s, "{rule:<16} {active:>8} {waived:>8}");
+        }
+        for (entry, count) in &self.entry_counts {
+            let _ = writeln!(s, "panic paths from `{entry}`: {count}");
+            for chain in self.entry_chains.get(entry).into_iter().flatten() {
+                let _ = writeln!(s, "    e.g. {chain}");
+            }
         }
         if self.unused_waivers > 0 {
             let _ = writeln!(s, "warning: {} stale waiver(s) match nothing", self.unused_waivers);
+            for (file, line, rule) in &self.stale_waivers {
+                let _ = writeln!(s, "    {file}:{line}: allow({rule})");
+            }
         }
         let mut active: Vec<&Violation> = self
             .violations
@@ -69,13 +94,42 @@ impl Report {
     }
 
     /// The machine-readable report (`target/ANALYSIS.json`): per-rule
-    /// counts, the panic ratchet inputs, and every active violation.
-    pub fn render_json(&self, baseline: &BTreeMap<String, u64>, passed: bool) -> String {
-        let mut s = String::from("{\n  \"schema\": 1,\n");
+    /// counts, both panic ratchet inputs, the call-graph summary, and
+    /// every active violation.
+    pub fn render_json(&self, baseline: &crate::baseline::Baseline, passed: bool) -> String {
+        let mut s = String::from("{\n  \"schema\": 2,\n");
         let _ = writeln!(s, "  \"passed\": {passed},");
         let _ = writeln!(s, "  \"files_analyzed\": {},", self.files);
         let _ = writeln!(s, "  \"unused_waivers\": {},", self.unused_waivers);
-        s.push_str("  \"rules\": {\n");
+        let _ = writeln!(
+            s,
+            "  \"call_graph\": {{\"functions\": {}, \"edges\": {}}},",
+            self.graph_functions, self.graph_edges
+        );
+        s.push_str("  \"entry_points\": {\n");
+        let entries: Vec<&String> = self.entry_counts.keys().collect();
+        for (i, entry) in entries.iter().enumerate() {
+            let comma = if i + 1 == entries.len() { "" } else { "," };
+            let chains = self.entry_chains.get(entry.as_str());
+            let chains_json = chains
+                .into_iter()
+                .flatten()
+                .map(|c| format!("\"{}\"", json_escape(c)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(
+                s,
+                "    \"{}\": {{\"panic_paths\": {}, \"baseline\": {}, \"examples\": [{chains_json}]}}{comma}",
+                json_escape(entry),
+                self.entry_counts.get(entry.as_str()).copied().unwrap_or(0),
+                baseline
+                    .panic_paths
+                    .get(entry.as_str())
+                    .copied()
+                    .unwrap_or(0)
+            );
+        }
+        s.push_str("  },\n  \"rules\": {\n");
         for (i, rule) in ALL_RULES.iter().enumerate() {
             let comma = if i + 1 == ALL_RULES.len() { "" } else { "," };
             let _ = writeln!(
@@ -87,7 +141,7 @@ impl Report {
         }
         s.push_str("  },\n  \"panic_ratchet\": {\n");
         let counts = self.panic_counts();
-        let crates: Vec<&String> = baseline.keys().chain(counts.keys()).collect();
+        let crates: Vec<&String> = baseline.panic.keys().chain(counts.keys()).collect();
         let mut crates: Vec<&String> = crates;
         crates.sort();
         crates.dedup();
@@ -98,7 +152,7 @@ impl Report {
                 "    \"{}\": {{\"count\": {}, \"baseline\": {}}}{comma}",
                 json_escape(name),
                 counts.get(name.as_str()).copied().unwrap_or(0),
-                baseline.get(name.as_str()).copied().unwrap_or(0)
+                baseline.panic.get(name.as_str()).copied().unwrap_or(0)
             );
         }
         s.push_str("  },\n  \"violations\": [\n");

@@ -16,15 +16,24 @@ pub const RULE_UNSAFE: &str = "unsafe_safety";
 pub const RULE_FFI: &str = "ffi";
 pub const RULE_LOSSY_CAST: &str = "lossy_cast";
 pub const RULE_WAIVER: &str = "waiver";
+/// Call-graph rules (see [`graph`](crate::graph)).
+pub const RULE_PANIC_PATH: &str = "panic_path";
+pub const RULE_ALLOC_FREE: &str = "alloc_free";
+pub const RULE_LOCK_DISCIPLINE: &str = "lock_discipline";
+pub const RULE_BOUNDED_GROWTH: &str = "bounded_growth";
 
 /// All rules, for reports and waiver validation.
-pub const ALL_RULES: [&str; 6] = [
+pub const ALL_RULES: [&str; 10] = [
     RULE_LAYERING,
     RULE_PANIC,
     RULE_UNSAFE,
     RULE_FFI,
     RULE_LOSSY_CAST,
     RULE_WAIVER,
+    RULE_PANIC_PATH,
+    RULE_ALLOC_FREE,
+    RULE_LOCK_DISCIPLINE,
+    RULE_BOUNDED_GROWTH,
 ];
 
 /// `extern "C"` symbols the FFI rule accepts, all of them confined to
@@ -82,23 +91,25 @@ pub fn classify(rel: &str) -> FileClass {
     }
 }
 
-/// A parsed inline waiver.
+/// A parsed inline waiver. Public so the call-graph pass can honor
+/// waivers for its rules after the lexical pass ran; `used` is a `Cell`
+/// so both passes can mark coverage before stale waivers are counted.
 #[derive(Debug, Clone)]
-struct Waiver {
-    rule: String,
-    reason: String,
+pub struct Waiver {
+    pub rule: String,
+    pub reason: String,
     /// Lines the waiver covers: its comment's own span plus the first
     /// code line after it.
-    line_start: u32,
-    line_end: u32,
-    used: std::cell::Cell<bool>,
+    pub line_start: u32,
+    pub line_end: u32,
+    pub used: std::cell::Cell<bool>,
 }
 
 /// Parses `lint: allow(<rule>) <sep> <reason>` out of a comment.
 /// Malformed waivers (unknown rule, missing reason) are violations of
 /// the `waiver` rule — a waiver that silently fails to parse would
 /// otherwise *look* like coverage.
-fn parse_waivers(comments: &[Comment], file: &str, bad: &mut Vec<Violation>) -> Vec<Waiver> {
+pub fn parse_waivers(comments: &[Comment], file: &str, bad: &mut Vec<Violation>) -> Vec<Waiver> {
     let mut out = Vec::new();
     for c in comments {
         let Some(pos) = c.text.find("lint: allow(") else {
@@ -152,8 +163,9 @@ fn parse_waivers(comments: &[Comment], file: &str, bad: &mut Vec<Violation>) -> 
 }
 
 /// Line ranges occupied by `#[cfg(test)]` / `#[test]`-attributed items
-/// (the item body is skipped by test-scoped rules).
-fn test_ranges(lexed: &LexedFile) -> Vec<(u32, u32)> {
+/// (the item body is skipped by test-scoped rules, and functions inside
+/// them are excluded from the call graph).
+pub fn test_ranges(lexed: &LexedFile) -> Vec<(u32, u32)> {
     let toks = &lexed.tokens;
     let mut ranges = Vec::new();
     let mut i = 0;
@@ -257,9 +269,22 @@ fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
 
 /// Analyzes one file's source, returning all findings (waived findings
 /// carry their reason) plus the count of declared-but-unused waivers.
+///
+/// This is the lexical-rules-only convenience wrapper (fixture tests
+/// use it); the workspace walk lexes once and feeds
+/// [`analyze_lexed`] + the parser + the graph pass, counting unused
+/// waivers only after every pass had a chance to use them.
 pub fn analyze_file(rel_path: &str, src: &str) -> (Vec<Violation>, usize) {
-    let class = classify(rel_path);
     let lexed = lex(src);
+    let (violations, waivers) = analyze_lexed(rel_path, &lexed);
+    let unused = waivers.iter().filter(|w| !w.used.get()).count();
+    (violations, unused)
+}
+
+/// Runs the lexical rules over an already-lexed file, returning the
+/// findings plus the parsed waivers (with lexical coverage marked).
+pub fn analyze_lexed(rel_path: &str, lexed: &LexedFile) -> (Vec<Violation>, Vec<Waiver>) {
+    let class = classify(rel_path);
     let mut violations: Vec<Violation> = Vec::new();
     // The analyzer's own sources document the waiver syntax in prose;
     // don't parse those mentions as (malformed) waivers. No rule is
@@ -269,7 +294,7 @@ pub fn analyze_file(rel_path: &str, src: &str) -> (Vec<Violation>, usize) {
     } else {
         parse_waivers(&lexed.comments, rel_path, &mut violations)
     };
-    let excluded = test_ranges(&lexed);
+    let excluded = test_ranges(lexed);
 
     let mut push = |rule: &'static str, line: u32, message: String| {
         let waived = waivers
@@ -441,8 +466,7 @@ pub fn analyze_file(rel_path: &str, src: &str) -> (Vec<Violation>, usize) {
         }
     }
 
-    let unused_waivers = waivers.iter().filter(|w| !w.used.get()).count();
-    (violations, unused_waivers)
+    (violations, waivers)
 }
 
 #[cfg(test)]

@@ -1,0 +1,104 @@
+//! A minimal SARIF 2.1.0 emitter for the lint findings.
+//!
+//! SARIF is the interchange format code-scanning UIs ingest; emitting
+//! it lets CI surface swim-lint findings inline on diffs without any
+//! bespoke tooling. Only the subset the findings need is produced: one
+//! run, one `tool.driver` with the rule catalog, and one `result` per
+//! finding (active findings at `error` level, waived ones demoted to
+//! `note` with the waiver reason appended).
+
+use std::fmt::Write as _;
+
+use crate::report::{json_escape, Report};
+use crate::rules::ALL_RULES;
+
+/// Short human descriptions for the rule catalog.
+fn rule_description(rule: &str) -> &'static str {
+    match rule {
+        "layering" => "sans-I/O layering: no sockets, clocks, threads, or entropy in core crates",
+        "panic" => "lexical panic-freedom on wire-facing crates",
+        "unsafe_safety" => "every unsafe block needs an adjacent SAFETY audit",
+        "ffi" => "FFI confined to the polling shim's allowlisted symbols",
+        "lossy_cast" => "no unwaived narrowing casts on FFI/codec paths",
+        "waiver" => "waivers must parse, name a known rule, and give a reason",
+        "panic_path" => "no unwaived panic site reachable from a declared entry point",
+        "alloc_free" => "no allocating construct reachable from the driver poll loop",
+        "lock_discipline" => "no syscall-reaching call while the net driver lock is held",
+        "bounded_growth" => "growable fields of long-lived structs must document their cap",
+        _ => "swim-lint rule",
+    }
+}
+
+/// Renders the whole report as a SARIF 2.1.0 document.
+pub fn render_sarif(report: &Report) -> String {
+    let mut s = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"swim-lint\",\n          \
+         \"version\": \"2.0.0\",\n          \"informationUri\": \"docs/ANALYSIS.md\",\n          \
+         \"rules\": [\n",
+    );
+    for (i, rule) in ALL_RULES.iter().enumerate() {
+        let comma = if i + 1 == ALL_RULES.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "            {{\"id\": \"{rule}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{comma}",
+            json_escape(rule_description(rule))
+        );
+    }
+    s.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    let total = report.violations.len();
+    for (i, v) in report.violations.iter().enumerate() {
+        let comma = if i + 1 == total { "" } else { "," };
+        let (level, text) = match &v.waived {
+            Some(reason) => ("note", format!("{} [waived: {}]", v.message, reason)),
+            None => ("error", v.message.clone()),
+        };
+        let _ = writeln!(
+            s,
+            "        {{\"ruleId\": \"{}\", \"level\": \"{level}\", \"message\": {{\"text\": \
+             \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}{comma}",
+            v.rule,
+            json_escape(&text),
+            json_escape(&v.file),
+            v.line.max(1)
+        );
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Violation, RULE_PANIC_PATH};
+
+    #[test]
+    fn sarif_document_has_all_rules_and_levels() {
+        let mut r = Report::default();
+        r.violations.push(Violation {
+            rule: RULE_PANIC_PATH,
+            file: "crates/core/src/node.rs".into(),
+            line: 7,
+            message: "reachable \"panic\"".into(),
+            waived: None,
+        });
+        r.violations.push(Violation {
+            rule: RULE_PANIC_PATH,
+            file: "crates/core/src/node.rs".into(),
+            line: 9,
+            message: "reachable".into(),
+            waived: Some("by design".into()),
+        });
+        let doc = render_sarif(&r);
+        assert!(doc.contains("\"version\": \"2.1.0\""));
+        for rule in ALL_RULES {
+            assert!(doc.contains(&format!("\"id\": \"{rule}\"")), "{rule}");
+        }
+        assert!(doc.contains("\"level\": \"error\""));
+        assert!(doc.contains("\"level\": \"note\""));
+        assert!(doc.contains("reachable \\\"panic\\\""));
+        assert!(doc.contains("\"startLine\": 7"));
+    }
+}
