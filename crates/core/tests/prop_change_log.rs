@@ -1,0 +1,189 @@
+//! Property tests for the sharded membership change log under sustained
+//! churn.
+//!
+//! The change log backs delta anti-entropy (`changed_since`): each shard
+//! keeps a lazily compacted slice of `(update_seq, slot)` entries, and
+//! the merged feed must always return exactly the members changed after
+//! a cursor, newest first. Two properties matter at scale:
+//!
+//! 1. **Correctness under churn is shard-invariant**: any interleaving
+//!    of upserts, state flips, metadata updates and removals leaves
+//!    every shard's invariants intact and yields the same `changed_since`
+//!    feed at every shard count.
+//! 2. **The log is O(members), not O(history)**: sustained churn — many
+//!    updates per member — must not grow the log without bound. Lazy
+//!    compaction keeps each shard's slice within a constant factor of
+//!    its live membership, so a `changed_since` scan is proportional to
+//!    actual change volume, never to the total number of stamps ever
+//!    issued.
+
+use proptest::prelude::*;
+
+use lifeguard_core::member::Member;
+use lifeguard_core::membership::Membership;
+use lifeguard_core::time::Time;
+use lifeguard_proto::{Incarnation, MemberState, NodeAddr, NodeName};
+
+fn name(i: usize) -> NodeName {
+    NodeName::from(format!("churn-{i}"))
+}
+
+fn member(i: usize, inc: u64) -> Member {
+    Member::new(
+        name(i),
+        NodeAddr::new([10, 1, (i >> 8) as u8, i as u8], 7946),
+        Incarnation(inc),
+        Time::ZERO,
+    )
+}
+
+/// One churn step against one membership table.
+#[derive(Clone, Debug)]
+enum Op {
+    Upsert { node: usize, inc: u64 },
+    Flip { node: usize, state: MemberState },
+    Touch { node: usize },
+    Remove { node: usize },
+}
+
+fn op_strategy(pool: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..pool, 0u64..4).prop_map(|(node, inc)| Op::Upsert { node, inc }),
+        (0..pool, prop_oneof![
+            Just(MemberState::Alive),
+            Just(MemberState::Suspect),
+            Just(MemberState::Dead),
+        ])
+        .prop_map(|(node, state)| Op::Flip { node, state }),
+        (0..pool).prop_map(|node| Op::Touch { node }),
+        // Upserts outnumber removals three-to-one structurally (via the
+        // variants above), keeping the table populated under churn.
+        (0..pool).prop_map(|node| Op::Remove { node }),
+    ]
+}
+
+fn apply(m: &mut Membership, op: &Op) {
+    match op {
+        Op::Upsert { node, inc } => {
+            m.upsert(member(*node, *inc));
+        }
+        Op::Flip { node, state } => {
+            m.set_state(&name(*node), *state, Time::from_secs(1));
+        }
+        Op::Touch { node } => {
+            m.update(&name(*node), |mb| {
+                mb.incarnation = Incarnation(mb.incarnation.0 + 1);
+            });
+        }
+        Op::Remove { node } => {
+            m.remove(&name(*node));
+        }
+    }
+}
+
+/// Upper bound on the retained change-log entries for one table: the
+/// per-shard lazy compaction triggers once a slice exceeds
+/// `max(64, 2 × shard members)`, so the whole table retains at most
+/// `shards × 64 + 2 × members` entries no matter how much history the
+/// churn generated. `changed_since(0)` visits at most one entry per
+/// retained stamp, so its cost is bounded by the same expression.
+fn log_bound(m: &Membership) -> usize {
+    m.shard_count() * 64 + 2 * m.len()
+}
+
+proptest! {
+    /// Sustained churn: correctness, shard-invariance and boundedness of
+    /// the change log, at shard counts 1, 4 and 16.
+    #[test]
+    fn change_log_stays_correct_and_compact_under_churn(
+        ops in proptest::collection::vec(op_strategy(48), 1..400),
+        cursor_frac in 0.0f64..1.0,
+    ) {
+        let mut tables: Vec<Membership> =
+            [1usize, 4, 16].iter().map(|&s| Membership::with_shards(s)).collect();
+        for op in &ops {
+            for m in &mut tables {
+                apply(m, op);
+            }
+            // Invariants hold mid-churn, not just at the end.
+            for m in &tables {
+                m.check_invariants();
+            }
+        }
+
+        let reference: Vec<(NodeName, u64)> = tables[0]
+            .changed_since(0)
+            .map(|mb| (mb.name.clone(), mb.updated_seq))
+            .collect();
+
+        for m in &tables {
+            // Feed identical at every shard count.
+            let feed: Vec<(NodeName, u64)> = m
+                .changed_since(0)
+                .map(|mb| (mb.name.clone(), mb.updated_seq))
+                .collect();
+            prop_assert_eq!(&feed, &reference);
+
+            // Newest-first, one entry per member, covering everything.
+            prop_assert!(feed.windows(2).all(|w| w[0].1 > w[1].1));
+            prop_assert_eq!(feed.len(), m.len());
+
+            // A mid-stream cursor returns exactly the strictly-newer slice.
+            let cursor = (m.update_seq() as f64 * cursor_frac) as u64;
+            let newer: Vec<u64> = m.changed_since(cursor).map(|mb| mb.updated_seq).collect();
+            let expect: Vec<u64> = reference
+                .iter()
+                .map(|(_, seq)| *seq)
+                .filter(|&seq| seq > cursor)
+                .collect();
+            prop_assert_eq!(newer, expect);
+        }
+
+        // Lazy compaction: retained log entries stay O(members) even
+        // though the churn issued `update_seq()` stamps in total.
+        for m in &tables {
+            prop_assert!(
+                m.retained_log_len() <= log_bound(m),
+                "log grew past its compaction bound: {} > {} (members {}, shards {}, stamps {})",
+                m.retained_log_len(),
+                log_bound(m),
+                m.len(),
+                m.shard_count(),
+                m.update_seq(),
+            );
+        }
+    }
+}
+
+/// Deterministic worst case: hammer a tiny member set with far more
+/// updates than the compaction threshold and check the log never grows
+/// with history length.
+#[test]
+fn log_length_is_independent_of_history_length() {
+    for shards in [1usize, 4, 16] {
+        let mut m = Membership::with_shards(shards);
+        for i in 0..8 {
+            m.upsert(member(i, 0));
+        }
+        let mut after_short = 0;
+        for round in 0..2000u64 {
+            for i in 0..8 {
+                m.update(&name(i), |mb| {
+                    mb.incarnation = Incarnation(mb.incarnation.0 + 1);
+                });
+            }
+            if round == 100 {
+                after_short = m.retained_log_len();
+            }
+        }
+        m.check_invariants();
+        let after_long = m.retained_log_len();
+        assert!(
+            after_long <= after_short.max(log_bound(&m)),
+            "shards={shards}: log kept growing with history ({after_short} -> {after_long})"
+        );
+        assert!(after_long <= log_bound(&m));
+        // The feed still reflects exactly the live members.
+        assert_eq!(m.changed_since(0).count(), 8);
+    }
+}

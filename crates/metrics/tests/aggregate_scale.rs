@@ -1,0 +1,91 @@
+//! Aggregation at 100k-member scale: folding one snapshot per member of
+//! a very large run into an [`Aggregate`] must stay linear — per-node
+//! work in `add` is O(1) (counter sums + fixed-width histogram merges)
+//! and rendering is a single pass. A quadratic regression (say, re-merge
+//! of all prior nodes per `add`, or repeated string reallocation per
+//! node in the report) would make the 100k simulation's metrics
+//! post-processing slower than the simulation itself.
+
+use std::time::Instant;
+
+use lifeguard_metrics::{Aggregate, Snapshot};
+
+/// A distinct snapshot for synthetic node `i`.
+fn snap_for(i: u64) -> Snapshot {
+    let mut s = Snapshot::default();
+    s.core.probes_sent = 100 + i % 7;
+    s.core.suspicions_raised = i % 3;
+    s.core.refutations = i % 2;
+    s.core.lhm = i % 5;
+    s.core.lhm_peak = i % 8;
+    s.core.probe_rtt.record(200 + (i % 900));
+    s.io.datagrams_sent = 1_000 + i;
+    s.io.datagram_bytes = 140_000 + i * 17;
+    s
+}
+
+fn aggregate_n(n: u64) -> (Aggregate, std::time::Duration) {
+    let start = Instant::now();
+    let mut agg = Aggregate::new();
+    for i in 0..n {
+        agg.add(&format!("node-{i}"), snap_for(i));
+    }
+    // Rendering both report forms is part of the per-run cost.
+    let json = agg.to_json();
+    let dash = agg.dashboard();
+    assert!(!json.is_empty() && !dash.is_empty());
+    (agg, start.elapsed())
+}
+
+#[test]
+fn hundred_thousand_snapshots_merge_correctly() {
+    let n = 100_000u64;
+    let start = Instant::now();
+    let mut agg = Aggregate::new();
+    for i in 0..n {
+        // Round-trip the binary `.snap` codec: this is the exact
+        // per-file path the `swim-metrics` binary takes.
+        let snap = Snapshot::decode(&snap_for(i).encode()).expect("self-encoded must decode");
+        agg.add(&format!("node-{i}"), snap);
+    }
+    assert!(!agg.to_json().is_empty() && !agg.dashboard().is_empty());
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs() < 60,
+        "aggregating 100k snapshots took {elapsed:?}"
+    );
+    assert_eq!(agg.len(), n as usize);
+    let merged = agg.merged();
+    // Counters sum exactly.
+    let want_probes: u64 = (0..n).map(|i| 100 + i % 7).sum();
+    assert_eq!(merged.core.probes_sent, want_probes);
+    let want_datagrams: u64 = (0..n).map(|i| 1_000 + i).sum();
+    assert_eq!(merged.io.datagrams_sent, want_datagrams);
+    // Gauges keep the worst value.
+    assert_eq!(merged.core.lhm_peak, 7);
+    // Histograms accumulate one sample per node.
+    assert_eq!(merged.core.probe_rtt.count(), n);
+}
+
+/// Growth guard: 4× the snapshots must cost far less than the ~16× a
+/// quadratic `add` (or report rendering) would show. The bound is loose
+/// (10×) to tolerate scheduler noise; the point is catching asymptotic
+/// regressions, not micro-variance.
+#[test]
+fn aggregation_scales_linearly() {
+    let time = |n: u64| {
+        (0..2)
+            .map(|_| aggregate_n(n).1)
+            .min()
+            .expect("two samples")
+    };
+    // Warm up allocators and caches before sampling.
+    let _ = aggregate_n(2_000);
+    let small = time(8_000);
+    let large = time(32_000);
+    let ratio = large.as_secs_f64() / small.as_secs_f64().max(1e-9);
+    assert!(
+        ratio < 10.0,
+        "4x snapshots cost {ratio:.1}x time ({small:?} -> {large:?}); aggregation is super-linear"
+    );
+}

@@ -6,25 +6,52 @@
 //! messages and timers are queued and processed the moment it resumes —
 //! exactly the observable behaviour of a process starved of CPU.
 //!
+//! # Execution model: lanes, windows, canonical commits
+//!
+//! Nodes are partitioned round-robin over per-node event lanes (the
+//! private `lane` module), each with its own event queue. The simulation
+//! advances in bounded *windows* no longer than the network's minimum
+//! one-way latency: within a window no lane can causally affect another,
+//! so lanes run independently — inline when `workers == 1`, on a scoped
+//! worker pool otherwise. Cross-node effects are buffered and *committed*
+//! between windows in the canonical order `(time, sending node, per-node
+//! sequence)`; network RNG draws, telemetry and trace appends all happen
+//! at commit. Because that order never depends on lane assignment or
+//! thread scheduling, a run is **byte-identical at any worker count**.
+//!
 //! The whole simulation is deterministic for a given
 //! [`ClusterBuilder::seed`]: node RNGs, network jitter and event ordering
 //! are all derived from it.
+//!
+//! # Phantom members
+//!
+//! Large-scale slices (tens of thousands of members) cannot afford a
+//! full driver per member. [`ClusterBuilder::phantom_members`] extends
+//! the roster with *phantoms*: members that exist in every real node's
+//! tables but are simulated by a canned responder that acks probes and
+//! swallows gossip. Real protocol work (tables, sampling, gossip fan-out,
+//! probe scheduling) runs against the full roster size while memory and
+//! CPU stay proportional to the real-node count.
 
 use std::collections::HashMap;
 use std::time::Duration;
 
 use bytes::Bytes;
+use crossbeam::channel;
 use lifeguard_core::config::Config;
-use lifeguard_core::driver::{Driver, OwnedOutput, Sink};
+use lifeguard_core::driver::Driver;
 use lifeguard_core::node::{Input, SwimNode};
-use lifeguard_proto::{codec, Message, NodeAddr, NodeName};
+use lifeguard_proto::{NodeAddr, NodeName};
 
 use crate::anomaly::AnomalySpec;
 use crate::clock::{SimDuration, SimTime};
-use crate::event_queue::EventQueue;
+use crate::lane::{EmitKind, Emission, Lane, LaneEvent, LaneSink, NodeSlot, Topology, TraceRecord};
 use crate::network::{Delivery, Network, NetworkConfig};
 use crate::telemetry::Telemetry;
 use crate::trace::Trace;
+
+/// UDP/TCP port every simulated member listens on.
+pub(crate) const SIM_PORT: u16 = 7946;
 
 /// An action injected into a running simulation.
 #[derive(Clone, Debug)]
@@ -66,124 +93,6 @@ pub enum SimAction {
     HealPartitions,
 }
 
-enum SimEvent {
-    Wake { node: usize },
-    Datagram { to: usize, from: NodeAddr, payload: Bytes },
-    Stream { to: usize, from: NodeAddr, msg: Message },
-    PauseStart { node: usize, until: SimTime },
-    PauseEnd { node: usize },
-}
-
-struct NodeSlot {
-    /// The protocol core behind the shared sans-I/O driver harness.
-    driver: Driver,
-    paused_until: Option<SimTime>,
-    crashed: bool,
-    wake_marker: Option<SimTime>,
-    /// Sends generated while paused ("block immediately before
-    /// sending"); flushed in order at the end of the anomaly.
-    outbox: Vec<OwnedOutput>,
-}
-
-/// The simulator's [`Sink`]: packets and stream messages enter the
-/// simulated network (or a paused node's outbox), events enter the
-/// trace. One instance is materialised per driver call from split
-/// borrows of the cluster's fields.
-struct SimSink<'a> {
-    from_idx: usize,
-    from_addr: NodeAddr,
-    now: SimTime,
-    paused: bool,
-    outbox: &'a mut Vec<OwnedOutput>,
-    queue: &'a mut EventQueue<SimEvent>,
-    network: &'a mut Network,
-    addr_to_idx: &'a HashMap<NodeAddr, usize>,
-    trace: &'a mut Trace,
-    telemetry: &'a mut Telemetry,
-}
-
-impl SimSink<'_> {
-    fn deliver_packet(&mut self, to: NodeAddr, payload: Bytes) {
-        self.telemetry.record_datagram(self.from_idx, payload.len());
-        let Some(&to_idx) = self.addr_to_idx.get(&to) else {
-            return; // address outside the simulation
-        };
-        match self.network.datagram(self.from_idx, to_idx) {
-            Delivery::Deliver(delay) => self.queue.push(
-                self.now + delay,
-                SimEvent::Datagram {
-                    to: to_idx,
-                    from: self.from_addr,
-                    payload,
-                },
-            ),
-            Delivery::Dropped => {}
-        }
-    }
-
-    fn deliver_stream(&mut self, to: NodeAddr, msg: Message) {
-        self.telemetry
-            .record_stream(self.from_idx, codec::encoded_len(&msg));
-        let Some(&to_idx) = self.addr_to_idx.get(&to) else {
-            return;
-        };
-        match self.network.stream(self.from_idx, to_idx) {
-            Delivery::Deliver(delay) => self.queue.push(
-                self.now + delay,
-                SimEvent::Stream {
-                    to: to_idx,
-                    from: self.from_addr,
-                    msg,
-                },
-            ),
-            Delivery::Dropped => {}
-        }
-    }
-
-    /// Dispatches a previously captured (outbox) output as if it were
-    /// produced now — used when a pause ends and the blocked sends are
-    /// released.
-    fn dispatch_owned(&mut self, output: OwnedOutput) {
-        match output {
-            OwnedOutput::Packet { to, payload } => self.deliver_packet(to, payload),
-            OwnedOutput::Stream { to, msg } => self.deliver_stream(to, msg),
-            OwnedOutput::Event(e) => self.trace.record(self.now, self.from_idx, e),
-        }
-    }
-}
-
-impl Sink for SimSink<'_> {
-    fn transmit(&mut self, to: NodeAddr, payload: &[u8]) {
-        // A paused node blocks before sending: network effects are held
-        // in its outbox until the anomaly ends. In-flight packets
-        // outlive the borrow of the node's scratch, so both paths copy
-        // the payload into an owned buffer.
-        if self.paused {
-            self.outbox.push(OwnedOutput::Packet {
-                to,
-                payload: Bytes::copy_from_slice(payload),
-            });
-        } else {
-            self.deliver_packet(to, Bytes::copy_from_slice(payload));
-        }
-    }
-
-    fn stream(&mut self, to: NodeAddr, msg: Message) {
-        if self.paused {
-            self.outbox.push(OwnedOutput::Stream { to, msg });
-        } else {
-            self.deliver_stream(to, msg);
-        }
-    }
-
-    fn event(&mut self, event: lifeguard_core::event::Event) {
-        // A paused node's membership conclusions are still logged (the
-        // paper's analysis reads the agents' logs, which are written
-        // regardless).
-        self.trace.record(self.now, self.from_idx, event);
-    }
-}
-
 /// Configures and builds a [`Cluster`].
 #[derive(Clone, Debug)]
 pub struct ClusterBuilder {
@@ -193,6 +102,8 @@ pub struct ClusterBuilder {
     network: NetworkConfig,
     anomalies: Vec<(usize, AnomalySpec)>,
     full_mesh: bool,
+    workers: usize,
+    phantoms: usize,
 }
 
 impl ClusterBuilder {
@@ -207,6 +118,8 @@ impl ClusterBuilder {
             network: NetworkConfig::loopback(),
             anomalies: Vec::new(),
             full_mesh: false,
+            workers: 1,
+            phantoms: 0,
         }
     }
 
@@ -244,11 +157,49 @@ impl ClusterBuilder {
         self
     }
 
+    /// Number of worker threads processing event lanes (default 1:
+    /// fully inline execution). Any value produces the same trace,
+    /// telemetry and final state — parallelism is an implementation
+    /// detail of the window scheduler, not an observable input.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Extends the roster with `phantoms` phantom members (indices
+    /// `n..n + phantoms`): table entries answered by a canned prober-side
+    /// responder instead of a full protocol instance. Requires
+    /// [`full_mesh`](Self::full_mesh) bootstrap, since phantoms cannot
+    /// execute a join handshake.
+    pub fn phantom_members(mut self, phantoms: usize) -> Self {
+        self.phantoms = phantoms;
+        self
+    }
+
     /// Builds the cluster at simulated time zero: every node is started,
     /// and nodes 1… send a join push-pull to `node-0`.
     pub fn build(self) -> Cluster {
         let n = self.n;
-        let mut slots = Vec::with_capacity(n);
+        let total = n + self.phantoms;
+        assert!(
+            self.phantoms == 0 || self.full_mesh,
+            "phantom members require full_mesh bootstrap"
+        );
+        assert!(total <= 1 << 24, "address scheme supports 2^24 members");
+        let topo = Topology {
+            lanes: self.workers.clamp(1, n),
+            real: n,
+            total,
+        };
+        // The conservative-lookahead horizon: nothing crosses the
+        // network faster than the minimum one-way latency, so a window
+        // of that length is causally closed per lane.
+        let horizon_us = self
+            .network
+            .datagram_latency
+            .min(self.network.stream_latency)
+            .as_micros() as u64;
+        let mut lanes: Vec<Lane> = (0..topo.lanes).map(|_| Lane::default()).collect();
         let mut addr_to_idx = HashMap::with_capacity(n);
         for i in 0..n {
             let name = NodeName::from(format!("node-{i}"));
@@ -260,27 +211,31 @@ impl ClusterBuilder {
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(i as u64 + 1);
             let node = SwimNode::new(name, addr, self.config.clone(), node_seed);
-            slots.push(NodeSlot {
+            lanes[topo.lane_of(i)].slots.push(NodeSlot {
                 driver: Driver::new(node),
                 paused_until: None,
                 crashed: false,
                 wake_marker: None,
                 outbox: Vec::new(),
+                emit_seq: 0,
             });
         }
         let mut cluster = Cluster {
-            slots,
-            queue: EventQueue::new(),
+            lanes,
             network: Network::new(self.network, self.seed.wrapping_add(0x00C0_FFEE)),
             addr_to_idx,
             now: SimTime::ZERO,
             trace: Trace::new(),
             telemetry: Telemetry::new(n),
+            topo,
+            horizon_us,
+            workers: self.workers.max(1),
         };
-        // Boot + join (or direct full-mesh bootstrap).
+        // Boot + join (or direct full-mesh bootstrap). Phantom members
+        // appear in the bootstrap roster like any other peer.
         let seed_addr = Cluster::addr_for(0);
         let roster: Vec<(NodeName, NodeAddr)> = if self.full_mesh {
-            (0..n)
+            (0..total)
                 .map(|i| (Cluster::name_of(i), Cluster::addr_for(i)))
                 .collect()
         } else {
@@ -289,10 +244,10 @@ impl ClusterBuilder {
         for i in 0..n {
             cluster.with_sink(i, |driver, sink| driver.start(SimTime::ZERO, sink));
             if self.full_mesh {
-                cluster.slots[i]
-                    .driver
-                    .node_mut()
-                    .bootstrap_peers(roster.iter().cloned(), SimTime::ZERO);
+                cluster.slot_mut(i).driver.node_mut().bootstrap_peers(
+                    roster.iter().cloned(),
+                    SimTime::ZERO,
+                );
             } else if i > 0 {
                 cluster.with_sink(i, |driver, sink| {
                     driver.join(vec![seed_addr], SimTime::ZERO, sink);
@@ -300,14 +255,19 @@ impl ClusterBuilder {
             }
             cluster.ensure_wake(i);
         }
-        // Schedule anomaly windows.
+        // Schedule anomaly windows in the owning lane's queue.
         for (node, spec) in &self.anomalies {
             let wseed = self.seed.wrapping_add(0xA0_0000 + *node as u64);
+            let lane = &mut cluster.lanes[topo.lane_of(*node)];
             for w in spec.windows(wseed) {
-                cluster
-                    .queue
-                    .push(w.start, SimEvent::PauseStart { node: *node, until: w.end });
-                cluster.queue.push(w.end, SimEvent::PauseEnd { node: *node });
+                lane.queue.push(
+                    w.start,
+                    LaneEvent::PauseStart {
+                        node: *node,
+                        until: w.end,
+                    },
+                );
+                lane.queue.push(w.end, LaneEvent::PauseEnd { node: *node });
             }
         }
         cluster
@@ -316,19 +276,26 @@ impl ClusterBuilder {
 
 /// A running simulated cluster.
 pub struct Cluster {
-    slots: Vec<NodeSlot>,
-    queue: EventQueue<SimEvent>,
+    lanes: Vec<Lane>,
     network: Network,
     addr_to_idx: HashMap<NodeAddr, usize>,
     now: SimTime,
     trace: Trace,
     telemetry: Telemetry,
+    topo: Topology,
+    /// Window length: the network's minimum one-way latency, in µs.
+    horizon_us: u64,
+    workers: usize,
 }
 
 impl Cluster {
-    /// The synthetic address of node `i`.
+    /// The synthetic address of node `i` (10.x.y.z encodes `i` in the
+    /// low 24 bits, supporting rosters beyond 2¹⁶ members).
     pub fn addr_for(i: usize) -> NodeAddr {
-        NodeAddr::new([10, 0, (i >> 8) as u8, (i & 0xff) as u8], 7946)
+        NodeAddr::new(
+            [10, (i >> 16) as u8, (i >> 8) as u8, i as u8],
+            SIM_PORT,
+        )
     }
 
     /// The name of node `i`.
@@ -336,14 +303,19 @@ impl Cluster {
         NodeName::from(format!("node-{i}"))
     }
 
-    /// Number of nodes.
+    /// Number of real (driver-backed) nodes.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.topo.real
     }
 
     /// Whether the cluster is empty (never true after building).
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.topo.real == 0
+    }
+
+    /// Total roster size including phantom members.
+    pub fn total_members(&self) -> usize {
+        self.topo.total
     }
 
     /// Current simulated time.
@@ -353,7 +325,7 @@ impl Cluster {
 
     /// Read access to a node's protocol state.
     pub fn node(&self, i: usize) -> &SwimNode {
-        self.slots[i].driver.node()
+        self.slot(i).driver.node()
     }
 
     /// The recorded event trace.
@@ -374,7 +346,7 @@ impl Cluster {
     pub fn metrics_snapshot(&self, i: usize) -> lifeguard_metrics::Snapshot {
         let t = self.telemetry.node(i);
         lifeguard_metrics::Snapshot {
-            core: self.slots[i].driver.metrics(),
+            core: self.slot(i).driver.metrics(),
             io: lifeguard_metrics::IoSnapshot {
                 datagrams_sent: t.datagrams_sent,
                 datagram_bytes: t.datagram_bytes,
@@ -387,24 +359,20 @@ impl Cluster {
 
     /// Whether node `i` is currently inside an anomaly window.
     pub fn is_paused(&self, i: usize) -> bool {
-        self.slots[i].paused_until.is_some()
+        self.slot(i).paused_until.is_some()
     }
 
     /// Whether node `i` was crashed.
     pub fn is_crashed(&self, i: usize) -> bool {
-        self.slots[i].crashed
+        self.slot(i).crashed
     }
 
     /// Runs the simulation until simulated time `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(at) = self.queue.peek_time() {
-            if at > t {
-                break;
-            }
-            let (at, ev) = self.queue.pop().expect("peeked");
-            debug_assert!(at >= self.now, "time went backwards");
-            self.now = at;
-            self.dispatch(ev);
+        if self.workers > 1 && self.topo.lanes > 1 {
+            self.run_until_parallel(t);
+        } else {
+            self.run_until_serial(t);
         }
         if t > self.now {
             self.now = t;
@@ -421,18 +389,21 @@ impl Cluster {
     pub fn apply(&mut self, action: SimAction) {
         match action {
             SimAction::Crash { node } => {
-                self.slots[node].crashed = true;
+                self.slot_mut(node).crashed = true;
             }
             SimAction::Pause { node, duration } => {
                 let until = self.now + duration;
-                self.slots[node].paused_until = Some(until);
+                self.slot_mut(node).paused_until = Some(until);
                 let now = self.now;
                 self.with_sink(node, |driver, sink| {
                     driver
                         .handle(Input::IoBlocked { blocked: true }, now, sink)
                         .expect("io-blocked input is infallible");
                 });
-                self.queue.push(until, SimEvent::PauseEnd { node });
+                let lane = self.topo.lane_of(node);
+                self.lanes[lane]
+                    .queue
+                    .push(until, LaneEvent::PauseEnd { node });
             }
             SimAction::Leave { node } => {
                 let now = self.now;
@@ -461,7 +432,7 @@ impl Cluster {
     /// other functioning node as alive.
     pub fn converged(&self) -> bool {
         let participants: Vec<usize> = (0..self.len())
-            .filter(|&i| !self.slots[i].crashed && !self.slots[i].driver.node().has_left())
+            .filter(|&i| !self.slot(i).crashed && !self.slot(i).driver.node().has_left())
             .collect();
         for &i in &participants {
             for &j in &participants {
@@ -469,7 +440,7 @@ impl Cluster {
                     continue;
                 }
                 let name = Self::name_of(j);
-                match self.slots[i].driver.node().member(&name) {
+                match self.slot(i).driver.node().member(&name) {
                     Some(m) if m.state == lifeguard_proto::MemberState::Alive => {}
                     _ => return false,
                 }
@@ -483,7 +454,7 @@ impl Cluster {
         let name = NodeName::from(name);
         (0..self.len())
             .filter(|&i| {
-                self.slots[i]
+                self.slot(i)
                     .driver
                     .node()
                     .member(&name)
@@ -497,153 +468,268 @@ impl Cluster {
     // Internals
     // ------------------------------------------------------------------
 
-    fn dispatch(&mut self, ev: SimEvent) {
-        let now = self.now;
-        match ev {
-            SimEvent::Wake { node } => {
-                let slot = &mut self.slots[node];
-                if slot.wake_marker != Some(now) {
-                    return; // stale wake; a fresher one is queued
-                }
-                slot.wake_marker = None;
-                if slot.crashed {
-                    return;
-                }
-                // Timers run even during an anomaly: the paper's
-                // instrumentation blocks only sends/receives, so the
-                // agent's logic keeps evaluating wall-clock deadlines.
-                // Sends it produces are captured in the outbox by the
-                // sink.
-                self.with_sink(node, |driver, sink| driver.tick(now, sink));
-                self.ensure_wake(node);
+    fn slot(&self, i: usize) -> &NodeSlot {
+        &self.lanes[self.topo.lane_of(i)].slots[self.topo.slot_of(i)]
+    }
+
+    fn slot_mut(&mut self, i: usize) -> &mut NodeSlot {
+        &mut self.lanes[self.topo.lane_of(i)].slots[self.topo.slot_of(i)]
+    }
+
+    /// End of the window opening at `base`: one µs short of the horizon
+    /// (a delivery drawn at `base` lands at `base + horizon` at the
+    /// earliest, strictly after the window), clipped to the run target.
+    fn window_end(base: SimTime, horizon_us: u64, t: SimTime) -> SimTime {
+        let w = base.as_micros() + horizon_us.saturating_sub(1);
+        SimTime::from_micros(w.min(t.as_micros()))
+    }
+
+    /// Earliest pending event across all lanes: the next window's base.
+    fn next_event_time(&self) -> Option<SimTime> {
+        self.lanes.iter().filter_map(|l| l.queue.peek_time()).min()
+    }
+
+    fn run_until_serial(&mut self, t: SimTime) {
+        let topo = self.topo;
+        let mut ems = Vec::new();
+        let mut recs = Vec::new();
+        while let Some(base) = self.next_event_time() {
+            if base > t {
+                break;
             }
-            SimEvent::Datagram { to, from, payload } => {
-                let slot = &mut self.slots[to];
-                if slot.crashed {
-                    return;
+            let wend = Self::window_end(base, self.horizon_us, t);
+            for lane in &mut self.lanes {
+                if lane.queue.peek_time().is_none_or(|p| p > wend) {
+                    continue; // nothing due: the lane clock catches up lazily
                 }
-                if let Some(until) = slot.paused_until {
-                    // Blocked on receive: queue for after the anomaly.
-                    self.queue
-                        .push(until, SimEvent::Datagram { to, from, payload });
-                    return;
-                }
-                // Zero-copy delivery: compound parts and blob fields
-                // alias the datagram buffer. Malformed packets are
-                // dropped, as a real deployment would.
-                self.with_sink(to, |driver, sink| {
-                    let _ = driver.handle(Input::Datagram { from, payload }, now, sink);
-                });
-                self.ensure_wake(to);
+                lane.run_window(wend, topo);
             }
-            SimEvent::Stream { to, from, msg } => {
-                let slot = &mut self.slots[to];
-                if slot.crashed {
-                    return;
-                }
-                if let Some(until) = slot.paused_until {
-                    self.queue.push(until, SimEvent::Stream { to, from, msg });
-                    return;
-                }
-                self.with_sink(to, |driver, sink| {
-                    driver
-                        .handle(Input::Stream { from, msg }, now, sink)
-                        .expect("stream input is infallible");
-                });
-                self.ensure_wake(to);
-            }
-            SimEvent::PauseStart { node, until } => {
-                if !self.slots[node].crashed {
-                    self.slots[node].paused_until = Some(until);
-                    self.with_sink(node, |driver, sink| {
-                        driver
-                            .handle(Input::IoBlocked { blocked: true }, now, sink)
-                            .expect("io-blocked input is infallible");
-                    });
-                }
-            }
-            SimEvent::PauseEnd { node } => {
-                let slot = &mut self.slots[node];
-                if slot.crashed {
-                    return;
-                }
-                // Only clear if this PauseEnd matches the active window
-                // (an overlapping manual pause may extend it).
-                if slot.paused_until.map(|u| u <= now).unwrap_or(false) {
-                    slot.paused_until = None;
-                    // "The blocked sends ... are unblocked": flush
-                    // everything the node tried to send while paused,
-                    // then let the node evaluate its postponed probe
-                    // deadlines (which fail, raising suspicions) and any
-                    // other due timers.
-                    let outbox = std::mem::take(&mut slot.outbox);
-                    self.with_sink(node, |driver, sink| {
-                        for held in outbox {
-                            sink.dispatch_owned(held);
-                        }
-                        driver
-                            .handle(Input::IoBlocked { blocked: false }, now, sink)
-                            .expect("io-blocked input is infallible");
-                        driver.tick(now, sink);
-                    });
-                    self.ensure_wake(node);
-                }
-            }
+            self.now = wend;
+            let Cluster {
+                lanes,
+                network,
+                addr_to_idx,
+                telemetry,
+                trace,
+                ..
+            } = self;
+            commit_window(lanes, network, addr_to_idx, telemetry, trace, &mut ems, &mut recs);
         }
     }
 
-    /// Runs one driver call with a [`SimSink`] assembled from split
-    /// borrows of the cluster's fields — the single place simulated
-    /// network I/O, telemetry and tracing attach to the shared driver
-    /// harness.
-    fn with_sink<R>(&mut self, node: usize, f: impl FnOnce(&mut Driver, &mut SimSink<'_>) -> R) -> R {
-        let now = self.now;
-        let slot = &mut self.slots[node];
-        let paused = slot.paused_until.is_some();
-        let from_addr = slot.driver.node().addr();
-        let NodeSlot { driver, outbox, .. } = slot;
-        let mut sink = SimSink {
-            from_idx: node,
-            from_addr,
+    /// The same window loop, with lanes shipped to a scoped worker pool.
+    /// Lanes move by value through channels (no locks, no shared state);
+    /// the coordinator blocks for the window barrier, then commits —
+    /// committing is serial by design, it is where the canonical order
+    /// is imposed.
+    fn run_until_parallel(&mut self, t: SimTime) {
+        let topo = self.topo;
+        let horizon_us = self.horizon_us;
+        let workers = self.workers.min(self.topo.lanes);
+        let Cluster {
+            lanes,
+            network,
+            addr_to_idx,
+            telemetry,
+            trace,
             now,
-            paused,
-            outbox,
-            queue: &mut self.queue,
-            network: &mut self.network,
-            addr_to_idx: &self.addr_to_idx,
-            trace: &mut self.trace,
-            telemetry: &mut self.telemetry,
-        };
-        f(driver, &mut sink)
+            ..
+        } = self;
+        let mut ems = Vec::new();
+        let mut recs = Vec::new();
+        let (work_tx, work_rx) = channel::unbounded::<(usize, Lane, SimTime)>();
+        let (done_tx, done_rx) = channel::unbounded::<(usize, Lane)>();
+        let result = crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                let rx = work_rx.clone();
+                let tx = done_tx.clone();
+                s.spawn(move |_| {
+                    while let Ok((i, mut lane, wend)) = rx.recv() {
+                        lane.run_window(wend, topo);
+                        if tx.send((i, lane)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            while let Some(base) = lanes.iter().filter_map(|l| l.queue.peek_time()).min() {
+                if base > t {
+                    break;
+                }
+                let wend = Self::window_end(base, horizon_us, t);
+                let mut sent = 0usize;
+                for (i, lane) in lanes.iter_mut().enumerate() {
+                    if lane.queue.peek_time().is_none_or(|p| p > wend) {
+                        continue;
+                    }
+                    let lane = std::mem::take(lane);
+                    if work_tx.send((i, lane, wend)).is_err() {
+                        panic!("sim worker exited prematurely");
+                    }
+                    sent += 1;
+                }
+                for _ in 0..sent {
+                    let Ok((i, lane)) = done_rx.recv() else {
+                        panic!("sim worker exited prematurely");
+                    };
+                    lanes[i] = lane;
+                }
+                *now = wend;
+                commit_window(lanes, network, addr_to_idx, telemetry, trace, &mut ems, &mut recs);
+            }
+            drop(work_tx);
+        });
+        if let Err(payload) = result {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Runs one driver call against the owning lane's sink at the
+    /// cluster clock, then immediately commits the buffered effects —
+    /// the path for build-time boots and injected actions, which happen
+    /// between windows.
+    fn with_sink<R>(
+        &mut self,
+        node: usize,
+        f: impl FnOnce(&mut Driver, &mut LaneSink<'_>) -> R,
+    ) -> R {
+        let topo = self.topo;
+        let lane = topo.lane_of(node);
+        self.lanes[lane].now = self.now;
+        let r = self.lanes[lane].with_sink(node, topo, f);
+        let Cluster {
+            lanes,
+            network,
+            addr_to_idx,
+            telemetry,
+            trace,
+            ..
+        } = self;
+        let mut ems = Vec::new();
+        let mut recs = Vec::new();
+        commit_window(lanes, network, addr_to_idx, telemetry, trace, &mut ems, &mut recs);
+        r
     }
 
     /// Arms a wake event at the node's next timer deadline unless an
     /// earlier one is already queued.
     fn ensure_wake(&mut self, node: usize) {
-        let slot = &mut self.slots[node];
-        if slot.crashed {
-            return;
-        }
-        let Some(wake) = slot.driver.next_wake() else {
-            return;
-        };
-        let wake = wake.max(self.now);
-        match slot.wake_marker {
-            Some(existing) if existing <= wake => {}
-            _ => {
-                slot.wake_marker = Some(wake);
-                self.queue.push(wake, SimEvent::Wake { node });
+        let topo = self.topo;
+        let lane = topo.lane_of(node);
+        self.lanes[lane].now = self.now;
+        self.lanes[lane].ensure_wake(node, topo);
+    }
+}
+
+/// Sorts the effects buffered by every lane into the canonical
+/// `(time, sender, per-sender seq)` order and applies them: telemetry
+/// counters, network verdicts (the only RNG draws in the delivery path)
+/// and arrival events for the owning lanes, then trace appends in
+/// `(time, reporter, seq)` order. This is the serialisation point that
+/// makes worker count unobservable.
+fn commit_window(
+    lanes: &mut [Lane],
+    network: &mut Network,
+    addr_to_idx: &HashMap<NodeAddr, usize>,
+    telemetry: &mut Telemetry,
+    trace: &mut Trace,
+    ems: &mut Vec<Emission>,
+    recs: &mut Vec<TraceRecord>,
+) {
+    for lane in lanes.iter_mut() {
+        ems.append(&mut lane.emissions);
+        recs.append(&mut lane.records);
+    }
+    ems.sort_unstable_by_key(|e| (e.at, e.from, e.seq));
+    recs.sort_unstable_by_key(|r| (r.at, r.reporter, r.seq));
+    let lanes_n = lanes.len();
+    for em in ems.drain(..) {
+        let from_addr = Cluster::addr_for(em.from);
+        match em.kind {
+            EmitKind::Packet { to, payload } => {
+                telemetry.record_datagram(em.from, payload.len());
+                let Some(&to_idx) = addr_to_idx.get(&to) else {
+                    continue; // address outside the simulation
+                };
+                if let Delivery::Deliver(delay) = network.datagram(em.from, to_idx) {
+                    lanes[to_idx % lanes_n].queue.push(
+                        em.at + delay,
+                        LaneEvent::Datagram {
+                            to: to_idx,
+                            from: from_addr,
+                            payload,
+                        },
+                    );
+                }
+            }
+            EmitKind::Stream { to, msg, len } => {
+                telemetry.record_stream(em.from, len);
+                let Some(&to_idx) = addr_to_idx.get(&to) else {
+                    continue;
+                };
+                if let Delivery::Deliver(delay) = network.stream(em.from, to_idx) {
+                    lanes[to_idx % lanes_n].queue.push(
+                        em.at + delay,
+                        LaneEvent::Stream {
+                            to: to_idx,
+                            from: from_addr,
+                            msg,
+                        },
+                    );
+                }
+            }
+            EmitKind::PhantomPacket {
+                phantom,
+                len,
+                replies,
+            } => {
+                telemetry.record_datagram(em.from, len);
+                // Outbound leg to the phantom; each canned reply then
+                // takes its own return leg. Phantom sends are not
+                // telemetered — telemetry tracks real nodes only.
+                if let Delivery::Deliver(out) = network.datagram(em.from, phantom) {
+                    let phantom_addr = Cluster::addr_for(phantom);
+                    for (reply_to, payload) in replies {
+                        let Some(&to_idx) = addr_to_idx.get(&reply_to) else {
+                            continue;
+                        };
+                        if let Delivery::Deliver(back) = network.datagram(phantom, to_idx) {
+                            lanes[to_idx % lanes_n].queue.push(
+                                em.at + out + back,
+                                LaneEvent::Datagram {
+                                    to: to_idx,
+                                    from: phantom_addr,
+                                    payload,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            EmitKind::PhantomStream { len } => {
+                // Counted like any send, then dropped: phantoms have no
+                // stream endpoint, so anti-entropy with them is a no-op.
+                telemetry.record_stream(em.from, len);
             }
         }
+    }
+    for r in recs.drain(..) {
+        trace.record(r.at, r.reporter, r.event);
     }
 }
 
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
-            .field("n", &self.slots.len())
+            .field("n", &self.topo.real)
+            .field("phantoms", &(self.topo.total - self.topo.real))
+            .field("lanes", &self.topo.lanes)
+            .field("workers", &self.workers)
             .field("now", &self.now)
-            .field("pending_events", &self.queue.len())
+            .field(
+                "pending_events",
+                &self.lanes.iter().map(|l| l.queue.len()).sum::<usize>(),
+            )
             .field("trace_len", &self.trace.len())
             .finish()
     }
@@ -784,5 +870,48 @@ mod tests {
         assert!(c.is_paused(2));
         c.run_until(SimTime::from_secs(13));
         assert!(!c.is_paused(2));
+    }
+
+    #[test]
+    fn worker_count_is_unobservable() {
+        let run = |workers: usize| {
+            let mut c = ClusterBuilder::new(6).seed(21).workers(workers).build();
+            c.run_for(SimDuration::from_secs(8));
+            c.apply(SimAction::Crash { node: 5 });
+            c.run_for(SimDuration::from_secs(22));
+            let events: Vec<String> = c
+                .trace()
+                .events()
+                .iter()
+                .map(|e| format!("{:?}/{}/{:?}", e.at, e.reporter, e.event))
+                .collect();
+            (events, c.telemetry().total())
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(5));
+    }
+
+    #[test]
+    fn phantom_members_are_seen_alive_and_stay_alive() {
+        // 4 real nodes + 60 phantoms: every real node should hold the
+        // full roster as alive and keep it that way (phantoms always
+        // ack probes), without ever declaring a phantom failed.
+        let mut c = ClusterBuilder::new(4)
+            .seed(11)
+            .full_mesh(true)
+            .phantom_members(60)
+            .build();
+        c.run_for(SimDuration::from_secs(30));
+        for i in 0..4 {
+            assert_eq!(c.node(i).num_alive(), 64, "node {i} lost roster members");
+        }
+        let phantom_failures = c.trace().count(|e| {
+            matches!(&e.event, Event::MemberFailed { name, .. }
+                if name.as_str().strip_prefix("node-")
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .is_some_and(|idx| idx >= 4))
+        });
+        assert_eq!(phantom_failures, 0, "phantoms must never be declared failed");
     }
 }

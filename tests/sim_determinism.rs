@@ -1,0 +1,180 @@
+//! Determinism regression: the simulator's observable output — the full
+//! event trace, telemetry totals and every node's final member table —
+//! must be **byte-identical** for a given seed regardless of
+//!
+//! * the worker count driving the event lanes (1 = inline serial, more =
+//!   scoped thread pool), and
+//! * the membership-plane shard count inside each node.
+//!
+//! Both knobs are performance knobs by contract; this test is the
+//! contract. Each scenario exercises convergence plus injected actions
+//! (crash, pause, metadata churn) so the fingerprint covers probe
+//! scheduling, suspicion timers, gossip dissemination and anomaly
+//! handling — not just a quiet steady state.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use lifeguard::core::config::Config;
+use lifeguard::sim::cluster::{Cluster, ClusterBuilder, SimAction};
+use lifeguard::sim::clock::SimDuration;
+
+/// Canonical string form of everything a run observably produced.
+fn fingerprint(c: &Cluster) -> String {
+    let mut out = String::new();
+    for e in c.trace().events() {
+        out.push_str(&format!("{:?}/{}/{:?}\n", e.at, e.reporter, e.event));
+    }
+    let total = c.telemetry().total();
+    out.push_str(&format!("telemetry: {total:?}\n"));
+    for i in 0..c.len() {
+        let mut rows: Vec<String> = c
+            .node(i)
+            .members()
+            .map(|m| {
+                format!(
+                    "{}={:?}@{:?}",
+                    m.name.as_str(),
+                    m.state,
+                    m.incarnation
+                )
+            })
+            .collect();
+        rows.sort();
+        out.push_str(&format!("node {i}: {}\n", rows.join(",")));
+    }
+    out
+}
+
+/// A 12-node run with a crash, an anomaly pause and metadata churn.
+fn eventful_run(workers: usize, shards: usize) -> String {
+    let mut c = ClusterBuilder::new(12)
+        .seed(0xD15C0)
+        .config(Config::lan().lifeguard().with_shards(shards))
+        .workers(workers)
+        .build();
+    c.run_for(SimDuration::from_secs(12));
+    c.apply(SimAction::UpdateMeta {
+        node: 4,
+        meta: Bytes::from_static(b"v2"),
+    });
+    c.apply(SimAction::Pause {
+        node: 7,
+        duration: Duration::from_millis(900),
+    });
+    c.run_for(SimDuration::from_secs(8));
+    c.apply(SimAction::Crash { node: 11 });
+    c.run_for(SimDuration::from_secs(25));
+    fingerprint(&c)
+}
+
+#[test]
+fn trace_and_tables_identical_across_workers_and_shards() {
+    let reference = eventful_run(1, 1);
+    assert!(
+        reference.contains("MemberFailed"),
+        "scenario must actually exercise failure detection"
+    );
+    for workers in [2, 8] {
+        assert_eq!(
+            reference,
+            eventful_run(workers, 1),
+            "workers={workers} diverged from serial run"
+        );
+    }
+    for shards in [4, 16] {
+        assert_eq!(
+            reference,
+            eventful_run(1, shards),
+            "shards={shards} diverged from single-shard run"
+        );
+    }
+    // Both knobs at once.
+    assert_eq!(
+        reference,
+        eventful_run(8, 16),
+        "workers=8/shards=16 diverged"
+    );
+}
+
+/// Phantom-extended rosters must be just as schedule-independent: the
+/// canned phantom responder runs inside the sending lane and its
+/// replies commit in canonical order like any other delivery.
+fn phantom_run(workers: usize, shards: usize) -> String {
+    let mut c = ClusterBuilder::new(6)
+        .seed(0xFA111)
+        .config(Config::lan().lifeguard().with_shards(shards))
+        .full_mesh(true)
+        .phantom_members(40)
+        .workers(workers)
+        .build();
+    c.run_for(SimDuration::from_secs(10));
+    c.apply(SimAction::UpdateMeta {
+        node: 2,
+        meta: Bytes::from_static(b"churn"),
+    });
+    c.run_for(SimDuration::from_secs(10));
+    fingerprint(&c)
+}
+
+#[test]
+fn phantom_rosters_identical_across_workers_and_shards() {
+    let reference = phantom_run(1, 1);
+    assert!(
+        reference.contains("node-45"),
+        "roster must include the phantom members"
+    );
+    assert_eq!(reference, phantom_run(2, 4), "workers=2/shards=4 diverged");
+    assert_eq!(reference, phantom_run(8, 16), "workers=8/shards=16 diverged");
+}
+
+/// The per-node metrics export must be schedule-independent too: the
+/// exact same `Snapshot` (core protocol counters, histograms and sim
+/// I/O accounting) at every worker and shard count, and therefore the
+/// same aggregated dashboard.
+#[test]
+fn metrics_snapshots_identical_across_workers_and_shards() {
+    use lifeguard::metrics::Aggregate;
+
+    let run = |workers: usize, shards: usize| {
+        let mut c = ClusterBuilder::new(10)
+            .seed(0x5EED5)
+            .config(Config::lan().lifeguard().with_shards(shards))
+            .workers(workers)
+            .build();
+        c.run_for(SimDuration::from_secs(10));
+        c.apply(SimAction::Crash { node: 9 });
+        c.run_for(SimDuration::from_secs(20));
+        let snaps: Vec<_> = (0..c.len()).map(|i| c.metrics_snapshot(i)).collect();
+        let mut agg = Aggregate::new();
+        for (i, s) in snaps.iter().enumerate() {
+            agg.add(&format!("node-{i}"), s.clone());
+        }
+        (snaps, agg.to_json())
+    };
+
+    let (ref_snaps, ref_json) = run(1, 1);
+    // The scenario must produce non-trivial protocol metrics.
+    let merged_failures: u64 = ref_snaps.iter().map(|s| s.core.failures_declared).sum();
+    assert!(merged_failures > 0, "scenario produced no failure metrics");
+    for (workers, shards) in [(2, 1), (1, 8), (4, 8)] {
+        let (snaps, json) = run(workers, shards);
+        assert_eq!(
+            snaps, ref_snaps,
+            "metrics diverged at workers={workers}, shards={shards}"
+        );
+        assert_eq!(json, ref_json);
+    }
+}
+
+/// Different seeds must still differ — guards against the fingerprint
+/// (or the simulator) collapsing to something seed-independent.
+#[test]
+fn different_seeds_produce_different_runs() {
+    let run = |seed: u64| {
+        let mut c = ClusterBuilder::new(6).seed(seed).build();
+        c.run_for(SimDuration::from_secs(15));
+        fingerprint(&c)
+    };
+    assert_ne!(run(1), run(2));
+}
